@@ -1,0 +1,164 @@
+package s3
+
+// Benchmarks for the reproduction's extensions: alternative distortion
+// models, k-NN on the same structure, the VA-file baseline, spatial
+// voting, and parallel detection.
+
+import (
+	"fmt"
+	"testing"
+
+	"s3cbcd/internal/cbcd"
+	"s3cbcd/internal/core"
+	"s3cbcd/internal/fingerprint"
+	"s3cbcd/internal/vafile"
+	"s3cbcd/internal/vidsim"
+	"s3cbcd/internal/vote"
+)
+
+// BenchmarkModels compares the per-query cost of the distortion model
+// families at matched sigma: richer models pay more per component mass.
+func BenchmarkModels(b *testing.B) {
+	_, ix, queries := sharedDB(b)
+	samples := make([]float64, 2000)
+	for i := range samples {
+		samples[i] = float64(i%41) - 20
+	}
+	mix, err := core.FitMixtureNormal(fingerprint.D, samples)
+	if err != nil {
+		b.Fatal(err)
+	}
+	emp, err := core.FitEmpirical(fingerprint.D, samples)
+	if err != nil {
+		b.Fatal(err)
+	}
+	models := []struct {
+		name string
+		m    core.Model
+	}{
+		{"iso-normal", core.IsoNormal{D: fingerprint.D, Sigma: 18}},
+		{"iso-laplace", core.IsoLaplace{D: fingerprint.D, Sigma: 18}},
+		{"student-t", core.IsoStudentT{D: fingerprint.D, Sigma: 18, Nu: 4}},
+		{"mixture", mix},
+		{"empirical", emp},
+	}
+	for _, mm := range models {
+		b.Run(mm.name, func(b *testing.B) {
+			sq := core.StatQuery{Alpha: 0.8, Model: mm.m}
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ix.SearchStat(queries[i%len(queries)], sq); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKNN times exact and early-stopping k-NN against the
+// statistical query on the same database.
+func BenchmarkKNN(b *testing.B) {
+	_, ix, queries := sharedDB(b)
+	b.Run("exact-k20", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := ix.SearchKNN(queries[i%len(queries)], 20, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("approx-k20-8leaves", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := ix.SearchKNN(queries[i%len(queries)], 20, 8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prob-k20-conf80", func(b *testing.B) {
+		m := core.IsoNormal{D: fingerprint.D, Sigma: 18}
+		for i := 0; i < b.N; i++ {
+			if _, _, err := ix.SearchKNNProb(queries[i%len(queries)], 20, 0.8, m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkVAFile times the VA-file range query against the plain
+// sequential scan it improves on.
+func BenchmarkVAFile(b *testing.B) {
+	db, ix, queries := sharedDB(b)
+	_ = ix
+	va, err := vafile.Build(db, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := core.IsoNormal{D: fingerprint.D, Sigma: 18}
+	eps := model.Radius().Quantile(0.8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := va.RangeQuery(queries[i%len(queries)], eps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpatialVote compares the voting decision with and without the
+// spatial extension on the same buffered results.
+func BenchmarkSpatialVote(b *testing.B) {
+	det, clip := sharedDetector(b)
+	locals := fingerprint.Extract(clip, det.Config().Fingerprint)
+	cands, err := det.SearchLocals(locals)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tol := range []float64{0, 6} {
+		cfg := det.Config().Vote
+		cfg.SpatialTolerance = tol
+		name := "temporal"
+		if tol > 0 {
+			name = "spatial"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				vote.Decide(cands, cfg)
+			}
+		})
+	}
+}
+
+// BenchmarkParallelDetection measures the clip-detection speedup from
+// concurrent statistical queries.
+func BenchmarkParallelDetection(b *testing.B) {
+	det, clip := sharedDetector(b)
+	locals := fingerprint.Extract(clip, det.Config().Fingerprint)
+	for _, workers := range []int{1, 4} {
+		cfg := det.Config()
+		cfg.Workers = workers
+		wdet, err := cbcd.NewDetector(det.Index().DB(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := wdet.SearchLocals(locals); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMonitor times continuous stream monitoring throughput,
+// reported as processed video seconds per wall second.
+func BenchmarkMonitor(b *testing.B) {
+	det, _ := sharedDetector(b)
+	mon := cbcd.NewMonitor(det)
+	stream := vidsim.Generate(vidsim.DefaultConfig(991), 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mon.ProcessStream(stream); err != nil {
+			b.Fatal(err)
+		}
+	}
+	videoSec := float64(stream.Len()) / 25
+	b.ReportMetric(videoSec*float64(b.N)/b.Elapsed().Seconds(), "videoSec/s")
+}

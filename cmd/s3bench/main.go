@@ -1,0 +1,70 @@
+// Command s3bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	s3bench -list
+//	s3bench -exp fig6 [-scale quick|full] [-seed 1]
+//	s3bench -exp all  [-scale quick|full]
+//
+// Each experiment prints the series/rows of the corresponding paper
+// artifact; see DESIGN.md §4 for the experiment index and EXPERIMENTS.md
+// for recorded paper-vs-measured results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"s3cbcd/internal/experiments"
+)
+
+func main() {
+	var (
+		expID    = flag.String("exp", "", "experiment id (fig1..fig9, tab1, tp) or 'all'")
+		scaleStr = flag.String("scale", "quick", "workload scale: quick or full")
+		seed     = flag.Int64("seed", 1, "random seed")
+		list     = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+
+	if *list || *expID == "" {
+		fmt.Println("Available experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-6s %s\n", e.ID, e.Title)
+		}
+		if *expID == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+	sc, err := experiments.ParseScale(*scaleStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	run := func(e experiments.Experiment) {
+		fmt.Printf("== %s: %s\n", e.ID, e.Title)
+		t0 := time.Now()
+		if err := e.Run(os.Stdout, sc, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "s3bench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s done in %v\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+	}
+
+	if *expID == "all" {
+		for _, e := range experiments.All() {
+			run(e)
+		}
+		return
+	}
+	e, ok := experiments.Lookup(*expID)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "s3bench: unknown experiment %q (use -list)\n", *expID)
+		os.Exit(2)
+	}
+	run(e)
+}

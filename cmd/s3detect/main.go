@@ -1,0 +1,137 @@
+// Command s3detect runs copy detection for one candidate clip against a
+// database built by s3index. The clip is cut from the (regenerated)
+// reference corpus — or from an unrelated video with -unrelated — and
+// optionally transformed, reproducing the candidate construction of the
+// paper's robustness experiments.
+//
+// Usage:
+//
+//	s3detect -db archive.s3db -ref 3 -start 40 -len 120 -transform gamma=1.8
+//	s3detect -db archive.s3db -unrelated -len 120
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"time"
+
+	s3 "s3cbcd"
+	"s3cbcd/internal/vidsim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("s3detect: ")
+	var (
+		dbPath    = flag.String("db", "archive.s3db", "database file from s3index")
+		refID     = flag.Int("ref", 1, "reference video to cut the candidate clip from (1-based)")
+		start     = flag.Int("start", 30, "first frame of the clip")
+		clipLen   = flag.Int("len", 120, "clip length in frames")
+		frames    = flag.Int("frames", 250, "frames per reference video (must match s3index)")
+		seed      = flag.Int64("corpus-seed", 1, "corpus seed (must match s3index)")
+		tfSpec    = flag.String("transform", "", "transformation: resize=S, shift=F, gamma=G, contrast=C, noise=S, or a+b composition")
+		alpha     = flag.Float64("alpha", 0.80, "statistical query expectation")
+		sigma     = flag.Float64("sigma", 20, "distortion model sigma")
+		minVotes  = flag.Int("min-votes", 0, "decision threshold n_sim (0 = calibrate on clean clips)")
+		unrelated = flag.Bool("unrelated", false, "use an unrelated clip (false-alarm check)")
+	)
+	flag.Parse()
+
+	cfg := s3.CBCDConfig{Alpha: *alpha, Sigma: *sigma}
+	det, err := s3.OpenDetector(*dbPath, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("database: %d fingerprints, alpha=%.0f%%, sigma=%.1f\n",
+		det.Index().DB().Len(), *alpha*100, *sigma)
+
+	if *minVotes > 0 {
+		det.SetVoteThreshold(*minVotes)
+	} else {
+		clean := []*s3.Video{
+			s3.GenerateVideo(987001, *clipLen),
+			s3.GenerateVideo(987002, *clipLen),
+		}
+		thr, err := s3.CalibrateThreshold(det, clean)
+		if err != nil {
+			log.Fatal(err)
+		}
+		det.SetVoteThreshold(thr)
+		fmt.Printf("calibrated vote threshold: %d\n", thr)
+	}
+
+	var clip *s3.Video
+	switch {
+	case *unrelated:
+		clip = s3.GenerateVideo(555555, *clipLen)
+		fmt.Printf("candidate: unrelated clip of %d frames\n", *clipLen)
+	default:
+		ref := s3.GenerateVideo(*seed+int64(*refID-1), *frames)
+		if *start+*clipLen > ref.Len() {
+			log.Fatalf("clip [%d,%d) exceeds video length %d", *start, *start+*clipLen, ref.Len())
+		}
+		clip = &s3.Video{FPS: ref.FPS, Frames: ref.Frames[*start : *start+*clipLen]}
+		fmt.Printf("candidate: frames [%d,%d) of reference %d\n", *start, *start+*clipLen, *refID)
+	}
+	if *tfSpec != "" {
+		tf, err := parseTransform(*tfSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		clip = vidsim.ApplySeq(tf, clip)
+		fmt.Printf("transformation: %s\n", tf.Name())
+	}
+
+	t0 := time.Now()
+	dets, err := det.DetectClip(clip)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(t0)
+	if len(dets) == 0 {
+		fmt.Printf("no copy detected (%v)\n", elapsed.Round(time.Millisecond))
+		return
+	}
+	for _, d := range dets {
+		fmt.Printf("COPY of video %d: temporal offset b=%.1f frames, n_sim=%d votes\n",
+			d.ID, d.Offset, d.Votes)
+	}
+	fmt.Printf("detection took %v\n", elapsed.Round(time.Millisecond))
+}
+
+// parseTransform turns "gamma=1.8" or "resize=0.8+noise=10" into a
+// Transform.
+func parseTransform(spec string) (vidsim.Transform, error) {
+	var comp vidsim.Compose
+	for _, part := range strings.Split(spec, "+") {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad transform %q (want name=value)", part)
+		}
+		v, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad transform value %q: %v", kv[1], err)
+		}
+		switch kv[0] {
+		case "resize":
+			comp = append(comp, vidsim.Resize{Scale: v})
+		case "shift":
+			comp = append(comp, vidsim.VShift{Frac: v})
+		case "gamma":
+			comp = append(comp, vidsim.Gamma{G: v})
+		case "contrast":
+			comp = append(comp, vidsim.Contrast{Factor: v})
+		case "noise":
+			comp = append(comp, vidsim.Noise{Sigma: v, Seed: 99})
+		default:
+			return nil, fmt.Errorf("unknown transform %q", kv[0])
+		}
+	}
+	if len(comp) == 1 {
+		return comp[0], nil
+	}
+	return comp, nil
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"testing"
+
+	"s3cbcd/internal/vidsim"
+)
+
+func TestParseTransformSingle(t *testing.T) {
+	tf, err := parseTransform("gamma=1.8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, ok := tf.(vidsim.Gamma)
+	if !ok || g.G != 1.8 {
+		t.Fatalf("parsed %#v", tf)
+	}
+}
+
+func TestParseTransformComposition(t *testing.T) {
+	tf, err := parseTransform("resize=0.8+noise=10+shift=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := tf.(vidsim.Compose)
+	if !ok || len(c) != 3 {
+		t.Fatalf("parsed %#v", tf)
+	}
+	if r, ok := c[0].(vidsim.Resize); !ok || r.Scale != 0.8 {
+		t.Fatalf("first: %#v", c[0])
+	}
+	if n, ok := c[1].(vidsim.Noise); !ok || n.Sigma != 10 {
+		t.Fatalf("second: %#v", c[1])
+	}
+	if s, ok := c[2].(vidsim.VShift); !ok || s.Frac != 0.1 {
+		t.Fatalf("third: %#v", c[2])
+	}
+}
+
+func TestParseTransformErrors(t *testing.T) {
+	for _, spec := range []string{"gamma", "gamma=x", "warp=2", "=", "gamma=1.2+bad"} {
+		if _, err := parseTransform(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+	if tf, err := parseTransform("contrast=2.5"); err != nil {
+		t.Fatal(err)
+	} else if c, ok := tf.(vidsim.Contrast); !ok || c.Factor != 2.5 {
+		t.Fatalf("contrast: %#v", tf)
+	}
+}

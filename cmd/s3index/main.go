@@ -1,0 +1,61 @@
+// Command s3index builds a reference fingerprint database from a
+// procedurally generated video corpus (the reproduction's stand-in for a
+// TV archive; see DESIGN.md §5) and writes it to an S3DB file.
+//
+// The corpus is fully determined by -corpus-seed / -corpus-videos /
+// -frames, so s3detect and s3monitor can regenerate the same videos to
+// cut candidate clips from.
+//
+// Usage:
+//
+//	s3index -out archive.s3db -corpus-videos 16 -frames 300
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	s3 "s3cbcd"
+	"s3cbcd/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("s3index: ")
+	var (
+		out        = flag.String("out", "archive.s3db", "output database file")
+		videos     = flag.Int("corpus-videos", 12, "number of reference videos to generate")
+		frames     = flag.Int("frames", 250, "frames per reference video")
+		seed       = flag.Int64("corpus-seed", 1, "corpus generation seed")
+		distract   = flag.Int("distractors", 0, "extra synthetic fingerprints to enlarge the DB")
+		sectionBit = flag.Int("section-bits", 12, "granularity of the file's curve-section table")
+	)
+	flag.Parse()
+
+	in := s3.NewVideoIndexer(s3.CBCDConfig{})
+	t0 := time.Now()
+	for i := 0; i < *videos; i++ {
+		v := s3.GenerateVideo(*seed+int64(i), *frames)
+		n := in.AddSequence(uint32(i+1), v)
+		fmt.Printf("video %2d: %d fingerprints\n", i+1, n)
+	}
+	if *distract > 0 {
+		recs := experiments.FPCorpus(*distract, *seed^0xD157)
+		for i := range recs {
+			recs[i].ID += 1_000_000 // keep distractors out of the video id range
+		}
+		in.AddRecords(recs)
+		fmt.Printf("added %d distractor fingerprints\n", *distract)
+	}
+	det, err := in.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := s3.SaveDetectorDB(det, *out, *sectionBit); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d fingerprints from %d videos in %v -> %s\n",
+		det.Index().DB().Len(), *videos, time.Since(t0).Round(time.Millisecond), *out)
+}

@@ -1,0 +1,105 @@
+// Command s3monitor reproduces the TV monitoring deployment of Section
+// V-D: it synthesizes a continuous channel stream with copies of
+// referenced videos embedded at random positions among unrelated filler,
+// monitors it with a sliding decision window, and reports the detections
+// together with the monitoring speed relative to real time.
+//
+// Usage:
+//
+//	s3monitor -db archive.s3db -minutes 2 -copies 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	s3 "s3cbcd"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("s3monitor: ")
+	var (
+		dbPath  = flag.String("db", "archive.s3db", "database file from s3index")
+		minutes = flag.Float64("minutes", 1, "stream length in minutes (25 fps)")
+		copies  = flag.Int("copies", 3, "number of embedded copies")
+		videos  = flag.Int("corpus-videos", 12, "reference corpus size (must match s3index)")
+		frames  = flag.Int("frames", 250, "frames per reference video (must match s3index)")
+		seed    = flag.Int64("corpus-seed", 1, "corpus seed (must match s3index)")
+		alpha   = flag.Float64("alpha", 0.80, "statistical query expectation")
+		sigma   = flag.Float64("sigma", 20, "distortion model sigma")
+	)
+	flag.Parse()
+
+	det, err := s3.OpenDetector(*dbPath, s3.CBCDConfig{Alpha: *alpha, Sigma: *sigma})
+	if err != nil {
+		log.Fatal(err)
+	}
+	thr, err := s3.CalibrateThreshold(det, []*s3.Video{
+		s3.GenerateVideo(987101, 250), s3.GenerateVideo(987102, 250),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	det.SetVoteThreshold(thr + thr/2)
+	fmt.Printf("database: %d fingerprints; vote threshold %d\n",
+		det.Index().DB().Len(), thr+thr/2)
+
+	// Synthesize the channel: filler with *copies* embedded excerpts.
+	const fps = 25
+	total := int(*minutes * 60 * fps)
+	r := rand.New(rand.NewSource(*seed ^ 0xCAFE))
+	stream := &s3.Video{FPS: fps}
+	type truth struct {
+		id        int
+		at, until int
+	}
+	var planted []truth
+	fillerSeed := int64(31337)
+	for stream.Len() < total {
+		// A filler segment...
+		fill := s3.GenerateVideo(fillerSeed, 150+r.Intn(150))
+		fillerSeed++
+		stream.Frames = append(stream.Frames, fill.Frames...)
+		// ...then possibly a copy.
+		if len(planted) < *copies {
+			id := 1 + r.Intn(*videos)
+			ref := s3.GenerateVideo(*seed+int64(id-1), *frames)
+			from := r.Intn(ref.Len() - 150)
+			at := stream.Len()
+			stream.Frames = append(stream.Frames, ref.Frames[from:from+150]...)
+			planted = append(planted, truth{id: id, at: at, until: stream.Len()})
+		}
+	}
+	fmt.Printf("stream: %d frames (%.1f min); %d planted copies:\n",
+		stream.Len(), float64(stream.Len())/fps/60, len(planted))
+	for _, p := range planted {
+		fmt.Printf("  video %2d at frames [%d,%d)\n", p.id, p.at, p.until)
+	}
+
+	mon := s3.NewMonitor(det)
+	t0 := time.Now()
+	dets, err := mon.ProcessStream(stream)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(t0)
+	fmt.Printf("\ndetections:\n")
+	found := map[int]bool{}
+	for _, d := range dets {
+		fmt.Printf("  video %2d in window [%d,%d): offset %.1f, %d votes\n",
+			d.ID, d.WindowStart, d.WindowEnd, d.Offset, d.Votes)
+		for _, p := range planted {
+			if int(d.ID) == p.id && int(d.WindowEnd) > p.at && int(d.WindowStart) < p.until {
+				found[p.id] = true
+			}
+		}
+	}
+	streamDur := time.Duration(float64(stream.Len()) / fps * float64(time.Second))
+	fmt.Printf("\nfound %d/%d planted copies; monitored %.1fs of video in %v (%.1fx real time)\n",
+		len(found), len(planted), streamDur.Seconds(), elapsed.Round(time.Millisecond),
+		streamDur.Seconds()/elapsed.Seconds())
+}

@@ -1,0 +1,45 @@
+// Command s3serve exposes an S3DB reference database over HTTP with a
+// JSON search API (statistical, range and k-NN queries), the deployment
+// mode where fingerprint extraction happens near the capture hardware and
+// the archive index is a central service.
+//
+// Usage:
+//
+//	s3serve -db archive.s3db -addr :8080
+//
+//	curl localhost:8080/stats
+//	curl -X POST localhost:8080/search/statistical \
+//	     -d '{"fingerprint":[...20 ints...],"alpha":0.8,"sigma":20}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"s3cbcd/internal/httpapi"
+	"s3cbcd/internal/store"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("s3serve: ")
+	var (
+		dbPath = flag.String("db", "archive.s3db", "database file")
+		addr   = flag.String("addr", ":8080", "listen address")
+		depth  = flag.Int("depth", 0, "partition depth p (0 = auto)")
+	)
+	flag.Parse()
+
+	db, err := store.ReadFile(*dbPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := httpapi.New(db, *depth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving %d fingerprints (D=%d) on %s\n", db.Len(), db.Dims(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

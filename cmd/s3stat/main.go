@@ -1,0 +1,101 @@
+// Command s3stat inspects an S3DB database file: header geometry, record
+// counts, curve-section occupancy (how evenly the archive spreads along
+// the Hilbert curve), identifier statistics, and a partition-depth
+// recommendation for the current size.
+//
+// Usage:
+//
+//	s3stat -db archive.s3db
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"s3cbcd/internal/core"
+	"s3cbcd/internal/store"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("s3stat: ")
+	var (
+		dbPath = flag.String("db", "archive.s3db", "database file")
+		top    = flag.Int("top", 5, "identifiers to list by fingerprint count")
+	)
+	flag.Parse()
+
+	fl, err := store.Open(*dbPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fl.Close()
+	curve := fl.Curve()
+	fmt.Printf("file:           %s (format v%d)\n", *dbPath, fl.Version())
+	fmt.Printf("geometry:       D=%d dims x K=%d bits (curve index %d bits)\n",
+		curve.Dims(), curve.Order(), curve.IndexBits())
+	fmt.Printf("records:        %d\n", fl.Count())
+	fmt.Printf("section table:  2^%d sections\n", fl.SectionBits())
+
+	// Section occupancy at the stored granularity.
+	bits := fl.SectionBits()
+	if bits > 10 {
+		bits = 10
+	}
+	sizes := make([]int, 0, 1<<uint(bits))
+	occupied := 0
+	maxSec := 0
+	for s := 0; s < 1<<uint(bits); s++ {
+		lo, hi := fl.SectionRecordRange(bits, s)
+		n := hi - lo
+		sizes = append(sizes, n)
+		if n > 0 {
+			occupied++
+		}
+		if n > maxSec {
+			maxSec = n
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	median := sizes[len(sizes)/2]
+	fmt.Printf("occupancy:      %d/%d curve sections non-empty at 2^%d granularity\n",
+		occupied, len(sizes), bits)
+	fmt.Printf("                largest section %d records, median %d\n", maxSec, median)
+
+	// Identifier statistics need the record payloads.
+	db, err := fl.LoadAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	counts := map[uint32]int{}
+	for i := 0; i < db.Len(); i++ {
+		counts[db.ID(i)]++
+	}
+	type idCount struct {
+		id uint32
+		n  int
+	}
+	byCount := make([]idCount, 0, len(counts))
+	for id, n := range counts {
+		byCount = append(byCount, idCount{id, n})
+	}
+	sort.Slice(byCount, func(i, j int) bool {
+		if byCount[i].n != byCount[j].n {
+			return byCount[i].n > byCount[j].n
+		}
+		return byCount[i].id < byCount[j].id
+	})
+	fmt.Printf("identifiers:    %d distinct\n", len(counts))
+	for i := 0; i < *top && i < len(byCount); i++ {
+		fmt.Printf("                id %-8d %d fingerprints\n", byCount[i].id, byCount[i].n)
+	}
+
+	fmt.Printf("suggested p:    %d (DefaultDepth; run Index.Tune for the measured optimum)\n",
+		core.DefaultDepth(curve, fl.Count()))
+	if fl.Version() < 2 {
+		fmt.Printf("note:           v1 file — no interest point positions; the spatial\n")
+		fmt.Printf("                voting extension will see zero coordinates\n")
+	}
+}

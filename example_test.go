@@ -1,0 +1,76 @@
+package s3_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	s3 "s3cbcd"
+)
+
+// ExampleBuildIndex indexes fingerprints and runs a statistical query of
+// expectation 90% around a stored fingerprint.
+func ExampleBuildIndex() {
+	r := rand.New(rand.NewSource(1))
+	recs := make([]s3.Record, 5000)
+	for i := range recs {
+		fp := make([]byte, 20)
+		for j := range fp {
+			fp[j] = byte(r.Intn(256))
+		}
+		recs[i] = s3.Record{FP: fp, ID: uint32(i / 50), TC: uint32(i % 50)}
+	}
+	idx, err := s3.BuildIndex(20, recs, s3.IndexOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	sq := s3.StatQuery{Alpha: 0.9, Model: s3.IsoNormal{D: 20, Sigma: 12}}
+	matches, plan, err := idx.StatSearch(recs[100].FP, sq)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	self := false
+	for _, m := range matches {
+		if m.ID == recs[100].ID && m.TC == recs[100].TC {
+			self = true
+		}
+	}
+	fmt.Printf("indexed %d fingerprints; region mass >= %.2f: %v; query found itself: %v\n",
+		idx.Len(), 0.9, plan.Mass >= 0.9, self)
+	// Output:
+	// indexed 5000 fingerprints; region mass >= 0.90: true; query found itself: true
+}
+
+// ExampleMatchedRangeRadius shows the ε giving a range query the same
+// expectation as a statistical query (the paper's comparison setup).
+func ExampleMatchedRangeRadius() {
+	eps := s3.MatchedRangeRadius(20, 20, 0.80)
+	fmt.Printf("epsilon for D=20 sigma=20 alpha=80%%: %.1f\n", eps)
+	// Output:
+	// epsilon for D=20 sigma=20 alpha=80%: 100.1
+}
+
+// ExampleNewVideoIndexer runs the complete copy-detection pipeline on a
+// generated reference video and an exact copy of a clip of it.
+func ExampleNewVideoIndexer() {
+	ref := s3.GenerateVideo(42, 160)
+	in := s3.NewVideoIndexer(s3.CBCDConfig{})
+	in.AddSequence(7, ref)
+	det, err := in.Build()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	clip := &s3.Video{FPS: ref.FPS, Frames: ref.Frames[40:140]}
+	dets, err := det.DetectClip(clip)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if len(dets) > 0 {
+		fmt.Printf("detected video %d at offset %.0f frames\n", dets[0].ID, dets[0].Offset)
+	}
+	// Output:
+	// detected video 7 at offset -40 frames
+}

@@ -1,0 +1,95 @@
+// Quickstart: build an S³ index over fingerprints and compare a
+// statistical query with a classical ε-range query of the same
+// expectation.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	s3 "s3cbcd"
+)
+
+func main() {
+	log.SetFlags(0)
+	const (
+		dims  = 20 // descriptor dimension (the paper's D)
+		n     = 100_000
+		sigma = 18.0 // distortion model: each component is ~N(0, sigma)
+		alpha = 0.80 // query expectation: retrieve >= 80% of the mass
+	)
+
+	// 1. Make a database of fingerprints. Real applications extract them
+	// from video (see examples/tvmonitor); here random bytes suffice.
+	r := rand.New(rand.NewSource(1))
+	recs := make([]s3.Record, n)
+	for i := range recs {
+		fp := make([]byte, dims)
+		for j := range fp {
+			fp[j] = byte(r.Intn(256))
+		}
+		recs[i] = s3.Record{FP: fp, ID: uint32(i / 100), TC: uint32(i % 100)}
+	}
+	idx, err := s3.BuildIndex(dims, recs, s3.IndexOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d fingerprints (partition depth p=%d)\n", idx.Len(), idx.Depth())
+
+	// 2. Build a distorted query: one of the stored fingerprints plus
+	// per-component Gaussian noise — the situation a copy detector faces.
+	target := recs[4242]
+	q := make([]byte, dims)
+	for j, b := range target.FP {
+		v := float64(b) + r.NormFloat64()*sigma
+		if v < 0 {
+			v = 0
+		}
+		if v > 255 {
+			v = 255
+		}
+		q[j] = byte(v)
+	}
+
+	// 3. Statistical query: retrieve the region holding >= alpha of the
+	// distortion model's mass around q. No radius, no shape constraint.
+	model := s3.IsoNormal{D: dims, Sigma: sigma}
+	sq := s3.StatQuery{Alpha: alpha, Model: model}
+	t0 := time.Now()
+	matches, plan, err := idx.StatSearch(q, sq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	statTime := time.Since(t0)
+	fmt.Printf("statistical query: %d matches from %d blocks (mass %.3f) in %v\n",
+		len(matches), plan.Blocks, plan.Mass, statTime.Round(time.Microsecond))
+	reportHit(matches, target)
+
+	// 4. The classical alternative: an ε-range query whose radius is
+	// calibrated to the same expectation.
+	eps := s3.MatchedRangeRadius(dims, sigma, alpha)
+	t1 := time.Now()
+	rm, rplan, err := idx.RangeSearch(q, eps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rangeTime := time.Since(t1)
+	fmt.Printf("range query (ε=%.1f): %d matches from %d blocks in %v (%.1fx slower)\n",
+		eps, len(rm), rplan.Blocks, rangeTime.Round(time.Microsecond),
+		float64(rangeTime)/float64(statTime))
+	reportHit(rm, target)
+}
+
+func reportHit(matches []s3.Match, target s3.Record) {
+	for _, m := range matches {
+		if m.ID == target.ID && m.TC == target.TC {
+			fmt.Printf("  -> the distorted fingerprint's source was retrieved\n")
+			return
+		}
+	}
+	fmt.Printf("  -> source not retrieved (expected ~%.0f%% of the time)\n", 100*0.8)
+}

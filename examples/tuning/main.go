@@ -1,0 +1,99 @@
+// Tuning: the operational knobs of the S³ index. This example shows (a)
+// the partition-depth trade-off T(p) = T_f(p) + T_r(p) and the automatic
+// p_min learning of Section IV-A, and (b) the pseudo-disk batched
+// execution of Section IV-B under a memory budget.
+//
+// Run with: go run ./examples/tuning
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	s3 "s3cbcd"
+)
+
+func main() {
+	log.SetFlags(0)
+	const (
+		dims  = 20
+		n     = 120_000
+		sigma = 18.0
+	)
+	r := rand.New(rand.NewSource(3))
+	recs := make([]s3.Record, n)
+	for i := range recs {
+		fp := make([]byte, dims)
+		for j := range fp {
+			fp[j] = byte(r.Intn(256))
+		}
+		recs[i] = s3.Record{FP: fp, ID: uint32(i / 50), TC: uint32(i % 50)}
+	}
+	idx, err := s3.BuildIndex(dims, recs, s3.IndexOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Sample queries for tuning: stored fingerprints plus model noise.
+	samples := make([][]byte, 12)
+	for i := range samples {
+		src := recs[r.Intn(n)].FP
+		q := make([]byte, dims)
+		for j, b := range src {
+			v := float64(b) + r.NormFloat64()*sigma
+			if v < 0 {
+				v = 0
+			} else if v > 255 {
+				v = 255
+			}
+			q[j] = byte(v)
+		}
+		samples[i] = q
+	}
+	sq := s3.StatQuery{Alpha: 0.8, Model: s3.IsoNormal{D: dims, Sigma: sigma}}
+
+	fmt.Printf("initial depth p=%d; learning p_min...\n", idx.Depth())
+	sweep, err := idx.Tune(samples, sq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%6s %12s %12s %12s %10s\n", "p", "filter", "refine", "total", "blocks")
+	for _, dt := range sweep {
+		fmt.Printf("%6d %12v %12v %12v %10.1f\n",
+			dt.Depth, dt.Filter.Round(1000), dt.Refine.Round(1000), dt.Total.Round(1000), dt.Blocks)
+	}
+	fmt.Printf("tuned to p_min = %d\n\n", idx.Depth())
+
+	// Pseudo-disk: run a query batch against the same database on disk
+	// with only ~an eighth of it resident at a time.
+	dir, err := os.MkdirTemp("", "s3tuning")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "db.s3db")
+	if err := idx.Save(path, 12); err != nil {
+		log.Fatal(err)
+	}
+	disk, err := s3.OpenDiskIndex(path, idx.Depth())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer disk.Close()
+	results, stats, err := disk.SearchBatch(samples, sq, n/8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := 0
+	for _, rs := range results {
+		total += len(rs)
+	}
+	fmt.Printf("pseudo-disk batch: %d queries, %d matches\n", len(samples), total)
+	fmt.Printf("  curve split in 2^%d sections; %d sections loaded, %d records read, peak residency %d\n",
+		stats.SectionBits, stats.SectionsLoaded, stats.RecordsLoaded, stats.MaxResident)
+	fmt.Printf("  filter %v, load %v, refine %v (eq. 5: T_load amortized over the batch)\n",
+		stats.FilterTime.Round(1000), stats.LoadTime.Round(1000), stats.RefineTime.Round(1000))
+}

@@ -1,0 +1,153 @@
+package s3
+
+import (
+	"math/rand"
+	"testing"
+
+	"s3cbcd/internal/vidsim"
+)
+
+func TestKNNSearchFacade(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	recs := randomRecords(r, 10, 800)
+	x, err := BuildIndex(10, recs, IndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := recs[17].FP
+	matches, stats, err := x.KNNSearch(q, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 5 || matches[0].Dist != 0 {
+		t.Fatalf("self kNN: %+v", matches)
+	}
+	if !stats.Exact {
+		t.Fatal("exhaustive-budget search not exact")
+	}
+	approx, stats2, err := x.KNNSearch(q, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Leaves > 2 || len(approx) == 0 {
+		t.Fatalf("approximate variant broken: %+v %+v", approx, stats2)
+	}
+}
+
+func TestVAFileFacade(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	recs := randomRecords(r, 12, 1000)
+	x, err := BuildIndex(12, recs, IndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, err := NewVAFile(x, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := recs[3].FP
+	got, stats, err := va.RangeSearch(q, 70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := x.ScanSearch(q, 70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("VA %d results, scan %d", len(got), len(want))
+	}
+	if stats.Skipped == 0 {
+		t.Fatal("VA-file skipped nothing")
+	}
+	if _, err := NewVAFile(x, 3); err == nil {
+		t.Fatal("bits=3 accepted")
+	}
+}
+
+func TestMergeIndexesFacade(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	a, err := BuildIndex(8, randomRecords(r, 8, 300), IndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildIndex(8, randomRecords(r, 8, 200), IndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := MergeIndexes(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 500 {
+		t.Fatalf("merged len %d", m.Len())
+	}
+	// Queries still work on the merged index.
+	sq := StatQuery{Alpha: 0.8, Model: IsoNormal{D: 8, Sigma: 10}}
+	if _, _, err := m.StatSearch(make([]byte, 8), sq); err != nil {
+		t.Fatal(err)
+	}
+	// Incompatible merge fails.
+	c, err := BuildIndex(9, randomRecords(r, 9, 10), IndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeIndexes(a, c, 0); err == nil {
+		t.Fatal("incompatible merge accepted")
+	}
+}
+
+func TestAlternativeModelsFacade(t *testing.T) {
+	vid := GenerateVideo(77, 120)
+	samples := CollectDistortionSamples([]*Video{vid}, vidsim.Gamma{G: 1.5}, ExtractConfig{})
+	if len(samples) < 100 {
+		t.Fatalf("only %d distortion samples", len(samples))
+	}
+	mix, err := FitMixtureNormal(FingerprintDims, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emp, err := FitEmpirical(FingerprintDims, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(4))
+	x, err := BuildIndex(FingerprintDims, randomRecords(r, FingerprintDims, 500), IndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Model{
+		IsoLaplace{D: FingerprintDims, Sigma: 15},
+		IsoStudentT{D: FingerprintDims, Sigma: 15, Nu: 4},
+		mix, emp,
+	} {
+		if _, plan, err := x.StatSearch(make([]byte, FingerprintDims), StatQuery{Alpha: 0.8, Model: m}); err != nil {
+			t.Fatalf("%T: %v", m, err)
+		} else if plan.Mass < 0.8 {
+			t.Fatalf("%T: mass %v", m, plan.Mass)
+		}
+	}
+}
+
+func TestSpatialVoteConfigFacade(t *testing.T) {
+	ref := GenerateVideo(88, 160)
+	cfg := CBCDConfig{}
+	cfg.Vote.SpatialTolerance = 6
+	cfg.Workers = 2
+	in := NewVideoIndexer(cfg)
+	in.AddSequence(1, ref)
+	det, err := in.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dets, err := det.DetectClip(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) == 0 || dets[0].ID != 1 {
+		t.Fatalf("spatial self-detection failed: %+v", dets)
+	}
+	if dets[0].ScaleX < 0.95 || dets[0].ScaleX > 1.05 {
+		t.Fatalf("identity copy fitted scale %v", dets[0].ScaleX)
+	}
+}

@@ -1,0 +1,3 @@
+module s3cbcd
+
+go 1.22

@@ -1,0 +1,152 @@
+package s3
+
+// End-to-end user journey: build an archive from video, persist it, load
+// it in a fresh detector, calibrate, detect a transformed copy, monitor a
+// stream incrementally, extend the archive by merging new material, and
+// withdraw a video — the complete lifecycle a deployment would run.
+
+import (
+	"path/filepath"
+	"testing"
+
+	"s3cbcd/internal/vidsim"
+)
+
+func TestFullLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "archive.s3db")
+
+	// 1. Index three reference videos and persist.
+	refs := make([]*Video, 3)
+	in := NewVideoIndexer(CBCDConfig{})
+	for i := range refs {
+		refs[i] = GenerateVideo(int64(500+i), 200)
+		if n := in.AddSequence(uint32(i+1), refs[i]); n == 0 {
+			t.Fatalf("video %d produced no fingerprints", i)
+		}
+	}
+	det, err := in.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveDetectorDB(det, path, 12); err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Load in a fresh detector and calibrate.
+	det2, err := OpenDetector(path, CBCDConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr, err := CalibrateThreshold(det2, []*Video{
+		GenerateVideo(600, 200), GenerateVideo(601, 200),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det2.SetVoteThreshold(thr + thr/2)
+
+	// 3. Detect a gamma-graded copy.
+	clip := &Video{FPS: 25, Frames: refs[1].Frames[30:150]}
+	copyClip := vidsim.ApplySeq(vidsim.Gamma{G: 1.5}, clip)
+	dets, err := det2.DetectClip(copyClip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) == 0 || dets[0].ID != 2 {
+		t.Fatalf("reloaded detector missed the copy: %+v", dets)
+	}
+
+	// 4. Monitor a stream incrementally.
+	stream := &Video{FPS: 25}
+	stream.Frames = append(stream.Frames, GenerateVideo(602, 140).Frames...)
+	stream.Frames = append(stream.Frames, refs[0].Frames[20:160]...)
+	sm, err := NewStreamMonitor(det2, 200, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamDets []StreamDetection
+	for i := 0; i < stream.Len(); i += 50 {
+		end := i + 50
+		if end > stream.Len() {
+			end = stream.Len()
+		}
+		out, err := sm.Feed(stream.Frames[i:end])
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamDets = append(streamDets, out...)
+	}
+	tail, err := sm.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamDets = append(streamDets, tail...)
+	found := false
+	for _, d := range streamDets {
+		if d.ID == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("stream copy of video 1 missed: %+v", streamDets)
+	}
+
+	// 5. Grow the archive by merging a new batch, then withdraw video 2.
+	idx, err := OpenIndex(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2 := NewVideoIndexer(CBCDConfig{})
+	in2.AddSequence(10, GenerateVideo(700, 150))
+	newDet, err := in2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	newPath := filepath.Join(dir, "new.s3db")
+	if err := SaveDetectorDB(newDet, newPath, 12); err != nil {
+		t.Fatal(err)
+	}
+	newIdx, err := OpenIndex(newPath, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := MergeIndexes(idx, newIdx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Len() != idx.Len()+newIdx.Len() {
+		t.Fatalf("merged %d, want %d", merged.Len(), idx.Len()+newIdx.Len())
+	}
+	withdrawn, err := FilterIndex(merged, func(id, _ uint32) bool { return id != 2 }, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withdrawn.Len() >= merged.Len() {
+		t.Fatal("withdrawal removed nothing")
+	}
+
+	// 6. The withdrawn archive no longer detects video 2 but still
+	// detects video 1.
+	mergedDet, err := NewDetector(withdrawn, CBCDConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mergedDet.SetVoteThreshold(thr + thr/2)
+	d2, err := mergedDet.DetectClip(copyClip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range d2 {
+		if d.ID == 2 {
+			t.Fatalf("withdrawn video still detected: %+v", d)
+		}
+	}
+	d1, err := mergedDet.DetectClip(&Video{FPS: 25, Frames: refs[0].Frames[30:150]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d1) == 0 || d1[0].ID != 1 {
+		t.Fatalf("remaining video not detected after withdrawal: %+v", d1)
+	}
+}

@@ -1,0 +1,164 @@
+// Package asciiplot renders small line/scatter charts as text, so that
+// cmd/s3bench can show the *shape* of each reproduced figure directly in
+// the terminal next to the numeric series (log axes included, since the
+// paper's scalability figures are log-log).
+package asciiplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Marker rune // defaults to '*', then '+', 'o', 'x'... per series
+}
+
+// Config controls the canvas.
+type Config struct {
+	Width, Height int  // plot area in characters; defaults 60x18
+	LogX, LogY    bool // logarithmic axes (values must be > 0)
+	Title         string
+	XLabel        string
+	YLabel        string
+}
+
+var defaultMarkers = []rune{'*', '+', 'o', 'x', '#', '@'}
+
+// Render draws the series onto a character canvas and returns it as a
+// string (trailing newline included). Series with no points are skipped;
+// non-finite or non-positive values on a log axis are dropped per point.
+func Render(cfg Config, series ...Series) string {
+	if cfg.Width <= 0 {
+		cfg.Width = 60
+	}
+	if cfg.Height <= 0 {
+		cfg.Height = 18
+	}
+	tx := func(v float64) (float64, bool) { return axisValue(v, cfg.LogX) }
+	ty := func(v float64) (float64, bool) { return axisValue(v, cfg.LogY) }
+
+	// Collect the data range.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for i := range s.X {
+			x, okx := tx(s.X[i])
+			y, oky := ty(s.Y[i])
+			if !okx || !oky {
+				continue
+			}
+			any = true
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if !any {
+		return "(no plottable points)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]rune, cfg.Height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", cfg.Width))
+	}
+	for si, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		for i := range s.X {
+			x, okx := tx(s.X[i])
+			y, oky := ty(s.Y[i])
+			if !okx || !oky {
+				continue
+			}
+			col := int((x - minX) / (maxX - minX) * float64(cfg.Width-1))
+			row := cfg.Height - 1 - int((y-minY)/(maxY-minY)*float64(cfg.Height-1))
+			if col >= 0 && col < cfg.Width && row >= 0 && row < cfg.Height {
+				grid[row][col] = marker
+			}
+		}
+	}
+
+	var b strings.Builder
+	if cfg.Title != "" {
+		fmt.Fprintf(&b, "%s\n", cfg.Title)
+	}
+	yLoTxt, yHiTxt := axisLabel(minY, cfg.LogY), axisLabel(maxY, cfg.LogY)
+	labelW := len(yHiTxt)
+	if len(yLoTxt) > labelW {
+		labelW = len(yLoTxt)
+	}
+	for r := 0; r < cfg.Height; r++ {
+		label := strings.Repeat(" ", labelW)
+		if r == 0 {
+			label = fmt.Sprintf("%*s", labelW, yHiTxt)
+		} else if r == cfg.Height-1 {
+			label = fmt.Sprintf("%*s", labelW, yLoTxt)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", cfg.Width))
+	xLo, xHi := axisLabel(minX, cfg.LogX), axisLabel(maxX, cfg.LogX)
+	pad := cfg.Width - len(xLo) - len(xHi)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", labelW), xLo, strings.Repeat(" ", pad), xHi)
+	if cfg.XLabel != "" || cfg.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s   y: %s\n", strings.Repeat(" ", labelW), cfg.XLabel, cfg.YLabel)
+	}
+	var legend []string
+	for si, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		if s.Name != "" {
+			legend = append(legend, fmt.Sprintf("%c %s", marker, s.Name))
+		}
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&b, "%s  %s\n", strings.Repeat(" ", labelW), strings.Join(legend, "   "))
+	}
+	return b.String()
+}
+
+// axisValue maps a value onto the (possibly logarithmic) axis.
+func axisValue(v float64, log bool) (float64, bool) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, false
+	}
+	if !log {
+		return v, true
+	}
+	if v <= 0 {
+		return 0, false
+	}
+	return math.Log10(v), true
+}
+
+// axisLabel renders an axis endpoint, undoing the log transform.
+func axisLabel(v float64, log bool) string {
+	if log {
+		v = math.Pow(10, v)
+	}
+	switch {
+	case v != 0 && (math.Abs(v) >= 1e5 || math.Abs(v) < 1e-3):
+		return fmt.Sprintf("%.1e", v)
+	case v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}

@@ -1,0 +1,84 @@
+package asciiplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	out := Render(Config{Width: 20, Height: 6, Title: "demo", XLabel: "x", YLabel: "y"},
+		Series{Name: "line", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+	)
+	if !strings.Contains(out, "demo") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("marker missing")
+	}
+	if !strings.Contains(out, "* line") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// title + 6 rows + axis + labels + xy label + legend
+	if len(lines) < 10 {
+		t.Fatalf("unexpected layout:\n%s", out)
+	}
+	// Monotone increasing data: the marker on the first plot row must be
+	// to the right of the marker on the last plot row.
+	first := strings.IndexRune(lines[1], '*')
+	last := strings.IndexRune(lines[6], '*')
+	if first <= last {
+		t.Fatalf("increasing series not rendered increasing (cols %d vs %d):\n%s", first, last, out)
+	}
+}
+
+func TestRenderLogAxes(t *testing.T) {
+	out := Render(Config{Width: 30, Height: 8, LogX: true, LogY: true},
+		Series{Name: "pow", X: []float64{1, 10, 100, 1000}, Y: []float64{1, 10, 100, 1000}},
+	)
+	if !strings.Contains(out, "1000") {
+		t.Fatalf("log axis labels missing:\n%s", out)
+	}
+	// Log-log of a power law is a straight diagonal: markers in 4 distinct
+	// columns at increasing height.
+	rows := strings.Split(out, "\n")
+	cols := []int{}
+	for _, r := range rows {
+		if !strings.Contains(r, "|") {
+			continue // axis/legend lines
+		}
+		if i := strings.IndexRune(r, '*'); i >= 0 {
+			cols = append(cols, i)
+		}
+	}
+	if len(cols) < 3 {
+		t.Fatalf("too few markers:\n%s", out)
+	}
+	for i := 1; i < len(cols); i++ {
+		if cols[i] >= cols[i-1] {
+			t.Fatalf("log-log diagonal broken:\n%s", out)
+		}
+	}
+}
+
+func TestRenderDropsBadPoints(t *testing.T) {
+	out := Render(Config{Width: 10, Height: 4, LogY: true},
+		Series{X: []float64{1, 2, 3}, Y: []float64{0, -5, 10}}, // only one valid
+	)
+	if strings.Count(out, "*") != 1 {
+		t.Fatalf("expected exactly one marker:\n%s", out)
+	}
+	if got := Render(Config{}, Series{}); !strings.Contains(got, "no plottable points") {
+		t.Fatalf("empty render: %q", got)
+	}
+}
+
+func TestRenderMultipleSeriesMarkers(t *testing.T) {
+	out := Render(Config{Width: 16, Height: 5},
+		Series{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}},
+		Series{Name: "b", X: []float64{0, 1}, Y: []float64{1, 0}},
+	)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatalf("distinct markers missing:\n%s", out)
+	}
+}

@@ -1,0 +1,249 @@
+// Package bitkey implements fixed-width 256-bit unsigned integers used as
+// Hilbert curve indices. A D-dimensional, K-th order Hilbert curve needs
+// K*D bits per index; the paper's configuration (D=20 one-byte components,
+// K=8) needs 160 bits, so a fixed four-word representation covers every
+// configuration this module supports (K*D <= 256) without allocation.
+//
+// Keys compare and sort like big-endian unsigned integers. Word 0 is the
+// most significant word.
+package bitkey
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Words is the number of 64-bit words in a Key.
+const Words = 4
+
+// MaxBits is the largest index width representable by a Key.
+const MaxBits = Words * 64
+
+// Key is a 256-bit unsigned integer. Key{} is zero. Word 0 holds the most
+// significant 64 bits so that lexicographic comparison of the array equals
+// numeric comparison.
+type Key [Words]uint64
+
+// Zero is the zero key.
+var Zero Key
+
+// FromUint64 returns a key holding v in the least significant word.
+func FromUint64(v uint64) Key {
+	var k Key
+	k[Words-1] = v
+	return k
+}
+
+// Uint64 returns the least significant 64 bits of k.
+func (k Key) Uint64() uint64 { return k[Words-1] }
+
+// Cmp compares k and o numerically, returning -1, 0, or +1.
+func (k Key) Cmp(o Key) int {
+	for i := 0; i < Words; i++ {
+		switch {
+		case k[i] < o[i]:
+			return -1
+		case k[i] > o[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Less reports whether k < o.
+func (k Key) Less(o Key) bool { return k.Cmp(o) < 0 }
+
+// IsZero reports whether k == 0.
+func (k Key) IsZero() bool { return k == Zero }
+
+// Shl returns k << n. Shifting by MaxBits or more yields zero.
+func (k Key) Shl(n uint) Key {
+	if n >= MaxBits {
+		return Zero
+	}
+	word := int(n / 64)
+	off := n % 64
+	var r Key
+	for i := 0; i < Words; i++ {
+		src := i + word
+		if src < Words {
+			r[i] = k[src] << off
+			if off != 0 && src+1 < Words {
+				r[i] |= k[src+1] >> (64 - off)
+			}
+		}
+	}
+	return r
+}
+
+// Shr returns k >> n. Shifting by MaxBits or more yields zero.
+func (k Key) Shr(n uint) Key {
+	if n >= MaxBits {
+		return Zero
+	}
+	word := int(n / 64)
+	off := n % 64
+	var r Key
+	for i := Words - 1; i >= 0; i-- {
+		src := i - word
+		if src >= 0 {
+			r[i] = k[src] >> off
+			if off != 0 && src-1 >= 0 {
+				r[i] |= k[src-1] << (64 - off)
+			}
+		}
+	}
+	return r
+}
+
+// Or returns k | o.
+func (k Key) Or(o Key) Key {
+	var r Key
+	for i := range r {
+		r[i] = k[i] | o[i]
+	}
+	return r
+}
+
+// And returns k & o.
+func (k Key) And(o Key) Key {
+	var r Key
+	for i := range r {
+		r[i] = k[i] & o[i]
+	}
+	return r
+}
+
+// Xor returns k ^ o.
+func (k Key) Xor(o Key) Key {
+	var r Key
+	for i := range r {
+		r[i] = k[i] ^ o[i]
+	}
+	return r
+}
+
+// Add returns k + o, wrapping on overflow.
+func (k Key) Add(o Key) Key {
+	var r Key
+	var carry uint64
+	for i := Words - 1; i >= 0; i-- {
+		s, c1 := bits.Add64(k[i], o[i], carry)
+		r[i] = s
+		carry = c1
+	}
+	return r
+}
+
+// Sub returns k - o, wrapping on underflow.
+func (k Key) Sub(o Key) Key {
+	var r Key
+	var borrow uint64
+	for i := Words - 1; i >= 0; i-- {
+		d, b1 := bits.Sub64(k[i], o[i], borrow)
+		r[i] = d
+		borrow = b1
+	}
+	return r
+}
+
+// AddUint64 returns k + v.
+func (k Key) AddUint64(v uint64) Key { return k.Add(FromUint64(v)) }
+
+// Inc returns k + 1.
+func (k Key) Inc() Key { return k.AddUint64(1) }
+
+// Bit returns bit i of k, where bit 0 is the least significant bit.
+// It panics if i is out of range.
+func (k Key) Bit(i uint) uint64 {
+	if i >= MaxBits {
+		panic(fmt.Sprintf("bitkey: bit index %d out of range", i))
+	}
+	word := Words - 1 - int(i/64)
+	return (k[word] >> (i % 64)) & 1
+}
+
+// SetBit returns k with bit i set to v (0 or 1). Bit 0 is the least
+// significant bit.
+func (k Key) SetBit(i uint, v uint64) Key {
+	if i >= MaxBits {
+		panic(fmt.Sprintf("bitkey: bit index %d out of range", i))
+	}
+	word := Words - 1 - int(i/64)
+	mask := uint64(1) << (i % 64)
+	if v&1 == 1 {
+		k[word] |= mask
+	} else {
+		k[word] &^= mask
+	}
+	return k
+}
+
+// OrLowBits returns k | v where v occupies the least significant 64 bits.
+func (k Key) OrLowBits(v uint64) Key {
+	k[Words-1] |= v
+	return k
+}
+
+// BitLen returns the number of bits required to represent k (0 for zero).
+func (k Key) BitLen() int {
+	for i := 0; i < Words; i++ {
+		if k[i] != 0 {
+			return (Words-i)*64 - bits.LeadingZeros64(k[i])
+		}
+	}
+	return 0
+}
+
+// String renders k as a hexadecimal number without leading zeros.
+func (k Key) String() string {
+	if k.IsZero() {
+		return "0x0"
+	}
+	s := "0x"
+	started := false
+	for i := 0; i < Words; i++ {
+		if !started {
+			if k[i] == 0 {
+				continue
+			}
+			s += fmt.Sprintf("%x", k[i])
+			started = true
+		} else {
+			s += fmt.Sprintf("%016x", k[i])
+		}
+	}
+	return s
+}
+
+// PutBytes writes the low n bytes of k into dst in big-endian order.
+// It panics if len(dst) < n or n > 32.
+func (k Key) PutBytes(dst []byte, n int) {
+	if n > MaxBits/8 {
+		panic("bitkey: PutBytes width exceeds key size")
+	}
+	_ = dst[n-1]
+	for i := 0; i < n; i++ {
+		byteIdx := n - 1 - i // 0 = least significant
+		word := Words - 1 - byteIdx/8
+		shift := uint(byteIdx%8) * 8
+		dst[i] = byte(k[word] >> shift)
+	}
+}
+
+// FromBytes reads an n-byte big-endian integer from src.
+// It panics if len(src) < n or n > 32.
+func FromBytes(src []byte, n int) Key {
+	if n > MaxBits/8 {
+		panic("bitkey: FromBytes width exceeds key size")
+	}
+	_ = src[n-1]
+	var k Key
+	for i := 0; i < n; i++ {
+		byteIdx := n - 1 - i
+		word := Words - 1 - byteIdx/8
+		shift := uint(byteIdx%8) * 8
+		k[word] |= uint64(src[i]) << shift
+	}
+	return k
+}

@@ -1,0 +1,202 @@
+package bitkey
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func toBig(k Key) *big.Int {
+	v := new(big.Int)
+	for i := 0; i < Words; i++ {
+		v.Lsh(v, 64)
+		v.Or(v, new(big.Int).SetUint64(k[i]))
+	}
+	return v
+}
+
+func fromBig(v *big.Int) Key {
+	var k Key
+	mask := new(big.Int).SetUint64(^uint64(0))
+	t := new(big.Int).Set(v)
+	for i := Words - 1; i >= 0; i-- {
+		k[i] = new(big.Int).And(t, mask).Uint64()
+		t.Rsh(t, 64)
+	}
+	return k
+}
+
+func randKey(r *rand.Rand) Key {
+	var k Key
+	for i := range k {
+		k[i] = r.Uint64()
+	}
+	return k
+}
+
+func TestFromUint64RoundTrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, 42, 1 << 63, ^uint64(0)} {
+		if got := FromUint64(v).Uint64(); got != v {
+			t.Errorf("FromUint64(%d).Uint64() = %d", v, got)
+		}
+	}
+}
+
+func TestCmp(t *testing.T) {
+	a := FromUint64(5)
+	b := FromUint64(9)
+	c := FromUint64(9).Shl(64)
+	if a.Cmp(b) != -1 || b.Cmp(a) != 1 || a.Cmp(a) != 0 {
+		t.Fatalf("small Cmp wrong")
+	}
+	if !b.Less(c) {
+		t.Fatalf("expected %v < %v", b, c)
+	}
+}
+
+func TestShiftAgainstBig(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	mod := new(big.Int).Lsh(big.NewInt(1), MaxBits)
+	for i := 0; i < 500; i++ {
+		k := randKey(r)
+		n := uint(r.Intn(MaxBits + 10))
+		wantL := new(big.Int).Lsh(toBig(k), n)
+		wantL.Mod(wantL, mod)
+		if got := toBig(k.Shl(n)); got.Cmp(wantL) != 0 {
+			t.Fatalf("Shl(%v, %d) = %v, want %v", k, n, got, wantL)
+		}
+		wantR := new(big.Int).Rsh(toBig(k), n)
+		if got := toBig(k.Shr(n)); got.Cmp(wantR) != 0 {
+			t.Fatalf("Shr(%v, %d) = %v, want %v", k, n, got, wantR)
+		}
+	}
+}
+
+func TestAddSubAgainstBig(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	mod := new(big.Int).Lsh(big.NewInt(1), MaxBits)
+	for i := 0; i < 500; i++ {
+		a, b := randKey(r), randKey(r)
+		sum := new(big.Int).Add(toBig(a), toBig(b))
+		sum.Mod(sum, mod)
+		if got := toBig(a.Add(b)); got.Cmp(sum) != 0 {
+			t.Fatalf("Add mismatch")
+		}
+		diff := new(big.Int).Sub(toBig(a), toBig(b))
+		diff.Mod(diff, mod)
+		if diff.Sign() < 0 {
+			diff.Add(diff, mod)
+		}
+		if got := toBig(a.Sub(b)); got.Cmp(diff) != 0 {
+			t.Fatalf("Sub mismatch")
+		}
+	}
+}
+
+func TestBitSetBit(t *testing.T) {
+	var k Key
+	idx := []uint{0, 1, 63, 64, 100, 128, 255}
+	for _, i := range idx {
+		k = k.SetBit(i, 1)
+	}
+	for _, i := range idx {
+		if k.Bit(i) != 1 {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	for _, i := range idx {
+		k = k.SetBit(i, 0)
+	}
+	if !k.IsZero() {
+		t.Fatalf("expected zero after clearing, got %v", k)
+	}
+}
+
+func TestBitPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	Zero.Bit(MaxBits)
+}
+
+func TestBitLen(t *testing.T) {
+	if Zero.BitLen() != 0 {
+		t.Fatalf("Zero.BitLen() = %d", Zero.BitLen())
+	}
+	if got := FromUint64(1).BitLen(); got != 1 {
+		t.Fatalf("BitLen(1) = %d", got)
+	}
+	if got := FromUint64(1).Shl(200).BitLen(); got != 201 {
+		t.Fatalf("BitLen(1<<200) = %d", got)
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for n := 1; n <= 32; n++ {
+		k := randKey(r)
+		// Mask to n bytes.
+		if n < 32 {
+			k = k.Shl(uint(256 - 8*n)).Shr(uint(256 - 8*n))
+		}
+		buf := make([]byte, n)
+		k.PutBytes(buf, n)
+		if got := FromBytes(buf, n); got != k {
+			t.Fatalf("round trip n=%d: got %v want %v", n, got, k)
+		}
+	}
+}
+
+func TestBytesOrderingMatchesKeyOrdering(t *testing.T) {
+	// Big-endian byte comparison must agree with numeric comparison;
+	// the store relies on this when binary-searching serialized keys.
+	f := func(aw, bw [Words]uint64) bool {
+		a, b := Key(aw), Key(bw)
+		var ab, bb [32]byte
+		a.PutBytes(ab[:], 32)
+		b.PutBytes(bb[:], 32)
+		byteCmp := 0
+		for i := range ab {
+			if ab[i] != bb[i] {
+				if ab[i] < bb[i] {
+					byteCmp = -1
+				} else {
+					byteCmp = 1
+				}
+				break
+			}
+		}
+		return byteCmp == a.Cmp(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncString(t *testing.T) {
+	k := FromUint64(^uint64(0))
+	k = k.Inc()
+	if k.Uint64() != 0 || k[Words-2] != 1 {
+		t.Fatalf("carry propagation failed: %v", k)
+	}
+	if s := FromUint64(255).String(); s != "0xff" {
+		t.Fatalf("String = %q", s)
+	}
+	if s := Zero.String(); s != "0x0" {
+		t.Fatalf("String(0) = %q", s)
+	}
+}
+
+func TestXorOrAnd(t *testing.T) {
+	f := func(aw, bw [Words]uint64) bool {
+		a, b := Key(aw), Key(bw)
+		x := a.Xor(b)
+		return x.Xor(b) == a && a.Or(b).And(a) == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

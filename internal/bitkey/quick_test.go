@@ -1,0 +1,50 @@
+package bitkey
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickShiftInverse: for shifts that do not drop set bits, Shr undoes
+// Shl and vice versa.
+func TestQuickShiftInverse(t *testing.T) {
+	f := func(w [Words]uint64, nRaw uint8) bool {
+		k := Key(w)
+		n := uint(nRaw) % 64
+		// Mask the top n bits so Shl cannot overflow.
+		masked := k.Shl(n).Shr(n)
+		return masked.Shl(n).Shr(n) == masked
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAddSubInverse: subtraction undoes addition (mod 2^256).
+func TestQuickAddSubInverse(t *testing.T) {
+	f := func(aw, bw [Words]uint64) bool {
+		a, b := Key(aw), Key(bw)
+		return a.Add(b).Sub(b) == a && a.Sub(b).Add(b) == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBitRoundTrip: SetBit then Bit reads back, and clearing
+// restores the original when the bit was clear.
+func TestQuickBitRoundTrip(t *testing.T) {
+	f := func(w [Words]uint64, iRaw uint16) bool {
+		k := Key(w)
+		i := uint(iRaw) % MaxBits
+		set := k.SetBit(i, 1)
+		if set.Bit(i) != 1 {
+			return false
+		}
+		cleared := set.SetBit(i, 0)
+		return cleared.Bit(i) == 0 && cleared == k.SetBit(i, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,282 @@
+// Package cbcd assembles the complete content-based video copy detection
+// system of the paper: fingerprint extraction (Section III) over the S³
+// index (Sections II and IV) with the temporal voting strategy (Section
+// III) on top. An Indexer turns reference videos into the static
+// database; a Detector identifies which referenced sequences a candidate
+// clip copies; a Monitor applies the detector continuously to a stream
+// with a sliding buffer, as in the TV monitoring deployment of Section
+// V-D.
+package cbcd
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"s3cbcd/internal/core"
+	"s3cbcd/internal/fingerprint"
+	"s3cbcd/internal/hilbert"
+	"s3cbcd/internal/store"
+	"s3cbcd/internal/vidsim"
+	"s3cbcd/internal/vote"
+)
+
+// Order is the component order: fingerprints are byte-quantized, so the
+// grid is [0, 2^8)^D.
+const Order = 8
+
+// Config collects the system parameters.
+type Config struct {
+	// Fingerprint parameterizes extraction. Zero value = defaults.
+	Fingerprint fingerprint.Config
+	// Depth is the index partition depth p; 0 selects DefaultDepth.
+	Depth int
+	// Alpha is the statistical query expectation. Default 0.80.
+	Alpha float64
+	// Sigma is the distortion model parameter (set from the most severe
+	// transformation to defend against, Section IV-C). Default 20.
+	Sigma float64
+	// Vote parameterizes the voting strategy. Zero value = defaults.
+	Vote vote.Config
+	// Extract overrides the fingerprint extractor; nil selects the
+	// paper's local fingerprints (fingerprint.Extract). The global
+	// baseline of the local-vs-global motivation experiment plugs in
+	// fingerprint.ExtractGlobal here.
+	Extract func(*vidsim.Sequence, fingerprint.Config) []fingerprint.Local
+	// Workers bounds the number of concurrent statistical queries during
+	// detection. 0 or 1 searches serially; the index itself is safe for
+	// concurrent queries, so each candidate fingerprint is an independent
+	// unit of work.
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Alpha == 0 {
+		c.Alpha = 0.80
+	}
+	if c.Sigma == 0 {
+		c.Sigma = 20
+	}
+	if c.Extract == nil {
+		c.Extract = fingerprint.Extract
+	}
+	return c
+}
+
+// DefaultConfig returns the paper's operating point: α = 80%, σ = 20.
+func DefaultConfig() Config { return Config{}.withDefaults() }
+
+func (c Config) validate() error {
+	if c.Alpha <= 0 || c.Alpha >= 1 {
+		return fmt.Errorf("cbcd: alpha %v outside (0,1)", c.Alpha)
+	}
+	if c.Sigma <= 0 {
+		return fmt.Errorf("cbcd: sigma %v <= 0", c.Sigma)
+	}
+	return nil
+}
+
+// Indexer accumulates reference fingerprints and builds the static
+// database (insertions happen only before Build, matching the paper's
+// static S³ system).
+type Indexer struct {
+	cfg  Config
+	recs []store.Record
+}
+
+// NewIndexer returns an empty indexer.
+func NewIndexer(cfg Config) *Indexer {
+	return &Indexer{cfg: cfg.withDefaults()}
+}
+
+// AddSequence extracts the local fingerprints of a reference sequence and
+// schedules them under the given video identifier. It returns the number
+// of fingerprints added.
+func (in *Indexer) AddSequence(id uint32, seq *vidsim.Sequence) int {
+	locals := in.cfg.Extract(seq, in.cfg.Fingerprint)
+	for _, l := range locals {
+		fp := make([]byte, fingerprint.D)
+		copy(fp, l.FP[:])
+		in.recs = append(in.recs, store.Record{
+			FP: fp, ID: id, TC: l.TC,
+			X: clampPos(l.X), Y: clampPos(l.Y),
+		})
+	}
+	return len(locals)
+}
+
+// AddRecords schedules pre-extracted records (synthetic corpora, bulk
+// loads). Records are copied by reference; callers must not mutate them.
+func (in *Indexer) AddRecords(recs []store.Record) {
+	in.recs = append(in.recs, recs...)
+}
+
+// Len returns the number of scheduled fingerprints.
+func (in *Indexer) Len() int { return len(in.recs) }
+
+// Build sorts the accumulated fingerprints into the index and returns the
+// ready detector.
+func (in *Indexer) Build() (*Detector, error) {
+	curve, err := hilbert.New(fingerprint.D, Order)
+	if err != nil {
+		return nil, err
+	}
+	db, err := store.Build(curve, in.recs)
+	if err != nil {
+		return nil, err
+	}
+	return NewDetector(db, in.cfg)
+}
+
+// Detector runs copy detection queries against a built database.
+type Detector struct {
+	cfg   Config
+	index *core.Index
+}
+
+// NewDetector wraps an existing database (e.g. loaded from a file).
+func NewDetector(db *store.DB, cfg Config) (*Detector, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if db.Dims() != fingerprint.D {
+		return nil, fmt.Errorf("cbcd: database has %d dims, want %d", db.Dims(), fingerprint.D)
+	}
+	ix, err := core.NewIndex(db, cfg.Depth)
+	if err != nil {
+		return nil, err
+	}
+	return &Detector{cfg: cfg, index: ix}, nil
+}
+
+// Index exposes the underlying S³ index (e.g. for depth tuning).
+func (d *Detector) Index() *core.Index { return d.index }
+
+// Config returns the detector's effective configuration.
+func (d *Detector) Config() Config { return d.cfg }
+
+// SetVoteThreshold updates the decision threshold n_sim, normally to a
+// value obtained from CalibrateThreshold.
+func (d *Detector) SetVoteThreshold(v int) { d.cfg.Vote.MinVotes = v }
+
+// Query returns the statistical query the detector issues.
+func (d *Detector) Query() core.StatQuery {
+	return core.StatQuery{
+		Alpha: d.cfg.Alpha,
+		Model: core.IsoNormal{D: fingerprint.D, Sigma: d.cfg.Sigma},
+	}
+}
+
+// SearchLocals runs one statistical query per candidate fingerprint and
+// shapes the results as voting candidates. With Config.Workers > 1 the
+// queries run concurrently; the result order matches locals either way.
+func (d *Detector) SearchLocals(locals []fingerprint.Local) ([]vote.Candidate, error) {
+	sq := d.Query()
+	cands := make([]vote.Candidate, len(locals))
+	searchOne := func(i int) error {
+		l := locals[i]
+		matches, _, err := d.index.SearchStat(l.FP[:], sq)
+		if err != nil {
+			return err
+		}
+		c := vote.Candidate{TC: l.TC, X: l.X, Y: l.Y}
+		for _, m := range matches {
+			c.Matches = append(c.Matches, vote.Match{ID: m.ID, TC: m.TC, X: m.X, Y: m.Y})
+		}
+		cands[i] = c
+		return nil
+	}
+	workers := d.cfg.Workers
+	if workers <= 1 || len(locals) < 2 {
+		for i := range locals {
+			if err := searchOne(i); err != nil {
+				return nil, err
+			}
+		}
+		return cands, nil
+	}
+	if workers > len(locals) {
+		workers = len(locals)
+	}
+	var (
+		wg   sync.WaitGroup
+		next atomic.Int64
+		fail atomic.Value
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(locals) || fail.Load() != nil {
+					return
+				}
+				if err := searchOne(i); err != nil {
+					fail.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := fail.Load(); err != nil {
+		return nil, err.(error)
+	}
+	return cands, nil
+}
+
+// DetectClip identifies the referenced sequences the clip copies:
+// extraction, per-fingerprint statistical search, then the voting
+// decision over the whole clip's buffered results.
+func (d *Detector) DetectClip(seq *vidsim.Sequence) ([]vote.Detection, error) {
+	cands, err := d.SearchLocals(d.cfg.Extract(seq, d.cfg.Fingerprint))
+	if err != nil {
+		return nil, err
+	}
+	return vote.Decide(cands, d.cfg.Vote), nil
+}
+
+// ScoreClip is DetectClip without the decision threshold: every candidate
+// identifier with its vote count, used for threshold calibration.
+func (d *Detector) ScoreClip(seq *vidsim.Sequence) ([]vote.Detection, error) {
+	cands, err := d.SearchLocals(d.cfg.Extract(seq, d.cfg.Fingerprint))
+	if err != nil {
+		return nil, err
+	}
+	return vote.Score(cands, d.cfg.Vote), nil
+}
+
+// CalibrateThreshold sets the decision threshold the way the paper does
+// ("less than 1 false alarm per hour"): it scores clips known *not* to be
+// referenced and returns one more than the highest vote count any
+// identifier achieved, i.e. the smallest threshold with zero false alarms
+// on the calibration material.
+func CalibrateThreshold(d *Detector, clips []*vidsim.Sequence) (int, error) {
+	maxVotes := 0
+	for _, clip := range clips {
+		scores, err := d.ScoreClip(clip)
+		if err != nil {
+			return 0, err
+		}
+		for _, s := range scores {
+			if s.Votes > maxVotes {
+				maxVotes = s.Votes
+			}
+		}
+	}
+	return maxVotes + 1, nil
+}
+
+// clampPos quantizes an interest point coordinate into the record's
+// uint16 position field.
+func clampPos(v float64) uint16 {
+	if v < 0 {
+		return 0
+	}
+	if v > 65535 {
+		return 65535
+	}
+	return uint16(v + 0.5)
+}

@@ -1,0 +1,246 @@
+package cbcd
+
+import (
+	"math"
+	"testing"
+
+	"s3cbcd/internal/vidsim"
+	"s3cbcd/internal/vote"
+)
+
+// refCorpus generates n reference sequences of length frames.
+func refCorpus(n, frames int) []*vidsim.Sequence {
+	seqs := make([]*vidsim.Sequence, n)
+	for i := range seqs {
+		cfg := vidsim.DefaultConfig(int64(1000 + i))
+		cfg.MinShot, cfg.MaxShot = 25, 45
+		seqs[i] = vidsim.Generate(cfg, frames)
+	}
+	return seqs
+}
+
+// clip extracts frames [from, to) of a sequence.
+func clip(seq *vidsim.Sequence, from, to int) *vidsim.Sequence {
+	out := &vidsim.Sequence{FPS: seq.FPS}
+	for i := from; i < to; i++ {
+		out.Frames = append(out.Frames, seq.Frames[i].Clone())
+	}
+	return out
+}
+
+func buildDetector(t *testing.T, refs []*vidsim.Sequence, cfg Config) *Detector {
+	t.Helper()
+	in := NewIndexer(cfg)
+	for i, seq := range refs {
+		if n := in.AddSequence(uint32(i+1), seq); n == 0 {
+			t.Fatalf("reference %d produced no fingerprints", i)
+		}
+	}
+	det, err := in.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return det
+}
+
+func TestDetectExactCopy(t *testing.T) {
+	refs := refCorpus(6, 200)
+	det := buildDetector(t, refs, DefaultConfig())
+	for id := 1; id <= 3; id++ {
+		c := clip(refs[id-1], 40, 160)
+		dets, err := det.DetectClip(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dets) == 0 {
+			t.Fatalf("exact copy of reference %d not detected", id)
+		}
+		if dets[0].ID != uint32(id) {
+			t.Fatalf("copy of %d detected as %d", id, dets[0].ID)
+		}
+		// Clip starts at frame 40, so tc' = tc - 40 => b = -40.
+		if math.Abs(dets[0].Offset+40) > 2.5 {
+			t.Fatalf("offset %v, want -40", dets[0].Offset)
+		}
+	}
+}
+
+func TestDetectTransformedCopies(t *testing.T) {
+	refs := refCorpus(6, 200)
+	det := buildDetector(t, refs, DefaultConfig())
+	transforms := []vidsim.Transform{
+		vidsim.Gamma{G: 1.3},
+		vidsim.Contrast{Factor: 1.3},
+		vidsim.Noise{Sigma: 10, Seed: 5},
+		vidsim.VShift{Frac: 0.08},
+		// "Inserting" — the operation the paper's intro says local
+		// fingerprints were chosen for: the copy is embedded at 85%
+		// scale inside a flat surround.
+		vidsim.Inset{Scale: 0.85, OffX: 0.08, OffY: 0.05, Background: 40},
+	}
+	for _, tf := range transforms {
+		c := vidsim.ApplySeq(tf, clip(refs[1], 30, 170))
+		dets, err := det.DetectClip(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dets) == 0 || dets[0].ID != 2 {
+			t.Fatalf("%s: copy of reference 2 not detected (got %+v)", tf.Name(), dets)
+		}
+	}
+}
+
+// TestVoteSeparation is the property the paper's threshold calibration
+// relies on: true copies (even transformed) collect far more temporally
+// coherent votes than any identifier does on unrelated material.
+func TestVoteSeparation(t *testing.T) {
+	refs := refCorpus(6, 200)
+	det := buildDetector(t, refs, DefaultConfig())
+	c := clip(refs[1], 30, 170)
+
+	falseMax := 0
+	for _, seed := range []int64{9999, 8888} {
+		scores, err := det.ScoreClip(vidsim.Generate(vidsim.DefaultConfig(seed), 150))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(scores) > 0 && scores[0].Votes > falseMax {
+			falseMax = scores[0].Votes
+		}
+	}
+
+	topVotes := func(seq *vidsim.Sequence, wantID uint32) int {
+		scores, err := det.ScoreClip(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(scores) == 0 || scores[0].ID != wantID {
+			t.Fatalf("top score not id %d: %+v", wantID, scores)
+		}
+		return scores[0].Votes
+	}
+	exact := topVotes(c, 2)
+	noisy := topVotes(vidsim.ApplySeq(vidsim.Noise{Sigma: 10, Seed: 5}, c), 2)
+	resized := topVotes(vidsim.ApplySeq(vidsim.Resize{Scale: 0.8}, c), 2)
+
+	if exact <= 2*falseMax {
+		t.Errorf("exact copy votes %d vs false max %d: no margin", exact, falseMax)
+	}
+	if noisy <= falseMax {
+		t.Errorf("noisy copy votes %d vs false max %d", noisy, falseMax)
+	}
+	if resized <= falseMax {
+		t.Errorf("resized copy votes %d vs false max %d", resized, falseMax)
+	}
+}
+
+func TestCalibrateThresholdSuppressesFalseAlarms(t *testing.T) {
+	refs := refCorpus(4, 160)
+	det := buildDetector(t, refs, DefaultConfig())
+	clean := []*vidsim.Sequence{
+		vidsim.Generate(vidsim.DefaultConfig(7001), 120),
+		vidsim.Generate(vidsim.DefaultConfig(7002), 120),
+	}
+	thr, err := CalibrateThreshold(det, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thr < 1 || thr > 80 {
+		t.Fatalf("calibrated threshold %d out of sane range", thr)
+	}
+	det.SetVoteThreshold(thr)
+	// The calibration clips themselves must now be clean.
+	for i, cl := range clean {
+		dets, err := det.DetectClip(cl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dets) != 0 {
+			t.Errorf("calibration clip %d still fires: %+v", i, dets)
+		}
+	}
+	// A true copy must clear the calibrated threshold.
+	dets, err := det.DetectClip(clip(refs[0], 20, 140))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) == 0 || dets[0].ID != 1 {
+		t.Fatalf("true copy does not clear calibrated threshold %d: %+v", thr, dets)
+	}
+}
+
+func TestMonitorFindsEmbeddedCopy(t *testing.T) {
+	refs := refCorpus(4, 200)
+	det := buildDetector(t, refs, DefaultConfig())
+	// Calibrate the decision threshold on clean material, as the paper's
+	// monitoring deployment does.
+	thr, err := CalibrateThreshold(det, []*vidsim.Sequence{
+		vidsim.Generate(vidsim.DefaultConfig(7101), 250),
+		vidsim.Generate(vidsim.DefaultConfig(7102), 250),
+		vidsim.Generate(vidsim.DefaultConfig(7103), 250),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Headroom over the calibration material, as a deployment would use
+	// for a <1-false-alarm-per-hour operating point on unseen streams.
+	det.SetVoteThreshold(thr + thr/2)
+	// Build a stream: 150 unrelated frames, then 150 frames of ref 3,
+	// then 100 unrelated frames.
+	stream := &vidsim.Sequence{FPS: 25}
+	filler := vidsim.Generate(vidsim.DefaultConfig(5555), 150)
+	filler2 := vidsim.Generate(vidsim.DefaultConfig(5556), 100)
+	stream.Frames = append(stream.Frames, filler.Frames...)
+	stream.Frames = append(stream.Frames, clip(refs[2], 20, 170).Frames...)
+	stream.Frames = append(stream.Frames, filler2.Frames...)
+
+	m := NewMonitor(det)
+	dets, err := m.ProcessStream(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range dets {
+		if d.ID == 3 {
+			found = true
+			// The copy occupies stream frames [150, 300); its window
+			// must overlap that range.
+			if d.WindowEnd <= 150 || d.WindowStart >= 300 {
+				t.Fatalf("detection window [%d,%d) misses the copy", d.WindowStart, d.WindowEnd)
+			}
+		} else {
+			t.Errorf("spurious stream detection: %+v", d)
+		}
+	}
+	if !found {
+		t.Fatal("embedded copy not found in stream")
+	}
+}
+
+func TestDetectorValidation(t *testing.T) {
+	if _, err := NewIndexer(Config{Alpha: 2}).Build(); err == nil {
+		t.Error("alpha=2 accepted")
+	}
+	if _, err := NewIndexer(Config{Sigma: -3}).Build(); err == nil {
+		t.Error("sigma<0 accepted")
+	}
+	in := NewIndexer(DefaultConfig())
+	det, err := in.Build() // empty DB is legal, just useless
+	if err != nil {
+		t.Fatal(err)
+	}
+	dets, err := det.DetectClip(vidsim.Generate(vidsim.DefaultConfig(1), 30))
+	if err != nil || len(dets) != 0 {
+		t.Fatalf("empty DB detection: %v %v", dets, err)
+	}
+}
+
+func TestIndexerAddRecords(t *testing.T) {
+	in := NewIndexer(DefaultConfig())
+	recs := make([]vote.Match, 0)
+	_ = recs
+	in.AddRecords(nil)
+	if in.Len() != 0 {
+		t.Fatal("empty AddRecords changed length")
+	}
+}

@@ -1,0 +1,111 @@
+package cbcd
+
+import (
+	"fmt"
+	"sort"
+
+	"s3cbcd/internal/vidsim"
+	"s3cbcd/internal/vote"
+)
+
+// StreamDetection is a detection localized in the monitored stream.
+type StreamDetection struct {
+	vote.Detection
+	// WindowStart and WindowEnd delimit the stream frame range whose
+	// buffered results produced the detection.
+	WindowStart, WindowEnd uint32
+}
+
+// Monitor applies the detector continuously to a stream: search results
+// are "stored in a buffer for a fixed number of key-frames" (Section III)
+// and the voting decision runs over a sliding window.
+type Monitor struct {
+	det *Detector
+	// WindowFrames is the buffer length in stream frames. Default 250
+	// (10 s at 25 fps, the paper's clip length).
+	WindowFrames int
+	// HopFrames is the window stride. Default WindowFrames/2.
+	HopFrames int
+}
+
+// NewMonitor wraps a detector with the default 10-second window.
+func NewMonitor(det *Detector) *Monitor {
+	return &Monitor{det: det, WindowFrames: 250, HopFrames: 125}
+}
+
+// ProcessStream extracts and searches the stream's fingerprints once,
+// then slides the decision window over the buffered results. Detections
+// of the same identifier in overlapping windows are merged, keeping the
+// strongest vote. Results are ordered by window start, then votes.
+func (m *Monitor) ProcessStream(seq *vidsim.Sequence) ([]StreamDetection, error) {
+	if m.WindowFrames < 1 {
+		return nil, fmt.Errorf("cbcd: monitor window %d frames", m.WindowFrames)
+	}
+	hop := m.HopFrames
+	if hop < 1 {
+		hop = m.WindowFrames / 2
+		if hop < 1 {
+			hop = 1
+		}
+	}
+	locals := m.det.cfg.Extract(seq, m.det.cfg.Fingerprint)
+	cands, err := m.det.SearchLocals(locals)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].TC < cands[j].TC })
+
+	type key struct {
+		id     uint32
+		window uint32
+	}
+	best := map[key]StreamDetection{}
+	n := seq.Len()
+	lo := 0
+	for start := 0; start == 0 || start < n; start += hop {
+		end := start + m.WindowFrames
+		// Advance the buffer to this window.
+		for lo < len(cands) && int(cands[lo].TC) < start {
+			lo++
+		}
+		hi := lo
+		for hi < len(cands) && int(cands[hi].TC) < end {
+			hi++
+		}
+		if hi == lo {
+			if end >= n {
+				break
+			}
+			continue
+		}
+		for _, det := range vote.Decide(cands[lo:hi], m.det.cfg.Vote) {
+			// Merge overlapping windows: the canonical window of a
+			// detection is the hop bucket of its first candidate frame.
+			k := key{id: det.ID, window: uint32(start / (2 * hop))}
+			if cur, ok := best[k]; !ok || det.Votes > cur.Votes {
+				best[k] = StreamDetection{
+					Detection:   det,
+					WindowStart: uint32(start),
+					WindowEnd:   uint32(end),
+				}
+			}
+		}
+		if end >= n {
+			break
+		}
+	}
+	out := make([]StreamDetection, 0, len(best))
+	for _, d := range best {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].WindowStart != out[j].WindowStart {
+			return out[i].WindowStart < out[j].WindowStart
+		}
+		if out[i].Votes != out[j].Votes {
+			return out[i].Votes > out[j].Votes
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out, nil
+}

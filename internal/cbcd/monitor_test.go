@@ -1,0 +1,83 @@
+package cbcd
+
+import (
+	"testing"
+
+	"s3cbcd/internal/store"
+	"s3cbcd/internal/vidsim"
+)
+
+func TestMonitorEmptyStream(t *testing.T) {
+	refs := refCorpus(2, 120)
+	det := buildDetector(t, refs, DefaultConfig())
+	m := NewMonitor(det)
+	dets, err := m.ProcessStream(&vidsim.Sequence{FPS: 25})
+	if err != nil || len(dets) != 0 {
+		t.Fatalf("empty stream: %v %v", dets, err)
+	}
+}
+
+func TestMonitorShortStream(t *testing.T) {
+	refs := refCorpus(2, 160)
+	det := buildDetector(t, refs, DefaultConfig())
+	m := NewMonitor(det)
+	// Shorter than one window: must still process (single partial window).
+	short := clip(refs[0], 10, 90)
+	dets, err := m.ProcessStream(short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range dets {
+		if d.ID == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("copy in short stream missed: %+v", dets)
+	}
+}
+
+func TestMonitorWindowValidation(t *testing.T) {
+	refs := refCorpus(1, 100)
+	det := buildDetector(t, refs, DefaultConfig())
+	m := NewMonitor(det)
+	m.WindowFrames = 0
+	if _, err := m.ProcessStream(refs[0]); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	m.WindowFrames = 50
+	m.HopFrames = 0 // must self-correct to WindowFrames/2
+	if _, err := m.ProcessStream(refs[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpatialVotingDegradesGracefullyWithoutPositions: records loaded
+// from a v1 file have zero positions; the spatial fit then sees constant
+// references and falls back to translation, so detection still works.
+func TestSpatialVotingDegradesGracefullyWithoutPositions(t *testing.T) {
+	refs := refCorpus(3, 160)
+	cfg := DefaultConfig()
+	det := buildDetector(t, refs, cfg)
+	// Simulate a v1 database: strip the positions.
+	db := det.Index().DB()
+	in := NewIndexer(cfg)
+	for i := 0; i < db.Len(); i++ {
+		fp := make([]byte, db.Dims())
+		copy(fp, db.FP(i))
+		in.AddRecords([]store.Record{{FP: fp, ID: db.ID(i), TC: db.TC(i)}})
+	}
+	stripped, err := in.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripped.cfg.Vote.SpatialTolerance = 6
+	dets, err := stripped.DetectClip(clip(refs[0], 30, 130))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) == 0 || dets[0].ID != 1 {
+		t.Fatalf("position-less spatial detection failed: %+v", dets)
+	}
+}

@@ -1,0 +1,154 @@
+package cbcd
+
+import (
+	"fmt"
+	"sort"
+
+	"s3cbcd/internal/fingerprint"
+	"s3cbcd/internal/vidsim"
+	"s3cbcd/internal/vote"
+)
+
+// StreamMonitor is the incremental form of Monitor for live capture: feed
+// frames as they arrive and collect detections as decision windows
+// complete, with bounded memory (only the current window plus a small
+// extraction margin is retained). The batch Monitor remains the simpler
+// choice when the whole stream is already on disk.
+type StreamMonitor struct {
+	det *Detector
+	// WindowFrames and HopFrames mirror Monitor. Fixed at construction.
+	windowFrames int
+	hopFrames    int
+	// margin is the temporal support the characterization needs around a
+	// window (TimeOffset frames each side).
+	margin int
+
+	frames []*vidsim.Frame // retained tail of the stream
+	base   int             // absolute index of frames[0]
+	cursor int             // absolute start of the next window to decide
+	next   int             // absolute index of the next frame to arrive
+}
+
+// NewStreamMonitor returns an incremental monitor with the given window
+// and hop (0 selects 250 and window/2, as NewMonitor).
+func NewStreamMonitor(det *Detector, windowFrames, hopFrames int) (*StreamMonitor, error) {
+	if windowFrames <= 0 {
+		windowFrames = 250
+	}
+	if hopFrames <= 0 {
+		hopFrames = windowFrames / 2
+		if hopFrames < 1 {
+			hopFrames = 1
+		}
+	}
+	if hopFrames > windowFrames {
+		return nil, fmt.Errorf("cbcd: hop %d exceeds window %d", hopFrames, windowFrames)
+	}
+	cfg := det.Config().Fingerprint
+	margin := cfg.TimeOffset
+	if margin == 0 {
+		margin = fingerprint.DefaultConfig().TimeOffset
+	}
+	return &StreamMonitor{
+		det:          det,
+		windowFrames: windowFrames,
+		hopFrames:    hopFrames,
+		margin:       margin,
+	}, nil
+}
+
+// Feed appends captured frames and returns the detections of every
+// decision window that completed. Frames are retained only as long as a
+// pending window needs them.
+func (m *StreamMonitor) Feed(frames []*vidsim.Frame) ([]StreamDetection, error) {
+	m.frames = append(m.frames, frames...)
+	m.next += len(frames)
+	var out []StreamDetection
+	// A window [cursor, cursor+window) is decidable once its extraction
+	// margin has fully arrived.
+	for m.cursor+m.windowFrames+m.margin <= m.next {
+		dets, err := m.decideWindow(m.cursor, m.cursor+m.windowFrames)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, dets...)
+		m.cursor += m.hopFrames
+		m.dropBefore(m.cursor - m.margin)
+	}
+	return out, nil
+}
+
+// Close decides the final (possibly partial) window and releases the
+// buffer. The monitor must not be fed afterwards.
+func (m *StreamMonitor) Close() ([]StreamDetection, error) {
+	defer func() { m.frames = nil }()
+	if m.next <= m.cursor {
+		return nil, nil
+	}
+	end := m.next
+	if end > m.cursor+m.windowFrames {
+		end = m.cursor + m.windowFrames
+	}
+	return m.decideWindow(m.cursor, end)
+}
+
+// decideWindow extracts and searches frames [from, to) (absolute), using
+// the retained margin for temporal support, and votes over the results.
+func (m *StreamMonitor) decideWindow(from, to int) ([]StreamDetection, error) {
+	lo := from - m.margin
+	if lo < m.base {
+		lo = m.base
+	}
+	hi := to + m.margin
+	if hi > m.next {
+		hi = m.next
+	}
+	seq := &vidsim.Sequence{FPS: 25, Frames: m.frames[lo-m.base : hi-m.base]}
+	locals := m.det.cfg.Extract(seq, m.det.cfg.Fingerprint)
+	// Keep only key-frames inside the window proper and rebase time codes
+	// to absolute stream frames.
+	kept := locals[:0]
+	for _, l := range locals {
+		abs := int(l.TC) + lo
+		if abs >= from && abs < to {
+			l.TC = uint32(abs)
+			kept = append(kept, l)
+		}
+	}
+	if len(kept) == 0 {
+		return nil, nil
+	}
+	cands, err := m.det.SearchLocals(kept)
+	if err != nil {
+		return nil, err
+	}
+	var out []StreamDetection
+	for _, d := range vote.Decide(cands, m.det.cfg.Vote) {
+		out = append(out, StreamDetection{
+			Detection:   d,
+			WindowStart: uint32(from),
+			WindowEnd:   uint32(to),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Votes != out[j].Votes {
+			return out[i].Votes > out[j].Votes
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out, nil
+}
+
+// dropBefore releases frames before absolute index abs.
+func (m *StreamMonitor) dropBefore(abs int) {
+	if abs <= m.base {
+		return
+	}
+	n := abs - m.base
+	if n > len(m.frames) {
+		n = len(m.frames)
+	}
+	// Copy down so the backing array does not pin released frames.
+	m.frames = append(m.frames[:0], m.frames[n:]...)
+	m.base += n
+}

@@ -1,0 +1,100 @@
+package cbcd
+
+import (
+	"testing"
+
+	"s3cbcd/internal/vidsim"
+)
+
+func TestStreamMonitorMatchesBatchMonitor(t *testing.T) {
+	refs := refCorpus(3, 200)
+	det := buildDetector(t, refs, DefaultConfig())
+	thr, err := CalibrateThreshold(det, []*vidsim.Sequence{
+		vidsim.Generate(vidsim.DefaultConfig(8101), 250),
+		vidsim.Generate(vidsim.DefaultConfig(8102), 250),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det.SetVoteThreshold(thr + thr/2)
+
+	// Stream: filler, a copy of ref 2, filler.
+	stream := &vidsim.Sequence{FPS: 25}
+	stream.Frames = append(stream.Frames, vidsim.Generate(vidsim.DefaultConfig(8103), 120).Frames...)
+	stream.Frames = append(stream.Frames, clip(refs[1], 20, 170).Frames...)
+	stream.Frames = append(stream.Frames, vidsim.Generate(vidsim.DefaultConfig(8104), 100).Frames...)
+
+	sm, err := NewStreamMonitor(det, 250, 125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed in uneven chunks, as capture hardware would deliver.
+	var dets []StreamDetection
+	for i := 0; i < stream.Len(); {
+		n := 37
+		if i+n > stream.Len() {
+			n = stream.Len() - i
+		}
+		out, err := sm.Feed(stream.Frames[i : i+n])
+		if err != nil {
+			t.Fatal(err)
+		}
+		dets = append(dets, out...)
+		i += n
+	}
+	tail, err := sm.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dets = append(dets, tail...)
+
+	found := false
+	for _, d := range dets {
+		if d.ID == 2 {
+			found = true
+			// The copy occupies [120, 270); the window must overlap it.
+			if d.WindowEnd <= 120 || d.WindowStart >= 270 {
+				t.Fatalf("detection window [%d,%d) misses the copy", d.WindowStart, d.WindowEnd)
+			}
+		} else {
+			t.Errorf("spurious incremental detection: %+v", d)
+		}
+	}
+	if !found {
+		t.Fatal("incremental monitor missed the embedded copy")
+	}
+}
+
+func TestStreamMonitorBoundedMemory(t *testing.T) {
+	refs := refCorpus(1, 120)
+	det := buildDetector(t, refs, DefaultConfig())
+	sm, err := NewStreamMonitor(det, 100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filler := vidsim.Generate(vidsim.DefaultConfig(8200), 600)
+	for i := 0; i+60 <= filler.Len(); i += 60 {
+		if _, err := sm.Feed(filler.Frames[i : i+60]); err != nil {
+			t.Fatal(err)
+		}
+		if len(sm.frames) > 100+2*sm.margin+60 {
+			t.Fatalf("buffer grew to %d frames", len(sm.frames))
+		}
+	}
+}
+
+func TestStreamMonitorValidation(t *testing.T) {
+	refs := refCorpus(1, 100)
+	det := buildDetector(t, refs, DefaultConfig())
+	if _, err := NewStreamMonitor(det, 10, 20); err == nil {
+		t.Fatal("hop > window accepted")
+	}
+	sm, err := NewStreamMonitor(det, 0, 0)
+	if err != nil || sm.windowFrames != 250 || sm.hopFrames != 125 {
+		t.Fatalf("defaults: %v %+v", err, sm)
+	}
+	// Close on an empty monitor.
+	if dets, err := sm.Close(); err != nil || len(dets) != 0 {
+		t.Fatalf("empty close: %v %v", dets, err)
+	}
+}

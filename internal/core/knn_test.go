@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// bruteKNN computes the exact k nearest neighbors by full scan.
+func bruteKNN(db interface {
+	Len() int
+	FP(int) []byte
+}, q []byte, k int) []float64 {
+	dists := make([]float64, db.Len())
+	qf := make([]float64, len(q))
+	for i, b := range q {
+		qf[i] = float64(b)
+	}
+	for i := range dists {
+		dists[i] = math.Sqrt(distSqToFP(qf, db.FP(i)))
+	}
+	sort.Float64s(dists)
+	if k > len(dists) {
+		k = len(dists)
+	}
+	return dists[:k]
+}
+
+func TestSearchKNNExactMatchesBruteForce(t *testing.T) {
+	db := testDB(t, 8, 1200, 51)
+	ix, _ := NewIndex(db, 0)
+	r := rand.New(rand.NewSource(52))
+	for trial := 0; trial < 25; trial++ {
+		q, _ := distortedQuery(r, db, 20)
+		k := 1 + r.Intn(15)
+		got, stats, err := ix.SearchKNN(q, k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !stats.Exact {
+			t.Fatalf("trial %d: exact search not marked exact", trial)
+		}
+		if len(got) != k {
+			t.Fatalf("trial %d: %d results, want %d", trial, len(got), k)
+		}
+		want := bruteKNN(db, q, k)
+		for i := range got {
+			if i > 0 && got[i].Dist < got[i-1].Dist {
+				t.Fatalf("results not sorted by distance")
+			}
+			if math.Abs(got[i].Dist-want[i]) > 1e-9 {
+				t.Fatalf("trial %d neighbor %d: dist %v, want %v", trial, i, got[i].Dist, want[i])
+			}
+		}
+		if stats.Scanned >= db.Len() {
+			t.Fatalf("exact kNN scanned the whole database (%d records)", stats.Scanned)
+		}
+	}
+}
+
+func TestSearchKNNApproximate(t *testing.T) {
+	db := testDB(t, 8, 2000, 53)
+	ix, _ := NewIndex(db, 0)
+	r := rand.New(rand.NewSource(54))
+	q, _ := distortedQuery(r, db, 15)
+	exact, _, err := ix.SearchKNN(q, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, stats, err := ix.SearchKNN(q, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Leaves > 3 {
+		t.Fatalf("refined %d leaves with maxLeaves=3", stats.Leaves)
+	}
+	if len(approx) == 0 {
+		t.Fatal("approximate search returned nothing")
+	}
+	// The approximate answer can miss neighbors but never invents closer
+	// ones.
+	if approx[0].Dist < exact[0].Dist-1e-9 {
+		t.Fatalf("approximate found closer neighbor than exact: %v < %v", approx[0].Dist, exact[0].Dist)
+	}
+}
+
+func TestSearchKNNValidation(t *testing.T) {
+	db := testDB(t, 6, 50, 55)
+	ix, _ := NewIndex(db, 0)
+	if _, _, err := ix.SearchKNN(make([]byte, 6), 0, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, _, err := ix.SearchKNN(make([]byte, 3), 5, 0); err == nil {
+		t.Error("short query accepted")
+	}
+	// k larger than the database returns everything.
+	got, _, err := ix.SearchKNN(make([]byte, 6), 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 50 {
+		t.Fatalf("k>n returned %d of 50", len(got))
+	}
+}
+
+func TestSearchKNNSelfQuery(t *testing.T) {
+	db := testDB(t, 8, 500, 56)
+	ix, _ := NewIndex(db, 0)
+	q := append([]byte(nil), db.FP(123)...)
+	got, _, err := ix.SearchKNN(q, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Dist != 0 {
+		t.Fatalf("self query: %+v", got)
+	}
+}

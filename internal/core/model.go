@@ -1,0 +1,106 @@
+// Package core implements the paper's primary contribution: the
+// Statistical Similarity Search (S³) index. Fingerprints are ordered along
+// a Hilbert space-filling curve; a *statistical query* of expectation α
+// retrieves every fingerprint inside a region Vα of the feature space
+// holding at least probability mass α under a distortion model p_ΔS
+// (Section II, eq. 1). The region is assembled from the hyper-rectangular
+// p-blocks induced by the curve partition (Section IV-A): a single pruned
+// descent finds the block set B(t) whose individual masses exceed a
+// threshold t, and a Newton-inspired iteration finds the largest t whose
+// block set still carries mass >= α (eq. 4). Exact ε-range queries over
+// the same structure (geometric filtering + distance refinement) and the
+// pseudo-disk batched execution of Section IV-B are provided for the
+// paper's comparisons.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"s3cbcd/internal/stat"
+)
+
+// Model is the distortion model p_ΔS of the statistical query. The S³
+// system's one structural assumption (Section IV) is that the D
+// components of the distortion vector are independent, so the model is a
+// product of per-component distributions.
+type Model interface {
+	// Dims returns the number of components D.
+	Dims() int
+	// ComponentMass returns P(lo <= ΔS_j < hi) for component j. lo may be
+	// -Inf and hi may be +Inf.
+	ComponentMass(j int, lo, hi float64) float64
+}
+
+// IsoNormal is the practical model of Section IV-C: zero-mean normal with
+// the same standard deviation Sigma for every component.
+type IsoNormal struct {
+	D     int
+	Sigma float64
+}
+
+// Dims implements Model.
+func (m IsoNormal) Dims() int { return m.D }
+
+// ComponentMass implements Model.
+func (m IsoNormal) ComponentMass(_ int, lo, hi float64) float64 {
+	return stat.NormalIntervalMass(lo, hi, 0, m.Sigma)
+}
+
+// Radius returns the distribution of ||ΔS|| under the model, used to pick
+// the ε of a range query with matched expectation (Section V-A).
+func (m IsoNormal) Radius() stat.RadiusDist {
+	return stat.RadiusDist{D: m.D, Sigma: m.Sigma}
+}
+
+// DiagNormal is the general independent zero-mean normal model with one
+// standard deviation per component (the σ_j of Section IV-C before they
+// are averaged into the single σ of the practical model).
+type DiagNormal struct {
+	Sigmas []float64
+}
+
+// Dims implements Model.
+func (m DiagNormal) Dims() int { return len(m.Sigmas) }
+
+// ComponentMass implements Model.
+func (m DiagNormal) ComponentMass(j int, lo, hi float64) float64 {
+	return stat.NormalIntervalMass(lo, hi, 0, m.Sigmas[j])
+}
+
+// validateModel checks a model against the index dimension.
+func validateModel(m Model, dims int) error {
+	if m == nil {
+		return fmt.Errorf("core: nil distortion model")
+	}
+	if m.Dims() != dims {
+		return fmt.Errorf("core: model has %d dims, index has %d", m.Dims(), dims)
+	}
+	return nil
+}
+
+// blockMass integrates the distortion model over the block [lo, hi)
+// centred on query q, extending edge blocks to infinity: a referenced
+// fingerprint cannot lie outside the component range, so the tail mass of
+// the model belongs to the boundary blocks. Component intervals are
+// shifted by -0.5 so each integer fingerprint value owns a unit cell
+// centred on it. The product is abandoned as soon as it falls below
+// floor (factors never exceed 1), which is what makes high-threshold
+// descents cheap.
+func blockMass(m Model, q []float64, lo, hi []uint32, side uint32, floor float64) float64 {
+	mass := 1.0
+	for j := range lo {
+		a, b := float64(lo[j])-0.5, float64(hi[j])-0.5
+		if lo[j] == 0 {
+			a = math.Inf(-1)
+		}
+		if hi[j] == side {
+			b = math.Inf(1)
+		}
+		mass *= m.ComponentMass(j, a-q[j], b-q[j])
+		if mass <= floor {
+			return mass
+		}
+	}
+	return mass
+}

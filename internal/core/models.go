@@ -1,0 +1,202 @@
+package core
+
+// The paper's conclusion calls for "investigations in the statistical
+// modeling of the distortion vector": the practical system uses a
+// single-σ normal, but real distortions are heavier-tailed (a tight core
+// of well-matched points plus a fraction of badly disturbed ones). This
+// file provides the alternative per-component models the model ablation
+// (cmd/s3bench -exp models) compares; all keep the independence
+// assumption the index requires.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"s3cbcd/internal/stat"
+)
+
+// IsoLaplace is a zero-mean Laplace model with the same scale for every
+// component, matched to a target standard deviation (b = σ/√2). Its
+// heavier tails absorb distortion outliers the normal model misses.
+type IsoLaplace struct {
+	D     int
+	Sigma float64 // component standard deviation; scale b = Sigma/sqrt(2)
+}
+
+// Dims implements Model.
+func (m IsoLaplace) Dims() int { return m.D }
+
+// ComponentMass implements Model.
+func (m IsoLaplace) ComponentMass(_ int, lo, hi float64) float64 {
+	return stat.LaplaceIntervalMass(lo, hi, m.Sigma/math.Sqrt2)
+}
+
+// IsoStudentT is a zero-mean scaled Student-t model with Nu degrees of
+// freedom. For Nu > 2 the scale is matched so the component standard
+// deviation equals Sigma (scale = σ·√((ν−2)/ν)).
+type IsoStudentT struct {
+	D     int
+	Sigma float64
+	Nu    float64
+}
+
+// Dims implements Model.
+func (m IsoStudentT) Dims() int { return m.D }
+
+// ComponentMass implements Model.
+func (m IsoStudentT) ComponentMass(_ int, lo, hi float64) float64 {
+	scale := m.Sigma
+	if m.Nu > 2 {
+		scale = m.Sigma * math.Sqrt((m.Nu-2)/m.Nu)
+	}
+	return stat.StudentTIntervalMass(lo, hi, scale, m.Nu)
+}
+
+// MixtureNormal is a two-component zero-mean normal mixture shared by
+// every dimension: a tight core N(0, SigmaCore) with weight W and a wide
+// outlier component N(0, SigmaWide) with weight 1-W. It captures the
+// core-plus-outliers structure of measured fingerprint distortions.
+type MixtureNormal struct {
+	D                    int
+	W                    float64 // core weight in (0, 1)
+	SigmaCore, SigmaWide float64
+}
+
+// Dims implements Model.
+func (m MixtureNormal) Dims() int { return m.D }
+
+// ComponentMass implements Model.
+func (m MixtureNormal) ComponentMass(_ int, lo, hi float64) float64 {
+	return m.W*stat.NormalIntervalMass(lo, hi, 0, m.SigmaCore) +
+		(1-m.W)*stat.NormalIntervalMass(lo, hi, 0, m.SigmaWide)
+}
+
+// FitMixtureNormal fits the two-component mixture to pooled per-component
+// distortion samples by expectation-maximization on zero-mean normals.
+// It returns an error when fewer than 10 samples are provided or the fit
+// degenerates.
+func FitMixtureNormal(dims int, samples []float64) (MixtureNormal, error) {
+	if len(samples) < 10 {
+		return MixtureNormal{}, fmt.Errorf("core: %d samples are too few to fit a mixture", len(samples))
+	}
+	// Initialize from robust quantiles: core scale from the interquartile
+	// range, wide scale from the tails.
+	abs := make([]float64, len(samples))
+	for i, s := range samples {
+		abs[i] = math.Abs(s)
+	}
+	sort.Float64s(abs)
+	sCore := abs[len(abs)/2] / 0.6745 // MAD -> sigma for normal data
+	sWide := abs[len(abs)*95/100]
+	if sCore <= 0 {
+		sCore = 1e-3
+	}
+	if sWide <= sCore {
+		sWide = 3 * sCore
+	}
+	w := 0.8
+	for iter := 0; iter < 100; iter++ {
+		var sw, swx2Core, swx2Wide, sCoreW float64
+		for _, x := range samples {
+			pc := w * stat.NormalPDF(x, 0, sCore)
+			pw := (1 - w) * stat.NormalPDF(x, 0, sWide)
+			r := 0.5
+			if pc+pw > 0 {
+				r = pc / (pc + pw)
+			}
+			sw += r
+			swx2Core += r * x * x
+			swx2Wide += (1 - r) * x * x
+			sCoreW += 1 - r
+		}
+		newW := sw / float64(len(samples))
+		newCore := math.Sqrt(swx2Core / math.Max(sw, 1e-9))
+		newWide := math.Sqrt(swx2Wide / math.Max(sCoreW, 1e-9))
+		if newCore <= 0 || newWide <= 0 || math.IsNaN(newCore) || math.IsNaN(newWide) {
+			return MixtureNormal{}, fmt.Errorf("core: mixture fit degenerated at iteration %d", iter)
+		}
+		done := math.Abs(newW-w) < 1e-6 &&
+			math.Abs(newCore-sCore) < 1e-6 && math.Abs(newWide-sWide) < 1e-6
+		w, sCore, sWide = newW, newCore, newWide
+		if done {
+			break
+		}
+	}
+	if w < 0.01 {
+		w = 0.01
+	}
+	if w > 0.99 {
+		w = 0.99
+	}
+	if sWide < sCore {
+		sCore, sWide = sWide, sCore
+		w = 1 - w
+	}
+	return MixtureNormal{D: dims, W: w, SigmaCore: sCore, SigmaWide: sWide}, nil
+}
+
+// Empirical is a nonparametric per-component model: a smoothed CDF of the
+// measured distortion samples, shared by every component (samples are
+// pooled). It makes no shape assumption at all beyond independence.
+type Empirical struct {
+	D int
+	// sorted holds the pooled samples in ascending order.
+	sorted []float64
+	// bw is the smoothing bandwidth applied as a normal kernel on the
+	// empirical CDF.
+	bw float64
+}
+
+// FitEmpirical builds an Empirical model from pooled per-component
+// distortion samples. A minimum of 20 samples is required.
+func FitEmpirical(dims int, samples []float64) (Empirical, error) {
+	if len(samples) < 20 {
+		return Empirical{}, fmt.Errorf("core: %d samples are too few for an empirical model", len(samples))
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	// Silverman-style bandwidth on a robust scale estimate.
+	scale := stat.MAD(s)
+	if scale <= 0 || math.IsNaN(scale) {
+		scale = 1
+	}
+	bw := 1.06 * scale * math.Pow(float64(len(s)), -0.2)
+	if bw <= 0 {
+		bw = 1
+	}
+	return Empirical{D: dims, sorted: s, bw: bw}, nil
+}
+
+// Dims implements Model.
+func (m Empirical) Dims() int { return m.D }
+
+// CDF evaluates the kernel-smoothed empirical CDF at x.
+func (m Empirical) CDF(x float64) float64 {
+	if math.IsInf(x, -1) {
+		return 0
+	}
+	if math.IsInf(x, 1) {
+		return 1
+	}
+	// The raw empirical CDF changes only at sample points; the kernel
+	// smoothing is equivalent to averaging Φ((x-s_i)/bw). Exact
+	// evaluation is O(n); for the sample sizes the estimator produces
+	// (hundreds to a few thousands) this is cheap, and the mass cache
+	// bounds how often it runs per query.
+	sum := 0.0
+	for _, s := range m.sorted {
+		sum += stat.NormalCDF(x, s, m.bw)
+	}
+	return sum / float64(len(m.sorted))
+}
+
+// ComponentMass implements Model.
+func (m Empirical) ComponentMass(_ int, lo, hi float64) float64 {
+	cl := m.CDF(lo)
+	ch := m.CDF(hi)
+	if ch < cl {
+		return 0
+	}
+	return ch - cl
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"s3cbcd/internal/hilbert"
+)
+
+// StatQuery parameterizes a statistical query of expectation Alpha under
+// distortion model Model (eq. 1 of the paper).
+type StatQuery struct {
+	// Alpha is the query expectation in (0, 1): the minimum probability,
+	// under Model, that the relevant fingerprint lies in the retrieved
+	// region Vα.
+	Alpha float64
+	// Model is the distortion model p_ΔS.
+	Model Model
+}
+
+func (sq StatQuery) validate(dims int) error {
+	if sq.Alpha <= 0 || sq.Alpha >= 1 {
+		return fmt.Errorf("core: query expectation alpha=%v outside (0,1)", sq.Alpha)
+	}
+	return validateModel(sq.Model, dims)
+}
+
+// Plan is the outcome of a filtering step: the curve intervals to scan
+// plus diagnostics. It performs no database access; Plans can therefore
+// be computed for many queries before any section of a disk-resident
+// database is loaded (the pseudo-disk strategy).
+type Plan struct {
+	// Intervals are the merged curve intervals of the selected blocks, in
+	// curve order.
+	Intervals []hilbert.Interval
+	// Blocks is the number of p-blocks selected (card(Bα)).
+	Blocks int
+	// Mass is the achieved probability sum P_sup(t_max) >= α for
+	// statistical plans; 0 for geometric plans.
+	Mass float64
+	// Threshold is the final block-mass threshold t_max for statistical
+	// plans; 0 for geometric plans.
+	Threshold float64
+	// FilterIters is the number of descents the threshold search used; 1
+	// for geometric plans.
+	FilterIters int
+	// Depth is the partition depth the plan was computed at.
+	Depth int
+}
+
+// statDescent runs one pruned descent at threshold t and returns the
+// selected blocks' merged intervals, their count, and their total mass.
+// The mass cache is shared across the descents of one threshold search.
+func (pl *planner) statDescent(q []float64, m Model, t float64, mc *massCache) ([]hilbert.Interval, int, float64) {
+	v := newStatVisitor(mc, m, q, t)
+	pl.curve.DescendSteps(pl.depth, v)
+	return hilbert.MergeIntervals(v.ivs), v.blocks, v.total
+}
+
+// maxThresholdIters bounds the Newton-inspired threshold search. Each
+// iteration is one descent; the bracket shrinks geometrically, so 40
+// iterations resolve t_max to a relative precision far below the mass
+// granularity of individual blocks.
+const maxThresholdIters = 40
+
+// tFloor is the smallest block-mass threshold the search will use. Blocks
+// below this mass are irrelevant at any practical α.
+const tFloor = 1e-18
+
+// PlanStat runs the statistical filtering step of Section IV-A for query
+// fingerprint q: it finds t_max, the largest per-block mass threshold
+// whose block set B(t) still carries total probability >= α (eq. 4),
+// which yields (a close approximation of) the minimal block set Bα^min.
+func (ix *Index) PlanStat(q []byte, sq StatQuery) (Plan, error) {
+	if err := sq.validate(ix.db.Dims()); err != nil {
+		return Plan{}, err
+	}
+	qf, err := queryPoint(q, ix.db.Dims())
+	if err != nil {
+		return Plan{}, err
+	}
+	return ix.planStatFloat(qf, sq), nil
+}
+
+func (pl *planner) planStatFloat(qf []float64, sq StatQuery) Plan {
+	mc := newMassCache(pl.dims(), pl.curve.SideLen())
+	iters := 0
+	eval := func(t float64) ([]hilbert.Interval, int, float64) {
+		iters++
+		return pl.statDescent(qf, sq.Model, t, mc)
+	}
+
+	// Bracket t_max from above: descents at high thresholds prune hard
+	// and are cheap, so we walk down geometrically until the block set
+	// first reaches mass α, leaving exactly one "expensive" descent.
+	// P_sup(t) is non-increasing in t and reaches 1 as t -> 0 (edge
+	// blocks absorb all tail mass), so a feasible threshold exists.
+	tHi := (1 - sq.Alpha) / 4
+	massHi := 0.0
+	tLo := tHi
+	ivs, blocks, mass := eval(tLo)
+	for mass < sq.Alpha && tLo > tFloor {
+		tHi, massHi = tLo, mass
+		tLo /= 16
+		if tLo < tFloor {
+			tLo = tFloor
+		}
+		ivs, blocks, mass = eval(tLo)
+	}
+	if mass < sq.Alpha {
+		// Even the floor threshold cannot reach α (pathological model);
+		// return the floor plan — it is the best the partition offers.
+		return Plan{Intervals: ivs, Blocks: blocks, Mass: mass,
+			Threshold: tLo, FilterIters: iters, Depth: pl.depth}
+	}
+	if tHi <= tLo {
+		// The initial threshold was already feasible: expand upward until
+		// infeasible to bracket t_max (each step prunes harder, so these
+		// descents get cheaper).
+		for iters < maxThresholdIters {
+			tNext := tLo * 16
+			if tNext >= 1 {
+				tHi, massHi = 1, 0
+				break
+			}
+			ivsN, blocksN, massN := eval(tNext)
+			if massN < sq.Alpha {
+				tHi, massHi = tNext, massN
+				break
+			}
+			tLo, ivs, blocks, mass = tNext, ivsN, blocksN, massN
+		}
+	}
+	// Newton-inspired refinement on [tLo feasible, tHi infeasible]: a
+	// secant step on (log t, P_sup) aimed at α, guarded toward the
+	// geometric mean so the bracket always shrinks by a useful factor.
+	for iters < maxThresholdIters && tHi/tLo > 1.3 {
+		tMid := math.Sqrt(tLo * tHi)
+		if massHi < sq.Alpha && mass > massHi {
+			frac := (mass - sq.Alpha) / (mass - massHi)
+			if tSec := math.Exp(math.Log(tLo) + frac*(math.Log(tHi)-math.Log(tLo))); tSec > tLo*1.1 && tSec < tHi/1.1 {
+				tMid = tSec
+			}
+		}
+		ivsMid, blocksMid, massMid := eval(tMid)
+		if massMid >= sq.Alpha {
+			tLo, ivs, blocks, mass = tMid, ivsMid, blocksMid, massMid
+		} else {
+			tHi, massHi = tMid, massMid
+		}
+	}
+	return Plan{Intervals: ivs, Blocks: blocks, Mass: mass,
+		Threshold: tLo, FilterIters: iters, Depth: pl.depth}
+}
+
+// SearchStat executes a complete statistical query: filtering (PlanStat)
+// then refinement, which scans the selected curve intervals and returns
+// every fingerprint inside the region Vα. Unlike a range query there is
+// no distance constraint: the region is the answer (Section II).
+func (ix *Index) SearchStat(q []byte, sq StatQuery) ([]Match, Plan, error) {
+	plan, err := ix.PlanStat(q, sq)
+	if err != nil {
+		return nil, Plan{}, err
+	}
+	return ix.refineStat(plan), plan, nil
+}
+
+func (ix *Index) refineStat(plan Plan) []Match {
+	var out []Match
+	for _, iv := range plan.Intervals {
+		lo, hi := ix.db.FindInterval(iv)
+		for i := lo; i < hi; i++ {
+			out = append(out, Match{Pos: i, ID: ix.db.ID(i), TC: ix.db.TC(i), X: ix.db.X(i), Y: ix.db.Y(i), Dist: -1})
+		}
+	}
+	return out
+}
+
+// PlanStatExact computes the exactly minimal block set Bα^min by
+// collecting every block with mass above a small floor, sorting by mass
+// and keeping the smallest prefix reaching α. It needs a single descent
+// but an unbounded sort; the paper argues (Section IV-A) that sorting all
+// 2^p blocks is unaffordable in general, which is why the threshold
+// search above is the production path. Kept as the reference for the
+// selection-strategy ablation.
+func (ix *Index) PlanStatExact(q []byte, sq StatQuery) (Plan, error) {
+	if err := sq.validate(ix.db.Dims()); err != nil {
+		return Plan{}, err
+	}
+	qf, err := queryPoint(q, ix.db.Dims())
+	if err != nil {
+		return Plan{}, err
+	}
+	side := ix.curve.SideLen()
+	type wb struct {
+		iv   hilbert.Interval
+		mass float64
+	}
+	var all []wb
+	const floor = 1e-12
+	keep := func(lo, hi []uint32) bool {
+		return blockMass(sq.Model, qf, lo, hi, side, floor) > floor
+	}
+	ix.curve.Descend(ix.depth, keep, func(b hilbert.Block) bool {
+		all = append(all, wb{
+			iv:   hilbert.Interval{Start: b.Start, End: b.End},
+			mass: blockMass(sq.Model, qf, b.Lo, b.Hi, side, 0),
+		})
+		return true
+	})
+	sort.Slice(all, func(i, j int) bool { return all[i].mass > all[j].mass })
+	total := 0.0
+	nsel := 0
+	for nsel < len(all) && total < sq.Alpha {
+		total += all[nsel].mass
+		nsel++
+	}
+	sel := all[:nsel]
+	thr := 0.0
+	if nsel > 0 {
+		thr = sel[nsel-1].mass
+	}
+	// Re-sort the selected blocks into curve order for merging.
+	sort.Slice(sel, func(i, j int) bool { return sel[i].iv.Start.Less(sel[j].iv.Start) })
+	ivs := make([]hilbert.Interval, nsel)
+	for i, b := range sel {
+		ivs[i] = b.iv
+	}
+	return Plan{Intervals: hilbert.MergeIntervals(ivs), Blocks: nsel, Mass: total,
+		Threshold: thr, FilterIters: 1, Depth: ix.depth}, nil
+}

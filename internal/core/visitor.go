@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math"
+
+	"s3cbcd/internal/hilbert"
+)
+
+// massCache memoizes the per-dimension model mass of every dyadic
+// interval a query's descents encounter. Block bounds are always dyadic
+// (they come from repeated halving), so interval (lo, hi) of extent e
+// has the unique id side/e + lo/e in [1, 2*side). The threshold search
+// runs several descents over overlapping node sets; the cache makes the
+// repeats nearly free.
+type massCache struct {
+	side uint32
+	vals []float64 // dims * (2*side) entries, NaN = unset
+}
+
+func newMassCache(dims int, side uint32) *massCache {
+	mc := &massCache{side: side, vals: make([]float64, dims*int(2*side))}
+	for i := range mc.vals {
+		mc.vals[i] = math.NaN()
+	}
+	return mc
+}
+
+// get returns P(ΔS_dim puts the reference inside [lo, hi)) under model m
+// for query coordinate q, extending edge intervals to infinity (reference
+// fingerprints cannot lie outside the grid, so tail mass belongs to the
+// boundary blocks) and centring unit cells on integer coordinates.
+func (mc *massCache) get(m Model, q []float64, dim int, lo, hi uint32) float64 {
+	e := hi - lo
+	id := mc.side/e + lo/e
+	idx := dim*int(2*mc.side) + int(id)
+	if v := mc.vals[idx]; !math.IsNaN(v) {
+		return v
+	}
+	a, b := float64(lo)-0.5, float64(hi)-0.5
+	if lo == 0 {
+		a = math.Inf(-1)
+	}
+	if hi == mc.side {
+		b = math.Inf(1)
+	}
+	v := m.ComponentMass(dim, a-q[dim], b-q[dim])
+	mc.vals[idx] = v
+	return v
+}
+
+// statVisitor implements the statistical filtering rule incrementally:
+// the node mass is a product of one factor per dimension, and every
+// descent step replaces exactly one factor.
+type statVisitor struct {
+	mc      *massCache
+	m       Model
+	q       []float64
+	t       float64
+	factors []float64 // current factor per dimension (1 at the root)
+	prod    float64   // current node mass
+	stack   []statFrame
+	ivs     []hilbert.Interval
+	blocks  int
+	total   float64
+}
+
+type statFrame struct {
+	dim    int
+	factor float64
+	prod   float64
+}
+
+func newStatVisitor(mc *massCache, m Model, q []float64, t float64) *statVisitor {
+	v := &statVisitor{mc: mc, m: m, q: q, t: t,
+		factors: make([]float64, len(q)), prod: 1,
+		stack: make([]statFrame, 0, 256),
+	}
+	for i := range v.factors {
+		v.factors[i] = 1
+	}
+	return v
+}
+
+// Enter implements hilbert.StepVisitor. The division is safe: factor[dim]
+// bounds the parent mass from above and the parent survived mass > t > 0.
+func (v *statVisitor) Enter(dim int, lo, hi uint32) bool {
+	f := v.mc.get(v.m, v.q, dim, lo, hi)
+	np := v.prod / v.factors[dim] * f
+	if np <= v.t {
+		return false
+	}
+	v.stack = append(v.stack, statFrame{dim: dim, factor: v.factors[dim], prod: v.prod})
+	v.factors[dim] = f
+	v.prod = np
+	return true
+}
+
+// Leave implements hilbert.StepVisitor.
+func (v *statVisitor) Leave(int) {
+	fr := v.stack[len(v.stack)-1]
+	v.stack = v.stack[:len(v.stack)-1]
+	v.factors[fr.dim] = fr.factor
+	v.prod = fr.prod
+}
+
+// Leaf implements hilbert.StepVisitor.
+func (v *statVisitor) Leaf(b hilbert.Block) bool {
+	v.total += v.prod
+	v.blocks++
+	v.ivs = append(v.ivs, hilbert.Interval{Start: b.Start, End: b.End})
+	return true
+}
+
+// rangeVisitor implements the geometric filtering rule incrementally: the
+// squared distance from the query to a node rectangle is a sum of one
+// term per dimension.
+type rangeVisitor struct {
+	q       []float64
+	epsSq   float64
+	contrib []float64
+	sum     float64
+	stack   []rangeFrame
+	ivs     []hilbert.Interval
+	blocks  int
+}
+
+type rangeFrame struct {
+	dim     int
+	contrib float64
+}
+
+func newRangeVisitor(q []float64, eps float64) *rangeVisitor {
+	return &rangeVisitor{q: q, epsSq: eps * eps,
+		contrib: make([]float64, len(q)),
+		stack:   make([]rangeFrame, 0, 256),
+	}
+}
+
+// dimDistSq is the squared distance from coordinate v to the nearest
+// integer grid point in [lo, hi).
+func dimDistSq(v float64, lo, hi uint32) float64 {
+	if lov := float64(lo); v < lov {
+		d := lov - v
+		return d * d
+	}
+	if hiv := float64(hi - 1); v > hiv {
+		d := v - hiv
+		return d * d
+	}
+	return 0
+}
+
+// Enter implements hilbert.StepVisitor.
+func (v *rangeVisitor) Enter(dim int, lo, hi uint32) bool {
+	c := dimDistSq(v.q[dim], lo, hi)
+	ns := v.sum - v.contrib[dim] + c
+	if ns > v.epsSq {
+		return false
+	}
+	v.stack = append(v.stack, rangeFrame{dim: dim, contrib: v.contrib[dim]})
+	v.contrib[dim] = c
+	v.sum = ns
+	return true
+}
+
+// Leave implements hilbert.StepVisitor.
+func (v *rangeVisitor) Leave(int) {
+	fr := v.stack[len(v.stack)-1]
+	v.stack = v.stack[:len(v.stack)-1]
+	v.sum += fr.contrib - v.contrib[fr.dim]
+	v.contrib[fr.dim] = fr.contrib
+}
+
+// Leaf implements hilbert.StepVisitor.
+func (v *rangeVisitor) Leaf(b hilbert.Block) bool {
+	v.blocks++
+	v.ivs = append(v.ivs, hilbert.Interval{Start: b.Start, End: b.End})
+	return true
+}

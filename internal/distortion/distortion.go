@@ -1,0 +1,135 @@
+// Package distortion estimates the statistical query's distortion model
+// (Section IV-C): for a given video transformation, the distribution of
+// ΔS = S(m) − S(t(m)) between the fingerprint of a referenced pattern and
+// the fingerprint of its transformed version, computed with a *simulated
+// perfect interest point detector* — the position of each point in the
+// transformed sequence is derived from its position in the original, so
+// the measured distortion isolates the descriptor's sensitivity from the
+// detector's repeatability.
+package distortion
+
+import (
+	"fmt"
+	"math"
+
+	"s3cbcd/internal/fingerprint"
+	"s3cbcd/internal/vidsim"
+)
+
+// Pair is one (reference, distorted) fingerprint correspondence.
+type Pair struct {
+	Ref, Dist fingerprint.Fingerprint
+}
+
+// Delta returns the distortion vector ΔS = Ref − Dist, component-wise.
+func (p Pair) Delta() [fingerprint.D]float64 {
+	var d [fingerprint.D]float64
+	for j := range d {
+		d[j] = float64(p.Ref[j]) - float64(p.Dist[j])
+	}
+	return d
+}
+
+// Norm returns ‖ΔS‖, the L2 norm of the distortion vector.
+func (p Pair) Norm() float64 {
+	s := 0.0
+	for j := range p.Ref {
+		d := float64(p.Ref[j]) - float64(p.Dist[j])
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Estimate is the fitted model for one transformation.
+type Estimate struct {
+	// Sigmas are the per-component RMS distortions σ_j (the model is
+	// zero-mean, so the second moment about zero is the right scale).
+	Sigmas [fingerprint.D]float64
+	// Sigma is the mean of the σ_j — the single parameter of the
+	// practical model, and the paper's severity criterion (Table I).
+	Sigma float64
+	// Pairs is the number of correspondences used.
+	Pairs int
+}
+
+// CollectPairs extracts fingerprints from each original sequence, applies
+// the transformation, and recomputes the descriptor at the perfectly
+// mapped interest point positions in the transformed sequence. Points
+// that leave the frame or whose characterization degenerates are skipped.
+func CollectPairs(seqs []*vidsim.Sequence, tf vidsim.Transform, cfg fingerprint.Config) []Pair {
+	var pairs []Pair
+	for _, seq := range seqs {
+		if seq.Len() == 0 {
+			continue
+		}
+		w, h := seq.Frames[0].W, seq.Frames[0].H
+		locals := fingerprint.Extract(seq, cfg)
+		if len(locals) == 0 {
+			continue
+		}
+		tseq := vidsim.ApplySeq(tf, seq)
+		ext := fingerprint.NewExtractor(tseq, cfg)
+		for _, l := range locals {
+			tx, ty, ok := tf.MapPoint(l.X, l.Y, w, h)
+			if !ok {
+				continue
+			}
+			dfp, ok := ext.DescribeAt(tx, ty, int(l.TC))
+			if !ok {
+				continue
+			}
+			pairs = append(pairs, Pair{Ref: l.FP, Dist: dfp})
+		}
+	}
+	return pairs
+}
+
+// Fit computes the model parameters from correspondences.
+func Fit(pairs []Pair) (Estimate, error) {
+	if len(pairs) == 0 {
+		return Estimate{}, fmt.Errorf("distortion: no correspondences to fit")
+	}
+	var est Estimate
+	est.Pairs = len(pairs)
+	var sumSq [fingerprint.D]float64
+	for _, p := range pairs {
+		d := p.Delta()
+		for j, v := range d {
+			sumSq[j] += v * v
+		}
+	}
+	mean := 0.0
+	for j := range sumSq {
+		est.Sigmas[j] = math.Sqrt(sumSq[j] / float64(len(pairs)))
+		mean += est.Sigmas[j]
+	}
+	est.Sigma = mean / fingerprint.D
+	return est, nil
+}
+
+// EstimateModel is CollectPairs followed by Fit.
+func EstimateModel(seqs []*vidsim.Sequence, tf vidsim.Transform, cfg fingerprint.Config) (Estimate, error) {
+	return Fit(CollectPairs(seqs, tf, cfg))
+}
+
+// Norms returns the ‖ΔS‖ values of a correspondence set (the abscissa of
+// Figure 1).
+func Norms(pairs []Pair) []float64 {
+	out := make([]float64, len(pairs))
+	for i, p := range pairs {
+		out[i] = p.Norm()
+	}
+	return out
+}
+
+// PooledDeltas returns every per-component distortion sample of a
+// correspondence set, pooled across components — the input for fitting
+// alternative per-component models (mixture, empirical, heavy-tailed).
+func PooledDeltas(pairs []Pair) []float64 {
+	out := make([]float64, 0, len(pairs)*fingerprint.D)
+	for _, p := range pairs {
+		d := p.Delta()
+		out = append(out, d[:]...)
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package distortion
+
+import (
+	"math"
+	"testing"
+
+	"s3cbcd/internal/fingerprint"
+	"s3cbcd/internal/vidsim"
+)
+
+func testSeqs(n int) []*vidsim.Sequence {
+	seqs := make([]*vidsim.Sequence, n)
+	for i := range seqs {
+		cfg := vidsim.DefaultConfig(int64(100 + i))
+		cfg.MinShot, cfg.MaxShot = 20, 30
+		seqs[i] = vidsim.Generate(cfg, 80)
+	}
+	return seqs
+}
+
+func TestIdentityTransformHasTinyDistortion(t *testing.T) {
+	seqs := testSeqs(2)
+	est, err := EstimateModel(seqs, vidsim.Identity{}, fingerprint.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Pairs < 20 {
+		t.Fatalf("only %d pairs", est.Pairs)
+	}
+	// Identity at identical positions: quantization is the only noise.
+	if est.Sigma > 1 {
+		t.Fatalf("identity sigma %v", est.Sigma)
+	}
+}
+
+func TestSeverityOrdering(t *testing.T) {
+	// The paper's severity criterion: stronger transformations yield
+	// larger sigma. Compare mild vs strong gamma, and mild vs strong
+	// resize.
+	seqs := testSeqs(2)
+	cfg := fingerprint.DefaultConfig()
+	mildGamma, err := EstimateModel(seqs, vidsim.Gamma{G: 0.95}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strongGamma, err := EstimateModel(seqs, vidsim.Gamma{G: 2.1}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mildGamma.Sigma >= strongGamma.Sigma {
+		t.Fatalf("severity inversion: gamma 0.95 -> %v, gamma 2.1 -> %v",
+			mildGamma.Sigma, strongGamma.Sigma)
+	}
+	mildResize, err := EstimateModel(seqs, vidsim.Resize{Scale: 0.98}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strongResize, err := EstimateModel(seqs, vidsim.Resize{Scale: 0.80}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mildResize.Sigma >= strongResize.Sigma {
+		t.Fatalf("severity inversion: resize 0.98 -> %v, resize 0.80 -> %v",
+			mildResize.Sigma, strongResize.Sigma)
+	}
+}
+
+func TestPairDeltaNorm(t *testing.T) {
+	var p Pair
+	p.Ref[0], p.Dist[0] = 10, 4
+	p.Ref[5], p.Dist[5] = 0, 8
+	d := p.Delta()
+	if d[0] != 6 || d[5] != -8 {
+		t.Fatalf("delta: %v", d)
+	}
+	if got := p.Norm(); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("norm %v", got)
+	}
+}
+
+func TestFitEmptyFails(t *testing.T) {
+	if _, err := Fit(nil); err == nil {
+		t.Fatal("empty fit accepted")
+	}
+}
+
+func TestFitMoments(t *testing.T) {
+	// Two symmetric pairs: component 0 distorted by ±4 -> sigma_0 = 4.
+	var a, b Pair
+	a.Ref[0], a.Dist[0] = 14, 10
+	b.Ref[0], b.Dist[0] = 10, 14
+	est, err := Fit([]Pair{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Sigmas[0]-4) > 1e-12 {
+		t.Fatalf("sigma_0 = %v", est.Sigmas[0])
+	}
+	if math.Abs(est.Sigma-4.0/fingerprint.D) > 1e-12 {
+		t.Fatalf("mean sigma = %v", est.Sigma)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	var a Pair
+	a.Ref[0], a.Dist[0] = 3, 0
+	ns := Norms([]Pair{a, {}})
+	if len(ns) != 2 || ns[0] != 3 || ns[1] != 0 {
+		t.Fatalf("norms: %v", ns)
+	}
+}
+
+func TestCollectPairsSkipsOffFramePoints(t *testing.T) {
+	seqs := testSeqs(1)
+	// A huge shift pushes most points out of frame; the collector must
+	// not crash and must return fewer pairs than identity.
+	cfg := fingerprint.DefaultConfig()
+	idPairs := CollectPairs(seqs, vidsim.Identity{}, cfg)
+	shiftPairs := CollectPairs(seqs, vidsim.VShift{Frac: 0.9}, cfg)
+	if len(shiftPairs) >= len(idPairs) {
+		t.Fatalf("shift 90%% kept %d of %d pairs", len(shiftPairs), len(idPairs))
+	}
+}

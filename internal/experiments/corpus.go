@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"math/rand"
+	"sync"
+
+	"s3cbcd/internal/fingerprint"
+	"s3cbcd/internal/store"
+	"s3cbcd/internal/vidsim"
+)
+
+// VideoCorpus generates n procedural reference sequences of the given
+// length, deterministically from seed.
+func VideoCorpus(n, frames int, seed int64) []*vidsim.Sequence {
+	seqs := make([]*vidsim.Sequence, n)
+	for i := range seqs {
+		cfg := vidsim.DefaultConfig(seed + int64(i))
+		cfg.MinShot, cfg.MaxShot = 25, 50
+		seqs[i] = vidsim.Generate(cfg, frames)
+	}
+	return seqs
+}
+
+// seedPool is a cached pool of real extracted fingerprints used to give
+// large synthetic corpora the clustering structure of video fingerprints
+// (near-duplicates of background points, unique moving-object points).
+var seedPool struct {
+	once sync.Once
+	fps  []fingerprint.Fingerprint
+}
+
+func pool() []fingerprint.Fingerprint {
+	seedPool.once.Do(func() {
+		for _, seq := range VideoCorpus(8, 150, 424242) {
+			for _, l := range fingerprint.Extract(seq, fingerprint.DefaultConfig()) {
+				seedPool.fps = append(seedPool.fps, l.FP)
+			}
+		}
+	})
+	return seedPool.fps
+}
+
+// FPCorpus emits n database records with video-like statistics: each
+// record is a real extracted fingerprint jittered by a small per-component
+// noise, so the corpus contains the heavy near-duplication the paper
+// describes ("several video clips can be duplicated 600 times"). IDs are
+// assigned in blocks of ~50 records (one block ~ one key-framed sequence)
+// and TCs increase inside a block.
+func FPCorpus(n int, seed int64) []store.Record {
+	seeds := pool()
+	r := rand.New(rand.NewSource(seed))
+	recs := make([]store.Record, n)
+	const perID = 50
+	for i := range recs {
+		base := seeds[r.Intn(len(seeds))]
+		fp := make([]byte, fingerprint.D)
+		for j := range fp {
+			v := float64(base[j]) + r.NormFloat64()*4
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			fp[j] = byte(v)
+		}
+		recs[i] = store.Record{
+			FP: fp,
+			ID: uint32(i / perID),
+			TC: uint32(i % perID * 12),
+		}
+	}
+	return recs
+}
+
+// DistortedQueries implements the query construction of Section V-A:
+// randomly select nq real fingerprints S in the database and build
+// Q = S + ΔS with ΔS ~ N(0, sigmaQ) per component, quantized back to the
+// byte grid. It returns the queries and the index of each query's source
+// record.
+func DistortedQueries(db *store.DB, nq int, sigmaQ float64, seed int64) ([][]byte, []int) {
+	r := rand.New(rand.NewSource(seed))
+	queries := make([][]byte, nq)
+	src := make([]int, nq)
+	for i := range queries {
+		idx := r.Intn(db.Len())
+		fp := db.FP(idx)
+		q := make([]byte, len(fp))
+		for j, b := range fp {
+			v := float64(b) + r.NormFloat64()*sigmaQ
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			q[j] = byte(v + 0.5)
+		}
+		queries[i] = q
+		src[i] = idx
+	}
+	return queries, src
+}

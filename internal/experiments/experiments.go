@@ -1,0 +1,76 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section IV-C and Section V). Each experiment is a function
+// that prints the same rows/series the paper reports; cmd/s3bench runs
+// them by id and bench_test.go exercises their measured quantities as
+// testing.B benchmarks.
+//
+// Scales are reduced relative to the paper (see DESIGN.md §5): the INA
+// archive is replaced by procedural video, and database sizes top out in
+// the millions of fingerprints rather than billions. The quantities the
+// paper's claims rest on — who wins, by what factor, where behaviour
+// changes — are preserved.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Scale selects the experiment workload size.
+type Scale int
+
+const (
+	// Quick finishes each experiment in seconds to a couple of minutes.
+	Quick Scale = iota
+	// Full uses larger databases and more clips; minutes per experiment.
+	Full
+)
+
+// ParseScale maps a flag value to a Scale.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "", "quick":
+		return Quick, nil
+	case "full":
+		return Full, nil
+	default:
+		return Quick, fmt.Errorf("experiments: unknown scale %q (want quick or full)", s)
+	}
+}
+
+// Experiment regenerates one paper artifact.
+type Experiment struct {
+	// ID is the artifact identifier (fig1, tab1, ...).
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Run executes the experiment at the given scale and seed, writing
+	// the series/rows to w.
+	Run func(w io.Writer, sc Scale, seed int64) error
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Lookup returns the experiment with the given id.
+func Lookup(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns every registered experiment, sorted by id.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

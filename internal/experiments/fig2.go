@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"s3cbcd/internal/hilbert"
+)
+
+func init() {
+	register(Experiment{
+		ID: "fig2",
+		Title: "Figure 2: space partition induced by the Hilbert curve for D=2, K=4 " +
+			"at depths p=3,4,5",
+		Run: runFig2,
+	})
+}
+
+func runFig2(w io.Writer, _ Scale, _ int64) error {
+	c := hilbert.MustNew(2, 4)
+	side := int(c.SideLen())
+	for _, p := range []int{3, 4, 5} {
+		grid := make([][]int, side)
+		for y := range grid {
+			grid[y] = make([]int, side)
+		}
+		id := 0
+		c.Descend(p, nil, func(b hilbert.Block) bool {
+			for y := b.Lo[1]; y < b.Hi[1]; y++ {
+				for x := b.Lo[0]; x < b.Hi[0]; x++ {
+					grid[y][x] = id
+				}
+			}
+			id++
+			return true
+		})
+		fmt.Fprintf(w, "# p = %d (%d blocks, block ids shown base-36, y grows downward)\n", p, id)
+		for y := side - 1; y >= 0; y-- {
+			for x := 0; x < side; x++ {
+				fmt.Fprintf(w, "%c", digit36(grid[y][x]))
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "# Every depth yields hyper-rectangular blocks of equal volume;\n")
+	fmt.Fprintf(w, "# odd depths give 2:1 rectangles, even depths give squares.\n")
+	return nil
+}
+
+func digit36(v int) rune {
+	const digits = "0123456789abcdefghijklmnopqrstuvwxyz"
+	return rune(digits[v%36])
+}

@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"s3cbcd/internal/core"
+	"s3cbcd/internal/distortion"
+	"s3cbcd/internal/fingerprint"
+	"s3cbcd/internal/hilbert"
+	"s3cbcd/internal/store"
+	"s3cbcd/internal/vidsim"
+)
+
+func init() {
+	register(Experiment{
+		ID: "fig3",
+		Title: "Figure 3: retrieval rate R vs. expectation α of the statistical query " +
+			"(model assessment on a combined transformation)",
+		Run: runFig3,
+	})
+	register(Experiment{
+		ID: "tab1",
+		Title: "Table I: detection rate R for transformations of decreasing severity σ " +
+			"(α=85%, model fitted on the most severe transformation)",
+		Run: runTab1,
+	})
+}
+
+// modelBench holds everything fig3 and tab1 share: a database containing
+// the reference fingerprints (plus distractors) and an index over it.
+type modelBench struct {
+	db  *store.DB
+	ix  *core.Index
+	pos map[fingerprint.Fingerprint][]int // DB positions per reference fingerprint
+}
+
+func newModelBench(seqs []*vidsim.Sequence, distractors int, seed int64) (*modelBench, error) {
+	var recs []store.Record
+	for si, seq := range seqs {
+		for _, l := range fingerprint.Extract(seq, fingerprint.DefaultConfig()) {
+			fp := make([]byte, fingerprint.D)
+			copy(fp, l.FP[:])
+			recs = append(recs, store.Record{FP: fp, ID: uint32(si + 1), TC: l.TC})
+		}
+	}
+	recs = append(recs, FPCorpus(distractors, seed^0x5f5f)...)
+	curve, err := hilbert.New(fingerprint.D, 8)
+	if err != nil {
+		return nil, err
+	}
+	db, err := store.Build(curve, recs)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := core.NewIndex(db, 0)
+	if err != nil {
+		return nil, err
+	}
+	mb := &modelBench{db: db, ix: ix, pos: map[fingerprint.Fingerprint][]int{}}
+	for i := 0; i < db.Len(); i++ {
+		var fp fingerprint.Fingerprint
+		copy(fp[:], db.FP(i))
+		mb.pos[fp] = append(mb.pos[fp], i)
+	}
+	return mb, nil
+}
+
+// retrievalRate runs one statistical query per correspondence pair and
+// returns the fraction whose reference fingerprint is retrieved.
+func (mb *modelBench) retrievalRate(pairs []distortion.Pair, sq core.StatQuery) (float64, error) {
+	if len(pairs) == 0 {
+		return 0, fmt.Errorf("experiments: no correspondences")
+	}
+	hits := 0
+	for _, p := range pairs {
+		matches, _, err := mb.ix.SearchStat(p.Dist[:], sq)
+		if err != nil {
+			return 0, err
+		}
+		want := map[int]bool{}
+		for _, pos := range mb.pos[p.Ref] {
+			want[pos] = true
+		}
+		for _, m := range matches {
+			if want[m.Pos] {
+				hits++
+				break
+			}
+		}
+	}
+	return float64(hits) / float64(len(pairs)), nil
+}
+
+// fig3Transform is the paper's combined transformation: resizing, gamma
+// modification, noise addition, and a 1-pixel interest point imprecision.
+func fig3Transform(seed int64) vidsim.Transform {
+	return vidsim.Compose{
+		vidsim.Resize{Scale: 0.9},
+		vidsim.Gamma{G: 1.25},
+		vidsim.Noise{Sigma: 6, Seed: seed},
+		vidsim.PixelJitter{Delta: 1, Seed: uint64(seed)},
+	}
+}
+
+func runFig3(w io.Writer, sc Scale, seed int64) error {
+	nSeqs, distractors, maxPairs := 3, 5000, 300
+	if sc == Full {
+		nSeqs, distractors, maxPairs = 8, 50000, 1500
+	}
+	seqs := VideoCorpus(nSeqs, 150, seed)
+	tf := fig3Transform(seed)
+	pairs := distortion.CollectPairs(seqs, tf, fingerprint.DefaultConfig())
+	if len(pairs) > maxPairs {
+		pairs = pairs[:maxPairs]
+	}
+	est, err := distortion.Fit(pairs)
+	if err != nil {
+		return err
+	}
+	mb, err := newModelBench(seqs, distractors, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "# Figure 3 — retrieval rate vs α for %s\n", tf.Name())
+	fmt.Fprintf(w, "# fitted sigma = %.2f over %d correspondences, DB = %d fingerprints\n",
+		est.Sigma, len(pairs), mb.db.Len())
+	fmt.Fprintf(w, "%6s %14s %10s\n", "alpha", "retrievalRate", "error")
+	model := core.IsoNormal{D: fingerprint.D, Sigma: est.Sigma}
+	for alpha := 0.40; alpha < 0.999; alpha += 0.05 {
+		r, err := mb.retrievalRate(pairs, core.StatQuery{Alpha: alpha, Model: model})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%6.0f %14.2f %10.2f\n", alpha*100, r*100, (r-alpha)*100)
+	}
+	return nil
+}
+
+// tab1Rows lists Table I's transformations in the paper's order (severity
+// decreasing downward in the paper's measurements).
+func tab1Rows(seed int64) []struct {
+	name string
+	tf   vidsim.Transform
+} {
+	j := vidsim.PixelJitter{Delta: 1, Seed: uint64(seed)}
+	return []struct {
+		name string
+		tf   vidsim.Transform
+	}{
+		{"wscale=0.84, dpix=1", vidsim.Compose{vidsim.Resize{Scale: 0.84}, j}},
+		{"wscale=1.26, dpix=1", vidsim.Compose{vidsim.Resize{Scale: 1.26}, j}},
+		{"wscale=0.91, dpix=1", vidsim.Compose{vidsim.Resize{Scale: 0.91}, j}},
+		{"wscale=0.98, dpix=1", vidsim.Compose{vidsim.Resize{Scale: 0.98}, j}},
+		{"wgamma=2.08, dpix=1", vidsim.Compose{vidsim.Gamma{G: 2.08}, j}},
+		{"wgamma=0.82, dpix=1", vidsim.Compose{vidsim.Gamma{G: 0.82}, j}},
+		{"wnoise=10.0, dpix=0", vidsim.Noise{Sigma: 10, Seed: seed}},
+	}
+}
+
+func runTab1(w io.Writer, sc Scale, seed int64) error {
+	nSeqs, distractors, maxPairs := 3, 5000, 250
+	if sc == Full {
+		nSeqs, distractors, maxPairs = 8, 50000, 1200
+	}
+	seqs := VideoCorpus(nSeqs, 150, seed)
+	mb, err := newModelBench(seqs, distractors, seed)
+	if err != nil {
+		return err
+	}
+	rows := tab1Rows(seed)
+	type rowResult struct {
+		name  string
+		sigma float64
+		pairs []distortion.Pair
+	}
+	results := make([]rowResult, 0, len(rows))
+	sigmaRef := 0.0
+	for _, row := range rows {
+		pairs := distortion.CollectPairs(seqs, row.tf, fingerprint.DefaultConfig())
+		if len(pairs) > maxPairs {
+			pairs = pairs[:maxPairs]
+		}
+		est, err := distortion.Fit(pairs)
+		if err != nil {
+			return err
+		}
+		if est.Sigma > sigmaRef {
+			sigmaRef = est.Sigma
+		}
+		results = append(results, rowResult{name: row.name, sigma: est.Sigma, pairs: pairs})
+	}
+	const alpha = 0.85
+	fmt.Fprintf(w, "# Table I — detection rate R for transformations of decreasing severity\n")
+	fmt.Fprintf(w, "# alpha = %.0f%%, model sigma_ref = %.2f (most severe), DB = %d fingerprints\n",
+		alpha*100, sigmaRef, mb.db.Len())
+	fmt.Fprintf(w, "%-22s %8s %8s\n", "transformation", "sigma", "R(%)")
+	model := core.IsoNormal{D: fingerprint.D, Sigma: sigmaRef}
+	refRate := -1.0
+	for _, res := range results {
+		r, err := mb.retrievalRate(res.pairs, core.StatQuery{Alpha: alpha, Model: model})
+		if err != nil {
+			return err
+		}
+		if res.sigma == sigmaRef {
+			refRate = r
+		}
+		fmt.Fprintf(w, "%-22s %8.2f %8.2f\n", res.name, res.sigma, r*100)
+	}
+	fmt.Fprintf(w, "# Paper's claim: R of the reference (most severe) transformation is >= ~alpha\n")
+	fmt.Fprintf(w, "# and R increases as severity decreases. Reference R here: %.2f%%\n", refRate*100)
+	return nil
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"s3cbcd/internal/cbcd"
+	"s3cbcd/internal/fingerprint"
+	"s3cbcd/internal/vidsim"
+	"s3cbcd/internal/vote"
+)
+
+func init() {
+	register(Experiment{
+		ID: "spatial",
+		Title: "Extension (§VI future work): spatially extended voting — vote counts " +
+			"of true copies vs best false identifier, temporal-only vs temporal+spatial",
+		Run: runSpatial,
+	})
+}
+
+// runSpatial quantifies the discriminance gain of extending the vote's
+// estimation step to interest point positions, the paper's second stated
+// future work. True copies stay coherent under a per-axis linear position
+// model; accidentally time-coherent matches rarely are.
+func runSpatial(w io.Writer, sc Scale, seed int64) error {
+	nRefs, refLen, nClips, clipLen := 6, 220, 6, 110
+	if sc == Full {
+		nRefs, refLen, nClips, clipLen = 12, 300, 12, 250
+	}
+	refs := VideoCorpus(nRefs, refLen, seed)
+	in := cbcd.NewIndexer(cbcd.DefaultConfig())
+	for i, seq := range refs {
+		in.AddSequence(uint32(i+1), seq)
+	}
+	in.AddRecords(FPCorpus(20000, seed^0xAB))
+	det, err := in.Build()
+	if err != nil {
+		return err
+	}
+
+	tfs := []struct {
+		name string
+		tf   vidsim.Transform
+	}{
+		{"exact", vidsim.Identity{}},
+		{"resize 0.8", vidsim.Resize{Scale: 0.8}},
+		{"shift 15%", vidsim.VShift{Frac: 0.15}},
+		{"gamma 1.8", vidsim.Gamma{G: 1.8}},
+	}
+	configs := []struct {
+		name string
+		cfg  vote.Config
+	}{
+		{"temporal", vote.DefaultConfig()},
+		{"temporal+spatial", func() vote.Config {
+			c := vote.DefaultConfig()
+			c.SpatialTolerance = 6
+			return c
+		}()},
+	}
+
+	// True-copy vote counts, averaged over clips.
+	fmt.Fprintf(w, "# Spatial voting ablation — DB = %d fingerprints, %d clips of %d frames\n",
+		det.Index().DB().Len(), nClips, clipLen)
+	fmt.Fprintf(w, "%-14s", "")
+	for _, cc := range configs {
+		fmt.Fprintf(w, " %18s", cc.name)
+	}
+	fmt.Fprintln(w)
+	for _, tc := range tfs {
+		fmt.Fprintf(w, "%-14s", tc.name)
+		for _, cc := range configs {
+			total, n := 0, 0
+			for ci := 0; ci < nClips; ci++ {
+				refIdx := ci % nRefs
+				start := 10 + (7*ci)%(refLen-clipLen-9)
+				clip := &vidsim.Sequence{FPS: refs[refIdx].FPS,
+					Frames: refs[refIdx].Frames[start : start+clipLen]}
+				clip = vidsim.ApplySeq(tc.tf, clip)
+				cands, err := det.SearchLocals(fingerprint.Extract(clip, det.Config().Fingerprint))
+				if err != nil {
+					return err
+				}
+				for _, d := range vote.Score(cands, cc.cfg) {
+					if d.ID == uint32(refIdx+1) {
+						total += d.Votes
+						n++
+						break
+					}
+				}
+			}
+			avg := 0.0
+			if n > 0 {
+				avg = float64(total) / float64(n)
+			}
+			fmt.Fprintf(w, " %18.1f", avg)
+		}
+		fmt.Fprintln(w)
+	}
+
+	// False-identifier vote counts on unrelated clips.
+	fmt.Fprintf(w, "%-14s", "best false id")
+	for _, cc := range configs {
+		falseMax := 0
+		for k := 0; k < 4; k++ {
+			clip := vidsim.Generate(vidsim.DefaultConfig(seed^int64(60000+k)), clipLen)
+			cands, err := det.SearchLocals(fingerprint.Extract(clip, det.Config().Fingerprint))
+			if err != nil {
+				return err
+			}
+			for _, d := range vote.Score(cands, cc.cfg) {
+				if d.Votes > falseMax {
+					falseMax = d.Votes
+				}
+				break // scores are sorted; only the top matters
+			}
+		}
+		fmt.Fprintf(w, " %18d", falseMax)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "# Expected: true-copy votes barely change; the best false identifier's\n")
+	fmt.Fprintf(w, "# votes collapse, widening the decision margin — the discriminance\n")
+	fmt.Fprintf(w, "# improvement the paper anticipates from spatial estimation.\n")
+	return nil
+}

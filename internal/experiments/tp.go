@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"s3cbcd/internal/asciiplot"
+	"s3cbcd/internal/core"
+	"s3cbcd/internal/fingerprint"
+	"s3cbcd/internal/hilbert"
+	"s3cbcd/internal/store"
+)
+
+func init() {
+	register(Experiment{
+		ID: "tp",
+		Title: "Section IV-A ablation: response time decomposition T(p) = T_f(p) + T_r(p) " +
+			"vs partition depth p (single minimum at p_min)",
+		Run: runTP,
+	})
+}
+
+func runTP(w io.Writer, sc Scale, seed int64) error {
+	dbSize, nq := 100000, 60
+	if sc == Full {
+		dbSize, nq = 500000, 150
+	}
+	curve, err := hilbert.New(fingerprint.D, 8)
+	if err != nil {
+		return err
+	}
+	db, err := store.Build(curve, FPCorpus(dbSize, seed))
+	if err != nil {
+		return err
+	}
+	ix, err := core.NewIndex(db, 0)
+	if err != nil {
+		return err
+	}
+	queries, _ := DistortedQueries(db, nq, 18, seed^0x77)
+	sq := core.StatQuery{Alpha: 0.80, Model: core.IsoNormal{D: fingerprint.D, Sigma: 18}}
+
+	var depths []int
+	for p := 6; p <= 30; p += 3 {
+		depths = append(depths, p)
+	}
+	sweep, err := ix.SweepDepth(depths, queries, sq)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "# T(p) sweep — DB = %d fingerprints, %d queries, alpha=80%%\n", db.Len(), nq)
+	fmt.Fprintf(w, "%6s %12s %12s %12s %12s %12s\n", "p", "Tf(ms)", "Tr(ms)", "T(ms)", "blocks", "scanned")
+	best := sweep[0]
+	for _, dt := range sweep {
+		fmt.Fprintf(w, "%6d %12.4f %12.4f %12.4f %12.1f %12.1f\n",
+			dt.Depth,
+			float64(dt.Filter.Microseconds())/1000,
+			float64(dt.Refine.Microseconds())/1000,
+			float64(dt.Total.Microseconds())/1000,
+			dt.Blocks, dt.Scanned)
+		if dt.Total < best.Total {
+			best = dt
+		}
+	}
+	var px, tf, tr, tt []float64
+	for _, dt := range sweep {
+		px = append(px, float64(dt.Depth))
+		tf = append(tf, float64(dt.Filter.Microseconds())/1000)
+		tr = append(tr, float64(dt.Refine.Microseconds())/1000)
+		tt = append(tt, float64(dt.Total.Microseconds())/1000)
+	}
+	fmt.Fprint(w, asciiplot.Render(asciiplot.Config{
+		Title: "T(p) = T_f(p) + T_r(p) (ms, log)", LogY: true,
+		XLabel: "depth p", YLabel: "ms",
+	},
+		asciiplot.Series{Name: "T_f", X: px, Y: tf},
+		asciiplot.Series{Name: "T_r", X: px, Y: tr},
+		asciiplot.Series{Name: "T", X: px, Y: tt},
+	))
+	fmt.Fprintf(w, "# T_f increases and T_r decreases with p; the minimum is at p_min = %d.\n", best.Depth)
+	return nil
+}

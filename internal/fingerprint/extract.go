@@ -1,0 +1,155 @@
+package fingerprint
+
+import (
+	"math"
+
+	"s3cbcd/internal/vidsim"
+)
+
+// Keyframes returns the frame indices selected as key-frames: the local
+// extrema (maxima and minima) of the Gaussian-smoothed intensity of
+// motion, i.e. the mean absolute frame difference (Section III). Sequences
+// shorter than 3 frames yield their first frame as the only key-frame.
+func Keyframes(seq *vidsim.Sequence, sigma float64) []int {
+	n := seq.Len()
+	if n == 0 {
+		return nil
+	}
+	if n < 3 {
+		return []int{0}
+	}
+	motion := make([]float64, n-1)
+	for i := 1; i < n; i++ {
+		motion[i-1] = vidsim.MeanAbsDiff(seq.Frames[i-1], seq.Frames[i])
+	}
+	sm := smooth1D(motion, sigma)
+	var keys []int
+	for i := 1; i < len(sm)-1; i++ {
+		isMax := sm[i] > sm[i-1] && sm[i] >= sm[i+1]
+		isMin := sm[i] < sm[i-1] && sm[i] <= sm[i+1]
+		if isMax || isMin {
+			keys = append(keys, i) // motion[i] compares frames i and i+1
+		}
+	}
+	if len(keys) == 0 {
+		keys = []int{n / 2}
+	}
+	return keys
+}
+
+// Extractor computes local fingerprints. It caches derivative planes so
+// that describing many points of the same key-frame reuses the filters.
+// An Extractor is not safe for concurrent use.
+type Extractor struct {
+	cfg   Config
+	seq   *vidsim.Sequence
+	cache map[int]*jetPlanes
+}
+
+// NewExtractor returns an extractor bound to a sequence. It panics on an
+// invalid configuration.
+func NewExtractor(seq *vidsim.Sequence, cfg Config) *Extractor {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	return &Extractor{cfg: cfg, seq: seq, cache: make(map[int]*jetPlanes)}
+}
+
+// Config returns the extractor's effective configuration.
+func (e *Extractor) Config() Config { return e.cfg }
+
+func (e *Extractor) jets(t int) *jetPlanes {
+	if t < 0 {
+		t = 0
+	}
+	if t >= e.seq.Len() {
+		t = e.seq.Len() - 1
+	}
+	if j, ok := e.cache[t]; ok {
+		return j
+	}
+	// Bound the cache: extraction walks forward through key-frames, so
+	// dropping everything older than the temporal window is safe.
+	if len(e.cache) > 8 {
+		for k := range e.cache {
+			if k < t-2*e.cfg.TimeOffset {
+				delete(e.cache, k)
+			}
+		}
+	}
+	j := computeJets(e.seq.Frames[t], e.cfg.JetSigma)
+	e.cache[t] = j
+	return j
+}
+
+// positions returns the four spatio-temporal characterization positions
+// around (x, y, t): the four spatial corners at ±Offset, alternating
+// between t-TimeOffset and t+TimeOffset.
+func (e *Extractor) positions(x, y float64, t int) [4][3]float64 {
+	d := e.cfg.Offset
+	dt := float64(e.cfg.TimeOffset)
+	return [4][3]float64{
+		{x - d, y - d, float64(t) - dt},
+		{x + d, y - d, float64(t) + dt},
+		{x - d, y + d, float64(t) + dt},
+		{x + d, y + d, float64(t) - dt},
+	}
+}
+
+// DescribeAt computes the 20-D fingerprint at real position (x, y) in
+// key-frame t. ok is false when the point is too close to the border for
+// the characterization support, or when every sub-fingerprint is
+// degenerate (zero gradient energy).
+func (e *Extractor) DescribeAt(x, y float64, t int) (Fingerprint, bool) {
+	var fp Fingerprint
+	f := e.seq.Frames[0]
+	margin := e.cfg.Offset + 1
+	if x < margin || y < margin || x > float64(f.W)-1-margin || y > float64(f.H)-1-margin {
+		return fp, false
+	}
+	energy := 0.0
+	for i, pos := range e.positions(x, y, t) {
+		j := e.jets(int(math.Round(pos[2])))
+		s := j.sample(pos[0], pos[1])
+		norm := 0.0
+		for _, v := range s {
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		energy += norm
+		for c := 0; c < SubDim; c++ {
+			v := 0.0
+			if norm > 1e-9 {
+				v = s[c] / norm
+			}
+			fp[i*SubDim+c] = Quantize(v)
+		}
+	}
+	if energy < 1e-6 {
+		return fp, false
+	}
+	return fp, true
+}
+
+// ExtractSequence runs the complete pipeline of Section III: key-frames,
+// Harris points per key-frame, one fingerprint per point. Time codes are
+// key-frame indices.
+func (e *Extractor) ExtractSequence() []Local {
+	var out []Local
+	for _, t := range Keyframes(e.seq, e.cfg.KeyframeSigma) {
+		for _, p := range HarrisPoints(e.seq.Frames[t], e.cfg) {
+			fp, ok := e.DescribeAt(p.X, p.Y, t)
+			if !ok {
+				continue
+			}
+			out = append(out, Local{FP: fp, TC: uint32(t), X: p.X, Y: p.Y})
+		}
+	}
+	return out
+}
+
+// Extract is a convenience wrapper running ExtractSequence with cfg on seq.
+func Extract(seq *vidsim.Sequence, cfg Config) []Local {
+	return NewExtractor(seq, cfg).ExtractSequence()
+}

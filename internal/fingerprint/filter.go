@@ -1,0 +1,125 @@
+package fingerprint
+
+import (
+	"math"
+
+	"s3cbcd/internal/vidsim"
+)
+
+// gaussKernel builds a normalized 1-D Gaussian kernel of standard
+// deviation sigma, truncated at 3 sigma.
+func gaussKernel(sigma float64) []float64 {
+	r := int(math.Ceil(3 * sigma))
+	if r < 1 {
+		r = 1
+	}
+	k := make([]float64, 2*r+1)
+	sum := 0.0
+	for i := -r; i <= r; i++ {
+		v := math.Exp(-float64(i*i) / (2 * sigma * sigma))
+		k[i+r] = v
+		sum += v
+	}
+	for i := range k {
+		k[i] /= sum
+	}
+	return k
+}
+
+// smooth1D convolves xs with a Gaussian of std-dev sigma using replicate
+// padding. It returns a new slice.
+func smooth1D(xs []float64, sigma float64) []float64 {
+	if len(xs) == 0 {
+		return nil
+	}
+	k := gaussKernel(sigma)
+	r := len(k) / 2
+	out := make([]float64, len(xs))
+	for i := range xs {
+		s := 0.0
+		for j := -r; j <= r; j++ {
+			idx := i + j
+			if idx < 0 {
+				idx = 0
+			} else if idx >= len(xs) {
+				idx = len(xs) - 1
+			}
+			s += k[j+r] * xs[idx]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// smoothFrame applies a separable Gaussian blur with replicate padding.
+func smoothFrame(f *vidsim.Frame, sigma float64) *vidsim.Frame {
+	k := gaussKernel(sigma)
+	r := len(k) / 2
+	tmp := vidsim.NewFrame(f.W, f.H)
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			s := 0.0
+			for j := -r; j <= r; j++ {
+				s += k[j+r] * float64(f.At(x+j, y))
+			}
+			tmp.Pix[y*f.W+x] = float32(s)
+		}
+	}
+	out := vidsim.NewFrame(f.W, f.H)
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			s := 0.0
+			for j := -r; j <= r; j++ {
+				s += k[j+r] * float64(tmp.At(x, y+j))
+			}
+			out.Pix[y*f.W+x] = float32(s)
+		}
+	}
+	return out
+}
+
+// jetPlanes holds the five derivative images of a Gaussian-smoothed frame,
+// in the order of the sub-fingerprint components.
+type jetPlanes struct {
+	ix, iy, ixy, ixx, iyy *vidsim.Frame
+}
+
+// computeJets smooths f at scale sigma and differentiates with central
+// differences, yielding the derivative planes of the 2-D graylevel signal.
+func computeJets(f *vidsim.Frame, sigma float64) *jetPlanes {
+	s := smoothFrame(f, sigma)
+	j := &jetPlanes{
+		ix:  vidsim.NewFrame(f.W, f.H),
+		iy:  vidsim.NewFrame(f.W, f.H),
+		ixy: vidsim.NewFrame(f.W, f.H),
+		ixx: vidsim.NewFrame(f.W, f.H),
+		iyy: vidsim.NewFrame(f.W, f.H),
+	}
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			c := float64(s.At(x, y))
+			xm, xp := float64(s.At(x-1, y)), float64(s.At(x+1, y))
+			ym, yp := float64(s.At(x, y-1)), float64(s.At(x, y+1))
+			i := y*f.W + x
+			j.ix.Pix[i] = float32((xp - xm) / 2)
+			j.iy.Pix[i] = float32((yp - ym) / 2)
+			j.ixx.Pix[i] = float32(xp - 2*c + xm)
+			j.iyy.Pix[i] = float32(yp - 2*c + ym)
+			j.ixy.Pix[i] = float32((float64(s.At(x+1, y+1)) - float64(s.At(x-1, y+1)) -
+				float64(s.At(x+1, y-1)) + float64(s.At(x-1, y-1))) / 4)
+		}
+	}
+	return j
+}
+
+// sample returns the five derivative values at real position (x, y),
+// bilinearly interpolated, in sub-fingerprint component order.
+func (j *jetPlanes) sample(x, y float64) [SubDim]float64 {
+	return [SubDim]float64{
+		float64(j.ix.Bilinear(x, y)),
+		float64(j.iy.Bilinear(x, y)),
+		float64(j.ixy.Bilinear(x, y)),
+		float64(j.ixx.Bilinear(x, y)),
+		float64(j.iyy.Bilinear(x, y)),
+	}
+}

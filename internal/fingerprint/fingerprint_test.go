@@ -1,0 +1,289 @@
+package fingerprint
+
+import (
+	"math"
+	"testing"
+
+	"s3cbcd/internal/vidsim"
+)
+
+func TestQuantize(t *testing.T) {
+	if Quantize(-1) != 0 || Quantize(1) != 255 {
+		t.Fatalf("endpoints: %d %d", Quantize(-1), Quantize(1))
+	}
+	if q := Quantize(0); q != 127 && q != 128 {
+		t.Fatalf("Quantize(0) = %d", q)
+	}
+	if Quantize(-5) != 0 || Quantize(5) != 255 {
+		t.Fatal("clamping failed")
+	}
+	// Monotone.
+	prev := byte(0)
+	for v := -1.0; v <= 1.0; v += 0.01 {
+		q := Quantize(v)
+		if q < prev {
+			t.Fatalf("not monotone at %v", v)
+		}
+		prev = q
+	}
+}
+
+func TestDistance(t *testing.T) {
+	var a, b Fingerprint
+	b[0] = 3
+	b[19] = 4
+	if got := a.DistanceSq(b); got != 25 {
+		t.Fatalf("DistanceSq = %v", got)
+	}
+	if got := a.Distance(b); got != 5 {
+		t.Fatalf("Distance = %v", got)
+	}
+	fs := b.Float64s()
+	if len(fs) != D || fs[0] != 3 {
+		t.Fatalf("Float64s = %v", fs)
+	}
+}
+
+func TestGaussKernelNormalized(t *testing.T) {
+	for _, s := range []float64{0.5, 1, 2, 3.7} {
+		k := gaussKernel(s)
+		sum := 0.0
+		for _, v := range k {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("sigma %v: kernel sum %v", s, sum)
+		}
+		if len(k)%2 != 1 {
+			t.Fatalf("kernel even length %d", len(k))
+		}
+		// Symmetric and peaked at center.
+		for i := 0; i < len(k)/2; i++ {
+			if math.Abs(k[i]-k[len(k)-1-i]) > 1e-15 {
+				t.Fatal("kernel not symmetric")
+			}
+		}
+	}
+}
+
+func TestSmooth1DPreservesConstant(t *testing.T) {
+	xs := make([]float64, 50)
+	for i := range xs {
+		xs[i] = 7
+	}
+	out := smooth1D(xs, 2)
+	for i, v := range out {
+		if math.Abs(v-7) > 1e-12 {
+			t.Fatalf("constant not preserved at %d: %v", i, v)
+		}
+	}
+	if smooth1D(nil, 1) != nil {
+		t.Fatal("empty input should give nil")
+	}
+}
+
+func TestSmoothFrameReducesVariance(t *testing.T) {
+	f := vidsim.Generate(vidsim.DefaultConfig(1), 1).Frames[0]
+	s := smoothFrame(f, 2)
+	varOf := func(fr *vidsim.Frame) float64 {
+		var sum, sumSq float64
+		for _, v := range fr.Pix {
+			sum += float64(v)
+			sumSq += float64(v) * float64(v)
+		}
+		n := float64(len(fr.Pix))
+		m := sum / n
+		return sumSq/n - m*m
+	}
+	if varOf(s) >= varOf(f) {
+		t.Fatalf("smoothing did not reduce variance: %v >= %v", varOf(s), varOf(f))
+	}
+}
+
+// cornerFrame returns a black frame with a bright axis-aligned square,
+// whose four corners are the strongest Harris responses.
+func cornerFrame() *vidsim.Frame {
+	f := vidsim.NewFrame(64, 64)
+	for y := 20; y < 44; y++ {
+		for x := 20; x < 44; x++ {
+			f.Set(x, y, 200)
+		}
+	}
+	return f
+}
+
+func TestHarrisFindsSquareCorners(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxPoints = 4
+	pts := HarrisPoints(cornerFrame(), cfg)
+	if len(pts) != 4 {
+		t.Fatalf("found %d points, want 4", len(pts))
+	}
+	corners := [][2]float64{{20, 20}, {43, 20}, {20, 43}, {43, 43}}
+	for _, c := range corners {
+		best := math.Inf(1)
+		for _, p := range pts {
+			d := math.Hypot(p.X-c[0], p.Y-c[1])
+			if d < best {
+				best = d
+			}
+		}
+		if best > 3 {
+			t.Fatalf("no detected point near corner %v (closest %v px)", c, best)
+		}
+	}
+}
+
+func TestHarrisEmptyOnFlatFrame(t *testing.T) {
+	f := vidsim.NewFrame(32, 32)
+	if pts := HarrisPoints(f, DefaultConfig()); len(pts) != 0 {
+		t.Fatalf("flat frame produced %d points", len(pts))
+	}
+}
+
+func TestHarrisRespectsMaxAndOrder(t *testing.T) {
+	f := vidsim.Generate(vidsim.DefaultConfig(9), 1).Frames[0]
+	cfg := DefaultConfig()
+	cfg.MaxPoints = 5
+	pts := HarrisPoints(f, cfg)
+	if len(pts) > 5 {
+		t.Fatalf("MaxPoints exceeded: %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Response > pts[i-1].Response {
+			t.Fatal("points not sorted by response")
+		}
+	}
+	for _, p := range pts {
+		if p.X < float64(cfg.Border) || p.X >= float64(f.W-cfg.Border) {
+			t.Fatalf("point at border: %+v", p)
+		}
+	}
+}
+
+func TestKeyframesFindCuts(t *testing.T) {
+	cfg := vidsim.DefaultConfig(17)
+	cfg.MinShot, cfg.MaxShot = 30, 35
+	seq := vidsim.Generate(cfg, 150)
+	keys := Keyframes(seq, 2)
+	if len(keys) < 3 {
+		t.Fatalf("only %d key-frames in 150 frames with ~5 shots", len(keys))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			t.Fatal("key-frames not increasing")
+		}
+	}
+	for _, k := range keys {
+		if k < 0 || k >= seq.Len() {
+			t.Fatalf("key-frame %d out of range", k)
+		}
+	}
+}
+
+func TestKeyframesDegenerate(t *testing.T) {
+	one := &vidsim.Sequence{Frames: []*vidsim.Frame{vidsim.NewFrame(8, 8)}}
+	if got := Keyframes(one, 2); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("single frame: %v", got)
+	}
+	if got := Keyframes(&vidsim.Sequence{}, 2); got != nil {
+		t.Fatalf("empty: %v", got)
+	}
+	// A static sequence has no extrema; the fallback picks the middle.
+	static := &vidsim.Sequence{}
+	f := vidsim.Generate(vidsim.DefaultConfig(2), 1).Frames[0]
+	for i := 0; i < 10; i++ {
+		static.Frames = append(static.Frames, f.Clone())
+	}
+	if got := Keyframes(static, 2); len(got) != 1 {
+		t.Fatalf("static fallback: %v", got)
+	}
+}
+
+func TestDescribeAtDeterministicAndBorders(t *testing.T) {
+	seq := vidsim.Generate(vidsim.DefaultConfig(23), 10)
+	e := NewExtractor(seq, DefaultConfig())
+	fp1, ok1 := e.DescribeAt(40, 30, 5)
+	fp2, ok2 := e.DescribeAt(40, 30, 5)
+	if !ok1 || !ok2 || fp1 != fp2 {
+		t.Fatal("DescribeAt not deterministic")
+	}
+	if _, ok := e.DescribeAt(1, 30, 5); ok {
+		t.Fatal("border point should fail")
+	}
+	if _, ok := e.DescribeAt(40, 1, 5); ok {
+		t.Fatal("border point should fail")
+	}
+	// Temporal clamping at sequence ends must not panic.
+	if _, ok := e.DescribeAt(40, 30, 0); !ok {
+		t.Fatal("first-frame description failed")
+	}
+	if _, ok := e.DescribeAt(40, 30, 9); !ok {
+		t.Fatal("last-frame description failed")
+	}
+}
+
+func TestDescriptorDiscriminanceAndRobustness(t *testing.T) {
+	gcfg := vidsim.DefaultConfig(31)
+	gcfg.MinShot, gcfg.MaxShot = 20, 25
+	seq := vidsim.Generate(gcfg, 120)
+	e := NewExtractor(seq, DefaultConfig())
+	noisy := vidsim.ApplySeq(vidsim.Noise{Sigma: 5, Seed: 3}, seq)
+	en := NewExtractor(noisy, DefaultConfig())
+
+	locals := e.ExtractSequence()
+	if len(locals) < 10 {
+		t.Fatalf("only %d fingerprints extracted", len(locals))
+	}
+	// Distance of the same point under light noise must be much smaller
+	// than the distance between different points, on average.
+	var sameSum, diffSum float64
+	var sameN, diffN int
+	for i, l := range locals {
+		if fp, ok := en.DescribeAt(l.X, l.Y, int(l.TC)); ok {
+			sameSum += l.FP.Distance(fp)
+			sameN++
+		}
+		if i > 0 {
+			diffSum += l.FP.Distance(locals[i-1].FP)
+			diffN++
+		}
+	}
+	if sameN == 0 || diffN == 0 {
+		t.Fatal("no comparable pairs")
+	}
+	same := sameSum / float64(sameN)
+	diff := diffSum / float64(diffN)
+	if same*2 > diff {
+		t.Fatalf("descriptor not discriminant: same-point dist %.1f vs diff-point dist %.1f", same, diff)
+	}
+}
+
+func TestExtractSequenceTimecodes(t *testing.T) {
+	seq := vidsim.Generate(vidsim.DefaultConfig(41), 100)
+	locals := Extract(seq, DefaultConfig())
+	if len(locals) == 0 {
+		t.Fatal("no fingerprints")
+	}
+	keys := Keyframes(seq, DefaultConfig().KeyframeSigma)
+	keySet := map[uint32]bool{}
+	for _, k := range keys {
+		keySet[uint32(k)] = true
+	}
+	for _, l := range locals {
+		if !keySet[l.TC] {
+			t.Fatalf("fingerprint at non-key-frame %d", l.TC)
+		}
+	}
+}
+
+func TestNewExtractorPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	cfg := DefaultConfig()
+	cfg.Offset = -1
+	NewExtractor(&vidsim.Sequence{Frames: []*vidsim.Frame{vidsim.NewFrame(8, 8)}}, cfg)
+}

@@ -1,0 +1,98 @@
+package fingerprint
+
+import (
+	"math"
+
+	"s3cbcd/internal/vidsim"
+)
+
+// ExtractGlobal computes one *global* fingerprint per key-frame: a
+// quantized intensity histogram plus whole-frame statistics. This is the
+// kind of frame-level signature of the video-fingerprinting literature
+// the paper positions itself against ([2], [4]): cheap and effective for
+// photometric changes, but structurally unable to survive the shifting
+// and inserting operations frequent in TV post-production, because the
+// whole frame is the measurement support. It is provided as the baseline
+// of the local-vs-global motivation experiment (cmd/s3bench -exp global)
+// and reuses the Local carrier (position = frame center) so the same
+// index and voting strategy run unchanged.
+//
+// Layout of the D = 20 components:
+//
+//	0..15  16-bin intensity histogram, each bin's population fraction
+//	       mapped to a byte
+//	16     mean intensity / 255
+//	17     intensity standard deviation (scaled)
+//	18     mean absolute horizontal gradient (scaled)
+//	19     mean absolute vertical gradient (scaled)
+func ExtractGlobal(seq *vidsim.Sequence, cfg Config) []Local {
+	cfg = cfg.withDefaults()
+	var out []Local
+	for _, t := range Keyframes(seq, cfg.KeyframeSigma) {
+		f := seq.Frames[t]
+		out = append(out, Local{
+			FP: globalDescriptor(f),
+			TC: uint32(t),
+			X:  float64(f.W) / 2,
+			Y:  float64(f.H) / 2,
+		})
+	}
+	return out
+}
+
+// globalDescriptor computes the 20-component frame signature.
+func globalDescriptor(f *vidsim.Frame) Fingerprint {
+	var fp Fingerprint
+	n := float64(len(f.Pix))
+
+	var histo [16]float64
+	var sum, sumSq float64
+	for _, v := range f.Pix {
+		b := int(v) / 16
+		if b > 15 {
+			b = 15
+		}
+		histo[b]++
+		sum += float64(v)
+		sumSq += float64(v) * float64(v)
+	}
+	for i, h := range histo {
+		// Fractions rarely exceed ~1/4 on natural content; scale by 4 for
+		// resolution and clamp.
+		q := h / n * 4 * 255
+		if q > 255 {
+			q = 255
+		}
+		fp[i] = byte(q)
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	fp[16] = quantizeScaled(mean, 255)
+	fp[17] = quantizeScaled(math.Sqrt(variance), 128)
+
+	var gx, gy float64
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			gx += math.Abs(float64(f.At(x+1, y)) - float64(f.At(x-1, y)))
+			gy += math.Abs(float64(f.At(x, y+1)) - float64(f.At(x, y-1)))
+		}
+	}
+	fp[18] = quantizeScaled(gx/n, 64)
+	fp[19] = quantizeScaled(gy/n, 64)
+	return fp
+}
+
+// quantizeScaled maps v in [0, scale] to a byte with clamping.
+func quantizeScaled(v, scale float64) byte {
+	q := v / scale * 255
+	if q < 0 {
+		q = 0
+	}
+	if q > 255 {
+		q = 255
+	}
+	return byte(q)
+}

@@ -1,0 +1,96 @@
+package fingerprint
+
+import (
+	"testing"
+
+	"s3cbcd/internal/vidsim"
+)
+
+func TestExtractGlobalShape(t *testing.T) {
+	gcfg := vidsim.DefaultConfig(61)
+	gcfg.MinShot, gcfg.MaxShot = 20, 30
+	seq := vidsim.Generate(gcfg, 120)
+	locals := ExtractGlobal(seq, DefaultConfig())
+	keys := Keyframes(seq, DefaultConfig().KeyframeSigma)
+	if len(locals) != len(keys) {
+		t.Fatalf("%d global fingerprints for %d key-frames", len(locals), len(keys))
+	}
+	for i, l := range locals {
+		if int(l.TC) != keys[i] {
+			t.Fatalf("fingerprint %d at tc %d, key-frame %d", i, l.TC, keys[i])
+		}
+		if l.X != float64(seq.Frames[0].W)/2 {
+			t.Fatalf("global position not frame center: %v", l.X)
+		}
+	}
+}
+
+func TestGlobalDescriptorProperties(t *testing.T) {
+	f := vidsim.Generate(vidsim.DefaultConfig(62), 1).Frames[0]
+	fp := globalDescriptor(f)
+	// Deterministic.
+	if fp != globalDescriptor(f) {
+		t.Fatal("not deterministic")
+	}
+	// Shifting the frame changes the histogram bins only mildly but
+	// a contrast crush changes them a lot — the descriptor must respond.
+	crushed := vidsim.Contrast{Factor: 0.3}.Apply(f)
+	if d := fp.Distance(globalDescriptor(crushed)); d < 20 {
+		t.Fatalf("contrast crush moved the descriptor only %v", d)
+	}
+	// A flat frame has zero gradients and concentrated histogram.
+	flat := vidsim.NewFrame(32, 32)
+	ffp := globalDescriptor(flat)
+	if ffp[18] != 0 || ffp[19] != 0 {
+		t.Fatalf("flat frame gradients: %d %d", ffp[18], ffp[19])
+	}
+	if ffp[0] == 0 {
+		t.Fatal("flat black frame should fill the first histogram bin")
+	}
+}
+
+// TestGlobalBreaksUnderInsetLocalSurvives is the motivation experiment in
+// miniature: the same frame under an insert operation keeps its local
+// structure (mapped points describe similarly) but its global signature
+// moves far (background floods the histogram).
+func TestGlobalBreaksUnderInsetLocalSurvives(t *testing.T) {
+	gcfg := vidsim.DefaultConfig(63)
+	gcfg.MinShot, gcfg.MaxShot = 25, 35
+	seq := vidsim.Generate(gcfg, 100)
+	tf := vidsim.Inset{Scale: 0.7, OffX: 0.15, OffY: 0.15, Background: 230}
+	tseq := vidsim.ApplySeq(tf, seq)
+
+	// Global distance between corresponding key-frames.
+	g1 := ExtractGlobal(seq, DefaultConfig())
+	ext := NewExtractor(tseq, DefaultConfig())
+	globalDist := 0.0
+	n := 0
+	for _, l := range g1 {
+		gfp := globalDescriptor(tseq.Frames[l.TC])
+		globalDist += l.FP.Distance(gfp)
+		n++
+	}
+	globalDist /= float64(n)
+
+	// Local distance at perfectly mapped points.
+	locals := Extract(seq, DefaultConfig())
+	localDist, m := 0.0, 0
+	w, h := seq.Frames[0].W, seq.Frames[0].H
+	for _, l := range locals {
+		tx, ty, ok := tf.MapPoint(l.X, l.Y, w, h)
+		if !ok {
+			continue
+		}
+		if fp, ok := ext.DescribeAt(tx, ty, int(l.TC)); ok {
+			localDist += l.FP.Distance(fp)
+			m++
+		}
+	}
+	if m == 0 {
+		t.Fatal("no mapped local correspondences")
+	}
+	localDist /= float64(m)
+	if globalDist < 1.5*localDist {
+		t.Fatalf("inset: global distance %.1f not clearly worse than local %.1f", globalDist, localDist)
+	}
+}

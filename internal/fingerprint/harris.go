@@ -1,0 +1,139 @@
+package fingerprint
+
+import (
+	"sort"
+
+	"s3cbcd/internal/vidsim"
+)
+
+// HarrisPoints detects interest points in a frame with the Harris corner
+// detector (the paper uses Schmid & Mohr's improved variant; we implement
+// the standard Gaussian-scale formulation: gradients at GradientSigma,
+// structure tensor integrated at IntegrationSigma, response
+// R = det(M) - k tr(M)², 3x3 non-maximum suppression, relative response
+// threshold, at most MaxPoints strongest points, in decreasing response
+// order).
+func HarrisPoints(f *vidsim.Frame, cfg Config) []Point {
+	cfg = cfg.withDefaults()
+	s := smoothFrame(f, cfg.GradientSigma)
+
+	w, h := f.W, f.H
+	ixx := make([]float64, w*h)
+	iyy := make([]float64, w*h)
+	ixy := make([]float64, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			gx := (float64(s.At(x+1, y)) - float64(s.At(x-1, y))) / 2
+			gy := (float64(s.At(x, y+1)) - float64(s.At(x, y-1))) / 2
+			i := y*w + x
+			ixx[i] = gx * gx
+			iyy[i] = gy * gy
+			ixy[i] = gx * gy
+		}
+	}
+	ixxS := smoothPlane(ixx, w, h, cfg.IntegrationSigma)
+	iyyS := smoothPlane(iyy, w, h, cfg.IntegrationSigma)
+	ixyS := smoothPlane(ixy, w, h, cfg.IntegrationSigma)
+
+	resp := make([]float64, w*h)
+	maxR := 0.0
+	for i := range resp {
+		a, b, c := ixxS[i], iyyS[i], ixyS[i]
+		r := a*b - c*c - cfg.HarrisK*(a+b)*(a+b)
+		resp[i] = r
+		if r > maxR {
+			maxR = r
+		}
+	}
+	if maxR <= 0 {
+		return nil
+	}
+	thresh := cfg.ResponseFrac * maxR
+
+	var pts []Point
+	bd := cfg.Border
+	for y := bd; y < h-bd; y++ {
+		for x := bd; x < w-bd; x++ {
+			r := resp[y*w+x]
+			if r < thresh {
+				continue
+			}
+			// 3x3 non-maximum suppression; ties broken toward the
+			// lexicographically first pixel so a plateau yields one point.
+			best := true
+			for dy := -1; dy <= 1 && best; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					if dx == 0 && dy == 0 {
+						continue
+					}
+					n := resp[(y+dy)*w+(x+dx)]
+					if n > r || (n == r && (dy < 0 || (dy == 0 && dx < 0))) {
+						best = false
+						break
+					}
+				}
+			}
+			if best {
+				pts = append(pts, Point{X: float64(x), Y: float64(y), Response: r})
+			}
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].Response != pts[j].Response {
+			return pts[i].Response > pts[j].Response
+		}
+		if pts[i].Y != pts[j].Y {
+			return pts[i].Y < pts[j].Y
+		}
+		return pts[i].X < pts[j].X
+	})
+	if len(pts) > cfg.MaxPoints {
+		pts = pts[:cfg.MaxPoints]
+	}
+	return pts
+}
+
+// smoothPlane is smoothFrame for float64 planes.
+func smoothPlane(p []float64, w, h int, sigma float64) []float64 {
+	k := gaussKernel(sigma)
+	r := len(k) / 2
+	tmp := make([]float64, len(p))
+	clampW := func(x int) int {
+		if x < 0 {
+			return 0
+		}
+		if x >= w {
+			return w - 1
+		}
+		return x
+	}
+	clampH := func(y int) int {
+		if y < 0 {
+			return 0
+		}
+		if y >= h {
+			return h - 1
+		}
+		return y
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			s := 0.0
+			for j := -r; j <= r; j++ {
+				s += k[j+r] * p[y*w+clampW(x+j)]
+			}
+			tmp[y*w+x] = s
+		}
+	}
+	out := make([]float64, len(p))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			s := 0.0
+			for j := -r; j <= r; j++ {
+				s += k[j+r] * tmp[clampH(y+j)*w+x]
+			}
+			out[y*w+x] = s
+		}
+	}
+	return out
+}

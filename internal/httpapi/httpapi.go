@@ -1,0 +1,200 @@
+// Package httpapi exposes an S³ index over HTTP with a small JSON API, so
+// the reference database can be queried as a service (the deployment mode
+// of a monitoring installation where extraction happens near the capture
+// hardware and the archive index is centralized).
+//
+// Endpoints:
+//
+//	GET  /stats                      database and index facts
+//	POST /search/statistical         {"fingerprint": [..], "alpha": 0.8, "sigma": 20}
+//	POST /search/range               {"fingerprint": [..], "epsilon": 95}
+//	POST /search/knn                 {"fingerprint": [..], "k": 10}
+//
+// Fingerprints are arrays of D integers in [0, 255]. Responses carry the
+// matches (id, tc, x, y, dist) plus plan/search diagnostics.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"s3cbcd/internal/core"
+	"s3cbcd/internal/store"
+)
+
+// Server wires an index into an http.Handler.
+type Server struct {
+	ix  *core.Index
+	mux *http.ServeMux
+}
+
+// New returns a ready handler over the given database.
+func New(db *store.DB, depth int) (*Server, error) {
+	ix, err := core.NewIndex(db, depth)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ix: ix, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("POST /search/statistical", s.handleStat)
+	s.mux.HandleFunc("POST /search/range", s.handleRange)
+	s.mux.HandleFunc("POST /search/knn", s.handleKNN)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// matchJSON is the wire form of a search result.
+type matchJSON struct {
+	ID   uint32  `json:"id"`
+	TC   uint32  `json:"tc"`
+	X    uint16  `json:"x"`
+	Y    uint16  `json:"y"`
+	Dist float64 `json:"dist,omitempty"`
+}
+
+func toJSON(ms []core.Match) []matchJSON {
+	out := make([]matchJSON, len(ms))
+	for i, m := range ms {
+		out[i] = matchJSON{ID: m.ID, TC: m.TC, X: m.X, Y: m.Y}
+		if m.Dist >= 0 {
+			out[i].Dist = m.Dist
+		}
+	}
+	return out
+}
+
+// searchRequest is the common request body.
+type searchRequest struct {
+	Fingerprint []int   `json:"fingerprint"`
+	Alpha       float64 `json:"alpha"`
+	Sigma       float64 `json:"sigma"`
+	Epsilon     float64 `json:"epsilon"`
+	K           int     `json:"k"`
+	MaxLeaves   int     `json:"maxLeaves"`
+}
+
+// fingerprint validates and converts the request fingerprint.
+func (s *Server) fingerprint(req *searchRequest) ([]byte, error) {
+	dims := s.ix.DB().Dims()
+	if len(req.Fingerprint) != dims {
+		return nil, fmt.Errorf("fingerprint has %d components, index needs %d", len(req.Fingerprint), dims)
+	}
+	fp := make([]byte, dims)
+	for i, v := range req.Fingerprint {
+		if v < 0 || v > 255 {
+			return nil, fmt.Errorf("component %d = %d outside [0,255]", i, v)
+		}
+		fp[i] = byte(v)
+	}
+	return fp, nil
+}
+
+func decode(w http.ResponseWriter, r *http.Request) (*searchRequest, bool) {
+	var req searchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return nil, false
+	}
+	return &req, true
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func reply(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	db := s.ix.DB()
+	reply(w, map[string]interface{}{
+		"records": db.Len(),
+		"dims":    db.Dims(),
+		"order":   db.Curve().Order(),
+		"depth":   s.ix.Depth(),
+	})
+}
+
+func (s *Server) handleStat(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode(w, r)
+	if !ok {
+		return
+	}
+	fp, err := s.fingerprint(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Sigma <= 0 {
+		httpError(w, http.StatusBadRequest, "sigma must be > 0")
+		return
+	}
+	sq := core.StatQuery{Alpha: req.Alpha, Model: core.IsoNormal{D: s.ix.DB().Dims(), Sigma: req.Sigma}}
+	matches, plan, err := s.ix.SearchStat(fp, sq)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	reply(w, map[string]interface{}{
+		"matches": toJSON(matches),
+		"plan": map[string]interface{}{
+			"blocks":      plan.Blocks,
+			"mass":        plan.Mass,
+			"threshold":   plan.Threshold,
+			"filterIters": plan.FilterIters,
+			"depth":       plan.Depth,
+		},
+	})
+}
+
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode(w, r)
+	if !ok {
+		return
+	}
+	fp, err := s.fingerprint(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	matches, plan, err := s.ix.SearchRange(fp, req.Epsilon)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	reply(w, map[string]interface{}{
+		"matches": toJSON(matches),
+		"blocks":  plan.Blocks,
+	})
+}
+
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode(w, r)
+	if !ok {
+		return
+	}
+	fp, err := s.fingerprint(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	matches, stats, err := s.ix.SearchKNN(fp, req.K, req.MaxLeaves)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	reply(w, map[string]interface{}{
+		"matches": toJSON(matches),
+		"exact":   stats.Exact,
+		"scanned": stats.Scanned,
+	})
+}

@@ -1,0 +1,182 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"s3cbcd/internal/hilbert"
+	"s3cbcd/internal/store"
+)
+
+func testServer(t *testing.T) (*Server, *store.DB) {
+	t.Helper()
+	curve := hilbert.MustNew(8, 8)
+	r := rand.New(rand.NewSource(1))
+	recs := make([]store.Record, 600)
+	for i := range recs {
+		fp := make([]byte, 8)
+		for j := range fp {
+			fp[j] = byte(r.Intn(256))
+		}
+		recs[i] = store.Record{FP: fp, ID: uint32(i), TC: uint32(2 * i), X: uint16(i), Y: uint16(i + 1)}
+	}
+	db := store.MustBuild(curve, recs)
+	s, err := New(db, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, db
+}
+
+func post(t *testing.T, ts *httptest.Server, path string, body interface{}) (*http.Response, map[string]interface{}) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func fpOf(db *store.DB, i int) []int {
+	fp := db.FP(i)
+	out := make([]int, len(fp))
+	for j, b := range fp {
+		out[j] = int(b)
+	}
+	return out
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]float64
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out["records"] != 600 || out["dims"] != 8 {
+		t.Fatalf("stats: %+v", out)
+	}
+}
+
+func TestStatisticalEndpoint(t *testing.T) {
+	s, db := testServer(t)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	resp, out := post(t, ts, "/search/statistical", map[string]interface{}{
+		"fingerprint": fpOf(db, 42), "alpha": 0.8, "sigma": 10,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %+v", resp.StatusCode, out)
+	}
+	matches := out["matches"].([]interface{})
+	if len(matches) == 0 {
+		t.Fatal("no matches around a stored fingerprint")
+	}
+	foundSelf := false
+	for _, m := range matches {
+		mm := m.(map[string]interface{})
+		if uint32(mm["id"].(float64)) == db.ID(42) {
+			foundSelf = true
+		}
+	}
+	if !foundSelf {
+		t.Fatal("self record not in statistical results")
+	}
+	plan := out["plan"].(map[string]interface{})
+	if plan["mass"].(float64) < 0.8 {
+		t.Fatalf("plan mass %v", plan["mass"])
+	}
+}
+
+func TestRangeAndKNNEndpoints(t *testing.T) {
+	s, db := testServer(t)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, out := post(t, ts, "/search/range", map[string]interface{}{
+		"fingerprint": fpOf(db, 10), "epsilon": 0.5,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("range status %d: %+v", resp.StatusCode, out)
+	}
+	if n := len(out["matches"].([]interface{})); n < 1 {
+		t.Fatalf("range self query: %d matches", n)
+	}
+
+	resp, out = post(t, ts, "/search/knn", map[string]interface{}{
+		"fingerprint": fpOf(db, 10), "k": 3,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("knn status %d: %+v", resp.StatusCode, out)
+	}
+	matches := out["matches"].([]interface{})
+	if len(matches) != 3 {
+		t.Fatalf("knn returned %d", len(matches))
+	}
+	if out["exact"] != true {
+		t.Fatal("knn not exact")
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	s, db := testServer(t)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	cases := []struct {
+		path string
+		body interface{}
+	}{
+		{"/search/statistical", map[string]interface{}{"fingerprint": []int{1, 2}, "alpha": 0.8, "sigma": 10}},
+		{"/search/statistical", map[string]interface{}{"fingerprint": fpOf(db, 0), "alpha": 0, "sigma": 10}},
+		{"/search/statistical", map[string]interface{}{"fingerprint": fpOf(db, 0), "alpha": 0.5, "sigma": 0}},
+		{"/search/statistical", map[string]interface{}{"fingerprint": []int{1, 2, 3, 4, 5, 6, 7, 300}, "alpha": 0.5, "sigma": 5}},
+		{"/search/range", map[string]interface{}{"fingerprint": fpOf(db, 0), "epsilon": -4}},
+		{"/search/knn", map[string]interface{}{"fingerprint": fpOf(db, 0), "k": 0}},
+	}
+	for i, c := range cases {
+		resp, out := post(t, ts, c.path, c.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("case %d: status %d (%+v)", i, resp.StatusCode, out)
+		}
+		if out["error"] == "" {
+			t.Errorf("case %d: no error message", i)
+		}
+	}
+	// Malformed JSON.
+	resp, err := http.Post(ts.URL+"/search/range", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d", resp.StatusCode)
+	}
+	// Wrong method.
+	resp, err = http.Get(ts.URL + "/search/range")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("GET on POST endpoint succeeded")
+	}
+}

@@ -1,0 +1,46 @@
+// Package scan is the sequential-scan reference method of Section V-B: an
+// ε-range query that examines every record of the database. The paper
+// implements its own sequential scan "so that the two methods are
+// comparable"; so do we — it shares the record layout and distance code
+// path style with the index but touches every fingerprint.
+package scan
+
+import (
+	"fmt"
+	"math"
+
+	"s3cbcd/internal/core"
+	"s3cbcd/internal/store"
+)
+
+// RangeQuery returns every record within L2 distance eps of q, scanning
+// the whole database.
+func RangeQuery(db *store.DB, q []byte, eps float64) ([]core.Match, error) {
+	if len(q) != db.Dims() {
+		return nil, fmt.Errorf("scan: query has %d components, database has %d", len(q), db.Dims())
+	}
+	if eps < 0 {
+		return nil, fmt.Errorf("scan: negative radius %v", eps)
+	}
+	qf := make([]float64, len(q))
+	for i, b := range q {
+		qf[i] = float64(b)
+	}
+	epsSq := eps * eps
+	var out []core.Match
+	for i := 0; i < db.Len(); i++ {
+		fp := db.FP(i)
+		s := 0.0
+		for j, b := range fp {
+			d := qf[j] - float64(b)
+			s += d * d
+			if s > epsSq {
+				break
+			}
+		}
+		if s <= epsSq {
+			out = append(out, core.Match{Pos: i, ID: db.ID(i), TC: db.TC(i), X: db.X(i), Y: db.Y(i), Dist: math.Sqrt(s)})
+		}
+	}
+	return out, nil
+}

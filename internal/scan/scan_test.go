@@ -1,0 +1,78 @@
+package scan
+
+import (
+	"math/rand"
+	"testing"
+
+	"s3cbcd/internal/core"
+	"s3cbcd/internal/hilbert"
+	"s3cbcd/internal/store"
+)
+
+func buildDB(t *testing.T, dims, n int, seed int64) *store.DB {
+	t.Helper()
+	curve := hilbert.MustNew(dims, 8)
+	r := rand.New(rand.NewSource(seed))
+	recs := make([]store.Record, n)
+	for i := range recs {
+		fp := make([]byte, dims)
+		for j := range fp {
+			fp[j] = byte(r.Intn(256))
+		}
+		recs[i] = store.Record{FP: fp, ID: uint32(i), TC: uint32(i)}
+	}
+	return store.MustBuild(curve, recs)
+}
+
+func TestRangeQueryAgreesWithIndex(t *testing.T) {
+	db := buildDB(t, 8, 800, 1)
+	ix, err := core.NewIndex(db, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		q := make([]byte, 8)
+		for j := range q {
+			q[j] = byte(r.Intn(256))
+		}
+		eps := 40 + r.Float64()*60
+		got, err := RangeQuery(db, q, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := ix.SearchRange(q, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("scan %d results, index %d", len(got), len(want))
+		}
+		wantSet := map[int]bool{}
+		for _, m := range want {
+			wantSet[m.Pos] = true
+		}
+		for _, m := range got {
+			if !wantSet[m.Pos] {
+				t.Fatalf("scan found %d, index did not", m.Pos)
+			}
+		}
+	}
+}
+
+func TestRangeQueryValidation(t *testing.T) {
+	db := buildDB(t, 4, 10, 3)
+	if _, err := RangeQuery(db, []byte{1, 2}, 5); err == nil {
+		t.Error("short query accepted")
+	}
+	if _, err := RangeQuery(db, []byte{1, 2, 3, 4}, -1); err == nil {
+		t.Error("negative radius accepted")
+	}
+	out, err := RangeQuery(db, db.FP(0), 0)
+	if err != nil || len(out) < 1 {
+		t.Fatalf("zero-radius self query: %v, %d results", err, len(out))
+	}
+	if out[0].Dist != 0 {
+		t.Errorf("self distance %v", out[0].Dist)
+	}
+}

@@ -1,0 +1,153 @@
+package stat
+
+import (
+	"fmt"
+	"math"
+)
+
+// RegIncBeta computes the regularized incomplete beta function
+// I_x(a, b) for a, b > 0 and x in [0, 1], via the continued fraction
+// expansion (Numerical Recipes §6.4). It underlies the Student-t
+// distribution used by the heavy-tailed distortion model.
+func RegIncBeta(a, b, x float64) float64 {
+	switch {
+	case a <= 0 || b <= 0:
+		panic(fmt.Sprintf("stat: RegIncBeta a=%v b=%v must be > 0", a, b))
+	case x < 0 || x > 1:
+		panic(fmt.Sprintf("stat: RegIncBeta x=%v outside [0,1]", x))
+	case x == 0:
+		return 0
+	case x == 1:
+		return 1
+	}
+	lga, _ := math.Lgamma(a)
+	lgb, _ := math.Lgamma(b)
+	lgab, _ := math.Lgamma(a + b)
+	front := math.Exp(lgab - lga - lgb + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta
+// function by the modified Lentz method.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 1e-15
+		tiny    = 1e-300
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// StudentTCDF returns P(T <= x) for a Student-t variable with nu degrees
+// of freedom (nu > 0).
+func StudentTCDF(x, nu float64) float64 {
+	if nu <= 0 {
+		panic(fmt.Sprintf("stat: StudentTCDF nu=%v must be > 0", nu))
+	}
+	if x == 0 {
+		return 0.5
+	}
+	p := 0.5 * RegIncBeta(nu/2, 0.5, nu/(nu+x*x))
+	if x > 0 {
+		return 1 - p
+	}
+	return p
+}
+
+// LaplaceCDF returns P(X <= x) for a zero-mean Laplace variable with
+// scale b > 0 (variance 2b²).
+func LaplaceCDF(x, b float64) float64 {
+	if b <= 0 {
+		panic(fmt.Sprintf("stat: LaplaceCDF scale b=%v must be > 0", b))
+	}
+	if x < 0 {
+		return 0.5 * math.Exp(x/b)
+	}
+	return 1 - 0.5*math.Exp(-x/b)
+}
+
+// LaplaceIntervalMass returns P(lo <= X < hi) for a zero-mean Laplace
+// variable with scale b. lo may be -Inf and hi may be +Inf.
+func LaplaceIntervalMass(lo, hi, b float64) float64 {
+	var cl, ch float64
+	if math.IsInf(lo, -1) {
+		cl = 0
+	} else {
+		cl = LaplaceCDF(lo, b)
+	}
+	if math.IsInf(hi, 1) {
+		ch = 1
+	} else {
+		ch = LaplaceCDF(hi, b)
+	}
+	if ch < cl {
+		return 0
+	}
+	return ch - cl
+}
+
+// StudentTIntervalMass returns P(lo <= X < hi) for a scaled Student-t
+// variable: X = scale * T(nu). lo may be -Inf and hi may be +Inf.
+func StudentTIntervalMass(lo, hi, scale, nu float64) float64 {
+	if scale <= 0 {
+		panic(fmt.Sprintf("stat: StudentT scale %v must be > 0", scale))
+	}
+	var cl, ch float64
+	if math.IsInf(lo, -1) {
+		cl = 0
+	} else {
+		cl = StudentTCDF(lo/scale, nu)
+	}
+	if math.IsInf(hi, 1) {
+		ch = 1
+	} else {
+		ch = StudentTCDF(hi/scale, nu)
+	}
+	if ch < cl {
+		return 0
+	}
+	return ch - cl
+}

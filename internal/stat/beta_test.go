@@ -1,0 +1,141 @@
+package stat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	// I_x(1, 1) = x (uniform cdf).
+	for _, x := range []float64{0, 0.25, 0.5, 0.9, 1} {
+		if got := RegIncBeta(1, 1, x); math.Abs(got-x) > 1e-12 {
+			t.Errorf("I_%v(1,1) = %v", x, got)
+		}
+	}
+	// I_x(2, 2) = x²(3-2x).
+	for _, x := range []float64{0.1, 0.4, 0.7} {
+		want := x * x * (3 - 2*x)
+		if got := RegIncBeta(2, 2, x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("I_%v(2,2) = %v, want %v", x, got, want)
+		}
+	}
+	// Symmetry: I_x(a, b) = 1 - I_{1-x}(b, a).
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		a := 0.2 + 5*r.Float64()
+		b := 0.2 + 5*r.Float64()
+		x := r.Float64()
+		if d := RegIncBeta(a, b, x) + RegIncBeta(b, a, 1-x) - 1; math.Abs(d) > 1e-10 {
+			t.Fatalf("symmetry violated: a=%v b=%v x=%v d=%v", a, b, x, d)
+		}
+	}
+}
+
+func TestRegIncBetaPanics(t *testing.T) {
+	for _, bad := range []func(){
+		func() { RegIncBeta(0, 1, 0.5) },
+		func() { RegIncBeta(1, -1, 0.5) },
+		func() { RegIncBeta(1, 1, -0.1) },
+		func() { RegIncBeta(1, 1, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestStudentTCDFKnownValues(t *testing.T) {
+	// t(1) is Cauchy: F(1) = 3/4.
+	if got := StudentTCDF(1, 1); math.Abs(got-0.75) > 1e-10 {
+		t.Errorf("Cauchy F(1) = %v", got)
+	}
+	if got := StudentTCDF(0, 7); got != 0.5 {
+		t.Errorf("F(0) = %v", got)
+	}
+	// Symmetric.
+	for _, x := range []float64{0.3, 1.5, 4} {
+		if d := StudentTCDF(x, 5) + StudentTCDF(-x, 5) - 1; math.Abs(d) > 1e-12 {
+			t.Fatalf("t cdf not symmetric at %v: %v", x, d)
+		}
+	}
+	// Large nu approaches the normal cdf.
+	for _, x := range []float64{-2, -0.5, 0.7, 1.8} {
+		if d := StudentTCDF(x, 1e6) - NormalCDF(x, 0, 1); math.Abs(d) > 1e-4 {
+			t.Fatalf("t(1e6) cdf far from normal at %v: %v", x, d)
+		}
+	}
+	// Known quantile: t(4) has F(2.776) ~= 0.975.
+	if got := StudentTCDF(2.776, 4); math.Abs(got-0.975) > 5e-4 {
+		t.Errorf("t(4) F(2.776) = %v", got)
+	}
+}
+
+func TestStudentTMonteCarlo(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	const nu = 5.0
+	const n = 40000
+	count := 0
+	for i := 0; i < n; i++ {
+		// T = Z / sqrt(V/nu), V ~ chi2(nu).
+		z := r.NormFloat64()
+		v := 0.0
+		for j := 0; j < int(nu); j++ {
+			g := r.NormFloat64()
+			v += g * g
+		}
+		if z/math.Sqrt(v/nu) <= 1.2 {
+			count++
+		}
+	}
+	mc := float64(count) / n
+	if got := StudentTCDF(1.2, nu); math.Abs(got-mc) > 0.01 {
+		t.Fatalf("F(1.2) = %v, Monte-Carlo %v", got, mc)
+	}
+}
+
+func TestLaplaceCDF(t *testing.T) {
+	if got := LaplaceCDF(0, 2); got != 0.5 {
+		t.Errorf("F(0) = %v", got)
+	}
+	for _, x := range []float64{0.5, 1, 3} {
+		if d := LaplaceCDF(x, 1.5) + LaplaceCDF(-x, 1.5) - 1; math.Abs(d) > 1e-12 {
+			t.Fatalf("Laplace cdf not symmetric at %v", x)
+		}
+	}
+	// Variance check by integration: mass within one std (sqrt(2) b).
+	b := 3.0
+	std := math.Sqrt2 * b
+	if got := LaplaceIntervalMass(-std, std, b); math.Abs(got-(1-math.Exp(-math.Sqrt2))) > 1e-12 {
+		t.Errorf("one-std mass = %v", got)
+	}
+	if got := LaplaceIntervalMass(math.Inf(-1), math.Inf(1), b); got != 1 {
+		t.Errorf("full mass = %v", got)
+	}
+	if got := LaplaceIntervalMass(2, 1, b); got != 0 {
+		t.Errorf("inverted interval = %v", got)
+	}
+}
+
+func TestStudentTIntervalMass(t *testing.T) {
+	if got := StudentTIntervalMass(math.Inf(-1), math.Inf(1), 2, 4); got != 1 {
+		t.Errorf("full mass = %v", got)
+	}
+	// Scaled symmetry: P(-s <= X < s) with X = s*T.
+	s := 7.0
+	want := StudentTCDF(1, 4) - StudentTCDF(-1, 4)
+	if got := StudentTIntervalMass(-s, s, s, 4); math.Abs(got-want) > 1e-12 {
+		t.Errorf("scaled mass = %v, want %v", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for scale <= 0")
+		}
+	}()
+	StudentTIntervalMass(0, 1, 0, 4)
+}

@@ -1,0 +1,118 @@
+package stat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram is a fixed-bin histogram over [Min, Max). Out-of-range samples
+// are clamped into the edge bins so tails remain visible.
+type Histogram struct {
+	Min, Max float64
+	Counts   []uint64
+	N        uint64
+}
+
+// NewHistogram returns a histogram with bins equal-width bins over
+// [min, max). It panics when bins < 1 or max <= min.
+func NewHistogram(min, max float64, bins int) *Histogram {
+	if bins < 1 || max <= min {
+		panic(fmt.Sprintf("stat: bad histogram config [%v,%v) bins=%d", min, max, bins))
+	}
+	return &Histogram{Min: min, Max: max, Counts: make([]uint64, bins)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	i := int(float64(len(h.Counts)) * (x - h.Min) / (h.Max - h.Min))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+	h.N++
+}
+
+// BinWidth returns the width of one bin.
+func (h *Histogram) BinWidth() float64 {
+	return (h.Max - h.Min) / float64(len(h.Counts))
+}
+
+// BinCenter returns the center abscissa of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Min + (float64(i)+0.5)*h.BinWidth()
+}
+
+// Density returns the empirical pdf value of bin i (integrates to 1 over
+// the histogram range). Zero when the histogram is empty.
+func (h *Histogram) Density(i int) float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / (float64(h.N) * h.BinWidth())
+}
+
+// Moments accumulates streaming mean and variance (Welford).
+type Moments struct {
+	n    uint64
+	mean float64
+	m2   float64
+}
+
+// Add records one sample.
+func (m *Moments) Add(x float64) {
+	m.n++
+	d := x - m.mean
+	m.mean += d / float64(m.n)
+	m.m2 += d * (x - m.mean)
+}
+
+// N returns the sample count.
+func (m *Moments) N() uint64 { return m.n }
+
+// Mean returns the sample mean (0 when empty).
+func (m *Moments) Mean() float64 { return m.mean }
+
+// Var returns the unbiased sample variance (0 when n < 2).
+func (m *Moments) Var() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return m.m2 / float64(m.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (m *Moments) StdDev() float64 { return math.Sqrt(m.Var()) }
+
+// Median returns the median of xs, averaging the middle pair for even
+// lengths. It sorts a copy; xs is left untouched. NaN when empty.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return 0.5 * (s[n/2-1] + s[n/2])
+}
+
+// MAD returns the median absolute deviation of xs about its median,
+// scaled by 1.4826 to be a consistent estimator of the standard deviation
+// for normal data. NaN when empty.
+func MAD(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	med := Median(xs)
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - med)
+	}
+	return 1.4826 * Median(dev)
+}

@@ -1,0 +1,191 @@
+// Package stat provides the probability machinery the S³ index and its
+// evaluation need: the 1-D normal distribution (the per-component
+// distortion model of Section IV-C), the distribution of the L2 norm of a
+// D-dimensional isotropic normal distortion (used in Section V-A to pick
+// the ε of a range query matching the expectation α of a statistical
+// query), Tukey's biweight M-estimator cost (Section III), histograms and
+// streaming moments used by the experiment harness.
+package stat
+
+import (
+	"fmt"
+	"math"
+)
+
+// NormalPDF evaluates the N(mu, sigma^2) density at x.
+func NormalPDF(x, mu, sigma float64) float64 {
+	z := (x - mu) / sigma
+	return math.Exp(-0.5*z*z) / (sigma * math.Sqrt(2*math.Pi))
+}
+
+// NormalCDF evaluates the N(mu, sigma^2) cumulative distribution at x.
+func NormalCDF(x, mu, sigma float64) float64 {
+	return 0.5 * (1 + math.Erf((x-mu)/(sigma*math.Sqrt2)))
+}
+
+// NormalIntervalMass returns P(lo <= X < hi) for X ~ N(mu, sigma^2).
+// lo may be -Inf and hi may be +Inf.
+func NormalIntervalMass(lo, hi, mu, sigma float64) float64 {
+	var cl, ch float64
+	if math.IsInf(lo, -1) {
+		cl = 0
+	} else {
+		cl = NormalCDF(lo, mu, sigma)
+	}
+	if math.IsInf(hi, 1) {
+		ch = 1
+	} else {
+		ch = NormalCDF(hi, mu, sigma)
+	}
+	if ch < cl {
+		return 0
+	}
+	return ch - cl
+}
+
+// RadiusDist is the distribution of r = ||ΔS|| when the components of the
+// D-dimensional distortion ΔS are i.i.d. N(0, sigma^2) — a chi
+// distribution with D degrees of freedom scaled by sigma. This is the
+// p_{||ΔS||}(r) of Section V-A.
+type RadiusDist struct {
+	D     int
+	Sigma float64
+}
+
+// PDF evaluates the radius density at r >= 0.
+func (rd RadiusDist) PDF(r float64) float64 {
+	if r < 0 {
+		return 0
+	}
+	d := float64(rd.D)
+	// log pdf = (d-1) log r - r^2/(2σ²) - (d/2-1) log 2 - logΓ(d/2) - d log σ
+	lg, _ := math.Lgamma(d / 2)
+	logp := (d-1)*math.Log(r) - r*r/(2*rd.Sigma*rd.Sigma) -
+		(d/2-1)*math.Ln2 - lg - d*math.Log(rd.Sigma)
+	return math.Exp(logp)
+}
+
+// CDF returns P(||ΔS|| <= r) = P_{gamma}(D/2, r²/(2σ²)) (regularized
+// lower incomplete gamma).
+func (rd RadiusDist) CDF(r float64) float64 {
+	if r <= 0 {
+		return 0
+	}
+	x := r * r / (2 * rd.Sigma * rd.Sigma)
+	return RegIncGammaP(float64(rd.D)/2, x)
+}
+
+// Quantile returns the radius r with CDF(r) = p, i.e. the ε making an
+// ε-range query have expectation p under the distortion model. It panics
+// if p is outside (0, 1).
+func (rd RadiusDist) Quantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("stat: radius quantile p=%v outside (0,1)", p))
+	}
+	// Bracket: mean of the chi distribution ~ sigma*sqrt(D); expand hi.
+	lo, hi := 0.0, rd.Sigma*math.Sqrt(float64(rd.D))
+	for rd.CDF(hi) < p {
+		hi *= 2
+		if hi > 1e12 {
+			panic("stat: radius quantile bracket failed")
+		}
+	}
+	for i := 0; i < 200 && hi-lo > 1e-10*(1+hi); i++ {
+		mid := 0.5 * (lo + hi)
+		if rd.CDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return 0.5 * (lo + hi)
+}
+
+// RegIncGammaP computes the regularized lower incomplete gamma function
+// P(a, x) = γ(a, x)/Γ(a) for a > 0, x >= 0, using the series expansion for
+// x < a+1 and the continued fraction for the complement otherwise
+// (Numerical Recipes §6.2).
+func RegIncGammaP(a, x float64) float64 {
+	switch {
+	case a <= 0:
+		panic(fmt.Sprintf("stat: RegIncGammaP a=%v <= 0", a))
+	case x < 0:
+		panic(fmt.Sprintf("stat: RegIncGammaP x=%v < 0", x))
+	case x == 0:
+		return 0
+	}
+	if x < a+1 {
+		return gammaSeries(a, x)
+	}
+	return 1 - gammaContinuedFraction(a, x)
+}
+
+func gammaSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for i := 0; i < 500; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-15 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func gammaContinuedFraction(a, x float64) float64 {
+	const tiny = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// TukeyRho is Tukey's biweight cost function with scale c:
+//
+//	ρ(u) = c²/6 · (1 − (1 − (u/c)²)³)  for |u| <= c
+//	ρ(u) = c²/6                        otherwise
+//
+// It is the non-decreasing outlier-bounding cost of the voting strategy's
+// time-offset estimation (eq. 2 of the paper).
+func TukeyRho(u, c float64) float64 {
+	au := math.Abs(u)
+	if au >= c {
+		return c * c / 6
+	}
+	t := 1 - (au/c)*(au/c)
+	return c * c / 6 * (1 - t*t*t)
+}
+
+// TukeyWeight is the IRLS weight w(u) = (1-(u/c)²)² for |u|<c, else 0.
+func TukeyWeight(u, c float64) float64 {
+	au := math.Abs(u)
+	if au >= c {
+		return 0
+	}
+	t := 1 - (au/c)*(au/c)
+	return t * t
+}

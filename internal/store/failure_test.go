@@ -1,0 +1,89 @@
+package store
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"s3cbcd/internal/hilbert"
+)
+
+// TestLoadRecordsTruncatedFile injects a truncated record area: the
+// header and section table promise more records than the file holds, so
+// reads past the end must fail cleanly rather than return garbage.
+func TestLoadRecordsTruncatedFile(t *testing.T) {
+	curve := hilbert.MustNew(6, 4)
+	db := MustBuild(curve, randRecords(rand.New(rand.NewSource(1)), curve, 50))
+	path := filepath.Join(t.TempDir(), "db.s3db")
+	if err := db.WriteFile(path, 3); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-64); err != nil {
+		t.Fatal(err)
+	}
+	fl, err := Open(path)
+	if err != nil {
+		t.Fatal(err) // header and table are intact
+	}
+	defer fl.Close()
+	if _, err := fl.LoadRecords(0, fl.Count()); err == nil {
+		t.Fatal("reading past the truncation succeeded")
+	}
+	// Early records are still readable.
+	if _, err := fl.LoadRecords(0, 5); err != nil {
+		t.Fatalf("reading intact prefix failed: %v", err)
+	}
+}
+
+// TestOpenRejectsTruncatedSectionTable removes part of the section table.
+func TestOpenRejectsTruncatedSectionTable(t *testing.T) {
+	curve := hilbert.MustNew(6, 4)
+	db := MustBuild(curve, randRecords(rand.New(rand.NewSource(2)), curve, 10))
+	path := filepath.Join(t.TempDir(), "db.s3db")
+	if err := db.WriteFile(path, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, 28+100); err != nil { // header + partial table
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("truncated section table accepted")
+	}
+}
+
+// TestOpenRejectsAbsurdHeader fuzzes header fields that must be bounded.
+func TestOpenRejectsAbsurdHeader(t *testing.T) {
+	curve := hilbert.MustNew(6, 4)
+	db := MustBuild(curve, randRecords(rand.New(rand.NewSource(3)), curve, 10))
+	path := filepath.Join(t.TempDir(), "db.s3db")
+	if err := db.WriteFile(path, 2); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(off int, val byte) string {
+		data := append([]byte(nil), orig...)
+		data[off] = val
+		p := filepath.Join(t.TempDir(), "bad.s3db")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if _, err := Open(corrupt(4, 99)); err == nil { // version
+		t.Error("bad version accepted")
+	}
+	if _, err := Open(corrupt(8, 0)); err == nil { // dims = 0
+		t.Error("zero dims accepted")
+	}
+	if _, err := Open(corrupt(24, 0xFF)); err == nil { // huge section bits
+		t.Error("oversized section bits accepted")
+	}
+}

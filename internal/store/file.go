@@ -1,0 +1,319 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"s3cbcd/internal/bitkey"
+	"s3cbcd/internal/hilbert"
+)
+
+// File format (all integers little-endian):
+//
+//	magic   [4]byte "S3DB"
+//	version uint32  (1 or 2)
+//	dims    uint32
+//	order   uint32
+//	count   uint64
+//	secBits uint32
+//	table   (2^secBits + 1) × uint64   record start index per curve section
+//	records count × (keyBytes + dims + 4 + 4 [+ 2 + 2])
+//
+// Records are sorted by key; keyBytes = ceil(dims*order/8). Version 2
+// appends the interest point position (x, y as uint16) to every record;
+// version 1 files remain readable with zero positions. The section table
+// is the paper's index table: it locates any curve section's record range
+// without touching the record area, which is what lets the pseudo-disk
+// strategy load one section at a time.
+
+var fileMagic = [4]byte{'S', '3', 'D', 'B'}
+
+const (
+	fileVersionV1 = 1
+	fileVersion   = 2 // written by this package
+)
+
+// recordSize returns the on-disk record size for a curve at the given
+// format version.
+func recordSize(c *hilbert.Curve, version int) int {
+	base := keyBytes(c) + c.Dims() + 8
+	if version >= 2 {
+		base += 4
+	}
+	return base
+}
+
+func keyBytes(c *hilbert.Curve) int {
+	return (c.IndexBits() + 7) / 8
+}
+
+// WriteFile serializes the database with a 2^sectionBits-entry section
+// table. sectionBits must be in [0, IndexBits]; 12 is a good default for
+// the paper's configuration.
+func (db *DB) WriteFile(path string, sectionBits int) error {
+	if sectionBits < 0 || sectionBits > db.curve.IndexBits() {
+		return fmt.Errorf("store: sectionBits %d outside [0,%d]", sectionBits, db.curve.IndexBits())
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	if err := db.writeTo(w, sectionBits); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (db *DB) writeTo(w io.Writer, sectionBits int) error {
+	var hdr [28]byte
+	copy(hdr[0:4], fileMagic[:])
+	binary.LittleEndian.PutUint32(hdr[4:], fileVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(db.Dims()))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(db.curve.Order()))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(db.Len()))
+	binary.LittleEndian.PutUint32(hdr[24:], uint32(sectionBits))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	starts := db.SectionStarts(sectionBits)
+	var buf [8]byte
+	for _, s := range starts {
+		binary.LittleEndian.PutUint64(buf[:], uint64(s))
+		if _, err := w.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	kb := keyBytes(db.curve)
+	rec := make([]byte, recordSize(db.curve, fileVersion))
+	for i := 0; i < db.Len(); i++ {
+		db.keys[i].PutBytes(rec[:kb], kb)
+		copy(rec[kb:], db.FP(i))
+		binary.LittleEndian.PutUint32(rec[kb+db.Dims():], db.ids[i])
+		binary.LittleEndian.PutUint32(rec[kb+db.Dims()+4:], db.tcs[i])
+		binary.LittleEndian.PutUint16(rec[kb+db.Dims()+8:], db.xs[i])
+		binary.LittleEndian.PutUint16(rec[kb+db.Dims()+10:], db.ys[i])
+		if _, err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// File is an opened database file. Only the header and section table are
+// resident; records are loaded on demand with LoadRecords. A File is safe
+// for concurrent LoadRecords calls (os.File.ReadAt is concurrency-safe).
+type File struct {
+	f           *os.File
+	curve       *hilbert.Curve
+	count       int
+	sectionBits int
+	starts      []int64
+	dataOff     int64
+	recSize     int
+	version     int
+}
+
+// Open reads a file's header and section table.
+func Open(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [28]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: reading header of %s: %w", path, err)
+	}
+	if [4]byte(hdr[0:4]) != fileMagic {
+		f.Close()
+		return nil, fmt.Errorf("store: %s is not an S3DB file", path)
+	}
+	version := int(binary.LittleEndian.Uint32(hdr[4:]))
+	if version != fileVersionV1 && version != fileVersion {
+		f.Close()
+		return nil, fmt.Errorf("store: %s has unsupported version %d", path, version)
+	}
+	dims := int(binary.LittleEndian.Uint32(hdr[8:]))
+	order := int(binary.LittleEndian.Uint32(hdr[12:]))
+	count := int(binary.LittleEndian.Uint64(hdr[16:]))
+	secBits := int(binary.LittleEndian.Uint32(hdr[24:]))
+	curve, err := hilbert.New(dims, order)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %s: %w", path, err)
+	}
+	if secBits < 0 || secBits > curve.IndexBits() {
+		f.Close()
+		return nil, fmt.Errorf("store: %s has invalid section bits %d", path, secBits)
+	}
+	n := (1 << uint(secBits)) + 1
+	tbl := make([]byte, 8*n)
+	if _, err := io.ReadFull(f, tbl); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: reading section table of %s: %w", path, err)
+	}
+	starts := make([]int64, n)
+	for i := range starts {
+		starts[i] = int64(binary.LittleEndian.Uint64(tbl[8*i:]))
+		if starts[i] < 0 || starts[i] > int64(count) || (i > 0 && starts[i] < starts[i-1]) {
+			f.Close()
+			return nil, fmt.Errorf("store: %s has corrupt section table at %d", path, i)
+		}
+	}
+	if starts[0] != 0 || starts[n-1] != int64(count) {
+		f.Close()
+		return nil, fmt.Errorf("store: %s section table does not span the record range", path)
+	}
+	return &File{
+		f:           f,
+		curve:       curve,
+		count:       count,
+		sectionBits: secBits,
+		starts:      starts,
+		dataOff:     int64(len(hdr)) + int64(8*n),
+		recSize:     recordSize(curve, version),
+		version:     version,
+	}, nil
+}
+
+// Version returns the file's format version (1 or 2).
+func (fl *File) Version() int { return fl.version }
+
+// Close releases the underlying file.
+func (fl *File) Close() error { return fl.f.Close() }
+
+// Curve returns the curve the file was built with.
+func (fl *File) Curve() *hilbert.Curve { return fl.curve }
+
+// Count returns the number of records in the file.
+func (fl *File) Count() int { return fl.count }
+
+// SectionBits returns the granularity exponent of the stored table.
+func (fl *File) SectionBits() int { return fl.sectionBits }
+
+// SectionRecordRange returns the record index range [lo, hi) of curve
+// section idx in a partition into 2^bits sections. bits must not exceed
+// SectionBits (coarser partitions aggregate stored sections).
+func (fl *File) SectionRecordRange(bits, idx int) (lo, hi int) {
+	if bits < 0 || bits > fl.sectionBits {
+		panic(fmt.Sprintf("store: section bits %d outside [0,%d]", bits, fl.sectionBits))
+	}
+	per := 1 << uint(fl.sectionBits-bits)
+	return int(fl.starts[idx*per]), int(fl.starts[(idx+1)*per])
+}
+
+// LoadRecords reads records [lo, hi) into a Chunk.
+func (fl *File) LoadRecords(lo, hi int) (*Chunk, error) {
+	if lo < 0 || hi < lo || hi > fl.count {
+		return nil, fmt.Errorf("store: record range [%d,%d) outside [0,%d)", lo, hi, fl.count)
+	}
+	n := hi - lo
+	buf := make([]byte, n*fl.recSize)
+	if n > 0 {
+		if _, err := fl.f.ReadAt(buf, fl.dataOff+int64(lo)*int64(fl.recSize)); err != nil {
+			return nil, fmt.Errorf("store: reading records [%d,%d): %w", lo, hi, err)
+		}
+	}
+	dims := fl.curve.Dims()
+	kb := keyBytes(fl.curve)
+	ch := &Chunk{
+		Base:  lo,
+		curve: fl.curve,
+		keys:  make([]bitkey.Key, n),
+		fps:   make([]byte, n*dims),
+		ids:   make([]uint32, n),
+		tcs:   make([]uint32, n),
+		xs:    make([]uint16, n),
+		ys:    make([]uint16, n),
+	}
+	for i := 0; i < n; i++ {
+		rec := buf[i*fl.recSize : (i+1)*fl.recSize]
+		ch.keys[i] = bitkey.FromBytes(rec[:kb], kb)
+		copy(ch.fps[i*dims:], rec[kb:kb+dims])
+		ch.ids[i] = binary.LittleEndian.Uint32(rec[kb+dims:])
+		ch.tcs[i] = binary.LittleEndian.Uint32(rec[kb+dims+4:])
+		if fl.version >= 2 {
+			ch.xs[i] = binary.LittleEndian.Uint16(rec[kb+dims+8:])
+			ch.ys[i] = binary.LittleEndian.Uint16(rec[kb+dims+10:])
+		}
+	}
+	return ch, nil
+}
+
+// LoadAll reads the whole file into an in-memory DB.
+func (fl *File) LoadAll() (*DB, error) {
+	ch, err := fl.LoadRecords(0, fl.count)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{curve: fl.curve, keys: ch.keys, fps: ch.fps,
+		ids: ch.ids, tcs: ch.tcs, xs: ch.xs, ys: ch.ys}, nil
+}
+
+// ReadFile opens path and loads the complete database.
+func ReadFile(path string) (*DB, error) {
+	fl, err := Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fl.Close()
+	return fl.LoadAll()
+}
+
+// Chunk is a contiguous run of records loaded from a File. Record i of
+// the chunk is record Base+i of the database.
+type Chunk struct {
+	Base  int
+	curve *hilbert.Curve
+	keys  []bitkey.Key
+	fps   []byte
+	ids   []uint32
+	tcs   []uint32
+	xs    []uint16
+	ys    []uint16
+}
+
+// Len returns the number of records in the chunk.
+func (c *Chunk) Len() int { return len(c.keys) }
+
+// Key returns the Hilbert key of chunk-local record i.
+func (c *Chunk) Key(i int) bitkey.Key { return c.keys[i] }
+
+// FP returns the fingerprint of chunk-local record i.
+func (c *Chunk) FP(i int) []byte {
+	d := c.curve.Dims()
+	return c.fps[i*d : (i+1)*d : (i+1)*d]
+}
+
+// ID returns the identifier of chunk-local record i.
+func (c *Chunk) ID(i int) uint32 { return c.ids[i] }
+
+// TC returns the time code of chunk-local record i.
+func (c *Chunk) TC(i int) uint32 { return c.tcs[i] }
+
+// X returns the interest point x position of chunk-local record i.
+func (c *Chunk) X(i int) uint16 { return c.xs[i] }
+
+// Y returns the interest point y position of chunk-local record i.
+func (c *Chunk) Y(i int) uint16 { return c.ys[i] }
+
+// FindInterval returns the chunk-local index range whose keys fall in iv.
+func (c *Chunk) FindInterval(iv hilbert.Interval) (lo, hi int) {
+	lo = sort.Search(len(c.keys), func(i int) bool {
+		return c.keys[i].Cmp(iv.Start) >= 0
+	})
+	hi = sort.Search(len(c.keys), func(i int) bool {
+		return c.keys[i].Cmp(iv.End) >= 0
+	})
+	return lo, hi
+}

@@ -1,0 +1,76 @@
+package store
+
+import (
+	"fmt"
+
+	"s3cbcd/internal/bitkey"
+)
+
+// Merge combines two curve-ordered databases into one, preserving the
+// curve order with a linear merge. Both inputs must share the same curve
+// geometry. It is how a static S³ archive grows: index the new material
+// separately, then merge — the paper's system is rebuilt offline the same
+// way, and merging sorted runs is far cheaper than re-sorting everything.
+func Merge(a, b *DB) (*DB, error) {
+	if a.curve.Dims() != b.curve.Dims() || a.curve.Order() != b.curve.Order() {
+		return nil, fmt.Errorf("store: merging incompatible curves (D=%d,K=%d vs D=%d,K=%d)",
+			a.curve.Dims(), a.curve.Order(), b.curve.Dims(), b.curve.Order())
+	}
+	dims := a.Dims()
+	n := a.Len() + b.Len()
+	out := &DB{
+		curve: a.curve,
+		keys:  make([]bitkey.Key, 0, n),
+		fps:   make([]byte, 0, n*dims),
+		ids:   make([]uint32, 0, n),
+		tcs:   make([]uint32, 0, n),
+		xs:    make([]uint16, 0, n),
+		ys:    make([]uint16, 0, n),
+	}
+	take := func(src *DB, i int) {
+		out.keys = append(out.keys, src.keys[i])
+		out.fps = append(out.fps, src.FP(i)...)
+		out.ids = append(out.ids, src.ids[i])
+		out.tcs = append(out.tcs, src.tcs[i])
+		out.xs = append(out.xs, src.xs[i])
+		out.ys = append(out.ys, src.ys[i])
+	}
+	i, j := 0, 0
+	for i < a.Len() && j < b.Len() {
+		if a.keys[i].Cmp(b.keys[j]) <= 0 {
+			take(a, i)
+			i++
+		} else {
+			take(b, j)
+			j++
+		}
+	}
+	for ; i < a.Len(); i++ {
+		take(a, i)
+	}
+	for ; j < b.Len(); j++ {
+		take(b, j)
+	}
+	return out, nil
+}
+
+// Filter returns a new database containing only the records the predicate
+// keeps (called with each record's identifier and time code). Curve order
+// is preserved, so no re-sort is needed. This is the withdrawal path of a
+// static archive: rebuild without the removed material.
+func Filter(db *DB, keep func(id, tc uint32) bool) *DB {
+	dims := db.Dims()
+	out := &DB{curve: db.curve}
+	for i := 0; i < db.Len(); i++ {
+		if !keep(db.ids[i], db.tcs[i]) {
+			continue
+		}
+		out.keys = append(out.keys, db.keys[i])
+		out.fps = append(out.fps, db.fps[i*dims:(i+1)*dims]...)
+		out.ids = append(out.ids, db.ids[i])
+		out.tcs = append(out.tcs, db.tcs[i])
+		out.xs = append(out.xs, db.xs[i])
+		out.ys = append(out.ys, db.ys[i])
+	}
+	return out
+}

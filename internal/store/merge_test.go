@@ -1,0 +1,127 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+
+	"s3cbcd/internal/hilbert"
+)
+
+func TestMergeEqualsRebuild(t *testing.T) {
+	curve := hilbert.MustNew(8, 8)
+	r := rand.New(rand.NewSource(1))
+	recsA := randRecords(r, curve, 300)
+	recsB := randRecords(r, curve, 450)
+	a := MustBuild(curve, recsA)
+	b := MustBuild(curve, recsB)
+	merged, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MustBuild(curve, append(append([]Record{}, recsA...), recsB...))
+	if merged.Len() != want.Len() {
+		t.Fatalf("merged %d records, want %d", merged.Len(), want.Len())
+	}
+	for i := 0; i < want.Len(); i++ {
+		if merged.Key(i) != want.Key(i) {
+			t.Fatalf("key order differs at %d", i)
+		}
+		// IDs may tie-break differently for equal keys; compare key
+		// multisets per position only when keys are unique here.
+	}
+	// Sorted invariant.
+	for i := 1; i < merged.Len(); i++ {
+		if merged.Key(i).Less(merged.Key(i - 1)) {
+			t.Fatalf("merge broke ordering at %d", i)
+		}
+	}
+}
+
+func TestMergeEmptySides(t *testing.T) {
+	curve := hilbert.MustNew(4, 4)
+	r := rand.New(rand.NewSource(2))
+	a := MustBuild(curve, randRecords(r, curve, 20))
+	empty := MustBuild(curve, nil)
+	m1, err := Merge(a, empty)
+	if err != nil || m1.Len() != 20 {
+		t.Fatalf("merge with empty: %v len=%d", err, m1.Len())
+	}
+	m2, err := Merge(empty, a)
+	if err != nil || m2.Len() != 20 {
+		t.Fatalf("empty merge: %v len=%d", err, m2.Len())
+	}
+	for i := 0; i < 20; i++ {
+		if m1.Key(i) != a.Key(i) || m2.Key(i) != a.Key(i) {
+			t.Fatalf("identity merge changed keys at %d", i)
+		}
+	}
+}
+
+func TestMergeIncompatible(t *testing.T) {
+	a := MustBuild(hilbert.MustNew(4, 4), nil)
+	b := MustBuild(hilbert.MustNew(5, 4), nil)
+	if _, err := Merge(a, b); err == nil {
+		t.Fatal("incompatible merge accepted")
+	}
+}
+
+func TestMergePreservesPayload(t *testing.T) {
+	curve := hilbert.MustNew(4, 8)
+	a := MustBuild(curve, []Record{{FP: []byte{1, 2, 3, 4}, ID: 7, TC: 9, X: 11, Y: 13}})
+	b := MustBuild(curve, []Record{{FP: []byte{200, 201, 202, 203}, ID: 8, TC: 10, X: 12, Y: 14}})
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for i := 0; i < m.Len(); i++ {
+		switch m.ID(i) {
+		case 7:
+			if m.TC(i) != 9 || m.X(i) != 11 || m.Y(i) != 13 {
+				t.Fatalf("payload 7 corrupted")
+			}
+			found++
+		case 8:
+			if m.TC(i) != 10 || m.X(i) != 12 || m.Y(i) != 14 {
+				t.Fatalf("payload 8 corrupted")
+			}
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("found %d of 2 records", found)
+	}
+}
+
+func TestFilterRemovesIdentifier(t *testing.T) {
+	curve := hilbert.MustNew(6, 8)
+	r := rand.New(rand.NewSource(9))
+	db := MustBuild(curve, randRecords(r, curve, 200))
+	victim := db.ID(50)
+	out := Filter(db, func(id, _ uint32) bool { return id != victim })
+	if out.Len() >= db.Len() {
+		t.Fatalf("filter removed nothing (%d -> %d)", db.Len(), out.Len())
+	}
+	removed := 0
+	for i := 0; i < db.Len(); i++ {
+		if db.ID(i) == victim {
+			removed++
+		}
+	}
+	if out.Len() != db.Len()-removed {
+		t.Fatalf("filtered %d, expected %d", db.Len()-out.Len(), removed)
+	}
+	for i := 0; i < out.Len(); i++ {
+		if out.ID(i) == victim {
+			t.Fatal("victim id survived")
+		}
+		if i > 0 && out.Key(i).Less(out.Key(i-1)) {
+			t.Fatal("filter broke curve order")
+		}
+	}
+	// Keep-all is identity.
+	all := Filter(db, func(uint32, uint32) bool { return true })
+	if all.Len() != db.Len() {
+		t.Fatal("keep-all changed length")
+	}
+}

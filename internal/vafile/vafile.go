@@ -1,0 +1,186 @@
+// Package vafile implements the vector-approximation file of Weber &
+// Blott, the improved sequential method the paper's related work singles
+// out as "sometimes even more profitable than all other structures"
+// ([11] in the paper). Every fingerprint is approximated by a few bits
+// per dimension over equi-populated cell boundaries; a range query scans
+// the compact approximations, skips vectors whose distance lower bound
+// exceeds the radius, and verifies the survivors against the exact
+// vectors. It serves as a second baseline for the scalability comparison
+// (cmd/s3bench -exp fig7).
+package vafile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"s3cbcd/internal/core"
+	"s3cbcd/internal/store"
+)
+
+// Index is a VA-file over a fingerprint database.
+type Index struct {
+	db   *store.DB
+	bits int
+	// bounds[j] holds 2^bits+1 ascending cell boundaries for dimension j;
+	// cell c spans [bounds[j][c], bounds[j][c+1]).
+	bounds [][]float64
+	// approx packs one cell index per dimension per record,
+	// bits-per-dimension, row-major.
+	approx []byte
+	// bytesPerRec is the approximation size of one record.
+	bytesPerRec int
+}
+
+// Stats reports the work one query performed.
+type Stats struct {
+	// Skipped counts vectors eliminated by the approximation alone.
+	Skipped int
+	// Verified counts exact-vector distance computations.
+	Verified int
+}
+
+// Build constructs the VA-file. bits must be 1, 2, 4 or 8 (cell indices
+// are packed into whole bytes). Boundaries are equi-populated per
+// dimension, the standard choice for skewed data.
+func Build(db *store.DB, bits int) (*Index, error) {
+	switch bits {
+	case 1, 2, 4, 8:
+	default:
+		return nil, fmt.Errorf("vafile: bits = %d must be 1, 2, 4 or 8", bits)
+	}
+	dims := db.Dims()
+	cells := 1 << uint(bits)
+	ix := &Index{
+		db:          db,
+		bits:        bits,
+		bounds:      make([][]float64, dims),
+		bytesPerRec: (dims*bits + 7) / 8,
+	}
+
+	// Equi-populated boundaries from the per-dimension value histogram
+	// (components are bytes, so a 256-bin histogram is exact).
+	n := db.Len()
+	for j := 0; j < dims; j++ {
+		var histo [256]int
+		for i := 0; i < n; i++ {
+			histo[db.FP(i)[j]]++
+		}
+		b := make([]float64, cells+1)
+		b[0] = 0
+		target := 0
+		cum := 0
+		v := 0
+		for c := 1; c < cells; c++ {
+			target = n * c / cells
+			for v < 255 && cum+histo[v] <= target {
+				cum += histo[v]
+				v++
+			}
+			b[c] = float64(v)
+			if b[c] <= b[c-1] {
+				b[c] = b[c-1] + 1e-9 // keep boundaries strictly increasing
+			}
+		}
+		b[cells] = 256
+		ix.bounds[j] = b
+	}
+
+	// Approximate every record.
+	ix.approx = make([]byte, n*ix.bytesPerRec)
+	perByte := 8 / bits
+	for i := 0; i < n; i++ {
+		fp := db.FP(i)
+		base := i * ix.bytesPerRec
+		for j, bv := range fp {
+			c := ix.cellOf(j, float64(bv))
+			ix.approx[base+j/perByte] |= byte(c) << uint((j%perByte)*bits)
+		}
+	}
+	return ix, nil
+}
+
+// cellOf returns the cell index of value v in dimension j.
+func (ix *Index) cellOf(j int, v float64) int {
+	b := ix.bounds[j]
+	// sort.SearchFloat64s finds the first boundary > v; the cell is one
+	// less. Values equal to a boundary belong to the cell starting there.
+	c := sort.SearchFloat64s(b[1:len(b)-1], v+1e-12)
+	return c
+}
+
+// cell extracts record i's cell index for dimension j.
+func (ix *Index) cell(i, j int) int {
+	perByte := 8 / ix.bits
+	bt := ix.approx[i*ix.bytesPerRec+j/perByte]
+	return int(bt>>uint((j%perByte)*ix.bits)) & ((1 << uint(ix.bits)) - 1)
+}
+
+// RangeQuery returns every record within L2 distance eps of q.
+func (ix *Index) RangeQuery(q []byte, eps float64) ([]core.Match, Stats, error) {
+	if len(q) != ix.db.Dims() {
+		return nil, Stats{}, fmt.Errorf("vafile: query has %d components, index has %d", len(q), ix.db.Dims())
+	}
+	if eps < 0 {
+		return nil, Stats{}, fmt.Errorf("vafile: negative radius %v", eps)
+	}
+	dims := ix.db.Dims()
+	qf := make([]float64, dims)
+	qCell := make([]int, dims)
+	for j, b := range q {
+		qf[j] = float64(b)
+		qCell[j] = ix.cellOf(j, qf[j])
+	}
+	// Precompute per-dimension, per-cell lower-bound contributions.
+	cells := 1 << uint(ix.bits)
+	lbTable := make([][]float64, dims)
+	for j := 0; j < dims; j++ {
+		lbTable[j] = make([]float64, cells)
+		for c := 0; c < cells; c++ {
+			var d float64
+			switch {
+			case c < qCell[j]:
+				d = qf[j] - ix.bounds[j][c+1] // cell entirely below q
+			case c > qCell[j]:
+				d = ix.bounds[j][c] - qf[j] // cell entirely above q
+			}
+			if d < 0 {
+				d = 0
+			}
+			lbTable[j][c] = d * d
+		}
+	}
+
+	epsSq := eps * eps
+	var out []core.Match
+	var stats Stats
+	n := ix.db.Len()
+	for i := 0; i < n; i++ {
+		lb := 0.0
+		for j := 0; j < dims; j++ {
+			lb += lbTable[j][ix.cell(i, j)]
+			if lb > epsSq {
+				break
+			}
+		}
+		if lb > epsSq {
+			stats.Skipped++
+			continue
+		}
+		stats.Verified++
+		fp := ix.db.FP(i)
+		s := 0.0
+		for j, b := range fp {
+			d := qf[j] - float64(b)
+			s += d * d
+			if s > epsSq {
+				break
+			}
+		}
+		if s <= epsSq {
+			out = append(out, core.Match{Pos: i, ID: ix.db.ID(i), TC: ix.db.TC(i),
+				X: ix.db.X(i), Y: ix.db.Y(i), Dist: math.Sqrt(s)})
+		}
+	}
+	return out, stats, nil
+}

@@ -1,0 +1,141 @@
+package vafile
+
+import (
+	"math/rand"
+	"testing"
+
+	"s3cbcd/internal/hilbert"
+	"s3cbcd/internal/scan"
+	"s3cbcd/internal/store"
+)
+
+func buildTestDB(t *testing.T, dims, n int, seed int64) *store.DB {
+	t.Helper()
+	curve := hilbert.MustNew(dims, 8)
+	r := rand.New(rand.NewSource(seed))
+	recs := make([]store.Record, n)
+	for i := range recs {
+		fp := make([]byte, dims)
+		for j := range fp {
+			// Skewed distribution so equi-populated boundaries differ
+			// from uniform ones.
+			v := r.Intn(256)
+			if r.Intn(3) > 0 {
+				v = r.Intn(64)
+			}
+			fp[j] = byte(v)
+		}
+		recs[i] = store.Record{FP: fp, ID: uint32(i), TC: uint32(i)}
+	}
+	return store.MustBuild(curve, recs)
+}
+
+func TestRangeQueryMatchesSequentialScan(t *testing.T) {
+	db := buildTestDB(t, 12, 1500, 1)
+	for _, bits := range []int{1, 2, 4, 8} {
+		ix, err := Build(db, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(2))
+		for trial := 0; trial < 15; trial++ {
+			q := make([]byte, 12)
+			for j := range q {
+				q[j] = byte(r.Intn(256))
+			}
+			eps := 40 + r.Float64()*120
+			got, stats, err := ix.RangeQuery(q, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := scan.RangeQuery(db, q, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("bits=%d trial %d: VA %d results, scan %d", bits, trial, len(got), len(want))
+			}
+			wantSet := map[int]bool{}
+			for _, m := range want {
+				wantSet[m.Pos] = true
+			}
+			for _, m := range got {
+				if !wantSet[m.Pos] {
+					t.Fatalf("bits=%d: VA returned %d, scan did not", bits, m.Pos)
+				}
+			}
+			if stats.Skipped+stats.Verified != db.Len() {
+				t.Fatalf("bits=%d: accounting broken: %d+%d != %d", bits, stats.Skipped, stats.Verified, db.Len())
+			}
+		}
+	}
+}
+
+func TestApproximationActuallyFilters(t *testing.T) {
+	db := buildTestDB(t, 20, 3000, 3)
+	ix, err := Build(db, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := append([]byte(nil), db.FP(42)...)
+	_, stats, err := ix.RangeQuery(q, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Verified >= db.Len()/2 {
+		t.Fatalf("approximation filtered almost nothing: verified %d of %d", stats.Verified, db.Len())
+	}
+	if stats.Verified == 0 {
+		t.Fatal("nothing verified — self match lost")
+	}
+}
+
+func TestMoreBitsFilterBetter(t *testing.T) {
+	db := buildTestDB(t, 16, 2500, 4)
+	q := append([]byte(nil), db.FP(7)...)
+	prevVerified := db.Len() + 1
+	for _, bits := range []int{1, 2, 4, 8} {
+		ix, err := Build(db, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, stats, err := ix.RangeQuery(q, 80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Verified > prevVerified {
+			t.Fatalf("bits=%d verified %d, more than coarser approximation %d", bits, stats.Verified, prevVerified)
+		}
+		prevVerified = stats.Verified
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	db := buildTestDB(t, 4, 10, 5)
+	if _, err := Build(db, 3); err == nil {
+		t.Error("bits=3 accepted")
+	}
+	ix, err := Build(db, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ix.RangeQuery([]byte{1, 2}, 5); err == nil {
+		t.Error("short query accepted")
+	}
+	if _, _, err := ix.RangeQuery(make([]byte, 4), -1); err == nil {
+		t.Error("negative radius accepted")
+	}
+}
+
+func TestEmptyDatabase(t *testing.T) {
+	curve := hilbert.MustNew(4, 8)
+	db := store.MustBuild(curve, nil)
+	ix, err := Build(db, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := ix.RangeQuery(make([]byte, 4), 10)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty DB query: %v %v", out, err)
+	}
+}

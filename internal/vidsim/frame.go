@@ -1,0 +1,122 @@
+// Package vidsim is the video substrate of the reproduction. The paper
+// evaluates on the INA SNC archive (tens of thousands of hours of MPEG1
+// television); that corpus is proprietary, so vidsim generates procedural
+// grayscale video with the statistical structure the paper relies on:
+// shots with persistent textured backgrounds (interest points detected
+// many times across key-frames) and moving high-contrast objects (points
+// detected once), separated by hard cuts that drive the key-frame
+// detector. It also implements the five transformations studied in the
+// paper's experiments (Figure 4): resize, vertical shift, gamma, contrast
+// and Gaussian noise addition.
+package vidsim
+
+import "fmt"
+
+// Frame is a grayscale image with float32 intensities in [0, 255].
+// Pixels are stored row-major.
+type Frame struct {
+	W, H int
+	Pix  []float32
+}
+
+// NewFrame allocates a zeroed (black) frame. It panics on non-positive
+// dimensions.
+func NewFrame(w, h int) *Frame {
+	if w < 1 || h < 1 {
+		panic(fmt.Sprintf("vidsim: invalid frame size %dx%d", w, h))
+	}
+	return &Frame{W: w, H: h, Pix: make([]float32, w*h)}
+}
+
+// At returns the intensity at (x, y). Out-of-bounds coordinates are
+// clamped to the nearest edge pixel (replicate padding), which is what the
+// derivative filters in the fingerprint extractor expect.
+func (f *Frame) At(x, y int) float32 {
+	if x < 0 {
+		x = 0
+	} else if x >= f.W {
+		x = f.W - 1
+	}
+	if y < 0 {
+		y = 0
+	} else if y >= f.H {
+		y = f.H - 1
+	}
+	return f.Pix[y*f.W+x]
+}
+
+// Set stores v at (x, y). Out-of-bounds coordinates are ignored.
+func (f *Frame) Set(x, y int, v float32) {
+	if x < 0 || x >= f.W || y < 0 || y >= f.H {
+		return
+	}
+	f.Pix[y*f.W+x] = v
+}
+
+// Clone returns a deep copy of f.
+func (f *Frame) Clone() *Frame {
+	g := NewFrame(f.W, f.H)
+	copy(g.Pix, f.Pix)
+	return g
+}
+
+// Bilinear samples f at real coordinates (x, y) with bilinear
+// interpolation and replicate padding.
+func (f *Frame) Bilinear(x, y float64) float32 {
+	x0 := int(x)
+	y0 := int(y)
+	if x < 0 {
+		x0 = -1
+	}
+	if y < 0 {
+		y0 = -1
+	}
+	fx := float32(x - float64(x0))
+	fy := float32(y - float64(y0))
+	v00 := f.At(x0, y0)
+	v10 := f.At(x0+1, y0)
+	v01 := f.At(x0, y0+1)
+	v11 := f.At(x0+1, y0+1)
+	top := v00 + (v10-v00)*fx
+	bot := v01 + (v11-v01)*fx
+	return top + (bot-top)*fy
+}
+
+// clamp255 restricts v to the displayable [0, 255] range.
+func clamp255(v float32) float32 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return v
+}
+
+// Sequence is an ordered list of frames with a nominal frame rate used to
+// convert frame indices to time codes.
+type Sequence struct {
+	Frames []*Frame
+	FPS    int
+}
+
+// Len returns the number of frames.
+func (s *Sequence) Len() int { return len(s.Frames) }
+
+// MeanAbsDiff returns the mean absolute pixel difference between frames a
+// and b — the "intensity of motion" the key-frame detector is built on.
+// The frames must have identical dimensions.
+func MeanAbsDiff(a, b *Frame) float64 {
+	if a.W != b.W || a.H != b.H {
+		panic(fmt.Sprintf("vidsim: MeanAbsDiff on %dx%d vs %dx%d", a.W, a.H, b.W, b.H))
+	}
+	sum := 0.0
+	for i := range a.Pix {
+		d := float64(a.Pix[i] - b.Pix[i])
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum / float64(len(a.Pix))
+}

@@ -1,0 +1,152 @@
+package vidsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// GenConfig parameterizes the procedural generator.
+type GenConfig struct {
+	W, H int   // frame size in pixels
+	FPS  int   // nominal frame rate (time codes are frame indices)
+	Seed int64 // generator seed; same seed, same video
+
+	// MinShot and MaxShot bound the shot length in frames. Defaults: 20, 70.
+	MinShot, MaxShot int
+	// MaxObjects is the maximum number of moving objects per shot.
+	// Default: 4.
+	MaxObjects int
+}
+
+func (c *GenConfig) applyDefaults() {
+	if c.FPS == 0 {
+		c.FPS = 25
+	}
+	if c.MinShot == 0 {
+		c.MinShot = 20
+	}
+	if c.MaxShot == 0 {
+		c.MaxShot = 70
+	}
+	if c.MaxObjects == 0 {
+		c.MaxObjects = 4
+	}
+}
+
+// DefaultConfig is the frame geometry used across the reproduction's
+// experiments: a reduced analogue of the paper's 352x288 MPEG1 frames.
+func DefaultConfig(seed int64) GenConfig {
+	return GenConfig{W: 96, H: 72, Seed: seed}
+}
+
+// object is a textured moving ellipse composited over the background.
+type object struct {
+	cx, cy   float64 // center
+	vx, vy   float64 // velocity (px/frame)
+	rx, ry   float64 // radii
+	level    float64 // base intensity
+	texSeed  uint64
+	texScale float64
+}
+
+// shot holds the scene parameters that stay fixed between two cuts.
+type shot struct {
+	length   int
+	bgSeed   uint64
+	bgScale  float64 // noise period in pixels
+	bgLevel  float64 // base brightness
+	bgRange  float64 // noise amplitude
+	panX     float64 // background pan velocity (px/frame)
+	panY     float64
+	lumDrift float64 // per-frame global luminance drift
+	objects  []object
+}
+
+// Generate renders frames procedural frames. The output is fully
+// determined by cfg.
+func Generate(cfg GenConfig, frames int) *Sequence {
+	cfg.applyDefaults()
+	if cfg.W < 8 || cfg.H < 8 {
+		panic(fmt.Sprintf("vidsim: frame %dx%d too small", cfg.W, cfg.H))
+	}
+	if frames < 0 {
+		panic("vidsim: negative frame count")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	seq := &Sequence{FPS: cfg.FPS, Frames: make([]*Frame, 0, frames)}
+	var cur shot
+	remaining := 0
+	t := 0 // frame index within shot
+	for len(seq.Frames) < frames {
+		if remaining == 0 {
+			cur = newShot(cfg, rng)
+			remaining = cur.length
+			t = 0
+		}
+		seq.Frames = append(seq.Frames, renderFrame(cfg, &cur, t))
+		t++
+		remaining--
+	}
+	return seq
+}
+
+func newShot(cfg GenConfig, rng *rand.Rand) shot {
+	s := shot{
+		length:   cfg.MinShot + rng.Intn(cfg.MaxShot-cfg.MinShot+1),
+		bgSeed:   rng.Uint64(),
+		bgScale:  8 + rng.Float64()*24,
+		bgLevel:  60 + rng.Float64()*120,
+		bgRange:  40 + rng.Float64()*80,
+		panX:     (rng.Float64() - 0.5) * 1.2,
+		panY:     (rng.Float64() - 0.5) * 0.8,
+		lumDrift: (rng.Float64() - 0.5) * 0.4,
+	}
+	n := 1 + rng.Intn(cfg.MaxObjects)
+	for i := 0; i < n; i++ {
+		o := object{
+			cx:       rng.Float64() * float64(cfg.W),
+			cy:       rng.Float64() * float64(cfg.H),
+			vx:       (rng.Float64() - 0.5) * 3,
+			vy:       (rng.Float64() - 0.5) * 3,
+			rx:       4 + rng.Float64()*float64(cfg.W)/8,
+			ry:       4 + rng.Float64()*float64(cfg.H)/8,
+			level:    30 + rng.Float64()*200,
+			texSeed:  rng.Uint64(),
+			texScale: 3 + rng.Float64()*8,
+		}
+		s.objects = append(s.objects, o)
+	}
+	return s
+}
+
+func renderFrame(cfg GenConfig, s *shot, t int) *Frame {
+	f := NewFrame(cfg.W, cfg.H)
+	ft := float64(t)
+	lum := s.lumDrift * ft
+	for y := 0; y < cfg.H; y++ {
+		for x := 0; x < cfg.W; x++ {
+			bx := (float64(x) + s.panX*ft) / s.bgScale
+			by := (float64(y) + s.panY*ft) / s.bgScale
+			v := s.bgLevel + s.bgRange*(fbm(bx, by, 3, s.bgSeed)-0.5) + lum
+			for i := range s.objects {
+				o := &s.objects[i]
+				ox := o.cx + o.vx*ft
+				oy := o.cy + o.vy*ft
+				dx := (float64(x) - ox) / o.rx
+				dy := (float64(y) - oy) / o.ry
+				if d2 := dx*dx + dy*dy; d2 <= 1 {
+					tex := fbm(float64(x)/o.texScale, float64(y)/o.texScale, 2, o.texSeed)
+					v = o.level + 60*(tex-0.5) + lum
+					// Hard boundary: objects have crisp edges so they
+					// produce corners; a thin darker rim strengthens them.
+					if d2 > 0.85 {
+						v *= 0.6
+					}
+				}
+			}
+			f.Pix[y*cfg.W+x] = clamp255(float32(v + 4*math.Sin(float64(x*7+y*13))))
+		}
+	}
+	return f
+}

@@ -1,0 +1,111 @@
+package vidsim
+
+import (
+	"math"
+	"testing"
+)
+
+// dotFrame renders a small bright Gaussian blob at (cx, cy) on a dark
+// background — a trackable landmark for point-mapping tests.
+func dotFrame(w, h int, cx, cy float64) *Frame {
+	f := NewFrame(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			dx := float64(x) - cx
+			dy := float64(y) - cy
+			f.Pix[y*w+x] = float32(20 + 230*math.Exp(-(dx*dx+dy*dy)/8))
+		}
+	}
+	return f
+}
+
+// brightest returns the argmax pixel of a frame.
+func brightest(f *Frame) (int, int) {
+	bi, bv := 0, float32(-1)
+	for i, v := range f.Pix {
+		if v > bv {
+			bi, bv = i, v
+		}
+	}
+	return bi % f.W, bi / f.W
+}
+
+// TestMapPointTracksContent is the invariant the "perfect detector"
+// simulation rests on (Section IV-C): MapPoint must send a content
+// landmark to where the transformed frame actually shows it.
+func TestMapPointTracksContent(t *testing.T) {
+	const w, h = 96, 72
+	landmarks := [][2]float64{{30, 20}, {60, 50}, {48, 36}, {12, 60}}
+	transforms := []Transform{
+		Identity{},
+		Resize{Scale: 0.75},
+		Resize{Scale: 1.4},
+		VShift{Frac: 0.2},
+		Gamma{G: 1.8},
+		Contrast{Factor: 0.6},
+		Compose{Resize{Scale: 0.8}, VShift{Frac: 0.1}},
+	}
+	for _, tf := range transforms {
+		for _, lm := range landmarks {
+			src := dotFrame(w, h, lm[0], lm[1])
+			dst := tf.Apply(src)
+			px, py, ok := tf.MapPoint(lm[0], lm[1], w, h)
+			if !ok {
+				continue // landmark legitimately left the frame
+			}
+			bx, by := brightest(dst)
+			if math.Abs(float64(bx)-px) > 1.6 || math.Abs(float64(by)-py) > 1.6 {
+				t.Errorf("%s: landmark (%v,%v) mapped to (%.1f,%.1f) but content is at (%d,%d)",
+					tf.Name(), lm[0], lm[1], px, py, bx, by)
+			}
+		}
+	}
+}
+
+// TestVShiftMapOutOfFrame checks that MapPoint reports !ok exactly when
+// the shifted content leaves the visible area.
+func TestVShiftMapOutOfFrame(t *testing.T) {
+	tf := VShift{Frac: 0.5}
+	_, _, ok := tf.MapPoint(10, 50, 96, 72) // 50+36 = 86 >= 72
+	if ok {
+		t.Error("point shifted past the bottom still ok")
+	}
+	_, y, ok := tf.MapPoint(10, 20, 96, 72)
+	if !ok || y != 56 {
+		t.Errorf("in-frame shift: y=%v ok=%v", y, ok)
+	}
+}
+
+// TestInset checks the embedded-program transformation: content lands at
+// the mapped position, the surround is flat background, and points
+// always stay in frame for in-bounds offsets.
+func TestInset(t *testing.T) {
+	const w, h = 96, 72
+	tf := Inset{Scale: 0.6, OffX: 0.2, OffY: 0.1, Background: 12}
+	src := dotFrame(w, h, 40, 30)
+	dst := tf.Apply(src)
+	if dst.W != w || dst.H != h {
+		t.Fatalf("inset changed frame size: %dx%d", dst.W, dst.H)
+	}
+	px, py, ok := tf.MapPoint(40, 30, w, h)
+	if !ok {
+		t.Fatal("mapped point out of frame")
+	}
+	bx, by := brightest(dst)
+	if math.Abs(float64(bx)-px) > 1.6 || math.Abs(float64(by)-py) > 1.6 {
+		t.Fatalf("content at (%d,%d), map says (%.1f,%.1f)", bx, by, px, py)
+	}
+	// Corners are background.
+	if dst.At(0, 0) != 12 || dst.At(w-1, h-1) != 12 {
+		t.Fatalf("background not filled: %v %v", dst.At(0, 0), dst.At(w-1, h-1))
+	}
+}
+
+func TestInsetPanicsOnBadScale(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Inset{Scale: 1.5}.Apply(NewFrame(8, 8))
+}

@@ -1,0 +1,51 @@
+package vidsim
+
+import "math"
+
+// hash2 maps a lattice point and seed to a pseudo-random value in [0, 1).
+// It is a small integer mix (SplitMix64-style) — fast, stateless and
+// deterministic, which keeps frame rendering reproducible and parallel-
+// safe without sharing a rand.Source.
+func hash2(ix, iy int64, seed uint64) float64 {
+	z := uint64(ix)*0x9E3779B97F4A7C15 ^ uint64(iy)*0xC2B2AE3D27D4EB4F ^ seed
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}
+
+// smoothstep is the C1 interpolation kernel 3t^2 - 2t^3.
+func smoothstep(t float64) float64 { return t * t * (3 - 2*t) }
+
+// valueNoise evaluates lattice value noise at (x, y): random values at
+// integer lattice points, smoothly interpolated in between. Result in
+// [0, 1).
+func valueNoise(x, y float64, seed uint64) float64 {
+	ix, iy := math.Floor(x), math.Floor(y)
+	fx, fy := x-ix, y-iy
+	i0, j0 := int64(ix), int64(iy)
+	v00 := hash2(i0, j0, seed)
+	v10 := hash2(i0+1, j0, seed)
+	v01 := hash2(i0, j0+1, seed)
+	v11 := hash2(i0+1, j0+1, seed)
+	sx, sy := smoothstep(fx), smoothstep(fy)
+	top := v00 + (v10-v00)*sx
+	bot := v01 + (v11-v01)*sx
+	return top + (bot-top)*sy
+}
+
+// fbm is fractal Brownian motion: octaves of value noise with halving
+// amplitude and doubling frequency. Result approximately in [0, 1).
+func fbm(x, y float64, octaves int, seed uint64) float64 {
+	sum, amp, norm := 0.0, 1.0, 0.0
+	for o := 0; o < octaves; o++ {
+		sum += amp * valueNoise(x, y, seed+uint64(o)*0x6C62272E07BB0142)
+		norm += amp
+		amp *= 0.5
+		x *= 2
+		y *= 2
+	}
+	return sum / norm
+}

@@ -1,0 +1,307 @@
+package vidsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Transform is one of the video alterations a copy may have undergone
+// (the set T of the paper). Apply produces the transformed frame;
+// MapPoint maps an interest point position in the original frame to its
+// position in the transformed frame, which is how Section IV-C simulates
+// a "perfect interest point detector" when estimating the distortion
+// model. ok is false when the point leaves the visible area.
+type Transform interface {
+	Name() string
+	Apply(f *Frame) *Frame
+	MapPoint(x, y float64, srcW, srcH int) (tx, ty float64, ok bool)
+}
+
+// Identity returns the input unchanged (deep copy for safety).
+type Identity struct{}
+
+func (Identity) Name() string { return "identity" }
+
+func (Identity) Apply(f *Frame) *Frame { return f.Clone() }
+
+func (Identity) MapPoint(x, y float64, _, _ int) (float64, float64, bool) {
+	return x, y, true
+}
+
+// Resize rescales the frame by Scale in both dimensions (the paper's
+// w_scale), using bilinear resampling.
+type Resize struct{ Scale float64 }
+
+func (t Resize) Name() string { return fmt.Sprintf("resize(w=%.2f)", t.Scale) }
+
+func (t Resize) Apply(f *Frame) *Frame {
+	if t.Scale <= 0 {
+		panic(fmt.Sprintf("vidsim: resize scale %v <= 0", t.Scale))
+	}
+	nw := int(math.Round(float64(f.W) * t.Scale))
+	nh := int(math.Round(float64(f.H) * t.Scale))
+	if nw < 1 {
+		nw = 1
+	}
+	if nh < 1 {
+		nh = 1
+	}
+	g := NewFrame(nw, nh)
+	sx := float64(f.W) / float64(nw)
+	sy := float64(f.H) / float64(nh)
+	for y := 0; y < nh; y++ {
+		for x := 0; x < nw; x++ {
+			g.Pix[y*nw+x] = f.Bilinear((float64(x)+0.5)*sx-0.5, (float64(y)+0.5)*sy-0.5)
+		}
+	}
+	return g
+}
+
+func (t Resize) MapPoint(x, y float64, srcW, srcH int) (float64, float64, bool) {
+	nw := int(math.Round(float64(srcW) * t.Scale))
+	nh := int(math.Round(float64(srcH) * t.Scale))
+	tx := (x + 0.5) * float64(nw) / float64(srcW)
+	ty := (y + 0.5) * float64(nh) / float64(srcH)
+	return tx - 0.5, ty - 0.5, true
+}
+
+// VShift shifts the image content down by Frac of its height (the paper's
+// w_shift, given in percent there). Revealed rows are black.
+type VShift struct{ Frac float64 }
+
+func (t VShift) Name() string { return fmt.Sprintf("shift(w=%.0f%%)", t.Frac*100) }
+
+func (t VShift) Apply(f *Frame) *Frame {
+	d := int(math.Round(t.Frac * float64(f.H)))
+	g := NewFrame(f.W, f.H)
+	for y := 0; y < f.H; y++ {
+		sy := y - d
+		if sy < 0 || sy >= f.H {
+			continue // black
+		}
+		copy(g.Pix[y*f.W:(y+1)*f.W], f.Pix[sy*f.W:(sy+1)*f.W])
+	}
+	return g
+}
+
+func (t VShift) MapPoint(x, y float64, _, srcH int) (float64, float64, bool) {
+	d := math.Round(t.Frac * float64(srcH))
+	ny := y + d
+	return x, ny, ny >= 0 && ny < float64(srcH)
+}
+
+// Gamma applies the pixel-wise power law I' = 255 (I/255)^G (the paper's
+// w_gamma).
+type Gamma struct{ G float64 }
+
+func (t Gamma) Name() string { return fmt.Sprintf("gamma(w=%.2f)", t.G) }
+
+func (t Gamma) Apply(f *Frame) *Frame {
+	if t.G <= 0 {
+		panic(fmt.Sprintf("vidsim: gamma %v <= 0", t.G))
+	}
+	g := NewFrame(f.W, f.H)
+	// Pixel intensities are float but live in [0,255]; a 1024-entry LUT
+	// over that range is accurate to the quantization the extractor does
+	// anyway and saves a pow per pixel.
+	var lut [1025]float32
+	for i := range lut {
+		lut[i] = float32(255 * math.Pow(float64(i)/1024, t.G))
+	}
+	for i, v := range f.Pix {
+		idx := int(v / 255 * 1024)
+		if idx < 0 {
+			idx = 0
+		} else if idx > 1024 {
+			idx = 1024
+		}
+		g.Pix[i] = lut[idx]
+	}
+	return g
+}
+
+func (Gamma) MapPoint(x, y float64, _, _ int) (float64, float64, bool) {
+	return x, y, true
+}
+
+// Contrast scales intensities by Factor with clamping (the paper's
+// w_contrast: I' = w I).
+type Contrast struct{ Factor float64 }
+
+func (t Contrast) Name() string { return fmt.Sprintf("contrast(w=%.2f)", t.Factor) }
+
+func (t Contrast) Apply(f *Frame) *Frame {
+	g := NewFrame(f.W, f.H)
+	for i, v := range f.Pix {
+		g.Pix[i] = clamp255(float32(t.Factor) * v)
+	}
+	return g
+}
+
+func (Contrast) MapPoint(x, y float64, _, _ int) (float64, float64, bool) {
+	return x, y, true
+}
+
+// Noise adds i.i.d. Gaussian noise of standard deviation Sigma (the
+// paper's w_noise) with clamping. Seed makes it reproducible.
+type Noise struct {
+	Sigma float64
+	Seed  int64
+}
+
+func (t Noise) Name() string { return fmt.Sprintf("noise(w=%.1f)", t.Sigma) }
+
+func (t Noise) Apply(f *Frame) *Frame {
+	g := NewFrame(f.W, f.H)
+	rng := rand.New(rand.NewSource(t.Seed ^ int64(len(f.Pix))*1048583))
+	for i, v := range f.Pix {
+		g.Pix[i] = clamp255(v + float32(rng.NormFloat64()*t.Sigma))
+	}
+	return g
+}
+
+func (Noise) MapPoint(x, y float64, _, _ int) (float64, float64, bool) {
+	return x, y, true
+}
+
+// Inset implements the third geometric operation the paper's introduction
+// names alongside resizing and shifting: "inserting" — the candidate
+// program is scaled down and embedded inside a larger frame (studio
+// overlay, picture-in-picture, news window). The content is resized by
+// Scale and placed with its top-left corner at (OffX, OffY), given as
+// fractions of the frame dimensions; the remainder is filled with the
+// flat Background intensity.
+type Inset struct {
+	Scale      float64
+	OffX, OffY float64
+	Background float32
+}
+
+func (t Inset) Name() string {
+	return fmt.Sprintf("inset(w=%.2f@%.2f,%.2f)", t.Scale, t.OffX, t.OffY)
+}
+
+func (t Inset) Apply(f *Frame) *Frame {
+	if t.Scale <= 0 || t.Scale > 1 {
+		panic(fmt.Sprintf("vidsim: inset scale %v outside (0,1]", t.Scale))
+	}
+	content := Resize{Scale: t.Scale}.Apply(f)
+	g := NewFrame(f.W, f.H)
+	for i := range g.Pix {
+		g.Pix[i] = clamp255(t.Background)
+	}
+	ox := int(math.Round(t.OffX * float64(f.W)))
+	oy := int(math.Round(t.OffY * float64(f.H)))
+	for y := 0; y < content.H; y++ {
+		for x := 0; x < content.W; x++ {
+			g.Set(ox+x, oy+y, content.Pix[y*content.W+x])
+		}
+	}
+	return g
+}
+
+func (t Inset) MapPoint(x, y float64, srcW, srcH int) (float64, float64, bool) {
+	rx, ry, _ := Resize{Scale: t.Scale}.MapPoint(x, y, srcW, srcH)
+	nx := rx + math.Round(t.OffX*float64(srcW))
+	ny := ry + math.Round(t.OffY*float64(srcH))
+	return nx, ny, nx >= 0 && ny >= 0 && nx < float64(srcW) && ny < float64(srcH)
+}
+
+// PixelJitter leaves frames untouched but perturbs mapped interest point
+// positions by Delta pixels in a pseudo-random axis direction, modelling
+// the paper's δ_pix "simulated imprecision in the position of the
+// interest points".
+type PixelJitter struct {
+	Delta int
+	Seed  uint64
+}
+
+func (t PixelJitter) Name() string { return fmt.Sprintf("jitter(δ=%dpx)", t.Delta) }
+
+func (t PixelJitter) Apply(f *Frame) *Frame { return f.Clone() }
+
+func (t PixelJitter) MapPoint(x, y float64, srcW, srcH int) (float64, float64, bool) {
+	if t.Delta == 0 {
+		return x, y, true
+	}
+	h := hash2(int64(math.Round(x*8)), int64(math.Round(y*8)), t.Seed)
+	d := float64(t.Delta)
+	switch int(h * 4) {
+	case 0:
+		x += d
+	case 1:
+		x -= d
+	case 2:
+		y += d
+	default:
+		y -= d
+	}
+	return x, y, x >= 0 && y >= 0 && x < float64(srcW) && y < float64(srcH)
+}
+
+// Compose chains transformations left to right.
+type Compose []Transform
+
+func (c Compose) Name() string {
+	s := ""
+	for i, t := range c {
+		if i > 0 {
+			s += "+"
+		}
+		s += t.Name()
+	}
+	return s
+}
+
+func (c Compose) Apply(f *Frame) *Frame {
+	out := f.Clone()
+	for _, t := range c {
+		out = t.Apply(out)
+	}
+	return out
+}
+
+func (c Compose) MapPoint(x, y float64, srcW, srcH int) (float64, float64, bool) {
+	w, h := srcW, srcH
+	for _, t := range c {
+		var ok bool
+		x, y, ok = t.MapPoint(x, y, w, h)
+		if !ok {
+			return x, y, false
+		}
+		if r, isResize := t.(Resize); isResize {
+			w = int(math.Round(float64(w) * r.Scale))
+			h = int(math.Round(float64(h) * r.Scale))
+		}
+	}
+	return x, y, true
+}
+
+// ApplySeq maps a transformation over every frame of a sequence. For
+// stochastic transforms (Noise) each frame uses a distinct stream derived
+// from the frame index so two runs agree but frames differ.
+func ApplySeq(t Transform, s *Sequence) *Sequence {
+	out := &Sequence{FPS: s.FPS, Frames: make([]*Frame, len(s.Frames))}
+	for i, f := range s.Frames {
+		out.Frames[i] = reseed(t, i).Apply(f)
+	}
+	return out
+}
+
+// reseed derives a per-frame noise stream so that consecutive frames do
+// not share the same noise pattern, recursing into compositions.
+func reseed(t Transform, frame int) Transform {
+	switch v := t.(type) {
+	case Noise:
+		v.Seed ^= int64(frame+1) * 0x5DEECE66D
+		return v
+	case Compose:
+		out := make(Compose, len(v))
+		for j, tt := range v {
+			out[j] = reseed(tt, frame)
+		}
+		return out
+	}
+	return t
+}

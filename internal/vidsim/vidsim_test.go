@@ -1,0 +1,289 @@
+package vidsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig(11)
+	a := Generate(cfg, 60)
+	b := Generate(cfg, 60)
+	if a.Len() != 60 || b.Len() != 60 {
+		t.Fatalf("lengths %d %d", a.Len(), b.Len())
+	}
+	for i := range a.Frames {
+		for j := range a.Frames[i].Pix {
+			if a.Frames[i].Pix[j] != b.Frames[i].Pix[j] {
+				t.Fatalf("frame %d differs at %d", i, j)
+			}
+		}
+	}
+	c := Generate(DefaultConfig(12), 60)
+	same := true
+	for j := range a.Frames[0].Pix {
+		if a.Frames[0].Pix[j] != c.Frames[0].Pix[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical first frame")
+	}
+}
+
+func TestGenerateRangeAndVariety(t *testing.T) {
+	seq := Generate(DefaultConfig(3), 120)
+	for i, f := range seq.Frames {
+		var m Momentser
+		for _, v := range f.Pix {
+			if v < 0 || v > 255 {
+				t.Fatalf("frame %d: pixel %v out of range", i, v)
+			}
+			m.add(float64(v))
+		}
+		if m.std() < 5 {
+			t.Fatalf("frame %d nearly flat (std %v): no texture for corners", i, m.std())
+		}
+	}
+}
+
+// Momentser is a tiny local mean/std helper to avoid a dependency cycle
+// with internal/stat in tests.
+type Momentser struct {
+	n          int
+	sum, sumSq float64
+}
+
+func (m *Momentser) add(x float64) { m.n++; m.sum += x; m.sumSq += x * x }
+func (m *Momentser) std() float64 {
+	mean := m.sum / float64(m.n)
+	return math.Sqrt(m.sumSq/float64(m.n) - mean*mean)
+}
+
+func TestShotCutsProduceMotionSpikes(t *testing.T) {
+	cfg := DefaultConfig(5)
+	cfg.MinShot, cfg.MaxShot = 25, 30
+	seq := Generate(cfg, 200)
+	var diffs []float64
+	for i := 1; i < seq.Len(); i++ {
+		diffs = append(diffs, MeanAbsDiff(seq.Frames[i-1], seq.Frames[i]))
+	}
+	// There must be clear spikes (cuts) well above the median motion.
+	med := medianOf(diffs)
+	spikes := 0
+	for _, d := range diffs {
+		if d > 4*med {
+			spikes++
+		}
+	}
+	if spikes < 3 {
+		t.Fatalf("only %d motion spikes across 200 frames (median %v)", spikes, med)
+	}
+}
+
+func medianOf(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[len(s)/2]
+}
+
+func TestFrameAtClamps(t *testing.T) {
+	f := NewFrame(4, 3)
+	f.Set(0, 0, 10)
+	f.Set(3, 2, 20)
+	if f.At(-5, -5) != 10 || f.At(100, 100) != 20 {
+		t.Fatal("replicate padding broken")
+	}
+	f.Set(-1, 0, 99) // ignored
+	if f.At(0, 0) != 10 {
+		t.Fatal("out-of-bounds Set wrote")
+	}
+}
+
+func TestBilinear(t *testing.T) {
+	f := NewFrame(2, 2)
+	f.Set(0, 0, 0)
+	f.Set(1, 0, 10)
+	f.Set(0, 1, 20)
+	f.Set(1, 1, 30)
+	if got := f.Bilinear(0.5, 0.5); math.Abs(float64(got)-15) > 1e-5 {
+		t.Fatalf("center bilinear = %v", got)
+	}
+	if got := f.Bilinear(0, 0); got != 0 {
+		t.Fatalf("corner bilinear = %v", got)
+	}
+}
+
+func TestMeanAbsDiff(t *testing.T) {
+	a, b := NewFrame(2, 2), NewFrame(2, 2)
+	b.Pix[0] = 4
+	if got := MeanAbsDiff(a, b); got != 1 {
+		t.Fatalf("MeanAbsDiff = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size mismatch should panic")
+		}
+	}()
+	MeanAbsDiff(a, NewFrame(3, 2))
+}
+
+func TestResize(t *testing.T) {
+	f := Generate(DefaultConfig(1), 1).Frames[0]
+	g := Resize{Scale: 0.5}.Apply(f)
+	if g.W != f.W/2 || g.H != f.H/2 {
+		t.Fatalf("resize dims %dx%d", g.W, g.H)
+	}
+	up := Resize{Scale: 2}.Apply(f)
+	if up.W != 2*f.W {
+		t.Fatalf("upscale dims %d", up.W)
+	}
+	// MapPoint round trip through scale and back lands close to start.
+	x, y, ok := Resize{Scale: 0.5}.MapPoint(40, 30, f.W, f.H)
+	if !ok {
+		t.Fatal("resize map not ok")
+	}
+	x2, y2, _ := Resize{Scale: 2}.MapPoint(x, y, f.W/2, f.H/2)
+	if math.Abs(x2-40) > 1 || math.Abs(y2-30) > 1 {
+		t.Fatalf("map round trip: (%v,%v)", x2, y2)
+	}
+}
+
+func TestVShift(t *testing.T) {
+	f := NewFrame(4, 10)
+	f.Set(1, 2, 50)
+	g := VShift{Frac: 0.3}.Apply(f) // 3 px down
+	if g.At(1, 5) != 50 {
+		t.Fatalf("shifted pixel not found: %v", g.At(1, 5))
+	}
+	if g.At(1, 2) != 0 {
+		t.Fatalf("revealed area not black")
+	}
+	_, y, ok := VShift{Frac: 0.3}.MapPoint(1, 2, 4, 10)
+	if !ok || y != 5 {
+		t.Fatalf("MapPoint y=%v ok=%v", y, ok)
+	}
+	_, _, ok = VShift{Frac: 0.5}.MapPoint(1, 8, 4, 10)
+	if ok {
+		t.Fatal("point leaving frame should report !ok")
+	}
+}
+
+func TestGammaContrast(t *testing.T) {
+	f := NewFrame(1, 3)
+	f.Pix = []float32{0, 127.5, 255}
+	g := Gamma{G: 2}.Apply(f)
+	if g.Pix[0] != 0 || math.Abs(float64(g.Pix[2])-255) > 0.5 {
+		t.Fatalf("gamma endpoints: %v", g.Pix)
+	}
+	if math.Abs(float64(g.Pix[1])-63.75) > 1 {
+		t.Fatalf("gamma midpoint: %v", g.Pix[1])
+	}
+	c := Contrast{Factor: 2.5}.Apply(f)
+	if c.Pix[1] != 255 || c.Pix[2] != 255 || c.Pix[0] != 0 {
+		t.Fatalf("contrast clamp: %v", c.Pix)
+	}
+}
+
+func TestNoiseDeterministicAndBounded(t *testing.T) {
+	f := Generate(DefaultConfig(2), 1).Frames[0]
+	a := Noise{Sigma: 10, Seed: 9}.Apply(f)
+	b := Noise{Sigma: 10, Seed: 9}.Apply(f)
+	diff := 0.0
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("noise not deterministic")
+		}
+		if a.Pix[i] < 0 || a.Pix[i] > 255 {
+			t.Fatal("noise out of range")
+		}
+		d := float64(a.Pix[i] - f.Pix[i])
+		diff += d * d
+	}
+	rms := math.Sqrt(diff / float64(len(a.Pix)))
+	if rms < 5 || rms > 15 {
+		t.Fatalf("noise rms %v for sigma 10", rms)
+	}
+}
+
+func TestPixelJitter(t *testing.T) {
+	j := PixelJitter{Delta: 1, Seed: 4}
+	moved := 0
+	for i := 0; i < 50; i++ {
+		x, y, ok := j.MapPoint(float64(10+i), 20, 96, 72)
+		if !ok {
+			continue
+		}
+		if math.Abs(x-float64(10+i))+math.Abs(y-20) != 1 {
+			t.Fatalf("jitter moved by != 1 px: %v %v", x, y)
+		}
+		moved++
+	}
+	if moved < 45 {
+		t.Fatalf("too many jittered points out of frame: %d", moved)
+	}
+	// Delta 0 is identity.
+	x, y, ok := PixelJitter{}.MapPoint(3, 4, 96, 72)
+	if !ok || x != 3 || y != 4 {
+		t.Fatal("zero jitter not identity")
+	}
+}
+
+func TestCompose(t *testing.T) {
+	c := Compose{Resize{Scale: 0.5}, Gamma{G: 1.2}, VShift{Frac: 0.1}}
+	f := Generate(DefaultConfig(8), 1).Frames[0]
+	g := c.Apply(f)
+	if g.W != f.W/2 || g.H != f.H/2 {
+		t.Fatalf("compose dims %dx%d", g.W, g.H)
+	}
+	x, y, ok := c.MapPoint(40, 30, f.W, f.H)
+	if !ok {
+		t.Fatal("compose map failed")
+	}
+	// resize first: ~ (20.25,15.25) then shift 10% of 36 px = 4 px (approx).
+	if math.Abs(x-20.25) > 0.51 || math.Abs(y-15.25-4) > 1.01 {
+		t.Fatalf("compose map = (%v,%v)", x, y)
+	}
+	if c.Name() == "" {
+		t.Fatal("empty compose name")
+	}
+}
+
+func TestApplySeqReseedsNoise(t *testing.T) {
+	seq := Generate(DefaultConfig(21), 3)
+	out := ApplySeq(Noise{Sigma: 8, Seed: 77}, seq)
+	// Noise fields of different frames must differ: compare the noise
+	// residuals of frame 0 and 1 at the same pixel positions.
+	same := 0
+	for i := range out.Frames[0].Pix {
+		r0 := out.Frames[0].Pix[i] - seq.Frames[0].Pix[i]
+		r1 := out.Frames[1].Pix[i] - seq.Frames[1].Pix[i]
+		if r0 == r1 {
+			same++
+		}
+	}
+	if same > len(out.Frames[0].Pix)/10 {
+		t.Fatalf("noise identical across frames at %d/%d pixels", same, len(out.Frames[0].Pix))
+	}
+	// Composition reseeds too.
+	out2 := ApplySeq(Compose{Noise{Sigma: 8, Seed: 77}}, seq)
+	for i := range out2.Frames[1].Pix {
+		if out2.Frames[1].Pix[i] != out.Frames[1].Pix[i] {
+			t.Fatal("compose reseed diverged from direct reseed")
+		}
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	f := Generate(DefaultConfig(30), 1).Frames[0]
+	g := Identity{}.Apply(f)
+	g.Pix[0] = 123
+	if f.Pix[0] == 123 {
+		t.Fatal("Identity did not deep copy")
+	}
+}

@@ -1,0 +1,77 @@
+package vote
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// manyIDCandidates models archive-scale search results: each candidate
+// fingerprint matches dozens of records spread over thousands of
+// identifiers (the regime where per-identifier filtering of the whole
+// result set used to dominate detection time).
+func manyIDCandidates(nCands, matchesPer, idSpace int) []Candidate {
+	r := rand.New(rand.NewSource(1))
+	cands := make([]Candidate, nCands)
+	for j := range cands {
+		c := Candidate{TC: uint32(100 + j), X: float64(j % 90), Y: float64(j % 70)}
+		for k := 0; k < matchesPer; k++ {
+			c.Matches = append(c.Matches, Match{
+				ID: uint32(r.Intn(idSpace)),
+				TC: uint32(r.Intn(100000)),
+				X:  uint16(r.Intn(90)), Y: uint16(r.Intn(70)),
+			})
+		}
+		cands[j] = c
+	}
+	return cands
+}
+
+func BenchmarkDecideManyIDs(b *testing.B) {
+	cands := manyIDCandidates(200, 50, 4000)
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Decide(cands, cfg)
+	}
+}
+
+func BenchmarkDecideFewIDs(b *testing.B) {
+	cands := manyIDCandidates(200, 50, 8)
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Decide(cands, cfg)
+	}
+}
+
+// TestGroupByID pins the grouping semantics the estimator depends on:
+// per-identifier observations in candidate order, one obs per candidate,
+// refs complete.
+func TestGroupByID(t *testing.T) {
+	cands := []Candidate{
+		{TC: 10, X: 1, Y: 2, Matches: []Match{{ID: 5, TC: 100}, {ID: 5, TC: 200}, {ID: 9, TC: 300}}},
+		{TC: 20, Matches: []Match{{ID: 9, TC: 400}}},
+		{TC: 30, Matches: []Match{{ID: 5, TC: 500}}},
+	}
+	groups := groupByID(cands)
+	if len(groups) != 2 || groups[0].id != 5 || groups[1].id != 9 {
+		t.Fatalf("groups: %+v", groups)
+	}
+	g5 := groups[0]
+	if len(g5.obs) != 2 {
+		t.Fatalf("id 5 obs: %+v", g5.obs)
+	}
+	if len(g5.obs[0].refs) != 2 || g5.obs[0].tcQ != 10 || g5.obs[0].qx != 1 {
+		t.Fatalf("id 5 first obs: %+v", g5.obs[0])
+	}
+	if len(g5.obs[1].refs) != 1 || g5.obs[1].tcQ != 30 {
+		t.Fatalf("id 5 second obs: %+v", g5.obs[1])
+	}
+	g9 := groups[1]
+	if len(g9.obs) != 2 || g9.obs[0].refs[0].tc != 300 || g9.obs[1].refs[0].tc != 400 {
+		t.Fatalf("id 9 obs: %+v", g9.obs)
+	}
+	if got := groupByID(nil); len(got) != 0 {
+		t.Fatalf("empty grouping: %+v", got)
+	}
+}

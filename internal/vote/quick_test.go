@@ -1,0 +1,70 @@
+package vote
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickPlantedOffsetRecovery property-tests the estimator: for any
+// planted integer offset and any pollution pattern, the planted id must
+// be recovered with an offset within the tolerance, as long as a clear
+// majority of candidates carry the coherent match.
+func TestQuickPlantedOffsetRecovery(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(seed int64, rawOffset int16, rawN uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		offset := float64(rawOffset)
+		n := 10 + int(rawN)%15
+		cands := make([]Candidate, n)
+		for j := range cands {
+			tcQ := uint32(40000 + 13*j)
+			c := Candidate{TC: tcQ}
+			c.Matches = append(c.Matches, Match{ID: 5, TC: uint32(float64(tcQ) - offset)})
+			// Up to 2 random polluters per candidate.
+			for k := 0; k < r.Intn(3); k++ {
+				c.Matches = append(c.Matches, Match{ID: uint32(100 + r.Intn(20)), TC: uint32(r.Intn(1 << 20))})
+			}
+			cands[j] = c
+		}
+		dets := Decide(cands, cfg)
+		if len(dets) == 0 || dets[0].ID != 5 {
+			return false
+		}
+		if dets[0].Votes != n {
+			return false
+		}
+		return math.Abs(dets[0].Offset-offset) <= cfg.Tolerance
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickVotesNeverExceedCandidates: n_sim counts candidate
+// fingerprints, so it can never exceed their number whatever the match
+// multiplicity.
+func TestQuickVotesNeverExceedCandidates(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + int(rawN)%20
+		cands := make([]Candidate, n)
+		for j := range cands {
+			c := Candidate{TC: uint32(1000 + j)}
+			for k := 0; k < 1+r.Intn(6); k++ {
+				c.Matches = append(c.Matches, Match{ID: uint32(r.Intn(4)), TC: uint32(r.Intn(5000))})
+			}
+			cands[j] = c
+		}
+		for _, d := range Score(cands, DefaultConfig()) {
+			if d.Votes > n || d.Votes < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

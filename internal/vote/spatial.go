@@ -1,0 +1,118 @@
+package vote
+
+// Spatial extension of the voting strategy — the second future work the
+// paper's conclusion announces: "we would like to extend the estimation
+// step to the spatial positions of the interest points in order to
+// improve the discriminance of the fingerprints". After the temporal
+// offset b(id) is estimated, the spatial correspondence between the
+// candidate's interest points and the referenced ones is fitted with a
+// per-axis linear model x' = a·x + t (covering the paper's resize and
+// shift transformations) using the same robust machinery; a vote then
+// requires temporal AND spatial coherence.
+
+import (
+	"math"
+	"sort"
+)
+
+// axisModel is x' = A·x + T for one image axis.
+type axisModel struct {
+	A, T float64
+}
+
+// eval returns the predicted candidate coordinate for a reference
+// coordinate.
+func (m axisModel) eval(x float64) float64 { return m.A*x + m.T }
+
+// fitAxis robustly fits x' = a·x + t to correspondence pairs (ref, cand)
+// with a Theil–Sen style estimator: the slope is the median of pairwise
+// slopes, the intercept the median residual. Degenerate inputs (fewer
+// than 2 pairs, or all references equal) fall back to a pure translation
+// (a = 1).
+func fitAxis(ref, cand []float64) axisModel {
+	n := len(ref)
+	if n == 0 {
+		return axisModel{A: 1}
+	}
+	if n == 1 {
+		return axisModel{A: 1, T: cand[0] - ref[0]}
+	}
+	var slopes []float64
+	// Cap the pair enumeration: for large n a random-ish but
+	// deterministic subset of pairs suffices for a median slope.
+	step := 1
+	if n > 60 {
+		step = n / 60
+	}
+	for i := 0; i < n; i += step {
+		for j := i + 1; j < n; j += step {
+			dx := ref[j] - ref[i]
+			if math.Abs(dx) < 1e-9 {
+				continue
+			}
+			slopes = append(slopes, (cand[j]-cand[i])/dx)
+		}
+	}
+	a := 1.0
+	if len(slopes) > 0 {
+		sort.Float64s(slopes)
+		a = slopes[len(slopes)/2]
+	}
+	// Guard against absurd scales — video resizes live in a modest range,
+	// and a wild slope estimate means the correspondences are incoherent.
+	if a < 0.25 || a > 4 {
+		a = 1
+	}
+	res := make([]float64, n)
+	for i := range ref {
+		res[i] = cand[i] - a*ref[i]
+	}
+	sort.Float64s(res)
+	return axisModel{A: a, T: res[len(res)/2]}
+}
+
+// spatialObservation is one temporally coherent correspondence with
+// positions on both sides.
+type spatialObservation struct {
+	refX, refY   float64
+	candX, candY float64
+}
+
+// spatialVotes fits the two axis models on the temporally coherent
+// correspondences and counts those whose position is predicted within
+// tol pixels on both axes. Records from v1 database files carry no
+// positions (all zeros); in that case spatial information is simply
+// unavailable and every temporally coherent observation passes.
+func spatialVotes(obs []spatialObservation, tol float64) (int, axisModel, axisModel) {
+	if len(obs) == 0 {
+		return 0, axisModel{A: 1}, axisModel{A: 1}
+	}
+	noPositions := true
+	for _, o := range obs {
+		if o.refX != 0 || o.refY != 0 {
+			noPositions = false
+			break
+		}
+	}
+	if noPositions {
+		return len(obs), axisModel{A: 1}, axisModel{A: 1}
+	}
+	refX := make([]float64, len(obs))
+	refY := make([]float64, len(obs))
+	candX := make([]float64, len(obs))
+	candY := make([]float64, len(obs))
+	for i, o := range obs {
+		refX[i], refY[i] = o.refX, o.refY
+		candX[i], candY[i] = o.candX, o.candY
+	}
+	mx := fitAxis(refX, candX)
+	my := fitAxis(refY, candY)
+	votes := 0
+	for _, o := range obs {
+		if math.Abs(mx.eval(o.refX)-o.candX) <= tol &&
+			math.Abs(my.eval(o.refY)-o.candY) <= tol {
+			votes++
+		}
+	}
+	return votes, mx, my
+}

@@ -1,0 +1,130 @@
+package vote
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFitAxisRecoversLinearModel(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		a := 0.5 + r.Float64()*1.5
+		tr := (r.Float64() - 0.5) * 40
+		var ref, cand []float64
+		for i := 0; i < 40; i++ {
+			x := r.Float64() * 100
+			ref = append(ref, x)
+			cand = append(cand, a*x+tr+(r.Float64()-0.5)*0.5)
+		}
+		// 20% outliers.
+		for i := 0; i < 8; i++ {
+			ref = append(ref, r.Float64()*100)
+			cand = append(cand, r.Float64()*100)
+		}
+		m := fitAxis(ref, cand)
+		if math.Abs(m.A-a) > 0.05 {
+			t.Fatalf("trial %d: slope %v, want %v", trial, m.A, a)
+		}
+		if math.Abs(m.T-tr) > 2 {
+			t.Fatalf("trial %d: intercept %v, want %v", trial, m.T, tr)
+		}
+	}
+}
+
+func TestFitAxisDegenerate(t *testing.T) {
+	if m := fitAxis(nil, nil); m.A != 1 || m.T != 0 {
+		t.Fatalf("empty: %+v", m)
+	}
+	if m := fitAxis([]float64{5}, []float64{9}); m.A != 1 || m.T != 4 {
+		t.Fatalf("single: %+v", m)
+	}
+	// All references identical: pure translation fallback.
+	m := fitAxis([]float64{7, 7, 7}, []float64{10, 10, 10})
+	if m.A != 1 || math.Abs(m.T-3) > 1e-9 {
+		t.Fatalf("constant refs: %+v", m)
+	}
+	// Absurd slope estimates are rejected.
+	m = fitAxis([]float64{0, 0.001}, []float64{0, 100})
+	if m.A != 1 {
+		t.Fatalf("absurd slope kept: %+v", m)
+	}
+}
+
+func TestSpatialVotesCounts(t *testing.T) {
+	var obs []spatialObservation
+	// 10 coherent at scale 0.8 translation (5, -3).
+	for i := 0; i < 10; i++ {
+		x, y := float64(10*i), float64(7*i)
+		obs = append(obs, spatialObservation{
+			refX: x, refY: y,
+			candX: 0.8*x + 5, candY: 0.8*y - 3,
+		})
+	}
+	// 4 incoherent.
+	for i := 0; i < 4; i++ {
+		obs = append(obs, spatialObservation{refX: float64(13 * i), refY: 50, candX: 200, candY: 300})
+	}
+	votes, mx, my := spatialVotes(obs, 2)
+	if votes != 10 {
+		t.Fatalf("votes = %d, want 10", votes)
+	}
+	if math.Abs(mx.A-0.8) > 0.02 || math.Abs(my.A-0.8) > 0.02 {
+		t.Fatalf("scales %v %v, want 0.8", mx.A, my.A)
+	}
+	if v, _, _ := spatialVotes(nil, 2); v != 0 {
+		t.Fatalf("empty votes %d", v)
+	}
+}
+
+// TestSpatialExtensionImprovesDiscriminance is the point of the paper's
+// future work: random matches that happen to be temporally coherent are
+// rarely spatially coherent too, so the spatial vote suppresses them while
+// keeping geometric copies.
+func TestSpatialExtensionImprovesDiscriminance(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	// Build candidates where id 1 is a true copy (consistent offset AND a
+	// consistent spatial map at scale 0.9), and id 2 is temporal-only
+	// noise: a consistent offset but random positions (as happens when
+	// near-duplicate background fingerprints at many positions all match).
+	var cands []Candidate
+	for j := 0; j < 20; j++ {
+		tcQ := uint32(1000 + 10*j)
+		x := r.Float64() * 300
+		y := r.Float64() * 200
+		c := Candidate{TC: tcQ, X: 0.9*x + 4, Y: 0.9*y - 2}
+		c.Matches = append(c.Matches, Match{ID: 1, TC: tcQ - 77, X: uint16(x), Y: uint16(y)})
+		c.Matches = append(c.Matches, Match{ID: 2, TC: tcQ - 200,
+			X: uint16(r.Intn(300)), Y: uint16(r.Intn(200))})
+		cands = append(cands, c)
+	}
+	temporal := DefaultConfig()
+	spatial := DefaultConfig()
+	spatial.SpatialTolerance = 4
+
+	st := Score(cands, temporal)
+	if len(st) != 2 || st[0].Votes < 18 || st[1].Votes < 18 {
+		t.Fatalf("temporal votes should be high for both ids: %+v", st)
+	}
+	ss := Score(cands, spatial)
+	var v1, v2 int
+	var scale float64
+	for _, d := range ss {
+		switch d.ID {
+		case 1:
+			v1 = d.Votes
+			scale = d.ScaleX
+		case 2:
+			v2 = d.Votes
+		}
+	}
+	if v1 < 18 {
+		t.Fatalf("true copy lost spatial votes: %d", v1)
+	}
+	if v2 > v1/3 {
+		t.Fatalf("spatially incoherent id kept %d votes vs %d", v2, v1)
+	}
+	if math.Abs(scale-0.9) > 0.05 {
+		t.Fatalf("fitted scale %v, want 0.9", scale)
+	}
+}

@@ -1,0 +1,157 @@
+package vote
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// plantedScenario builds candidates where identifier trueID appears with
+// a consistent offset, polluted with random matches from other ids.
+func plantedScenario(r *rand.Rand, trueID uint32, offset float64, nCands, votesPlanted int) []Candidate {
+	cands := make([]Candidate, nCands)
+	planted := 0
+	for j := range cands {
+		tcQ := uint32(5000 + 10*j) // large enough that tcQ-offset stays positive
+		c := Candidate{TC: tcQ}
+		if planted < votesPlanted {
+			c.Matches = append(c.Matches, Match{ID: trueID, TC: uint32(float64(tcQ) - offset)})
+			planted++
+		}
+		// Random pollution: other ids at arbitrary time codes, plus an
+		// occasional wrong-time match for trueID (outlier).
+		for k := 0; k < 3; k++ {
+			c.Matches = append(c.Matches, Match{ID: uint32(1000 + r.Intn(50)), TC: uint32(r.Intn(100000))})
+		}
+		if r.Intn(4) == 0 {
+			c.Matches = append(c.Matches, Match{ID: trueID, TC: uint32(r.Intn(100000))})
+		}
+		cands[j] = c
+	}
+	return cands
+}
+
+func TestDecideFindsPlantedOffset(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	cfg := DefaultConfig()
+	for trial := 0; trial < 20; trial++ {
+		offset := float64(r.Intn(5000) - 2500)
+		cands := plantedScenario(r, 7, offset, 20, 12)
+		dets := Decide(cands, cfg)
+		if len(dets) == 0 {
+			t.Fatalf("trial %d: no detection", trial)
+		}
+		if dets[0].ID != 7 {
+			t.Fatalf("trial %d: top detection id %d", trial, dets[0].ID)
+		}
+		if math.Abs(dets[0].Offset-offset) > cfg.Tolerance {
+			t.Fatalf("trial %d: offset %v, want %v", trial, dets[0].Offset, offset)
+		}
+		if dets[0].Votes < 10 {
+			t.Fatalf("trial %d: only %d votes for 12 planted", trial, dets[0].Votes)
+		}
+	}
+}
+
+func TestDecideRejectsIncoherentMatches(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	// All matches random: temporal coherence is very rare, so no id
+	// should collect MinVotes votes.
+	cands := make([]Candidate, 20)
+	for j := range cands {
+		c := Candidate{TC: uint32(100 + 10*j)}
+		for k := 0; k < 5; k++ {
+			c.Matches = append(c.Matches, Match{ID: uint32(r.Intn(30)), TC: uint32(r.Intn(1000000))})
+		}
+		cands[j] = c
+	}
+	if dets := Decide(cands, DefaultConfig()); len(dets) != 0 {
+		t.Fatalf("incoherent noise produced detections: %+v", dets)
+	}
+}
+
+func TestDecideHandlesNoisyOffsets(t *testing.T) {
+	// Planted matches jittered by ±1 frame must still be recovered.
+	r := rand.New(rand.NewSource(3))
+	cands := make([]Candidate, 15)
+	for j := range cands {
+		tcQ := uint32(500 + 7*j)
+		jit := r.Intn(3) - 1
+		cands[j] = Candidate{TC: tcQ, Matches: []Match{
+			{ID: 3, TC: uint32(int(tcQ) - 300 + jit)},
+		}}
+	}
+	dets := Decide(cands, DefaultConfig())
+	if len(dets) != 1 || dets[0].ID != 3 {
+		t.Fatalf("detections: %+v", dets)
+	}
+	if math.Abs(dets[0].Offset-300) > 1.5 {
+		t.Fatalf("offset %v, want ~300", dets[0].Offset)
+	}
+	if dets[0].Votes < 12 {
+		t.Fatalf("votes %d", dets[0].Votes)
+	}
+}
+
+func TestDecideMultipleIDs(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	cands := plantedScenario(r, 1, 100, 24, 14)
+	// Plant a second, weaker id.
+	for j := 0; j < 8; j++ {
+		cands[j].Matches = append(cands[j].Matches, Match{ID: 2, TC: cands[j].TC + 777})
+	}
+	dets := Decide(cands, DefaultConfig())
+	if len(dets) < 2 {
+		t.Fatalf("want 2 detections, got %+v", dets)
+	}
+	if dets[0].ID != 1 || dets[1].ID != 2 {
+		t.Fatalf("order: %+v", dets)
+	}
+	if dets[0].Votes <= dets[1].Votes {
+		t.Fatalf("vote ordering: %+v", dets)
+	}
+	if math.Abs(dets[1].Offset+777) > 2 {
+		t.Fatalf("second offset %v, want -777", dets[1].Offset)
+	}
+}
+
+func TestScoreReturnsAllIDs(t *testing.T) {
+	cands := []Candidate{
+		{TC: 10, Matches: []Match{{ID: 1, TC: 5}, {ID: 2, TC: 99}}},
+		{TC: 20, Matches: []Match{{ID: 1, TC: 15}}},
+	}
+	scores := Score(cands, DefaultConfig())
+	if len(scores) != 2 {
+		t.Fatalf("Score returned %d ids", len(scores))
+	}
+	// id 1 has two coherent observations (offset 5), id 2 one.
+	if scores[0].ID != 1 || scores[0].Votes != 2 {
+		t.Fatalf("top score: %+v", scores[0])
+	}
+	if scores[1].Votes != 1 {
+		t.Fatalf("second score: %+v", scores[1])
+	}
+}
+
+func TestDecideEmpty(t *testing.T) {
+	if dets := Decide(nil, DefaultConfig()); dets != nil {
+		t.Fatalf("nil input: %+v", dets)
+	}
+	if dets := Decide([]Candidate{{TC: 5}}, DefaultConfig()); dets != nil {
+		t.Fatalf("matchless input: %+v", dets)
+	}
+}
+
+func TestMinVotesThreshold(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	cands := plantedScenario(r, 9, 50, 10, 5)
+	cfg := DefaultConfig()
+	cfg.MinVotes = 6
+	if dets := Decide(cands, cfg); len(dets) != 0 {
+		t.Fatalf("5 planted votes passed MinVotes=6: %+v", dets)
+	}
+	cfg.MinVotes = 4
+	if dets := Decide(cands, cfg); len(dets) == 0 {
+		t.Fatal("5 planted votes failed MinVotes=4")
+	}
+}

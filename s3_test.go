@@ -1,0 +1,177 @@
+package s3
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"s3cbcd/internal/vidsim"
+)
+
+func randomRecords(r *rand.Rand, dims, n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		fp := make([]byte, dims)
+		for j := range fp {
+			fp[j] = byte(r.Intn(256))
+		}
+		recs[i] = Record{FP: fp, ID: uint32(i % 10), TC: uint32(i)}
+	}
+	return recs
+}
+
+func TestIndexLifecycle(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	recs := randomRecords(r, 8, 1000)
+	x, err := BuildIndex(8, recs, IndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Len() != 1000 || x.Dims() != 8 {
+		t.Fatalf("Len=%d Dims=%d", x.Len(), x.Dims())
+	}
+	sq := StatQuery{Alpha: 0.8, Model: IsoNormal{D: 8, Sigma: 10}}
+	q := recs[0].FP
+	matches, plan, err := x.StatSearch(q, sq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Mass < 0.8 {
+		t.Fatalf("plan mass %v", plan.Mass)
+	}
+	foundSelf := false
+	for _, m := range matches {
+		if m.ID == recs[0].ID && m.TC == recs[0].TC {
+			foundSelf = true
+		}
+	}
+	if !foundSelf {
+		t.Fatal("statistical search around a stored fingerprint did not return it")
+	}
+
+	// Range and scan agree.
+	rm, _, err := x.RangeSearch(q, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := x.ScanSearch(q, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rm) != len(sm) {
+		t.Fatalf("range %d vs scan %d results", len(rm), len(sm))
+	}
+
+	// Save / reload round trip.
+	path := filepath.Join(t.TempDir(), "idx.s3db")
+	if err := x.Save(path, 8); err != nil {
+		t.Fatal(err)
+	}
+	y, err := OpenIndex(path, x.Depth())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _, err := y.StatSearch(q, sq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m2) != len(matches) {
+		t.Fatalf("reloaded index returned %d matches, original %d", len(m2), len(matches))
+	}
+
+	// Disk batch equals in-memory.
+	d, err := OpenDiskIndex(path, x.Depth())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.Count() != 1000 {
+		t.Fatalf("disk count %d", d.Count())
+	}
+	res, stats, err := d.SearchBatch([][]byte{q}, sq, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res[0]) != len(matches) {
+		t.Fatalf("disk batch %d matches, memory %d", len(res[0]), len(matches))
+	}
+	if stats.SectionsLoaded == 0 {
+		t.Fatal("no sections loaded")
+	}
+}
+
+func TestTuneSetsDepth(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	x, err := BuildIndex(8, randomRecords(r, 8, 2000), IndexOptions{Depth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := make([][]byte, 5)
+	for i := range samples {
+		samples[i] = randomRecords(r, 8, 1)[0].FP
+	}
+	sweep, err := x.Tune(samples, StatQuery{Alpha: 0.8, Model: IsoNormal{D: 8, Sigma: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) == 0 {
+		t.Fatal("empty sweep")
+	}
+}
+
+func TestMatchedRangeRadius(t *testing.T) {
+	eps := MatchedRangeRadius(20, 20, 0.8)
+	if eps < 90 || eps < MatchedRangeRadius(20, 20, 0.5) {
+		t.Fatalf("eps = %v", eps)
+	}
+}
+
+func TestVideoPipelineFacade(t *testing.T) {
+	ref := GenerateVideo(42, 150)
+	in := NewVideoIndexer(CBCDConfig{})
+	if n := in.AddSequence(1, ref); n == 0 {
+		t.Fatal("no fingerprints extracted")
+	}
+	det, err := in.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dets, err := det.DetectClip(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) == 0 || dets[0].ID != 1 {
+		t.Fatalf("self-detection failed: %+v", dets)
+	}
+
+	locals := ExtractFingerprints(ref, ExtractConfig{})
+	if len(locals) == 0 {
+		t.Fatal("facade extraction empty")
+	}
+
+	est, err := EstimateDistortion([]*Video{ref}, vidsim.Gamma{G: 1.5}, ExtractConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Sigma <= 0 {
+		t.Fatalf("estimate sigma %v", est.Sigma)
+	}
+}
+
+func TestNewDetectorDimsCheck(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	x, err := BuildIndex(8, randomRecords(r, 8, 10), IndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDetector(x, CBCDConfig{}); err == nil {
+		t.Fatal("8-dim index accepted for 20-dim detector")
+	}
+	x20, err := BuildIndex(FingerprintDims, randomRecords(r, FingerprintDims, 10), IndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDetector(x20, CBCDConfig{}); err != nil {
+		t.Fatal(err)
+	}
+}
