@@ -1,0 +1,31 @@
+GO ?= go
+
+# Packages touched by the sharded query engine; they get the extra -race
+# pass because they exercise real concurrency.
+RACE_PKGS = . ./internal/core ./internal/store ./internal/httpapi ./internal/cbcd
+
+.PHONY: check vet build test race bench bench-shard
+
+# check is the full verification gate: static checks, build, all tests,
+# then the race detector over the engine packages.
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# bench-shard regenerates BENCH_shard.json (shard count x GOMAXPROCS
+# throughput sweep over a 500k fingerprint corpus).
+bench-shard:
+	$(GO) test -run TestShardThroughputSweep -bench-shard -timeout 30m .

@@ -1,22 +1,32 @@
 // Command s3serve exposes an S3DB reference database over HTTP with a
-// JSON search API (statistical, range and k-NN queries), the deployment
-// mode where fingerprint extraction happens near the capture hardware and
-// the archive index is a central service.
+// JSON search API (statistical, batch statistical, range and k-NN
+// queries), the deployment mode where fingerprint extraction happens near
+// the capture hardware and the archive index is a central service.
 //
 // Usage:
 //
-//	s3serve -db archive.s3db -addr :8080
+//	s3serve -db archive.s3db -addr :8080 -shards 8
 //
+//	curl localhost:8080/healthz
 //	curl localhost:8080/stats
 //	curl -X POST localhost:8080/search/statistical \
 //	     -d '{"fingerprint":[...20 ints...],"alpha":0.8,"sigma":20}'
+//	curl -X POST localhost:8080/search/statistical/batch \
+//	     -d '{"fingerprints":[[...],[...]],"alpha":0.8,"sigma":20}'
+//
+// The server carries read/write timeouts and drains in-flight requests
+// before exiting on SIGINT/SIGTERM.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"s3cbcd/internal/httpapi"
 	"s3cbcd/internal/store"
@@ -26,20 +36,70 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("s3serve: ")
 	var (
-		dbPath = flag.String("db", "archive.s3db", "database file")
-		addr   = flag.String("addr", ":8080", "listen address")
-		depth  = flag.Int("depth", 0, "partition depth p (0 = auto)")
+		dbPath       = flag.String("db", "archive.s3db", "database file")
+		addr         = flag.String("addr", ":8080", "listen address")
+		depth        = flag.Int("depth", 0, "partition depth p (0 = auto)")
+		shards       = flag.Int("shards", 0, "keyspace shards (0 = file manifest or 1)")
+		workers      = flag.Int("workers", 0, "engine worker bound (0 = GOMAXPROCS)")
+		maxInFlight  = flag.Int("max-inflight", 0, "concurrent searches bound (0 = default, <0 = unlimited)")
+		readTimeout  = flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
+		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "HTTP write timeout")
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown drain timeout")
 	)
 	flag.Parse()
 
-	db, err := store.ReadFile(*dbPath)
+	fl, err := store.Open(*dbPath)
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv, err := httpapi.New(db, *depth)
+	db, err := fl.LoadAll()
+	if err != nil {
+		fl.Close()
+		log.Fatal(err)
+	}
+	nShards := *shards
+	if starts := fl.ShardStarts(); nShards == 0 && starts != nil {
+		nShards = len(starts) - 1
+	}
+	fl.Close()
+	srv, err := httpapi.New(db, httpapi.Options{
+		Depth:       *depth,
+		Shards:      nShards,
+		Workers:     *workers,
+		MaxInFlight: *maxInFlight,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("serving %d fingerprints (D=%d) on %s\n", db.Len(), db.Dims(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+
+	hs := &http.Server{
+		Addr:         *addr,
+		Handler:      srv,
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+		IdleTimeout:  2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	log.Printf("serving %d fingerprints (D=%d, %d shards) on %s",
+		db.Len(), db.Dims(), srv.Engine().Shards(), *addr)
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("signal received, draining for up to %v", *drainTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			log.Fatalf("shutdown: %v", err)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}
 }

@@ -9,9 +9,8 @@
 package cbcd
 
 import (
+	"context"
 	"fmt"
-	"sync"
-	"sync/atomic"
 
 	"s3cbcd/internal/core"
 	"s3cbcd/internal/fingerprint"
@@ -46,8 +45,14 @@ type Config struct {
 	// Workers bounds the number of concurrent statistical queries during
 	// detection. 0 or 1 searches serially; the index itself is safe for
 	// concurrent queries, so each candidate fingerprint is an independent
-	// unit of work.
+	// unit of work. The same pool also serves intra-query shard
+	// refinement, so index-level and detector-level parallelism compose
+	// instead of oversubscribing each other.
 	Workers int
+	// Shards is the number of keyspace shards the detector's query engine
+	// splits the index into (core.Engine). 0 or 1 keeps the monolithic
+	// layout; results are identical at any value.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -128,10 +133,14 @@ func (in *Indexer) Build() (*Detector, error) {
 	return NewDetector(db, in.cfg)
 }
 
-// Detector runs copy detection queries against a built database.
+// Detector runs copy detection queries against a built database. All
+// per-fingerprint statistical queries go through one shared sharded query
+// engine (core.Engine), whose worker pool serves both the fan-out over a
+// clip's fingerprints and any intra-query shard refinement.
 type Detector struct {
-	cfg   Config
-	index *core.Index
+	cfg    Config
+	index  *core.Index
+	engine *core.Engine
 }
 
 // NewDetector wraps an existing database (e.g. loaded from a file).
@@ -147,11 +156,20 @@ func NewDetector(db *store.DB, cfg Config) (*Detector, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Detector{cfg: cfg, index: ix}, nil
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	return &Detector{cfg: cfg, index: ix,
+		engine: core.NewEngine(ix, cfg.Shards, workers)}, nil
 }
 
 // Index exposes the underlying S³ index (e.g. for depth tuning).
 func (d *Detector) Index() *core.Index { return d.index }
+
+// Engine exposes the detector's query engine (e.g. to share it with a
+// serving layer).
+func (d *Detector) Engine() *core.Engine { return d.engine }
 
 // Config returns the detector's effective configuration.
 func (d *Detector) Config() Config { return d.cfg }
@@ -168,61 +186,26 @@ func (d *Detector) Query() core.StatQuery {
 	}
 }
 
-// SearchLocals runs one statistical query per candidate fingerprint and
-// shapes the results as voting candidates. With Config.Workers > 1 the
-// queries run concurrently; the result order matches locals either way.
+// SearchLocals runs one statistical query per candidate fingerprint
+// through the shared query engine and shapes the results as voting
+// candidates. With Config.Workers > 1 the engine pipelines the queries
+// across its pool; the result order matches locals either way.
 func (d *Detector) SearchLocals(locals []fingerprint.Local) ([]vote.Candidate, error) {
-	sq := d.Query()
+	queries := make([][]byte, len(locals))
+	for i := range locals {
+		queries[i] = locals[i].FP[:]
+	}
+	results, err := d.engine.SearchStatBatch(context.Background(), queries, d.Query())
+	if err != nil {
+		return nil, err
+	}
 	cands := make([]vote.Candidate, len(locals))
-	searchOne := func(i int) error {
-		l := locals[i]
-		matches, _, err := d.index.SearchStat(l.FP[:], sq)
-		if err != nil {
-			return err
-		}
+	for i, l := range locals {
 		c := vote.Candidate{TC: l.TC, X: l.X, Y: l.Y}
-		for _, m := range matches {
+		for _, m := range results[i] {
 			c.Matches = append(c.Matches, vote.Match{ID: m.ID, TC: m.TC, X: m.X, Y: m.Y})
 		}
 		cands[i] = c
-		return nil
-	}
-	workers := d.cfg.Workers
-	if workers <= 1 || len(locals) < 2 {
-		for i := range locals {
-			if err := searchOne(i); err != nil {
-				return nil, err
-			}
-		}
-		return cands, nil
-	}
-	if workers > len(locals) {
-		workers = len(locals)
-	}
-	var (
-		wg   sync.WaitGroup
-		next atomic.Int64
-		fail atomic.Value
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(locals) || fail.Load() != nil {
-					return
-				}
-				if err := searchOne(i); err != nil {
-					fail.CompareAndSwap(nil, err)
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	if err := fail.Load(); err != nil {
-		return nil, err.(error)
 	}
 	return cands, nil
 }

@@ -60,6 +60,52 @@ func TestParallelSearchMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestShardedSearchMatchesSerial adds keyspace sharding on top of worker
+// parallelism and requires byte-identical voting candidates — the detector
+// now routes per-fingerprint queries through the shared query engine.
+func TestShardedSearchMatchesSerial(t *testing.T) {
+	refs := refCorpus(4, 180)
+	serial := buildDetector(t, refs, DefaultConfig())
+	scfg := DefaultConfig()
+	scfg.Workers = 4
+	scfg.Shards = 4
+	in := NewIndexer(scfg)
+	for i, seq := range refs {
+		in.AddSequence(uint32(i+1), seq)
+	}
+	sharded, err := in.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sharded.Engine().Shards(); got != 4 {
+		t.Fatalf("detector engine has %d shards, want 4", got)
+	}
+
+	clip := clip(refs[2], 20, 140)
+	locals := fingerprint.Extract(clip, serial.Config().Fingerprint)
+	a, err := serial.SearchLocals(locals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sharded.SearchLocals(locals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("candidate counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].TC != b[i].TC || len(a[i].Matches) != len(b[i].Matches) {
+			t.Fatalf("candidate %d differs: %d vs %d matches", i, len(a[i].Matches), len(b[i].Matches))
+		}
+		for j := range a[i].Matches {
+			if a[i].Matches[j] != b[i].Matches[j] {
+				t.Fatalf("candidate %d match %d differs", i, j)
+			}
+		}
+	}
+}
+
 // TestSpatialVotingEndToEnd enables the spatial extension on real video:
 // a resized copy must still be detected, with the fitted scale close to
 // the resize factor.

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"time"
 
 	"s3cbcd/internal/bitkey"
@@ -18,11 +20,13 @@ import (
 // follows eq. (5): T_tot = T + T_load/N_sig.
 type DiskIndex struct {
 	planner
-	file *store.File
+	file    *store.File
+	workers int
 }
 
 // NewDiskIndex wraps an opened database file. depth <= 0 selects
-// DefaultDepth for the file's record count.
+// DefaultDepth for the file's record count. Batches filter and refine
+// with up to GOMAXPROCS workers; SetWorkers adjusts that.
 func NewDiskIndex(file *store.File, depth int) (*DiskIndex, error) {
 	curve := file.Curve()
 	if depth <= 0 {
@@ -31,7 +35,17 @@ func NewDiskIndex(file *store.File, depth int) (*DiskIndex, error) {
 	if depth > curve.IndexBits() {
 		return nil, fmt.Errorf("core: depth %d exceeds index bits %d", depth, curve.IndexBits())
 	}
-	return &DiskIndex{planner: planner{curve: curve, depth: depth}, file: file}, nil
+	return &DiskIndex{planner: planner{curve: curve, depth: depth}, file: file,
+		workers: runtime.GOMAXPROCS(0)}, nil
+}
+
+// SetWorkers bounds the concurrency of batch executions; n <= 1 is fully
+// sequential (the seed behavior).
+func (di *DiskIndex) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	di.workers = n
 }
 
 // File returns the underlying database file.
@@ -88,14 +102,26 @@ func (di *DiskIndex) SearchStatBatch(queries [][]byte, sq StatQuery, budgetRecor
 	var stats BatchStats
 
 	// Phase 1: filtering, independent of the database (Section IV-B).
+	// Plans are mutually independent, so they fan out across the worker
+	// pool; each worker reuses one query context across its share.
 	t0 := time.Now()
 	plans := make([]Plan, len(queries))
-	for i, q := range queries {
-		qf, err := queryPoint(q, di.dims())
-		if err != nil {
-			return nil, BatchStats{}, err
+	mkCtx := func() *queryContext {
+		return &queryContext{
+			qf: make([]float64, di.dims()),
+			mc: newMassCache(di.dims(), di.curve.SideLen()),
 		}
-		plans[i] = di.planStatFloat(qf, sq)
+	}
+	err := forEach(context.Background(), di.workers, len(queries), mkCtx, func(qc *queryContext, i int) error {
+		if err := qc.setQuery(queries[i]); err != nil {
+			return fmt.Errorf("query %d: %w", i, err)
+		}
+		qc.mc.reset()
+		plans[i] = di.planStatFloatCached(qc.qf, sq, qc.mc)
+		return nil
+	})
+	if err != nil {
+		return nil, BatchStats{}, err
 	}
 	stats.FilterTime = time.Since(t0)
 
@@ -140,8 +166,13 @@ func (di *DiskIndex) SearchStatBatch(queries [][]byte, sq StatQuery, budgetRecor
 			stats.MaxResident = chunk.Len()
 		}
 
+		// Refinement against the resident section fans out across the
+		// touching queries: each query's result slice is owned by exactly
+		// one task, and sections are processed in curve order, so the
+		// per-query match order is identical to the sequential path.
 		tr := time.Now()
-		for _, tc := range touching {
+		err = forEach(context.Background(), di.workers, len(touching), nil, func(_ *struct{}, ti int) error {
+			tc := touching[ti]
 			ivs := plans[tc.q].Intervals
 			for c := tc.ivFrom; c < len(ivs) && ivs[c].Start.Less(secEnd); c++ {
 				clo, chi := chunk.FindInterval(ivs[c])
@@ -152,6 +183,10 @@ func (di *DiskIndex) SearchStatBatch(queries [][]byte, sq StatQuery, budgetRecor
 					})
 				}
 			}
+			return nil
+		})
+		if err != nil {
+			return nil, BatchStats{}, err
 		}
 		stats.RefineTime += time.Since(tr)
 	}

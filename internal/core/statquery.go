@@ -84,7 +84,14 @@ func (ix *Index) PlanStat(q []byte, sq StatQuery) (Plan, error) {
 }
 
 func (pl *planner) planStatFloat(qf []float64, sq StatQuery) Plan {
-	mc := newMassCache(pl.dims(), pl.curve.SideLen())
+	return pl.planStatFloatCached(qf, sq, newMassCache(pl.dims(), pl.curve.SideLen()))
+}
+
+// planStatFloatCached is planStatFloat with a caller-provided mass cache,
+// which must be fresh or reset. Injecting the cache lets the engine's
+// pooled query contexts plan without allocating; the computed plan is
+// bit-identical to planStatFloat's.
+func (pl *planner) planStatFloatCached(qf []float64, sq StatQuery, mc *massCache) Plan {
 	iters := 0
 	eval := func(t float64) ([]hilbert.Interval, int, float64) {
 		iters++

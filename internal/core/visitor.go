@@ -19,10 +19,17 @@ type massCache struct {
 
 func newMassCache(dims int, side uint32) *massCache {
 	mc := &massCache{side: side, vals: make([]float64, dims*int(2*side))}
+	mc.reset()
+	return mc
+}
+
+// reset invalidates every entry so the cache can be reused for a new
+// query without reallocating — the engine's per-worker query contexts
+// depend on this to keep the planning hot path allocation-free.
+func (mc *massCache) reset() {
 	for i := range mc.vals {
 		mc.vals[i] = math.NaN()
 	}
-	return mc
 }
 
 // get returns P(ΔS_dim puts the reference inside [lo, hi)) under model m

@@ -5,13 +5,22 @@
 //
 // Endpoints:
 //
+//	GET  /healthz                    liveness plus shard/record counts
 //	GET  /stats                      database and index facts
 //	POST /search/statistical         {"fingerprint": [..], "alpha": 0.8, "sigma": 20}
+//	POST /search/statistical/batch   {"fingerprints": [[..], ..], "alpha": 0.8, "sigma": 20}
 //	POST /search/range               {"fingerprint": [..], "epsilon": 95}
 //	POST /search/knn                 {"fingerprint": [..], "k": 10}
 //
 // Fingerprints are arrays of D integers in [0, 255]. Responses carry the
-// matches (id, tc, x, y, dist) plus plan/search diagnostics.
+// matches (id, tc, x, y, dist) plus plan/search diagnostics. Non-POST
+// requests to the search endpoints get 405.
+//
+// Searches run through a sharded query engine (core.Engine): every
+// request is executed under its own context (client disconnects cancel
+// the search) and the number of requests concurrently inside the engine
+// is bounded by a semaphore, so a traffic burst queues instead of
+// spawning unbounded concurrent scans.
 package httpapi
 
 import (
@@ -23,29 +32,77 @@ import (
 	"s3cbcd/internal/store"
 )
 
+// DefaultMaxInFlight bounds concurrently executing searches when
+// Options.MaxInFlight is zero.
+const DefaultMaxInFlight = 64
+
+// Options tunes the server.
+type Options struct {
+	// Depth is the index partition depth p; 0 selects the heuristic.
+	Depth int
+	// Shards is the engine's keyspace shard count; 0 or 1 is monolithic.
+	Shards int
+	// Workers bounds the engine's concurrency; 0 selects GOMAXPROCS.
+	Workers int
+	// MaxInFlight bounds the number of requests concurrently executing
+	// searches; 0 selects DefaultMaxInFlight, negative values disable the
+	// bound.
+	MaxInFlight int
+}
+
 // Server wires an index into an http.Handler.
 type Server struct {
-	ix  *core.Index
+	eng *core.Engine
 	mux *http.ServeMux
+	sem chan struct{} // nil = unbounded
 }
 
 // New returns a ready handler over the given database.
-func New(db *store.DB, depth int) (*Server, error) {
-	ix, err := core.NewIndex(db, depth)
+func New(db *store.DB, opt Options) (*Server, error) {
+	ix, err := core.NewIndex(db, opt.Depth)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ix: ix, mux: http.NewServeMux()}
+	s := &Server{eng: core.NewEngine(ix, opt.Shards, opt.Workers), mux: http.NewServeMux()}
+	if opt.MaxInFlight == 0 {
+		opt.MaxInFlight = DefaultMaxInFlight
+	}
+	if opt.MaxInFlight > 0 {
+		s.sem = make(chan struct{}, opt.MaxInFlight)
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("POST /search/statistical", s.handleStat)
-	s.mux.HandleFunc("POST /search/range", s.handleRange)
-	s.mux.HandleFunc("POST /search/knn", s.handleKNN)
+	s.mux.HandleFunc("POST /search/statistical", s.bounded(s.handleStat))
+	s.mux.HandleFunc("POST /search/statistical/batch", s.bounded(s.handleStatBatch))
+	s.mux.HandleFunc("POST /search/range", s.bounded(s.handleRange))
+	s.mux.HandleFunc("POST /search/knn", s.bounded(s.handleKNN))
 	return s, nil
 }
+
+// Engine returns the server's query engine.
+func (s *Server) Engine() *core.Engine { return s.eng }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// bounded gates a handler on the in-flight semaphore. A request whose
+// client goes away while queued is dropped without touching the engine.
+func (s *Server) bounded(h http.HandlerFunc) http.HandlerFunc {
+	if s.sem == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		case <-r.Context().Done():
+			httpError(w, http.StatusServiceUnavailable, "request canceled while queued")
+			return
+		}
+		h(w, r)
+	}
 }
 
 // matchJSON is the wire form of a search result.
@@ -70,22 +127,23 @@ func toJSON(ms []core.Match) []matchJSON {
 
 // searchRequest is the common request body.
 type searchRequest struct {
-	Fingerprint []int   `json:"fingerprint"`
-	Alpha       float64 `json:"alpha"`
-	Sigma       float64 `json:"sigma"`
-	Epsilon     float64 `json:"epsilon"`
-	K           int     `json:"k"`
-	MaxLeaves   int     `json:"maxLeaves"`
+	Fingerprint  []int   `json:"fingerprint"`
+	Fingerprints [][]int `json:"fingerprints"`
+	Alpha        float64 `json:"alpha"`
+	Sigma        float64 `json:"sigma"`
+	Epsilon      float64 `json:"epsilon"`
+	K            int     `json:"k"`
+	MaxLeaves    int     `json:"maxLeaves"`
 }
 
-// fingerprint validates and converts the request fingerprint.
-func (s *Server) fingerprint(req *searchRequest) ([]byte, error) {
-	dims := s.ix.DB().Dims()
-	if len(req.Fingerprint) != dims {
-		return nil, fmt.Errorf("fingerprint has %d components, index needs %d", len(req.Fingerprint), dims)
+// fingerprint validates and converts one request fingerprint.
+func (s *Server) fingerprint(raw []int) ([]byte, error) {
+	dims := s.eng.Index().DB().Dims()
+	if len(raw) != dims {
+		return nil, fmt.Errorf("fingerprint has %d components, index needs %d", len(raw), dims)
 	}
 	fp := make([]byte, dims)
-	for i, v := range req.Fingerprint {
+	for i, v := range raw {
 		if v < 0 || v > 255 {
 			return nil, fmt.Errorf("component %d = %d outside [0,255]", i, v)
 		}
@@ -114,14 +172,44 @@ func reply(w http.ResponseWriter, v interface{}) {
 	json.NewEncoder(w).Encode(v)
 }
 
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	reply(w, map[string]interface{}{
+		"status":  "ok",
+		"shards":  s.eng.Shards(),
+		"records": s.eng.Index().DB().Len(),
+	})
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	db := s.ix.DB()
+	ix := s.eng.Index()
+	db := ix.DB()
 	reply(w, map[string]interface{}{
 		"records": db.Len(),
 		"dims":    db.Dims(),
 		"order":   db.Curve().Order(),
-		"depth":   s.ix.Depth(),
+		"depth":   ix.Depth(),
+		"shards":  s.eng.Shards(),
+		"workers": s.eng.Workers(),
 	})
+}
+
+// statQuery builds the statistical query from request parameters.
+func (s *Server) statQuery(req *searchRequest) (core.StatQuery, error) {
+	if req.Sigma <= 0 {
+		return core.StatQuery{}, fmt.Errorf("sigma must be > 0")
+	}
+	return core.StatQuery{Alpha: req.Alpha,
+		Model: core.IsoNormal{D: s.eng.Index().DB().Dims(), Sigma: req.Sigma}}, nil
+}
+
+func planJSON(plan core.Plan) map[string]interface{} {
+	return map[string]interface{}{
+		"blocks":      plan.Blocks,
+		"mass":        plan.Mass,
+		"threshold":   plan.Threshold,
+		"filterIters": plan.FilterIters,
+		"depth":       plan.Depth,
+	}
 }
 
 func (s *Server) handleStat(w http.ResponseWriter, r *http.Request) {
@@ -129,31 +217,60 @@ func (s *Server) handleStat(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	fp, err := s.fingerprint(req)
+	fp, err := s.fingerprint(req.Fingerprint)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if req.Sigma <= 0 {
-		httpError(w, http.StatusBadRequest, "sigma must be > 0")
+	sq, err := s.statQuery(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	sq := core.StatQuery{Alpha: req.Alpha, Model: core.IsoNormal{D: s.ix.DB().Dims(), Sigma: req.Sigma}}
-	matches, plan, err := s.ix.SearchStat(fp, sq)
+	matches, plan, err := s.eng.SearchStat(r.Context(), fp, sq)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	reply(w, map[string]interface{}{
 		"matches": toJSON(matches),
-		"plan": map[string]interface{}{
-			"blocks":      plan.Blocks,
-			"mass":        plan.Mass,
-			"threshold":   plan.Threshold,
-			"filterIters": plan.FilterIters,
-			"depth":       plan.Depth,
-		},
+		"plan":    planJSON(plan),
 	})
+}
+
+func (s *Server) handleStatBatch(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode(w, r)
+	if !ok {
+		return
+	}
+	if len(req.Fingerprints) == 0 {
+		httpError(w, http.StatusBadRequest, "fingerprints must be a non-empty array")
+		return
+	}
+	queries := make([][]byte, len(req.Fingerprints))
+	for i, raw := range req.Fingerprints {
+		fp, err := s.fingerprint(raw)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "fingerprint %d: %v", i, err)
+			return
+		}
+		queries[i] = fp
+	}
+	sq, err := s.statQuery(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	results, err := s.eng.SearchStatBatch(r.Context(), queries, sq)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	out := make([][]matchJSON, len(results))
+	for i, ms := range results {
+		out[i] = toJSON(ms)
+	}
+	reply(w, map[string]interface{}{"results": out})
 }
 
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
@@ -161,12 +278,12 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	fp, err := s.fingerprint(req)
+	fp, err := s.fingerprint(req.Fingerprint)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	matches, plan, err := s.ix.SearchRange(fp, req.Epsilon)
+	matches, plan, err := s.eng.SearchRange(r.Context(), fp, req.Epsilon)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -182,12 +299,12 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	fp, err := s.fingerprint(req)
+	fp, err := s.fingerprint(req.Fingerprint)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	matches, stats, err := s.ix.SearchKNN(fp, req.K, req.MaxLeaves)
+	matches, stats, err := s.eng.SearchKNN(r.Context(), fp, req.K, req.MaxLeaves)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return

@@ -3,9 +3,11 @@ package httpapi
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 
 	"s3cbcd/internal/hilbert"
@@ -25,7 +27,7 @@ func testServer(t *testing.T) (*Server, *store.DB) {
 		recs[i] = store.Record{FP: fp, ID: uint32(i), TC: uint32(2 * i), X: uint16(i), Y: uint16(i + 1)}
 	}
 	db := store.MustBuild(curve, recs)
-	s, err := New(db, 0)
+	s, err := New(db, Options{Shards: 4, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,5 +180,178 @@ func TestBadRequests(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode == http.StatusOK {
 		t.Error("GET on POST endpoint succeeded")
+	}
+}
+
+func TestHealthzEndpoint(t *testing.T) {
+	s, db := testServer(t)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var out map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out["status"] != "ok" {
+		t.Errorf("status %v", out["status"])
+	}
+	if out["shards"].(float64) != 4 {
+		t.Errorf("shards %v, want 4", out["shards"])
+	}
+	if int(out["records"].(float64)) != db.Len() {
+		t.Errorf("records %v, want %d", out["records"], db.Len())
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	s, _ := testServer(t)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	for _, path := range []string{
+		"/search/statistical", "/search/statistical/batch", "/search/range", "/search/knn",
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET %s: status %d, want 405", path, resp.StatusCode)
+		}
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /healthz: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestBatchEndpointMatchesSingles(t *testing.T) {
+	s, db := testServer(t)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	idx := []int{3, 42, 99, 250, 512}
+	fps := make([][]int, len(idx))
+	for i, j := range idx {
+		fps[i] = fpOf(db, j)
+	}
+	resp, out := post(t, ts, "/search/statistical/batch", map[string]interface{}{
+		"fingerprints": fps, "alpha": 0.8, "sigma": 10,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d: %+v", resp.StatusCode, out)
+	}
+	results := out["results"].([]interface{})
+	if len(results) != len(idx) {
+		t.Fatalf("batch returned %d results, want %d", len(results), len(idx))
+	}
+	for i, j := range idx {
+		_, single := post(t, ts, "/search/statistical", map[string]interface{}{
+			"fingerprint": fpOf(db, j), "alpha": 0.8, "sigma": 10,
+		})
+		want, err := json.Marshal(single["matches"])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := json.Marshal(results[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("batch result %d differs from single query", i)
+		}
+	}
+	// Empty and malformed batches are rejected.
+	resp, _ = post(t, ts, "/search/statistical/batch", map[string]interface{}{
+		"fingerprints": [][]int{}, "alpha": 0.8, "sigma": 10,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d", resp.StatusCode)
+	}
+	resp, _ = post(t, ts, "/search/statistical/batch", map[string]interface{}{
+		"fingerprints": [][]int{{1, 2}}, "alpha": 0.8, "sigma": 10,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("short fingerprint in batch: status %d", resp.StatusCode)
+	}
+}
+
+// TestConcurrentRequests drives every endpoint from many goroutines at
+// once; run under -race it fails if the engine or handlers share mutable
+// per-query state.
+func TestConcurrentRequests(t *testing.T) {
+	s, db := testServer(t)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				fp := fpOf(db, (g*37+i*11)%db.Len())
+				bodies := []struct {
+					path string
+					body map[string]interface{}
+				}{
+					{"/search/statistical", map[string]interface{}{"fingerprint": fp, "alpha": 0.8, "sigma": 10}},
+					{"/search/statistical/batch", map[string]interface{}{"fingerprints": [][]int{fp, fp}, "alpha": 0.8, "sigma": 10}},
+					{"/search/range", map[string]interface{}{"fingerprint": fp, "epsilon": 40}},
+					{"/search/knn", map[string]interface{}{"fingerprint": fp, "k": 3}},
+				}
+				for _, b := range bodies {
+					raw, err := json.Marshal(b.body)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					resp, err := http.Post(ts.URL+b.path, "application/json", bytes.NewReader(raw))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						t.Errorf("%s: status %d", b.path, resp.StatusCode)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestInFlightBound(t *testing.T) {
+	_, db := testServer(t)
+	s, err := New(db, Options{Shards: 2, Workers: 2, MaxInFlight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap(s.sem) != 1 {
+		t.Fatalf("semaphore capacity %d, want 1", cap(s.sem))
+	}
+	unbounded, err := New(db, Options{MaxInFlight: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unbounded.sem != nil {
+		t.Fatal("negative MaxInFlight still bounded")
 	}
 }

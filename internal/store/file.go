@@ -15,12 +15,13 @@ import (
 // File format (all integers little-endian):
 //
 //	magic   [4]byte "S3DB"
-//	version uint32  (1 or 2)
+//	version uint32  (1, 2 or 3)
 //	dims    uint32
 //	order   uint32
 //	count   uint64
 //	secBits uint32
 //	table   (2^secBits + 1) × uint64   record start index per curve section
+//	shards  uint32, (shards + 1) × uint64     (version 3 only) shard manifest
 //	records count × (keyBytes + dims + 4 + 4 [+ 2 + 2])
 //
 // Records are sorted by key; keyBytes = ceil(dims*order/8). Version 2
@@ -28,13 +29,18 @@ import (
 // version 1 files remain readable with zero positions. The section table
 // is the paper's index table: it locates any curve section's record range
 // without touching the record area, which is what lets the pseudo-disk
-// strategy load one section at a time.
+// strategy load one section at a time. Version 3 additionally stores a
+// shard manifest — the record start index of each equi-populated,
+// key-snapped shard (see ShardStarts) — so an opener can map shards
+// without scanning the record area; versions 1 and 2 remain readable and
+// simply carry no manifest.
 
 var fileMagic = [4]byte{'S', '3', 'D', 'B'}
 
 const (
 	fileVersionV1 = 1
-	fileVersion   = 2 // written by this package
+	fileVersionV2 = 2
+	fileVersion   = 3 // written by this package when a shard manifest is requested
 )
 
 // recordSize returns the on-disk record size for a curve at the given
@@ -53,8 +59,23 @@ func keyBytes(c *hilbert.Curve) int {
 
 // WriteFile serializes the database with a 2^sectionBits-entry section
 // table. sectionBits must be in [0, IndexBits]; 12 is a good default for
-// the paper's configuration.
+// the paper's configuration. The file carries no shard manifest (format
+// version 2); use WriteFileSharded to embed one.
 func (db *DB) WriteFile(path string, sectionBits int) error {
+	return db.writeFile(path, sectionBits, nil)
+}
+
+// WriteFileSharded serializes the database like WriteFile and embeds the
+// manifest of a partition into shards equi-populated shards (format
+// version 3), so openers can map the shards without scanning records.
+func (db *DB) WriteFileSharded(path string, sectionBits, shards int) error {
+	if shards < 1 {
+		return fmt.Errorf("store: shard count %d must be >= 1", shards)
+	}
+	return db.writeFile(path, sectionBits, db.ShardStarts(shards))
+}
+
+func (db *DB) writeFile(path string, sectionBits int, shardStarts []int) error {
 	if sectionBits < 0 || sectionBits > db.curve.IndexBits() {
 		return fmt.Errorf("store: sectionBits %d outside [0,%d]", sectionBits, db.curve.IndexBits())
 	}
@@ -63,7 +84,7 @@ func (db *DB) WriteFile(path string, sectionBits int) error {
 		return err
 	}
 	w := bufio.NewWriterSize(f, 1<<20)
-	if err := db.writeTo(w, sectionBits); err != nil {
+	if err := db.writeTo(w, sectionBits, shardStarts); err != nil {
 		f.Close()
 		return err
 	}
@@ -74,10 +95,14 @@ func (db *DB) WriteFile(path string, sectionBits int) error {
 	return f.Close()
 }
 
-func (db *DB) writeTo(w io.Writer, sectionBits int) error {
+func (db *DB) writeTo(w io.Writer, sectionBits int, shardStarts []int) error {
+	version := fileVersionV2
+	if shardStarts != nil {
+		version = fileVersion
+	}
 	var hdr [28]byte
 	copy(hdr[0:4], fileMagic[:])
-	binary.LittleEndian.PutUint32(hdr[4:], fileVersion)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(version))
 	binary.LittleEndian.PutUint32(hdr[8:], uint32(db.Dims()))
 	binary.LittleEndian.PutUint32(hdr[12:], uint32(db.curve.Order()))
 	binary.LittleEndian.PutUint64(hdr[16:], uint64(db.Len()))
@@ -93,8 +118,20 @@ func (db *DB) writeTo(w io.Writer, sectionBits int) error {
 			return err
 		}
 	}
+	if shardStarts != nil {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(len(shardStarts)-1))
+		if _, err := w.Write(buf[:4]); err != nil {
+			return err
+		}
+		for _, s := range shardStarts {
+			binary.LittleEndian.PutUint64(buf[:], uint64(s))
+			if _, err := w.Write(buf[:]); err != nil {
+				return err
+			}
+		}
+	}
 	kb := keyBytes(db.curve)
-	rec := make([]byte, recordSize(db.curve, fileVersion))
+	rec := make([]byte, recordSize(db.curve, version))
 	for i := 0; i < db.Len(); i++ {
 		db.keys[i].PutBytes(rec[:kb], kb)
 		copy(rec[kb:], db.FP(i))
@@ -118,6 +155,7 @@ type File struct {
 	count       int
 	sectionBits int
 	starts      []int64
+	shardStarts []int // nil for versions without a manifest
 	dataOff     int64
 	recSize     int
 	version     int
@@ -139,7 +177,7 @@ func Open(path string) (*File, error) {
 		return nil, fmt.Errorf("store: %s is not an S3DB file", path)
 	}
 	version := int(binary.LittleEndian.Uint32(hdr[4:]))
-	if version != fileVersionV1 && version != fileVersion {
+	if version < fileVersionV1 || version > fileVersion {
 		f.Close()
 		return nil, fmt.Errorf("store: %s has unsupported version %d", path, version)
 	}
@@ -174,20 +212,59 @@ func Open(path string) (*File, error) {
 		f.Close()
 		return nil, fmt.Errorf("store: %s section table does not span the record range", path)
 	}
+	dataOff := int64(len(hdr)) + int64(8*n)
+	var shardStarts []int
+	if version >= 3 {
+		var cntBuf [4]byte
+		if _, err := io.ReadFull(f, cntBuf[:]); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: reading shard manifest of %s: %w", path, err)
+		}
+		nShards := int(binary.LittleEndian.Uint32(cntBuf[:]))
+		if nShards < 1 || nShards > count+1 {
+			f.Close()
+			return nil, fmt.Errorf("store: %s has invalid shard count %d", path, nShards)
+		}
+		manifest := make([]byte, 8*(nShards+1))
+		if _, err := io.ReadFull(f, manifest); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: reading shard manifest of %s: %w", path, err)
+		}
+		shardStarts = make([]int, nShards+1)
+		for i := range shardStarts {
+			shardStarts[i] = int(binary.LittleEndian.Uint64(manifest[8*i:]))
+			if shardStarts[i] < 0 || shardStarts[i] > count || (i > 0 && shardStarts[i] < shardStarts[i-1]) {
+				f.Close()
+				return nil, fmt.Errorf("store: %s has corrupt shard manifest at %d", path, i)
+			}
+		}
+		if shardStarts[0] != 0 || shardStarts[nShards] != count {
+			f.Close()
+			return nil, fmt.Errorf("store: %s shard manifest does not span the record range", path)
+		}
+		dataOff += int64(4 + len(manifest))
+	}
 	return &File{
 		f:           f,
 		curve:       curve,
 		count:       count,
 		sectionBits: secBits,
 		starts:      starts,
-		dataOff:     int64(len(hdr)) + int64(8*n),
+		shardStarts: shardStarts,
+		dataOff:     dataOff,
 		recSize:     recordSize(curve, version),
 		version:     version,
 	}, nil
 }
 
-// Version returns the file's format version (1 or 2).
+// Version returns the file's format version (1, 2 or 3).
 func (fl *File) Version() int { return fl.version }
+
+// ShardStarts returns the stored shard manifest (record start index per
+// shard plus a final entry equal to Count), or nil when the file predates
+// format version 3. The returned slice is shared; callers must not modify
+// it.
+func (fl *File) ShardStarts() []int { return fl.shardStarts }
 
 // Close releases the underlying file.
 func (fl *File) Close() error { return fl.f.Close() }

@@ -1,0 +1,98 @@
+package store
+
+import (
+	"fmt"
+
+	"s3cbcd/internal/bitkey"
+)
+
+// ShardRange describes one shard of a curve-ordered database: the
+// half-open curve interval [Start, End) it owns and the record index range
+// [Lo, Hi) that interval maps to. Shards partition both the keyspace and
+// the record range: shard i's End equals shard i+1's Start, shard 0 starts
+// at curve position zero and the last shard ends one past the last curve
+// position. Because boundaries are snapped to the key of a stored record,
+// records sharing a key never straddle two shards, so a plan interval
+// intersected with every shard's record range reproduces exactly the
+// records the unsharded scan would visit, in the same order.
+type ShardRange struct {
+	Start, End bitkey.Key
+	Lo, Hi     int
+}
+
+// curveEnd returns the exclusive end of the whole curve, 2^indexBits.
+func curveEnd(indexBits int) bitkey.Key {
+	return bitkey.FromUint64(1).Shl(uint(indexBits))
+}
+
+// ShardStarts returns the record index at which each of n equi-populated
+// shards starts, plus a final entry equal to Len(). Interior boundaries
+// target i*Len/n and are snapped down to the first record holding the
+// boundary record's key, so equal keys stay in one shard. Duplicate
+// boundaries (a single key heavier than a shard quota) are kept: the
+// resulting empty shards preserve the requested count, and empty shards
+// cost nothing at query time.
+func (db *DB) ShardStarts(n int) []int {
+	if n < 1 {
+		n = 1
+	}
+	starts := make([]int, n+1)
+	starts[n] = db.Len()
+	for i := 1; i < n; i++ {
+		t := i * db.Len() / n
+		b := t
+		for b > 0 && db.keys[b-1] == db.keys[t] {
+			b--
+		}
+		if prev := starts[i-1]; b < prev {
+			b = prev
+		}
+		starts[i] = b
+	}
+	return starts
+}
+
+// Shards splits the database into n contiguous key-range shards,
+// equi-populated by record count with boundaries snapped to curve
+// positions of stored keys. n <= 1 (and any n on an empty database whose
+// snapping collapses boundaries) degenerates to fewer, possibly one,
+// covering shard; the full keyspace and record range are always covered
+// exactly once.
+func (db *DB) Shards(n int) []ShardRange {
+	return db.shardsAt(db.ShardStarts(n))
+}
+
+// ShardsAt reconstructs shard ranges from explicit record start indices
+// (for example a file's stored shard manifest). starts must begin at 0,
+// end at Len() and be non-decreasing.
+func (db *DB) ShardsAt(starts []int) ([]ShardRange, error) {
+	if len(starts) < 2 || starts[0] != 0 || starts[len(starts)-1] != db.Len() {
+		return nil, fmt.Errorf("store: shard starts %v do not span [0,%d]", starts, db.Len())
+	}
+	for i := 1; i < len(starts); i++ {
+		if starts[i] < starts[i-1] {
+			return nil, fmt.Errorf("store: shard starts %v decrease at %d", starts, i)
+		}
+	}
+	return db.shardsAt(starts), nil
+}
+
+func (db *DB) shardsAt(starts []int) []ShardRange {
+	n := len(starts) - 1
+	shards := make([]ShardRange, n)
+	for i := 0; i < n; i++ {
+		shards[i] = ShardRange{Lo: starts[i], Hi: starts[i+1]}
+		if i == 0 {
+			shards[i].Start = bitkey.Zero
+		} else if starts[i] < db.Len() {
+			shards[i].Start = db.keys[starts[i]]
+		} else {
+			shards[i].Start = curveEnd(db.curve.IndexBits())
+		}
+	}
+	for i := 0; i < n-1; i++ {
+		shards[i].End = shards[i+1].Start
+	}
+	shards[n-1].End = curveEnd(db.curve.IndexBits())
+	return shards
+}

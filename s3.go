@@ -22,6 +22,7 @@
 package s3
 
 import (
+	"context"
 	"fmt"
 
 	"s3cbcd/internal/cbcd"
@@ -107,12 +108,32 @@ type IndexOptions struct {
 	// Depth is the curve partition depth p; 0 selects a heuristic that
 	// Index.Tune can refine.
 	Depth int
+	// Shards is the number of contiguous Hilbert key-range shards the
+	// query engine splits the index into; plans computed against the
+	// global curve are refined concurrently across shards. 0 or 1 keeps
+	// the monolithic layout. Results are identical at any shard count.
+	Shards int
+	// Workers bounds the engine's concurrency (shard refinement and batch
+	// fan-out). 0 selects GOMAXPROCS; 1 is fully sequential.
+	Workers int
 }
 
-// Index is the in-memory S³ index.
+// Index is the in-memory S³ index. Queries execute through a sharded
+// query engine (see IndexOptions.Shards); with the default options the
+// engine degenerates to the sequential single-shard path.
 type Index struct {
-	ix *core.Index
-	db *store.DB
+	ix  *core.Index
+	db  *store.DB
+	eng *core.Engine
+}
+
+// newIndex wraps a built database in the facade with its query engine.
+func newIndex(db *store.DB, depth, shards, workers int) (*Index, error) {
+	ix, err := core.NewIndex(db, depth)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{ix: ix, db: db, eng: core.NewEngine(ix, shards, workers)}, nil
 }
 
 // BuildIndex sorts the records along the Hilbert curve and returns the
@@ -129,30 +150,52 @@ func BuildIndex(dims int, recs []Record, opt IndexOptions) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	return newIndex(db, opt.Depth, opt.Shards, opt.Workers)
+}
+
+// OpenIndex loads a database file written by Save entirely into memory.
+// Files carrying a shard manifest (format v3) reopen with that shard
+// layout; v1/v2 files open monolithic.
+func OpenIndex(path string, depth int) (*Index, error) {
+	return OpenIndexOptions(path, IndexOptions{Depth: depth})
+}
+
+// OpenIndexOptions is OpenIndex with full engine options. When
+// opt.Shards is 0 and the file stores a shard manifest, the manifest's
+// layout is used; an explicit opt.Shards recomputes the partition.
+func OpenIndexOptions(path string, opt IndexOptions) (*Index, error) {
+	fl, err := store.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fl.Close()
+	db, err := fl.LoadAll()
+	if err != nil {
+		return nil, err
+	}
 	ix, err := core.NewIndex(db, opt.Depth)
 	if err != nil {
 		return nil, err
 	}
-	return &Index{ix: ix, db: db}, nil
-}
-
-// OpenIndex loads a database file written by Save entirely into memory.
-func OpenIndex(path string, depth int) (*Index, error) {
-	db, err := store.ReadFile(path)
-	if err != nil {
-		return nil, err
+	if starts := fl.ShardStarts(); starts != nil && opt.Shards == 0 {
+		ranges, err := db.ShardsAt(starts)
+		if err != nil {
+			return nil, fmt.Errorf("s3: %s: %w", path, err)
+		}
+		return &Index{ix: ix, db: db, eng: core.NewEngineShards(ix, ranges, opt.Workers)}, nil
 	}
-	ix, err := core.NewIndex(db, depth)
-	if err != nil {
-		return nil, err
-	}
-	return &Index{ix: ix, db: db}, nil
+	return &Index{ix: ix, db: db, eng: core.NewEngine(ix, opt.Shards, opt.Workers)}, nil
 }
 
 // Save writes the index's database to a file with a 2^sectionBits section
 // table (12 is a good default; larger values give the pseudo-disk finer
-// loading granularity).
+// loading granularity). An index running with a sharded engine embeds its
+// shard manifest (format v3) so OpenIndex restores the same layout;
+// otherwise the file stays at format v2.
 func (x *Index) Save(path string, sectionBits int) error {
+	if n := x.eng.Shards(); n > 1 {
+		return x.db.WriteFileSharded(path, sectionBits, n)
+	}
 	return x.db.WriteFile(path, sectionBits)
 }
 
@@ -168,15 +211,30 @@ func (x *Index) Depth() int { return x.ix.Depth() }
 // SetDepth changes the partition depth p. It panics outside [1, K*D].
 func (x *Index) SetDepth(p int) { x.ix.SetDepth(p) }
 
+// Shards returns the number of keyspace shards the query engine uses.
+func (x *Index) Shards() int { return x.eng.Shards() }
+
+// Engine exposes the index's query engine (e.g. to share it with a
+// serving layer).
+func (x *Index) Engine() *core.Engine { return x.eng }
+
 // StatSearch runs a statistical query: it returns every fingerprint in a
 // region holding probability mass >= sq.Alpha under sq.Model around q.
 func (x *Index) StatSearch(q []byte, sq StatQuery) ([]Match, Plan, error) {
-	return x.ix.SearchStat(q, sq)
+	return x.eng.SearchStat(context.Background(), q, sq)
 }
 
 // RangeSearch runs an exact spherical ε-range query.
 func (x *Index) RangeSearch(q []byte, eps float64) ([]Match, Plan, error) {
-	return x.ix.SearchRange(q, eps)
+	return x.eng.SearchRange(context.Background(), q, eps)
+}
+
+// SearchStatBatch pipelines many statistical queries across the engine's
+// worker pool (the batching of eq. 5, executed in parallel). results[i]
+// corresponds to queries[i] and is identical to StatSearch's output for
+// that query. ctx cancels the batch.
+func (x *Index) SearchStatBatch(ctx context.Context, queries [][]byte, sq StatQuery) ([][]Match, error) {
+	return x.eng.SearchStatBatch(ctx, queries, sq)
 }
 
 // ScanSearch runs the sequential-scan ε-range baseline over the same

@@ -1,8 +1,10 @@
 package s3
 
 import (
+	"context"
 	"math/rand"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"s3cbcd/internal/vidsim"
@@ -173,5 +175,101 @@ func TestNewDetectorDimsCheck(t *testing.T) {
 	}
 	if _, err := NewDetector(x20, CBCDConfig{}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestShardedIndexLifecycle(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	recs := randomRecords(r, 8, 1200)
+	plain, err := BuildIndex(8, recs, IndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := BuildIndex(8, recs, IndexOptions{Shards: 4, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", sharded.Shards())
+	}
+	sq := StatQuery{Alpha: 0.8, Model: IsoNormal{D: 8, Sigma: 10}}
+	queries := make([][]byte, 25)
+	for i := range queries {
+		queries[i] = recs[r.Intn(len(recs))].FP
+	}
+	batch, err := sharded.SearchStatBatch(context.Background(), queries, sq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		want, _, err := plain.StatSearch(q, sq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := sharded.StatSearch(q, sq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %d: sharded StatSearch differs from unsharded", i)
+		}
+		if !reflect.DeepEqual(batch[i], want) {
+			t.Fatalf("query %d: SearchStatBatch differs from unsharded", i)
+		}
+	}
+
+	// Save embeds the shard manifest; OpenIndex restores the layout.
+	path := filepath.Join(t.TempDir(), "sharded.s3db")
+	if err := sharded.Save(path, 8); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := OpenIndex(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reopened.Shards() != 4 {
+		t.Fatalf("reopened Shards() = %d, want 4", reopened.Shards())
+	}
+	for i, q := range queries {
+		want, _, err := plain.StatSearch(q, sq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := reopened.StatSearch(q, sq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %d: reopened sharded index differs", i)
+		}
+	}
+
+	// The sharded file still works for the disk index path.
+	d, err := OpenDiskIndex(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	dres, _, err := d.SearchBatch(queries[:5], sq, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dres {
+		want, _, err := plain.StatSearch(queries[i], sq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(dres[i], want) {
+			t.Fatalf("query %d: disk index over sharded file differs", i)
+		}
+	}
+
+	// An explicit shard option overrides the stored manifest.
+	re2, err := OpenIndexOptions(path, IndexOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re2.Shards() != 2 {
+		t.Fatalf("override Shards() = %d, want 2", re2.Shards())
 	}
 }
