@@ -4,7 +4,7 @@ GO ?= go
 # pass because they exercise real concurrency.
 RACE_PKGS = . ./internal/core ./internal/store ./internal/httpapi ./internal/cbcd
 
-.PHONY: check vet build test race bench bench-shard
+.PHONY: check vet build test race bench bench-shard bench-plan
 
 # check is the full verification gate: static checks, build, all tests,
 # then the race detector over the engine packages.
@@ -29,3 +29,9 @@ bench:
 # throughput sweep over a 500k fingerprint corpus).
 bench-shard:
 	$(GO) test -run TestShardThroughputSweep -bench-shard -timeout 30m .
+
+# bench-plan regenerates BENCH_plan.json (incremental frontier planner vs
+# legacy multi-descent threshold search: descent nodes and plans/sec over
+# the 500k fingerprint corpus).
+bench-plan:
+	$(GO) test -run TestPlanBenchSweep -bench-plan -timeout 30m .

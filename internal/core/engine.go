@@ -36,6 +36,10 @@ type Engine struct {
 	workers int
 	qctxs   sync.Pool // *queryContext
 	bufs    sync.Pool // *[]Match
+	// descentNodes accumulates Plan.DescentNodes over every plan the
+	// engine computes — the partition-tree work the filtering step has
+	// performed since construction, exposed for monitoring.
+	descentNodes atomic.Int64
 }
 
 // NewEngine builds an engine over ix with nShards key-range shards and at
@@ -55,6 +59,7 @@ func NewEngine(ix *Index, nShards, workers int) *Engine {
 		return &queryContext{
 			qf: make([]float64, ix.db.Dims()),
 			mc: newMassCache(ix.db.Dims(), ix.curve.SideLen()),
+			fs: newFrontierState(ix.curve),
 		}
 	}
 	e.bufs.New = func() any {
@@ -85,11 +90,13 @@ func (e *Engine) Shards() int { return len(e.shards) }
 func (e *Engine) Workers() int { return e.workers }
 
 // queryContext is the per-worker reusable scratch state of one in-flight
-// query: the widened query point and the per-dimension mass cache. Both
-// are reset, not reallocated, between queries.
+// query: the widened query point, the per-dimension mass cache, and the
+// frontier planner's leaf/frontier buffers. All of it is reset, not
+// reallocated, between queries, keeping batch planning allocation-free.
 type queryContext struct {
 	qf []float64
 	mc *massCache
+	fs *frontierState
 }
 
 // setQuery validates q and widens it into the context's float buffer.
@@ -113,8 +120,14 @@ func (e *Engine) planStat(qc *queryContext, q []byte, sq StatQuery) (Plan, error
 		return Plan{}, err
 	}
 	qc.mc.reset()
-	return e.ix.planStatFloatCached(qc.qf, sq, qc.mc), nil
+	plan := e.ix.planStatFrontier(qc.qf, sq, qc.mc, qc.fs)
+	e.descentNodes.Add(int64(plan.DescentNodes))
+	return plan, nil
 }
+
+// DescentNodes returns the cumulative number of partition-tree nodes
+// visited by every plan this engine has computed.
+func (e *Engine) DescentNodes() int64 { return e.descentNodes.Load() }
 
 // piece is the record range [lo, hi) a plan interval maps to, plus the
 // offset of its first match in the final result slice (statistical
@@ -297,6 +310,7 @@ func (e *Engine) SearchRange(ctx context.Context, q []byte, eps float64) ([]Matc
 		return nil, Plan{}, err
 	}
 	plan := e.ix.planRangeFloat(qc.qf, eps)
+	e.descentNodes.Add(int64(plan.DescentNodes))
 	matches, err := e.refineRange(ctx, qc.qf, eps, plan, true)
 	if err != nil {
 		return nil, Plan{}, err

@@ -180,12 +180,17 @@ func (m Empirical) CDF(x float64) float64 {
 		return 1
 	}
 	// The raw empirical CDF changes only at sample points; the kernel
-	// smoothing is equivalent to averaging Φ((x-s_i)/bw). Exact
-	// evaluation is O(n); for the sample sizes the estimator produces
-	// (hundreds to a few thousands) this is cheap, and the mass cache
-	// bounds how often it runs per query.
-	sum := 0.0
-	for _, s := range m.sorted {
+	// smoothing is equivalent to averaging Φ((x-s_i)/bw). Only samples
+	// within ±8 bandwidths of x contribute anything a float64 can see:
+	// beyond that the kernel term is within 6e-16 of 0 or 1. Two binary
+	// searches find the live window, samples below it count as exactly 1,
+	// and the kernel is evaluated only inside — O(log n + window) instead
+	// of O(n), which matters now that the frontier planner makes the CDF
+	// the dominant per-node cost of empirical-model descents.
+	lo := sort.SearchFloat64s(m.sorted, x-8*m.bw)
+	hi := sort.SearchFloat64s(m.sorted, x+8*m.bw)
+	sum := float64(lo)
+	for _, s := range m.sorted[lo:hi] {
 		sum += stat.NormalCDF(x, s, m.bw)
 	}
 	return sum / float64(len(m.sorted))

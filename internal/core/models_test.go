@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+
+	"s3cbcd/internal/stat"
 )
 
 func TestIsoLaplaceMass(t *testing.T) {
@@ -159,5 +161,58 @@ func TestAlternativeModelsWorkInQueries(t *testing.T) {
 		if !found {
 			t.Logf("%T: source not retrieved (allowed occasionally)", m)
 		}
+	}
+}
+
+// TestEmpiricalCDFWindowMatchesFullSum pins the windowed O(log n + w) CDF
+// evaluation to the exact full kernel sum: truncating the kernel at eight
+// bandwidths must change nothing a float64 accumulation can detect at
+// realistic sample counts.
+func TestEmpiricalCDFWindowMatchesFullSum(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	samples := make([]float64, 1000)
+	for i := range samples {
+		// A lumpy, asymmetric distribution: mixture of two normals plus a
+		// heavy point mass region, so the window boundaries land in both
+		// dense and empty stretches of the sorted samples.
+		switch i % 3 {
+		case 0:
+			samples[i] = r.NormFloat64() * 2
+		case 1:
+			samples[i] = 15 + r.NormFloat64()*0.5
+		default:
+			samples[i] = -8 + r.Float64()
+		}
+	}
+	m, err := FitEmpirical(4, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullSum := func(x float64) float64 {
+		sum := 0.0
+		for _, s := range m.sorted {
+			sum += stat.NormalCDF(x, s, m.bw)
+		}
+		return sum / float64(len(m.sorted))
+	}
+	xs := []float64{-50, -8.5, -8, -7.2, 0, 3, 14.9, 15.5, 16, 40}
+	for _, x := range xs {
+		got := m.CDF(x)
+		want := fullSum(x)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("CDF(%v) windowed %v, full sum %v (diff %v)", x, got, want, got-want)
+		}
+	}
+	if m.CDF(math.Inf(-1)) != 0 || m.CDF(math.Inf(1)) != 1 {
+		t.Fatal("infinite arguments lost their exact values")
+	}
+	// Monotone over a fine sweep spanning the window edges.
+	prev := math.Inf(-1)
+	for x := -60.0; x <= 60; x += 0.25 {
+		c := m.CDF(x)
+		if c < prev {
+			t.Fatalf("CDF not monotone at %v: %v < %v", x, c, prev)
+		}
+		prev = c
 	}
 }

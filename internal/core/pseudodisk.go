@@ -110,6 +110,7 @@ func (di *DiskIndex) SearchStatBatch(queries [][]byte, sq StatQuery, budgetRecor
 		return &queryContext{
 			qf: make([]float64, di.dims()),
 			mc: newMassCache(di.dims(), di.curve.SideLen()),
+			fs: newFrontierState(di.curve),
 		}
 	}
 	err := forEach(context.Background(), di.workers, len(queries), mkCtx, func(qc *queryContext, i int) error {
@@ -117,7 +118,7 @@ func (di *DiskIndex) SearchStatBatch(queries [][]byte, sq StatQuery, budgetRecor
 			return fmt.Errorf("query %d: %w", i, err)
 		}
 		qc.mc.reset()
-		plans[i] = di.planStatFloatCached(qc.qf, sq, qc.mc)
+		plans[i] = di.planStatFrontier(qc.qf, sq, qc.mc, qc.fs)
 		return nil
 	})
 	if err != nil {

@@ -26,7 +26,7 @@ func (pl *planner) planRangeFloat(qf []float64, eps float64) Plan {
 	v := newRangeVisitor(qf, eps)
 	pl.curve.DescendSteps(pl.depth, v)
 	return Plan{Intervals: hilbert.MergeIntervals(v.ivs), Blocks: v.blocks,
-		FilterIters: 1, Depth: pl.depth}
+		FilterIters: 1, DescentNodes: v.nodes, Depth: pl.depth}
 }
 
 // SearchRange executes a complete ε-range query: geometric filtering,

@@ -42,36 +42,56 @@ type Plan struct {
 	// Threshold is the final block-mass threshold t_max for statistical
 	// plans; 0 for geometric plans.
 	Threshold float64
-	// FilterIters is the number of descents the threshold search used; 1
-	// for geometric plans.
+	// FilterIters is the number of threshold evaluations the search used;
+	// 1 for geometric plans.
 	FilterIters int
+	// DescentNodes is the number of partition-tree nodes the filtering
+	// step visited. The frontier planner visits each node at most once
+	// across the whole threshold search; the legacy multi-descent search
+	// revisits shared prefixes on every evaluation.
+	DescentNodes int
 	// Depth is the partition depth the plan was computed at.
 	Depth int
 }
 
-// statDescent runs one pruned descent at threshold t and returns the
-// selected blocks' merged intervals, their count, and their total mass.
-// The mass cache is shared across the descents of one threshold search.
-func (pl *planner) statDescent(q []float64, m Model, t float64, mc *massCache) ([]hilbert.Interval, int, float64) {
-	v := newStatVisitor(mc, m, q, t)
-	pl.curve.DescendSteps(pl.depth, v)
-	return hilbert.MergeIntervals(v.ivs), v.blocks, v.total
-}
-
 // maxThresholdIters bounds the Newton-inspired threshold search. Each
-// iteration is one descent; the bracket shrinks geometrically, so 40
-// iterations resolve t_max to a relative precision far below the mass
-// granularity of individual blocks.
+// iteration is one threshold evaluation; the bracket shrinks
+// geometrically, so 40 iterations resolve t_max to a relative precision
+// far below the mass granularity of individual blocks.
 const maxThresholdIters = 40
 
 // tFloor is the smallest block-mass threshold the search will use. Blocks
 // below this mass are irrelevant at any practical α.
 const tFloor = 1e-18
 
+// bracketStep is the geometric factor of the downward bracket walk. The
+// walk stops at the first feasible threshold, which can undershoot t_max
+// by up to this factor — and the frontier planner's traversal work is one
+// descent at the lowest threshold evaluated, so the overshoot directly
+// sizes the frontier expansion. A gentle step bounds that waste; the
+// extra evaluations it causes are nearly free on the frontier path
+// (raising t is traversal-free, and each lowering step only expands the
+// margin the previous step rejected).
+const bracketStep = 2
+
+// thresholdTol terminates the secant refinement once the bracket has
+// shrunk to tHi/tLo <= thresholdTol. The frontier planner made
+// refinement evaluations traversal-free (every probe sits above the
+// lowest threshold already expanded), so a tight tolerance costs almost
+// nothing on the production path and yields a final threshold — hence a
+// block set — closer to the true minimum.
+const thresholdTol = 1.1
+
 // PlanStat runs the statistical filtering step of Section IV-A for query
 // fingerprint q: it finds t_max, the largest per-block mass threshold
 // whose block set B(t) still carries total probability >= α (eq. 4),
 // which yields (a close approximation of) the minimal block set Bα^min.
+//
+// The search is served by the incremental frontier planner: one pruned
+// descent materializes the frontier of rejected nodes, and every further
+// threshold evaluation either expands part of that frontier (lower t) or
+// filters the accumulated leaves with no traversal at all (higher t).
+// The returned Plan is bit-identical to PlanStatLegacy's.
 func (ix *Index) PlanStat(q []byte, sq StatQuery) (Plan, error) {
 	if err := sq.validate(ix.db.Dims()); err != nil {
 		return Plan{}, err
@@ -83,19 +103,142 @@ func (ix *Index) PlanStat(q []byte, sq StatQuery) (Plan, error) {
 	return ix.planStatFloat(qf, sq), nil
 }
 
+// planStatFloat plans with pooled scratch; the engine's per-worker
+// contexts use planStatFrontier directly.
 func (pl *planner) planStatFloat(qf []float64, sq StatQuery) Plan {
-	return pl.planStatFloatCached(qf, sq, newMassCache(pl.dims(), pl.curve.SideLen()))
+	ps := pl.getScratch()
+	defer pl.scratch.Put(ps)
+	return pl.planStatFrontier(qf, sq, ps.mc, ps.fs)
 }
 
-// planStatFloatCached is planStatFloat with a caller-provided mass cache,
-// which must be fresh or reset. Injecting the cache lets the engine's
-// pooled query contexts plan without allocating; the computed plan is
-// bit-identical to planStatFloat's.
-func (pl *planner) planStatFloatCached(qf []float64, sq StatQuery, mc *massCache) Plan {
+// planStatFrontier runs the threshold search on the incremental frontier
+// planner. mc must be fresh or reset; fs is rebound to this query. The
+// control flow below mirrors planStatLegacyCached exactly — same
+// threshold sequence, same bracket updates — so the two return
+// bit-identical plans; only the cost of an evaluation differs.
+func (pl *planner) planStatFrontier(qf []float64, sq StatQuery, mc *massCache, fs *frontierState) Plan {
+	fs.begin(pl.depth, sq.Model, qf, mc)
+	iters := 0
+	eval := func(t float64) (int, float64) {
+		iters++
+		fs.expandTo(t)
+		return fs.selectAt(t)
+	}
+	done := func(t float64, blocks int, mass float64) Plan {
+		return Plan{Intervals: fs.intervalsAt(t), Blocks: blocks, Mass: mass,
+			Threshold: t, FilterIters: iters, DescentNodes: fs.nodes, Depth: pl.depth}
+	}
+
+	// Bracket t_max from above: evaluations at high thresholds prune hard
+	// and are cheap, so we walk down geometrically until the block set
+	// first reaches mass α. Each step expands only the frontier nodes the
+	// previous step rejected — the sum of all steps does the traversal
+	// work of ONE descent at the lowest threshold reached.
+	tHi := (1 - sq.Alpha) / 4
+	massHi := 0.0
+	tLo := tHi
+	blocks, mass := eval(tLo)
+	for mass < sq.Alpha && tLo > tFloor {
+		tHi, massHi = tLo, mass
+		tLo /= bracketStep
+		if tLo < tFloor {
+			tLo = tFloor
+		}
+		blocks, mass = eval(tLo)
+	}
+	if mass < sq.Alpha {
+		// Even the floor threshold cannot reach α (pathological model);
+		// return the floor plan — it is the best the partition offers.
+		return done(tLo, blocks, mass)
+	}
+	if tHi <= tLo {
+		// The initial threshold was already feasible: expand upward until
+		// infeasible to bracket t_max. Raising t needs no curve work at
+		// all — the accumulated leaves are refiltered by stored mass.
+		for iters < maxThresholdIters {
+			tNext := tLo * 16
+			if tNext >= 1 {
+				tHi, massHi = 1, 0
+				break
+			}
+			blocksN, massN := eval(tNext)
+			if massN < sq.Alpha {
+				tHi, massHi = tNext, massN
+				break
+			}
+			tLo, blocks, mass = tNext, blocksN, massN
+		}
+	}
+	// Newton-inspired refinement on [tLo feasible, tHi infeasible]: a
+	// secant step on (log t, P_sup) aimed at α, guarded toward the
+	// geometric mean so the bracket always shrinks by a useful factor.
+	// Every probe lies inside the bracket, above the lowest threshold
+	// already expanded, so this entire loop is traversal-free.
+	for iters < maxThresholdIters && tHi/tLo > thresholdTol {
+		tMid := math.Sqrt(tLo * tHi)
+		if massHi < sq.Alpha && mass > massHi {
+			frac := (mass - sq.Alpha) / (mass - massHi)
+			if tSec := math.Exp(math.Log(tLo) + frac*(math.Log(tHi)-math.Log(tLo))); tSec > tLo*1.1 && tSec < tHi/1.1 {
+				tMid = tSec
+			}
+		}
+		blocksMid, massMid := eval(tMid)
+		if massMid >= sq.Alpha {
+			tLo, blocks, mass = tMid, blocksMid, massMid
+		} else {
+			tHi, massHi = tMid, massMid
+		}
+	}
+	return done(tLo, blocks, mass)
+}
+
+// PlanStatLegacy is the multi-descent threshold search the frontier
+// planner replaced: every threshold evaluation is a full pruned descent
+// from the root. It is retained as the reference implementation — the
+// planner equivalence property tests and the bench-plan harness compare
+// against it — and as the paper-faithful baseline for ablations.
+func (ix *Index) PlanStatLegacy(q []byte, sq StatQuery) (Plan, error) {
+	if err := sq.validate(ix.db.Dims()); err != nil {
+		return Plan{}, err
+	}
+	qf, err := queryPoint(q, ix.db.Dims())
+	if err != nil {
+		return Plan{}, err
+	}
+	return ix.planStatLegacyCached(qf, sq, newMassCache(ix.dims(), ix.curve.SideLen())), nil
+}
+
+// statDescent runs one pruned descent at threshold t on the pooled
+// visitor v, which is reset first (its buffers and the shared mass cache
+// carry over between descents). The returned intervals alias v.ivs.
+func (pl *planner) statDescent(v *statVisitor, t float64) ([]hilbert.Interval, int, float64) {
+	v.reset(t)
+	pl.curve.DescendSteps(pl.depth, v)
+	return hilbert.MergeIntervals(v.ivs), v.blocks, v.total
+}
+
+// planStatLegacyCached is the legacy search with a caller-provided mass
+// cache, which must be fresh or reset. One statVisitor serves all
+// descents; interval buffers double-buffer between the visitor and the
+// currently-retained result so the whole search allocates only when a
+// buffer first grows.
+func (pl *planner) planStatLegacyCached(qf []float64, sq StatQuery, mc *massCache) Plan {
+	v := newStatVisitor(mc, sq.Model, qf, 0)
+	var spare []hilbert.Interval
 	iters := 0
 	eval := func(t float64) ([]hilbert.Interval, int, float64) {
 		iters++
-		return pl.statDescent(qf, sq.Model, t, mc)
+		return pl.statDescent(v, t)
+	}
+	// keep retains an eval's intervals across later descents: the visitor
+	// gets the spare buffer, the retained slice keeps its backing.
+	keep := func(ivs []hilbert.Interval) []hilbert.Interval {
+		v.ivs, spare = spare[:0], ivs
+		return ivs
+	}
+	done := func(t float64, ivs []hilbert.Interval, blocks int, mass float64) Plan {
+		return Plan{Intervals: ivs, Blocks: blocks, Mass: mass,
+			Threshold: t, FilterIters: iters, DescentNodes: v.nodes, Depth: pl.depth}
 	}
 
 	// Bracket t_max from above: descents at high thresholds prune hard
@@ -107,19 +250,20 @@ func (pl *planner) planStatFloatCached(qf []float64, sq StatQuery, mc *massCache
 	massHi := 0.0
 	tLo := tHi
 	ivs, blocks, mass := eval(tLo)
+	ivs = keep(ivs)
 	for mass < sq.Alpha && tLo > tFloor {
 		tHi, massHi = tLo, mass
-		tLo /= 16
+		tLo /= bracketStep
 		if tLo < tFloor {
 			tLo = tFloor
 		}
 		ivs, blocks, mass = eval(tLo)
+		ivs = keep(ivs)
 	}
 	if mass < sq.Alpha {
 		// Even the floor threshold cannot reach α (pathological model);
 		// return the floor plan — it is the best the partition offers.
-		return Plan{Intervals: ivs, Blocks: blocks, Mass: mass,
-			Threshold: tLo, FilterIters: iters, Depth: pl.depth}
+		return done(tLo, ivs, blocks, mass)
 	}
 	if tHi <= tLo {
 		// The initial threshold was already feasible: expand upward until
@@ -136,13 +280,13 @@ func (pl *planner) planStatFloatCached(qf []float64, sq StatQuery, mc *massCache
 				tHi, massHi = tNext, massN
 				break
 			}
-			tLo, ivs, blocks, mass = tNext, ivsN, blocksN, massN
+			tLo, ivs, blocks, mass = tNext, keep(ivsN), blocksN, massN
 		}
 	}
 	// Newton-inspired refinement on [tLo feasible, tHi infeasible]: a
 	// secant step on (log t, P_sup) aimed at α, guarded toward the
 	// geometric mean so the bracket always shrinks by a useful factor.
-	for iters < maxThresholdIters && tHi/tLo > 1.3 {
+	for iters < maxThresholdIters && tHi/tLo > thresholdTol {
 		tMid := math.Sqrt(tLo * tHi)
 		if massHi < sq.Alpha && mass > massHi {
 			frac := (mass - sq.Alpha) / (mass - massHi)
@@ -152,13 +296,12 @@ func (pl *planner) planStatFloatCached(qf []float64, sq StatQuery, mc *massCache
 		}
 		ivsMid, blocksMid, massMid := eval(tMid)
 		if massMid >= sq.Alpha {
-			tLo, ivs, blocks, mass = tMid, ivsMid, blocksMid, massMid
+			tLo, ivs, blocks, mass = tMid, keep(ivsMid), blocksMid, massMid
 		} else {
 			tHi, massHi = tMid, massMid
 		}
 	}
-	return Plan{Intervals: ivs, Blocks: blocks, Mass: mass,
-		Threshold: tLo, FilterIters: iters, Depth: pl.depth}
+	return done(tLo, ivs, blocks, mass)
 }
 
 // SearchStat executes a complete statistical query: filtering (PlanStat)

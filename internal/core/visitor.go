@@ -10,25 +10,41 @@ import (
 // interval a query's descents encounter. Block bounds are always dyadic
 // (they come from repeated halving), so interval (lo, hi) of extent e
 // has the unique id side/e + lo/e in [1, 2*side). The threshold search
-// runs several descents over overlapping node sets; the cache makes the
-// repeats nearly free.
+// runs incremental expansions over overlapping node sets; the cache makes
+// the repeats nearly free.
 type massCache struct {
 	side uint32
-	vals []float64 // dims * (2*side) entries, NaN = unset
+	// gen is the current query's generation. A slot is valid only when
+	// gens[slot] == gen, so invalidating the whole cache is a single
+	// increment instead of a rewrite of every value — the engine resets
+	// the cache before each planned query, and the dims*2*side refill
+	// (~10k floats at D=20, K=8) used to dominate small plans.
+	gen  uint32
+	gens []uint32
+	vals []float64 // dims * (2*side) entries
 }
 
 func newMassCache(dims int, side uint32) *massCache {
-	mc := &massCache{side: side, vals: make([]float64, dims*int(2*side))}
-	mc.reset()
-	return mc
+	return &massCache{
+		side: side,
+		gen:  1,
+		gens: make([]uint32, dims*int(2*side)),
+		vals: make([]float64, dims*int(2*side)),
+	}
 }
 
-// reset invalidates every entry so the cache can be reused for a new
-// query without reallocating — the engine's per-worker query contexts
+// reset invalidates every entry in O(1) so the cache can be reused for a
+// new query without reallocating — the engine's per-worker query contexts
 // depend on this to keep the planning hot path allocation-free.
 func (mc *massCache) reset() {
-	for i := range mc.vals {
-		mc.vals[i] = math.NaN()
+	mc.gen++
+	if mc.gen == 0 {
+		// Generation wraparound (once per 2^32 resets): stale slots could
+		// collide with the restarted counter, so pay one full clear.
+		for i := range mc.gens {
+			mc.gens[i] = 0
+		}
+		mc.gen = 1
 	}
 }
 
@@ -40,8 +56,8 @@ func (mc *massCache) get(m Model, q []float64, dim int, lo, hi uint32) float64 {
 	e := hi - lo
 	id := mc.side/e + lo/e
 	idx := dim*int(2*mc.side) + int(id)
-	if v := mc.vals[idx]; !math.IsNaN(v) {
-		return v
+	if mc.gens[idx] == mc.gen {
+		return mc.vals[idx]
 	}
 	a, b := float64(lo)-0.5, float64(hi)-0.5
 	if lo == 0 {
@@ -52,12 +68,15 @@ func (mc *massCache) get(m Model, q []float64, dim int, lo, hi uint32) float64 {
 	}
 	v := m.ComponentMass(dim, a-q[dim], b-q[dim])
 	mc.vals[idx] = v
+	mc.gens[idx] = mc.gen
 	return v
 }
 
 // statVisitor implements the statistical filtering rule incrementally:
 // the node mass is a product of one factor per dimension, and every
-// descent step replaces exactly one factor.
+// descent step replaces exactly one factor. One visitor serves every
+// descent of a threshold search — reset repositions it at the root
+// without reallocating its factor, stack, or interval storage.
 type statVisitor struct {
 	mc      *massCache
 	m       Model
@@ -69,6 +88,7 @@ type statVisitor struct {
 	ivs     []hilbert.Interval
 	blocks  int
 	total   float64
+	nodes   int // Enter calls across all descents since construction
 }
 
 type statFrame struct {
@@ -88,9 +108,25 @@ func newStatVisitor(mc *massCache, m Model, q []float64, t float64) *statVisitor
 	return v
 }
 
+// reset repositions the visitor at the root for a fresh descent at
+// threshold t, reusing every buffer. The cumulative node counter is
+// preserved; it spans the whole threshold search.
+func (v *statVisitor) reset(t float64) {
+	v.t = t
+	v.prod = 1
+	for i := range v.factors {
+		v.factors[i] = 1
+	}
+	v.stack = v.stack[:0]
+	v.ivs = v.ivs[:0]
+	v.blocks = 0
+	v.total = 0
+}
+
 // Enter implements hilbert.StepVisitor. The division is safe: factor[dim]
 // bounds the parent mass from above and the parent survived mass > t > 0.
 func (v *statVisitor) Enter(dim int, lo, hi uint32) bool {
+	v.nodes++
 	f := v.mc.get(v.m, v.q, dim, lo, hi)
 	np := v.prod / v.factors[dim] * f
 	if np <= v.t {
@@ -129,6 +165,7 @@ type rangeVisitor struct {
 	stack   []rangeFrame
 	ivs     []hilbert.Interval
 	blocks  int
+	nodes   int
 }
 
 type rangeFrame struct {
@@ -159,6 +196,7 @@ func dimDistSq(v float64, lo, hi uint32) float64 {
 
 // Enter implements hilbert.StepVisitor.
 func (v *rangeVisitor) Enter(dim int, lo, hi uint32) bool {
+	v.nodes++
 	c := dimDistSq(v.q[dim], lo, hi)
 	ns := v.sum - v.contrib[dim] + c
 	if ns > v.epsSq {

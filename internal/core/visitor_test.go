@@ -102,7 +102,7 @@ func TestStatDescentCompleteness(t *testing.T) {
 	const tthr = 1e-5
 	pl := &planner{curve: curve, depth: 10}
 	mc := newMassCache(4, curve.SideLen())
-	ivs, _, total := pl.statDescent(q, m, tthr, mc)
+	ivs, _, total := pl.statDescent(newStatVisitor(mc, m, q, tthr), tthr)
 
 	inIvs := func(b hilbert.Block) bool {
 		for _, iv := range ivs {

@@ -1,0 +1,141 @@
+package hilbert
+
+import "s3cbcd/internal/bitkey"
+
+// FrontierDescent is reusable scratch for resumable pruned descents. A
+// normal Descend restarts at the root every time the pruning rule
+// changes; a frontier descent instead materializes every pruned node as
+// an explicit Node (via the pruned callback) so that a later pass with a
+// weaker rule can resume exactly where the earlier pass stopped, never
+// re-walking the part of the tree the earlier pass already settled.
+//
+// A FrontierDescent carries only per-dimension bound scratch; it may be
+// reused across any number of Descend calls but is not safe for
+// concurrent use.
+type FrontierDescent struct {
+	c      *Curve
+	depth  int
+	stepV  StepVisitor
+	pruned func(Node)
+	lo, hi []uint32
+	done   bool
+}
+
+// NewFrontierDescent returns scratch for resumable descents over c.
+func (c *Curve) NewFrontierDescent() *FrontierDescent {
+	return &FrontierDescent{
+		c:  c,
+		lo: make([]uint32, c.dims),
+		hi: make([]uint32, c.dims),
+	}
+}
+
+// Descend walks the partition subtree under n down to depth, following
+// the same protocol as Curve.DescendSteps: v.Enter is consulted for every
+// candidate child (one halved dimension per step), v.Leave undoes an
+// Enter on backtrack, and v.Leaf receives each surviving depth-level
+// block in curve order. The one addition is pruned: when non-nil it
+// receives, immediately after each Enter that returned false, the
+// rejected child as a resumable Node. Passing that Node back to a later
+// Descend call continues the walk below it as if it had never been
+// pruned.
+//
+// The Lo/Hi of nodes handed to pruned (and the bounds of Blocks handed
+// to v.Leaf) alias the FrontierDescent's scratch and are only valid
+// during the callback; copy them to retain. Descend panics when depth is
+// outside [n.Bits, c.IndexBits()].
+//
+// Descend(c.RootNode(), p, v, nil) enumerates exactly the blocks of
+// DescendSteps(p, v).
+func (fd *FrontierDescent) Descend(n Node, depth int, v StepVisitor, pruned func(Node)) {
+	if depth < n.Bits || depth > fd.c.IndexBits() {
+		panic("hilbert: frontier descend depth outside [node bits, index bits]")
+	}
+	copy(fd.lo, n.Lo)
+	copy(fd.hi, n.Hi)
+	fd.depth, fd.stepV, fd.pruned, fd.done = depth, v, pruned, false
+	fd.walk(n.Prefix, n.Bits, n.st, n.q, n.wp)
+	fd.stepV, fd.pruned = nil, nil
+}
+
+// walk mirrors descent.walk with two differences: it starts from an
+// arbitrary node state instead of the root, and it reports pruned
+// children as resumable Nodes.
+func (fd *FrontierDescent) walk(prefix bitkey.Key, m int, st state, q int, wp uint64) {
+	if fd.done {
+		return
+	}
+	if m == fd.depth {
+		b := Block{
+			Lo: fd.lo, Hi: fd.hi,
+			Start: prefix.Shl(uint(fd.c.IndexBits() - m)),
+			End:   endOfInterval(prefix, m, fd.c.IndexBits()),
+			Depth: fd.depth,
+		}
+		if !fd.stepV.Leaf(b) {
+			fd.done = true
+		}
+		return
+	}
+	n := uint(fd.c.dims)
+	for b := uint64(0); b <= 1; b++ {
+		prev := uint64(0)
+		if q > 0 {
+			prev = wp & 1
+		}
+		gbit := b ^ prev
+		posG := n - 1 - uint(q)
+		posL := (posG + st.d + 1) % n
+		lbit := gbit ^ ((st.e >> posL) & 1)
+
+		dim := int(posL)
+		mid := (fd.lo[dim] + fd.hi[dim]) / 2
+		savedLo, savedHi := fd.lo[dim], fd.hi[dim]
+		if lbit == 1 {
+			fd.lo[dim] = mid
+		} else {
+			fd.hi[dim] = mid
+		}
+
+		childPrefix := prefix.Shl(1).OrLowBits(b)
+		var childSt state
+		var childQ int
+		var childWp uint64
+		if q+1 == int(n) {
+			childSt, childQ, childWp = st.next(wp<<1|b, n), 0, 0
+		} else {
+			childSt, childQ, childWp = st, q+1, wp<<1|b
+		}
+
+		if fd.stepV.Enter(dim, fd.lo[dim], fd.hi[dim]) {
+			fd.walk(childPrefix, m+1, childSt, childQ, childWp)
+			fd.stepV.Leave(dim)
+		} else if fd.pruned != nil {
+			fd.pruned(Node{
+				Lo: fd.lo, Hi: fd.hi,
+				Prefix: childPrefix,
+				Bits:   m + 1,
+				st:     childSt,
+				q:      childQ,
+				wp:     childWp,
+			})
+		}
+
+		fd.lo[dim], fd.hi[dim] = savedLo, savedHi
+		if fd.done {
+			return
+		}
+	}
+}
+
+// CopyNode returns n with Lo/Hi copied into the given backing storage,
+// which must hold at least 2*Dims entries. It is the retention helper
+// for nodes received through a pruned callback: the returned node's
+// bounds alias dst, not the descent scratch.
+func CopyNode(n Node, dst []uint32) Node {
+	d := len(n.Lo)
+	copy(dst[:d], n.Lo)
+	copy(dst[d:2*d], n.Hi)
+	n.Lo, n.Hi = dst[:d:d], dst[d:2*d:2*d]
+	return n
+}

@@ -1,0 +1,224 @@
+package hilbert
+
+import (
+	"sort"
+	"testing"
+)
+
+// hashFactor derives a deterministic pseudo-random score for a dyadic
+// interval of one dimension, mimicking a per-dimension mass factor
+// without needing a model. Factors are exact powers of two so that the
+// product of a node's factors is the same float64 no matter the order it
+// is accumulated in — the test recomputes products when reseeding a
+// resumed visitor, and exact arithmetic keeps that recomputation
+// bit-identical to the incremental bookkeeping of a fresh descent.
+func hashFactor(dim int, lo, hi uint32, seed uint64) float64 {
+	h := seed
+	h ^= uint64(dim+1) * 0x9e3779b97f4a7c15
+	h ^= uint64(lo) * 0xbf58476d1ce4e5b9
+	h ^= uint64(hi) * 0x94d049bb133111eb
+	h ^= h >> 31
+	h *= 0xd6e8feb86659fd93
+	h ^= h >> 29
+	return 1 / float64(uint64(1)<<(h%4))
+}
+
+// scoreVisitor prunes nodes whose factor product is <= t, collecting
+// surviving leaves and (through the frontier callback) pruned nodes.
+type scoreVisitor struct {
+	seed    uint64
+	t       float64
+	factors []float64
+	prod    float64
+	stack   []float64
+	dims    []int
+	leaves  []Interval
+}
+
+func newScoreVisitor(dims int, seed uint64, t float64) *scoreVisitor {
+	v := &scoreVisitor{seed: seed, t: t, factors: make([]float64, dims), prod: 1}
+	for i := range v.factors {
+		v.factors[i] = 1
+	}
+	return v
+}
+
+// reseed positions the visitor at a resumed node by recomputing the
+// per-dimension factors from the node's bounds.
+func (v *scoreVisitor) reseed(n Node, side uint32) {
+	v.prod = 1
+	v.stack = v.stack[:0]
+	v.dims = v.dims[:0]
+	for j := range v.factors {
+		f := 1.0
+		if n.Lo[j] != 0 || n.Hi[j] != side {
+			f = hashFactor(j, n.Lo[j], n.Hi[j], v.seed)
+		}
+		v.factors[j] = f
+		v.prod *= f
+	}
+}
+
+func (v *scoreVisitor) Enter(dim int, lo, hi uint32) bool {
+	f := hashFactor(dim, lo, hi, v.seed)
+	np := v.prod / v.factors[dim] * f
+	if np <= v.t {
+		return false
+	}
+	v.stack = append(v.stack, v.factors[dim])
+	v.dims = append(v.dims, dim)
+	v.factors[dim] = f
+	v.prod = np
+	return true
+}
+
+func (v *scoreVisitor) Leave(int) {
+	last := len(v.stack) - 1
+	dim := v.dims[last]
+	old := v.stack[last]
+	v.stack, v.dims = v.stack[:last], v.dims[:last]
+	v.prod = v.prod / v.factors[dim] * old
+	v.factors[dim] = old
+}
+
+func (v *scoreVisitor) Leaf(b Block) bool {
+	v.leaves = append(v.leaves, Interval{Start: b.Start, End: b.End})
+	return true
+}
+
+// TestFrontierRootMatchesDescendSteps checks that a frontier descent from
+// the root with no pruning enumerates exactly the DescendSteps leaves.
+func TestFrontierRootMatchesDescendSteps(t *testing.T) {
+	for _, cfg := range []struct{ dims, order, depth int }{
+		{2, 3, 5}, {3, 2, 6}, {4, 2, 8}, {1, 5, 4}, {5, 2, 7},
+	} {
+		c := MustNew(cfg.dims, cfg.order)
+		want := newScoreVisitor(cfg.dims, 0, -1) // t < 0: keep everything
+		c.DescendSteps(cfg.depth, want)
+
+		got := newScoreVisitor(cfg.dims, 0, -1)
+		fd := c.NewFrontierDescent()
+		fd.Descend(c.RootNode(), cfg.depth, got, nil)
+
+		if len(want.leaves) != len(got.leaves) {
+			t.Fatalf("%+v: %d leaves vs %d", cfg, len(got.leaves), len(want.leaves))
+		}
+		for i := range want.leaves {
+			if want.leaves[i] != got.leaves[i] {
+				t.Fatalf("%+v: leaf %d differs", cfg, i)
+			}
+		}
+	}
+}
+
+// TestFrontierResumeEquivalence prunes a first pass hard, then resumes
+// every pruned node at a weaker threshold; the union of both passes'
+// leaves must equal a fresh descent at the weak threshold.
+func TestFrontierResumeEquivalence(t *testing.T) {
+	for _, cfg := range []struct {
+		dims, order, depth int
+		seed               uint64
+		tHi, tLo           float64
+	}{
+		{3, 3, 7, 1, 0.5, 0.1},
+		{4, 2, 8, 2, 0.3, 0.01},
+		{2, 4, 8, 3, 0.7, 0.2},
+		{5, 2, 9, 4, 0.4, 0},
+	} {
+		c := MustNew(cfg.dims, cfg.order)
+		side := c.SideLen()
+		fd := c.NewFrontierDescent()
+
+		// First pass at the strong threshold, capturing pruned nodes.
+		var frontier []Node
+		first := newScoreVisitor(cfg.dims, cfg.seed, cfg.tHi)
+		fd.Descend(c.RootNode(), cfg.depth, first, func(n Node) {
+			frontier = append(frontier, CopyNode(n, make([]uint32, 2*cfg.dims)))
+		})
+		leaves := append([]Interval(nil), first.leaves...)
+
+		// Resume each pruned node at the weak threshold.
+		for _, n := range frontier {
+			v := newScoreVisitor(cfg.dims, cfg.seed, cfg.tLo)
+			v.reseed(n, side)
+			if v.prod <= cfg.tLo {
+				continue // still pruned at the weak threshold
+			}
+			fd.Descend(n, cfg.depth, v, nil)
+			leaves = append(leaves, v.leaves...)
+		}
+		sort.Slice(leaves, func(i, j int) bool { return leaves[i].Start.Less(leaves[j].Start) })
+
+		// Fresh descent at the weak threshold.
+		fresh := newScoreVisitor(cfg.dims, cfg.seed, cfg.tLo)
+		fd.Descend(c.RootNode(), cfg.depth, fresh, nil)
+
+		if len(fresh.leaves) != len(leaves) {
+			t.Fatalf("%+v: resumed %d leaves, fresh %d", cfg, len(leaves), len(fresh.leaves))
+		}
+		for i := range leaves {
+			if leaves[i] != fresh.leaves[i] {
+				t.Fatalf("%+v: leaf %d differs after resume", cfg, i)
+			}
+		}
+		if len(frontier) == 0 {
+			t.Fatalf("%+v: first pass pruned nothing, test is vacuous", cfg)
+		}
+	}
+}
+
+// TestFrontierLeafDepthNode resumes a node already at the target depth:
+// it must be emitted as a single leaf.
+func TestFrontierLeafDepthNode(t *testing.T) {
+	c := MustNew(3, 3)
+	fd := c.NewFrontierDescent()
+
+	var nodes []Node
+	v := newScoreVisitor(3, 9, 1.0/32) // deep enough that some leaves prune
+	fd.Descend(c.RootNode(), 5, v, func(n Node) {
+		if n.Bits == 5 {
+			nodes = append(nodes, CopyNode(n, make([]uint32, 6)))
+		}
+	})
+	if len(nodes) == 0 {
+		t.Fatal("no depth-level nodes were pruned")
+	}
+	for _, n := range nodes {
+		leafV := newScoreVisitor(3, 9, -1)
+		fd.Descend(n, 5, leafV, nil)
+		if len(leafV.leaves) != 1 {
+			t.Fatalf("depth-level resume emitted %d leaves", len(leafV.leaves))
+		}
+		want := c.NodeInterval(n)
+		if leafV.leaves[0] != want {
+			t.Fatalf("leaf interval %+v, node interval %+v", leafV.leaves[0], want)
+		}
+	}
+}
+
+// TestFrontierDepthPanics checks the depth validation.
+func TestFrontierDepthPanics(t *testing.T) {
+	c := MustNew(2, 2)
+	fd := c.NewFrontierDescent()
+	root := c.RootNode()
+	for _, depth := range []int{-1, c.IndexBits() + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("depth %d accepted", depth)
+				}
+			}()
+			fd.Descend(root, depth, newScoreVisitor(2, 0, -1), nil)
+		}()
+	}
+	// Depth below the node's own bits must also panic.
+	kids := c.SplitNode(root)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("depth below node bits accepted")
+			}
+		}()
+		fd.Descend(kids[0], 0, newScoreVisitor(2, 0, -1), nil)
+	}()
+}

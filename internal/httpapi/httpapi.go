@@ -177,6 +177,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"status":  "ok",
 		"shards":  s.eng.Shards(),
 		"records": s.eng.Index().DB().Len(),
+		// Cumulative partition-tree nodes visited by every plan this
+		// engine has computed: the filtering-side work counter that the
+		// frontier planner exists to keep small.
+		"descentNodes": s.eng.DescentNodes(),
 	})
 }
 
@@ -204,11 +208,12 @@ func (s *Server) statQuery(req *searchRequest) (core.StatQuery, error) {
 
 func planJSON(plan core.Plan) map[string]interface{} {
 	return map[string]interface{}{
-		"blocks":      plan.Blocks,
-		"mass":        plan.Mass,
-		"threshold":   plan.Threshold,
-		"filterIters": plan.FilterIters,
-		"depth":       plan.Depth,
+		"blocks":       plan.Blocks,
+		"mass":         plan.Mass,
+		"threshold":    plan.Threshold,
+		"filterIters":  plan.FilterIters,
+		"descentNodes": plan.DescentNodes,
+		"depth":        plan.Depth,
 	}
 }
 

@@ -107,6 +107,12 @@ func TestStatisticalEndpoint(t *testing.T) {
 	if plan["mass"].(float64) < 0.8 {
 		t.Fatalf("plan mass %v", plan["mass"])
 	}
+	if plan["filterIters"].(float64) < 1 {
+		t.Fatalf("plan filterIters %v", plan["filterIters"])
+	}
+	if plan["descentNodes"].(float64) <= 0 {
+		t.Fatalf("plan descentNodes %v, want > 0", plan["descentNodes"])
+	}
 }
 
 func TestRangeAndKNNEndpoints(t *testing.T) {
@@ -207,6 +213,30 @@ func TestHealthzEndpoint(t *testing.T) {
 	}
 	if int(out["records"].(float64)) != db.Len() {
 		t.Errorf("records %v, want %d", out["records"], db.Len())
+	}
+	if out["descentNodes"].(float64) != 0 {
+		t.Errorf("descentNodes %v before any search, want 0", out["descentNodes"])
+	}
+
+	// The counter accumulates the plans' descent nodes across searches.
+	resp2, sout := post(t, ts, "/search/statistical", map[string]interface{}{
+		"fingerprint": fpOf(db, 3), "alpha": 0.8, "sigma": 10,
+	})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("search status %d", resp2.StatusCode)
+	}
+	planNodes := sout["plan"].(map[string]interface{})["descentNodes"].(float64)
+	resp3, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	var out2 map[string]interface{}
+	if err := json.NewDecoder(resp3.Body).Decode(&out2); err != nil {
+		t.Fatal(err)
+	}
+	if got := out2["descentNodes"].(float64); got != planNodes {
+		t.Errorf("healthz descentNodes %v after one search, plan reported %v", got, planNodes)
 	}
 }
 
