@@ -4,7 +4,7 @@ GO ?= go
 # pass because they exercise real concurrency.
 RACE_PKGS = . ./internal/core ./internal/store ./internal/httpapi ./internal/cbcd
 
-.PHONY: check vet build test race bench bench-shard bench-plan
+.PHONY: check vet build test race cover bench bench-shard bench-plan
 
 # check is the full verification gate: static checks, build, all tests,
 # then the race detector over the engine packages.
@@ -21,6 +21,12 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# cover prints per-package statement coverage (and leaves cover.out for
+# `go tool cover -html=cover.out`).
+cover:
+	$(GO) test -cover -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -14,6 +14,16 @@
 //	curl -X POST localhost:8080/search/statistical/batch \
 //	     -d '{"fingerprints":[[...],[...]],"alpha":0.8,"sigma":20}'
 //
+// With -live DIR the server runs a live segmented index persisted in DIR
+// instead of a read-only database file: ingest and delete endpoints are
+// enabled and the index reopens to its last committed snapshot.
+//
+//	s3serve -live /var/lib/s3/live -dims 20 -addr :8080
+//
+//	curl -X POST localhost:8080/ingest \
+//	     -d '{"records":[{"fingerprint":[...],"id":7,"tc":120}]}'
+//	curl -X DELETE localhost:8080/video/7
+//
 // The server carries read/write timeouts and drains in-flight requests
 // before exiting on SIGINT/SIGTERM.
 package main
@@ -28,6 +38,8 @@ import (
 	"syscall"
 	"time"
 
+	"s3cbcd/internal/core"
+	"s3cbcd/internal/hilbert"
 	"s3cbcd/internal/httpapi"
 	"s3cbcd/internal/store"
 )
@@ -36,7 +48,10 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("s3serve: ")
 	var (
-		dbPath       = flag.String("db", "archive.s3db", "database file")
+		dbPath       = flag.String("db", "archive.s3db", "database file (static mode)")
+		liveDir      = flag.String("live", "", "live index directory (enables ingest/delete; overrides -db)")
+		dims         = flag.Int("dims", 20, "fingerprint dimension (live mode)")
+		order        = flag.Int("order", 8, "bits per component (live mode)")
 		addr         = flag.String("addr", ":8080", "listen address")
 		depth        = flag.Int("depth", 0, "partition depth p (0 = auto)")
 		shards       = flag.Int("shards", 0, "keyspace shards (0 = file manifest or 1)")
@@ -48,28 +63,51 @@ func main() {
 	)
 	flag.Parse()
 
-	fl, err := store.Open(*dbPath)
-	if err != nil {
-		log.Fatal(err)
-	}
-	db, err := fl.LoadAll()
-	if err != nil {
+	var srv *httpapi.Server
+	if *liveDir != "" {
+		curve, err := hilbert.New(*dims, *order)
+		if err != nil {
+			log.Fatal(err)
+		}
+		li, err := core.OpenLiveIndex(curve, *liveDir, core.LiveOptions{Depth: *depth, Workers: *workers})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := li.Close(); err != nil {
+				log.Printf("close: %v", err)
+			}
+		}()
+		srv = httpapi.NewLive(li, httpapi.Options{MaxInFlight: *maxInFlight})
+		st := li.Stats()
+		log.Printf("live index in %s: %d fingerprints (D=%d, gen %d, %d segments)",
+			*liveDir, st.LiveRecords, *dims, st.Gen, st.Segments)
+	} else {
+		fl, err := store.Open(*dbPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		db, err := fl.LoadAll()
+		if err != nil {
+			fl.Close()
+			log.Fatal(err)
+		}
+		nShards := *shards
+		if starts := fl.ShardStarts(); nShards == 0 && starts != nil {
+			nShards = len(starts) - 1
+		}
 		fl.Close()
-		log.Fatal(err)
-	}
-	nShards := *shards
-	if starts := fl.ShardStarts(); nShards == 0 && starts != nil {
-		nShards = len(starts) - 1
-	}
-	fl.Close()
-	srv, err := httpapi.New(db, httpapi.Options{
-		Depth:       *depth,
-		Shards:      nShards,
-		Workers:     *workers,
-		MaxInFlight: *maxInFlight,
-	})
-	if err != nil {
-		log.Fatal(err)
+		srv, err = httpapi.New(db, httpapi.Options{
+			Depth:       *depth,
+			Shards:      nShards,
+			Workers:     *workers,
+			MaxInFlight: *maxInFlight,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("serving %d fingerprints (D=%d, %d shards) on %s",
+			db.Len(), db.Dims(), srv.Engine().Shards(), *addr)
 	}
 
 	hs := &http.Server{
@@ -84,8 +122,7 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
-	log.Printf("serving %d fingerprints (D=%d, %d shards) on %s",
-		db.Len(), db.Dims(), srv.Engine().Shards(), *addr)
+	log.Printf("listening on %s", *addr)
 
 	select {
 	case err := <-errCh:

@@ -139,8 +139,9 @@ func (in *Indexer) Build() (*Detector, error) {
 // clip's fingerprints and any intra-query shard refinement.
 type Detector struct {
 	cfg    Config
-	index  *core.Index
-	engine *core.Engine
+	index  *core.Index  // nil for live detectors
+	engine *core.Engine // nil for live detectors
+	search core.Searcher
 }
 
 // NewDetector wraps an existing database (e.g. loaded from a file).
@@ -160,16 +161,36 @@ func NewDetector(db *store.DB, cfg Config) (*Detector, error) {
 	if workers < 1 {
 		workers = 1
 	}
-	return &Detector{cfg: cfg, index: ix,
-		engine: core.NewEngine(ix, cfg.Shards, workers)}, nil
+	eng := core.NewEngine(ix, cfg.Shards, workers)
+	return &Detector{cfg: cfg, index: ix, engine: eng, search: eng}, nil
 }
 
-// Index exposes the underlying S³ index (e.g. for depth tuning).
+// NewLiveDetector runs copy detection against a live segmented index
+// (core.LiveIndex): the same voting pipeline, but reference material can
+// be ingested or withdrawn while detection runs. Each SearchLocals batch
+// executes against one consistent snapshot of the index.
+func NewLiveDetector(li *core.LiveIndex, cfg Config) (*Detector, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if li.Curve().Dims() != fingerprint.D {
+		return nil, fmt.Errorf("cbcd: live index has %d dims, want %d", li.Curve().Dims(), fingerprint.D)
+	}
+	return &Detector{cfg: cfg, search: li}, nil
+}
+
+// Index exposes the underlying S³ index (e.g. for depth tuning). It is
+// nil for detectors over a live index.
 func (d *Detector) Index() *core.Index { return d.index }
 
 // Engine exposes the detector's query engine (e.g. to share it with a
-// serving layer).
+// serving layer). It is nil for detectors over a live index.
 func (d *Detector) Engine() *core.Engine { return d.engine }
+
+// Searcher exposes the query surface detection runs through — the static
+// engine or the live index.
+func (d *Detector) Searcher() core.Searcher { return d.search }
 
 // Config returns the detector's effective configuration.
 func (d *Detector) Config() Config { return d.cfg }
@@ -195,7 +216,7 @@ func (d *Detector) SearchLocals(locals []fingerprint.Local) ([]vote.Candidate, e
 	for i := range locals {
 		queries[i] = locals[i].FP[:]
 	}
-	results, err := d.engine.SearchStatBatch(context.Background(), queries, d.Query())
+	results, err := d.search.SearchStatBatch(context.Background(), queries, d.Query())
 	if err != nil {
 		return nil, err
 	}

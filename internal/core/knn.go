@@ -70,6 +70,15 @@ func (h *resultHeap) Pop() interface{} {
 // 0 it stops early after refining that many leaf blocks — the
 // "early stopping" approximate k-NN family the paper cites ([14], [15]).
 func (ix *Index) SearchKNN(q []byte, k int, maxLeaves int) ([]Match, KNNStats, error) {
+	return ix.SearchKNNFilter(q, k, maxLeaves, nil)
+}
+
+// SearchKNNFilter is SearchKNN restricted to records whose video
+// identifier the keep predicate accepts; nil keep accepts every record.
+// Rejected records are skipped before they can occupy a result slot, so
+// the answer is the k nearest *kept* records — the form a segmented live
+// index needs to search past tombstoned videos.
+func (ix *Index) SearchKNNFilter(q []byte, k int, maxLeaves int, keep func(id uint32) bool) ([]Match, KNNStats, error) {
 	if k < 1 {
 		return nil, KNNStats{}, fmt.Errorf("core: k = %d must be >= 1", k)
 	}
@@ -98,6 +107,9 @@ func (ix *Index) SearchKNN(q []byte, k int, maxLeaves int) ([]Match, KNNStats, e
 			stats.Leaves++
 			lo, hi := ix.db.FindInterval(ix.curve.NodeInterval(e.node))
 			for i := lo; i < hi; i++ {
+				if keep != nil && !keep(ix.db.ID(i)) {
+					continue
+				}
 				stats.Scanned++
 				d := math.Sqrt(distSqToFP(qf, ix.db.FP(i)))
 				if d < kth() {

@@ -1,0 +1,836 @@
+package core
+
+// LiveIndex is the always-on variant of the S³ index: an LSM-style
+// segmented structure that ingests new reference material and serves
+// statistical/range/k-NN queries at the same time, the continuously
+// growing TV-archive scenario the paper's deployment implies but its
+// static structure cannot serve.
+//
+// The design exploits the same property the sharded engine does: a plan
+// (statistical or geometric) depends only on the curve geometry and the
+// partition depth, never on the record data. One plan per query is
+// therefore valid against every segment, and refinement fans out across
+// an atomic snapshot of immutable curve-ordered segments:
+//
+//   - a small *memtable* segment absorbs Ingest batches (rebuilt by a
+//     linear canonical merge — cheap while it stays below the seal
+//     threshold);
+//   - sealed segments are immutable; a background compactor folds them
+//     into one base segment with store.Merge, applying tombstones;
+//   - readers load the current snapshot with one atomic pointer read and
+//     never block writers; writers publish a fresh snapshot (strictly
+//     increasing generation) under a single writer mutex.
+//
+// Deletes are per-segment tombstone masks by video identifier: a delete
+// masks the id out of every segment existing at that moment (the
+// memtable, being mutable-by-replacement, is filtered eagerly), so a
+// later re-ingest of the same id lands in younger segments and survives.
+// Compaction applies the masks physically and drops them.
+//
+// Because store.Build and store.Merge share one canonical total record
+// order (Hilbert key, then ID/TC/X/Y), the concatenation of a snapshot's
+// segments holds exactly the records — in exactly the order — of one
+// monolithic Build over the surviving records. Query results merged
+// canonically across segments are therefore identical to the offline
+// rebuild's, which is the property live_quick_test.go checks.
+//
+// With a backing directory, every seal, delete and compaction commits a
+// versioned segment manifest (store.CommitManifest): segment files are
+// written first under never-reused names, then a MANIFEST-<gen> rename
+// publishes the snapshot atomically. Reopening recovers the newest
+// manifest that decodes and whose segments all load — a crash at any
+// byte of a commit yields the previous committed snapshot, never a
+// partial one. Unsealed memtable records are volatile (there is no WAL);
+// Flush or Close seals them.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"s3cbcd/internal/bitkey"
+	"s3cbcd/internal/hilbert"
+	"s3cbcd/internal/store"
+)
+
+// Searcher is the query surface shared by the static Engine and the
+// LiveIndex, letting serving layers (httpapi, cbcd.Detector) run over
+// either a frozen archive or a growing one.
+type Searcher interface {
+	SearchStat(ctx context.Context, q []byte, sq StatQuery) ([]Match, Plan, error)
+	SearchRange(ctx context.Context, q []byte, eps float64) ([]Match, Plan, error)
+	SearchKNN(ctx context.Context, q []byte, k, maxLeaves int) ([]Match, KNNStats, error)
+	SearchStatBatch(ctx context.Context, queries [][]byte, sq StatQuery) ([][]Match, error)
+}
+
+var (
+	_ Searcher = (*Engine)(nil)
+	_ Searcher = (*LiveIndex)(nil)
+)
+
+// ErrClosed is returned by operations on a closed LiveIndex.
+var ErrClosed = errors.New("core: live index is closed")
+
+// LiveOptions tunes a LiveIndex.
+type LiveOptions struct {
+	// Depth is the partition depth p shared by every segment (a plan is
+	// computed once and refined everywhere, so all segments must agree).
+	// 0 selects DefaultDepth for a million-record archive.
+	Depth int
+	// Workers bounds batch query fan-out. 0 selects GOMAXPROCS.
+	Workers int
+	// MemtableRecords is the memtable size at which Ingest seals it into
+	// an immutable segment. 0 selects 4096.
+	MemtableRecords int
+	// CompactSegments is the sealed-segment count that triggers a
+	// background compaction. 0 selects 4.
+	CompactSegments int
+	// SectionBits is the section-table granularity of written segment
+	// files. 0 selects 10 (clamped to the curve's index bits).
+	SectionBits int
+}
+
+// DefaultLiveMemtableRecords is the default seal threshold.
+const DefaultLiveMemtableRecords = 4096
+
+// DefaultLiveCompactSegments is the default compaction trigger.
+const DefaultLiveCompactSegments = 4
+
+func (o LiveOptions) withDefaults(curve *hilbert.Curve) LiveOptions {
+	if o.Depth <= 0 {
+		o.Depth = DefaultDepth(curve, 1<<20)
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MemtableRecords <= 0 {
+		o.MemtableRecords = DefaultLiveMemtableRecords
+	}
+	if o.CompactSegments < 2 {
+		o.CompactSegments = DefaultLiveCompactSegments
+	}
+	if o.SectionBits <= 0 {
+		o.SectionBits = 10
+	}
+	if o.SectionBits > curve.IndexBits() {
+		o.SectionBits = curve.IndexBits()
+	}
+	return o
+}
+
+// liveSegment is one immutable piece of a snapshot: a curve-ordered
+// database plus the tombstone mask hiding deleted videos. Segments are
+// never mutated — tombstone growth replaces the struct (copy-on-write),
+// so a loaded snapshot stays coherent forever.
+type liveSegment struct {
+	db   *store.DB
+	name string              // manifest file name; "" for the memtable
+	tomb map[uint32]struct{} // masked video ids; nil or empty for none
+	live int                 // records not masked
+}
+
+func (s *liveSegment) masked(id uint32) bool {
+	_, dead := s.tomb[id]
+	return dead
+}
+
+// withTombstone returns a copy of the segment with id masked.
+func (s *liveSegment) withTombstone(id uint32) *liveSegment {
+	tomb := make(map[uint32]struct{}, len(s.tomb)+1)
+	for k := range s.tomb {
+		tomb[k] = struct{}{}
+	}
+	tomb[id] = struct{}{}
+	return &liveSegment{db: s.db, name: s.name, tomb: tomb, live: s.live - s.db.CountID(id)}
+}
+
+// compacted returns the segment's surviving records as a database.
+func (s *liveSegment) compacted() *store.DB {
+	if len(s.tomb) == 0 {
+		return s.db
+	}
+	return store.Filter(s.db, func(id, _ uint32) bool { return !s.masked(id) })
+}
+
+// liveSnapshot is one immutable view of the index: sealed segments
+// (oldest first) plus the memtable. Readers obtain it with a single
+// atomic load; writers publish a successor with a strictly larger
+// generation.
+type liveSnapshot struct {
+	gen  uint64
+	segs []*liveSegment
+	mem  *liveSegment
+}
+
+// all returns every segment of the snapshot, memtable last.
+func (s *liveSnapshot) all() []*liveSegment {
+	out := make([]*liveSegment, 0, len(s.segs)+1)
+	out = append(out, s.segs...)
+	if s.mem.db.Len() > 0 {
+		out = append(out, s.mem)
+	}
+	return out
+}
+
+// LiveIndex is a segmented S³ index supporting concurrent ingest and
+// query with background compaction. All query methods are safe for
+// concurrent use with each other and with Ingest/DeleteVideo/Compact.
+type LiveIndex struct {
+	pl  planner
+	opt LiveOptions
+	dir string // "" = memory-only
+
+	snap atomic.Pointer[liveSnapshot]
+	// mu serializes writers (Ingest, DeleteVideo, Flush, Close and the
+	// commit phase of a compaction). Readers never take it.
+	mu sync.Mutex
+	// compactMu singleflights compaction; the merge phase runs under it
+	// alone, off the writer lock.
+	compactMu sync.Mutex
+	wg        sync.WaitGroup
+	closed    atomic.Bool
+
+	ingested    atomic.Int64
+	deletes     atomic.Int64
+	compactions atomic.Int64
+}
+
+// OpenLiveIndex opens (or creates) a live index over the given curve.
+// With dir == "" the index is memory-only; otherwise dir holds the
+// segment files and manifest, and the index reopens to its last
+// committed snapshot.
+func OpenLiveIndex(curve *hilbert.Curve, dir string, opt LiveOptions) (*LiveIndex, error) {
+	opt = opt.withDefaults(curve)
+	if opt.Depth > curve.IndexBits() {
+		return nil, fmt.Errorf("core: depth %d exceeds index bits %d", opt.Depth, curve.IndexBits())
+	}
+	li := &LiveIndex{pl: planner{curve: curve, depth: opt.Depth}, opt: opt, dir: dir}
+	var (
+		segs []*liveSegment
+		gen  uint64
+	)
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		m, err := store.RecoverManifest(dir, func(m *store.SegmentManifest) error {
+			if m.Dims != curve.Dims() || m.Order != curve.Order() {
+				return fmt.Errorf("manifest geometry D=%d K=%d, index wants D=%d K=%d",
+					m.Dims, m.Order, curve.Dims(), curve.Order())
+			}
+			loaded := make([]*liveSegment, 0, len(m.Segments))
+			for _, si := range m.Segments {
+				db, err := store.ReadFile(filepath.Join(dir, si.Name))
+				if err != nil {
+					return err
+				}
+				if db.Len() != si.Count {
+					return fmt.Errorf("segment %s holds %d records, manifest says %d", si.Name, db.Len(), si.Count)
+				}
+				if db.Dims() != curve.Dims() || db.Curve().Order() != curve.Order() {
+					return fmt.Errorf("segment %s geometry disagrees with manifest", si.Name)
+				}
+				seg := &liveSegment{db: db, name: si.Name}
+				if len(si.Tombstones) > 0 {
+					seg.tomb = make(map[uint32]struct{}, len(si.Tombstones))
+					for _, id := range si.Tombstones {
+						seg.tomb[id] = struct{}{}
+					}
+				}
+				seg.live = db.Len()
+				for id := range seg.tomb {
+					seg.live -= db.CountID(id)
+				}
+				loaded = append(loaded, seg)
+			}
+			segs = loaded
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if m != nil {
+			gen = m.Gen
+		}
+	}
+	empty, err := store.Build(curve, nil)
+	if err != nil {
+		return nil, err
+	}
+	li.snap.Store(&liveSnapshot{gen: gen, segs: segs, mem: &liveSegment{db: empty}})
+	return li, nil
+}
+
+// segmentName returns the never-reused file name for a segment sealed or
+// compacted at the given generation.
+func segmentName(gen uint64) string {
+	return fmt.Sprintf("seg-%016x.s3db", gen)
+}
+
+// Curve returns the index's curve geometry.
+func (li *LiveIndex) Curve() *hilbert.Curve { return li.pl.curve }
+
+// Depth returns the shared partition depth.
+func (li *LiveIndex) Depth() int { return li.pl.depth }
+
+// Gen returns the current snapshot generation.
+func (li *LiveIndex) Gen() uint64 { return li.snap.Load().gen }
+
+// LiveStats is a point-in-time report of the index's shape.
+type LiveStats struct {
+	// Gen is the snapshot generation (strictly increasing per published
+	// snapshot).
+	Gen uint64
+	// Segments is the number of sealed immutable segments.
+	Segments int
+	// SegmentRecords counts records stored in sealed segments, including
+	// tombstone-masked ones awaiting compaction.
+	SegmentRecords int
+	// MemtableRecords counts records in the mutable memtable.
+	MemtableRecords int
+	// LiveRecords counts surviving (query-visible) records.
+	LiveRecords int
+	// TombstonedIDs counts (segment, video id) tombstone entries awaiting
+	// compaction.
+	TombstonedIDs int
+	// Ingested, Deletes and Compactions are lifetime operation counters.
+	Ingested, Deletes, Compactions int64
+}
+
+// Stats reports the current snapshot's shape and lifetime counters.
+func (li *LiveIndex) Stats() LiveStats {
+	snap := li.snap.Load()
+	st := LiveStats{
+		Gen:             snap.gen,
+		Segments:        len(snap.segs),
+		MemtableRecords: snap.mem.db.Len(),
+		LiveRecords:     snap.mem.db.Len(),
+		Ingested:        li.ingested.Load(),
+		Deletes:         li.deletes.Load(),
+		Compactions:     li.compactions.Load(),
+	}
+	for _, s := range snap.segs {
+		st.SegmentRecords += s.db.Len()
+		st.LiveRecords += s.live
+		st.TombstonedIDs += len(s.tomb)
+	}
+	return st
+}
+
+// Len returns the number of query-visible records.
+func (li *LiveIndex) Len() int { return li.Stats().LiveRecords }
+
+// Ingest adds a batch of reference records: they are curve-sorted,
+// merged into the memtable and visible to queries on return. When the
+// memtable reaches the seal threshold it becomes an immutable segment
+// (durably committed when the index has a directory), and a background
+// compaction is triggered once enough segments accumulate.
+func (li *LiveIndex) Ingest(recs []store.Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	batch, err := store.Build(li.pl.curve, recs)
+	if err != nil {
+		return err
+	}
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	if li.closed.Load() {
+		return ErrClosed
+	}
+	cur := li.snap.Load()
+	memDB, err := store.Merge(cur.mem.db, batch)
+	if err != nil {
+		return err
+	}
+	next := &liveSnapshot{gen: cur.gen + 1, segs: cur.segs, mem: &liveSegment{db: memDB, live: memDB.Len()}}
+	if memDB.Len() >= li.opt.MemtableRecords {
+		if err := li.sealInto(next); err != nil {
+			return err
+		}
+	}
+	li.snap.Store(next)
+	li.ingested.Add(int64(len(recs)))
+	if len(next.segs) >= li.opt.CompactSegments {
+		li.compactAsync()
+	}
+	return nil
+}
+
+// sealInto converts next's memtable into a sealed immutable segment,
+// writing its file and committing the manifest when durable. The caller
+// holds mu; next is not yet published.
+func (li *LiveIndex) sealInto(next *liveSnapshot) error {
+	if next.mem.db.Len() == 0 {
+		return nil
+	}
+	seg := &liveSegment{db: next.mem.db, live: next.mem.db.Len()}
+	if li.dir != "" {
+		seg.name = segmentName(next.gen)
+		if err := seg.db.WriteFile(filepath.Join(li.dir, seg.name), li.opt.SectionBits); err != nil {
+			return err
+		}
+	}
+	next.segs = append(append([]*liveSegment{}, next.segs...), seg)
+	empty, err := store.Build(li.pl.curve, nil)
+	if err != nil {
+		return err
+	}
+	next.mem = &liveSegment{db: empty}
+	return li.commitLocked(next)
+}
+
+// Flush seals the current memtable (whatever its size) so its records
+// are part of the durable committed snapshot.
+func (li *LiveIndex) Flush() error {
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	if li.closed.Load() {
+		return ErrClosed
+	}
+	cur := li.snap.Load()
+	if cur.mem.db.Len() == 0 {
+		return nil
+	}
+	next := &liveSnapshot{gen: cur.gen + 1, segs: cur.segs, mem: cur.mem}
+	if err := li.sealInto(next); err != nil {
+		return err
+	}
+	li.snap.Store(next)
+	return nil
+}
+
+// DeleteVideo withdraws every currently stored record of the given video
+// identifier: sealed segments gain a tombstone mask (applied physically
+// at the next compaction), the memtable is filtered in place. Records of
+// the same identifier ingested afterwards are unaffected.
+func (li *LiveIndex) DeleteVideo(id uint32) error {
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	if li.closed.Load() {
+		return ErrClosed
+	}
+	cur := li.snap.Load()
+	changed := false
+	segs := make([]*liveSegment, len(cur.segs))
+	for i, s := range cur.segs {
+		if !s.masked(id) && s.db.ContainsID(id) {
+			segs[i] = s.withTombstone(id)
+			changed = true
+		} else {
+			segs[i] = s
+		}
+	}
+	mem := cur.mem
+	if mem.db.ContainsID(id) {
+		fdb := store.Filter(mem.db, func(rid, _ uint32) bool { return rid != id })
+		mem = &liveSegment{db: fdb, live: fdb.Len()}
+		changed = true
+	}
+	if !changed {
+		return nil
+	}
+	next := &liveSnapshot{gen: cur.gen + 1, segs: segs, mem: mem}
+	if err := li.commitLocked(next); err != nil {
+		return err
+	}
+	li.snap.Store(next)
+	li.deletes.Add(1)
+	return nil
+}
+
+// commitLocked durably commits the snapshot's manifest. The caller holds
+// mu; memory-only indexes commit nothing.
+func (li *LiveIndex) commitLocked(s *liveSnapshot) error {
+	if li.dir == "" {
+		return nil
+	}
+	m := &store.SegmentManifest{Gen: s.gen, Dims: li.pl.curve.Dims(), Order: li.pl.curve.Order()}
+	for _, seg := range s.segs {
+		info := store.SegmentInfo{Name: seg.name, Count: seg.db.Len()}
+		if len(seg.tomb) > 0 {
+			info.Tombstones = make([]uint32, 0, len(seg.tomb))
+			for id := range seg.tomb {
+				info.Tombstones = append(info.Tombstones, id)
+			}
+			sort.Slice(info.Tombstones, func(a, b int) bool { return info.Tombstones[a] < info.Tombstones[b] })
+		}
+		m.Segments = append(m.Segments, info)
+	}
+	return store.CommitManifest(li.dir, m)
+}
+
+// compactAsync starts a background compaction unless one is already
+// running. Called with mu held; the goroutine acquires mu only for its
+// commit phase.
+func (li *LiveIndex) compactAsync() {
+	if !li.compactMu.TryLock() {
+		return
+	}
+	li.wg.Add(1)
+	go func() {
+		defer li.wg.Done()
+		defer li.compactMu.Unlock()
+		// Errors surface through Stats (no compaction counted) and at the
+		// next forced Compact; background retries happen on later seals.
+		_ = li.compact()
+	}()
+}
+
+// Compact synchronously folds every sealed segment — applying tombstone
+// masks — into one base segment via the canonical merge.
+func (li *LiveIndex) Compact() error {
+	li.compactMu.Lock()
+	defer li.compactMu.Unlock()
+	return li.compact()
+}
+
+// compact runs with compactMu held. The merge phase reads only immutable
+// segments and runs off the writer lock; the commit phase revalidates
+// under mu, folding in tombstones added while merging.
+func (li *LiveIndex) compact() error {
+	if li.closed.Load() {
+		return ErrClosed
+	}
+	snap := li.snap.Load()
+	inputs := snap.segs
+	if len(inputs) == 0 || (len(inputs) == 1 && len(inputs[0].tomb) == 0) {
+		return nil
+	}
+	merged := inputs[0].compacted()
+	for _, s := range inputs[1:] {
+		m, err := store.Merge(merged, s.compacted())
+		if err != nil {
+			return err
+		}
+		merged = m
+	}
+
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	if li.closed.Load() {
+		return ErrClosed
+	}
+	cur := li.snap.Load()
+	k := len(inputs)
+	// Seals only append and compaction is singleflighted, so the inputs
+	// are still the prefix of the current segment list (deletes replace
+	// the wrapper but keep the database).
+	for i := 0; i < k; i++ {
+		if cur.segs[i].db != inputs[i].db {
+			return fmt.Errorf("core: compaction inputs changed underfoot")
+		}
+	}
+	// Tombstones added to the inputs while merging: apply the delta to
+	// the merged base (its records all come from the inputs, so the
+	// delta filter is exact).
+	var delta map[uint32]struct{}
+	for i := 0; i < k; i++ {
+		for id := range cur.segs[i].tomb {
+			if _, had := inputs[i].tomb[id]; !had {
+				if delta == nil {
+					delta = make(map[uint32]struct{})
+				}
+				delta[id] = struct{}{}
+			}
+		}
+	}
+	if delta != nil {
+		merged = store.Filter(merged, func(id, _ uint32) bool {
+			_, dead := delta[id]
+			return !dead
+		})
+	}
+	next := &liveSnapshot{gen: cur.gen + 1, mem: cur.mem}
+	var base []*liveSegment
+	if merged.Len() > 0 {
+		seg := &liveSegment{db: merged, live: merged.Len()}
+		if li.dir != "" {
+			seg.name = segmentName(next.gen)
+			if err := merged.WriteFile(filepath.Join(li.dir, seg.name), li.opt.SectionBits); err != nil {
+				return err
+			}
+		}
+		base = []*liveSegment{seg}
+	}
+	next.segs = append(base, cur.segs[k:]...)
+	if err := li.commitLocked(next); err != nil {
+		return err
+	}
+	li.snap.Store(next)
+	li.compactions.Add(1)
+	if li.dir != "" {
+		for _, s := range inputs {
+			if s.name != "" {
+				os.Remove(filepath.Join(li.dir, s.name))
+			}
+		}
+	}
+	return nil
+}
+
+// Close seals the memtable (when durable), rejects further writes and
+// waits for any background compaction to finish. Queries against
+// already-loaded snapshots remain valid.
+func (li *LiveIndex) Close() error {
+	li.mu.Lock()
+	if li.closed.Load() {
+		li.mu.Unlock()
+		return nil
+	}
+	var err error
+	if cur := li.snap.Load(); cur.mem.db.Len() > 0 && li.dir != "" {
+		next := &liveSnapshot{gen: cur.gen + 1, segs: cur.segs, mem: cur.mem}
+		if err = li.sealInto(next); err == nil {
+			li.snap.Store(next)
+		}
+	}
+	li.closed.Store(true)
+	li.mu.Unlock()
+	li.wg.Wait()
+	return err
+}
+
+// segMatch pairs a match with its Hilbert key for the canonical merge
+// across segments.
+type segMatch struct {
+	key bitkey.Key
+	m   Match
+}
+
+// segMatchLess is the canonical result order: key, then ID, TC, X, Y —
+// the same total order store.Build lays records out in, which is what
+// makes merged live results identical to a monolithic index's scan.
+func segMatchLess(a, b *segMatch) bool {
+	if c := a.key.Cmp(b.key); c != 0 {
+		return c < 0
+	}
+	if a.m.ID != b.m.ID {
+		return a.m.ID < b.m.ID
+	}
+	if a.m.TC != b.m.TC {
+		return a.m.TC < b.m.TC
+	}
+	if a.m.X != b.m.X {
+		return a.m.X < b.m.X
+	}
+	return a.m.Y < b.m.Y
+}
+
+// mergeCanonical k-way merges per-segment match lists (each already
+// canonically ordered) into one canonically ordered result. Returns nil
+// for no matches, matching the engine's convention.
+func mergeCanonical(lists [][]segMatch) []Match {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]Match, 0, total)
+	idx := make([]int, len(lists))
+	for len(out) < total {
+		best := -1
+		for l := range lists {
+			if idx[l] >= len(lists[l]) {
+				continue
+			}
+			if best == -1 || segMatchLess(&lists[l][idx[l]], &lists[best][idx[best]]) {
+				best = l
+			}
+		}
+		out = append(out, lists[best][idx[best]].m)
+		idx[best]++
+	}
+	return out
+}
+
+// statMatchesSeg refines a statistical plan against one segment. Pos is
+// the record's segment-local index.
+func statMatchesSeg(seg *liveSegment, plan Plan) []segMatch {
+	db := seg.db
+	var out []segMatch
+	for _, iv := range plan.Intervals {
+		lo, hi := db.FindInterval(iv)
+		for i := lo; i < hi; i++ {
+			if seg.masked(db.ID(i)) {
+				continue
+			}
+			out = append(out, segMatch{key: db.Key(i), m: Match{
+				Pos: i, ID: db.ID(i), TC: db.TC(i), X: db.X(i), Y: db.Y(i), Dist: -1}})
+		}
+	}
+	return out
+}
+
+// rangeMatchesSeg refines a geometric plan against one segment, keeping
+// records within eps of the query.
+func rangeMatchesSeg(seg *liveSegment, qf []float64, eps float64, plan Plan) []segMatch {
+	db := seg.db
+	epsSq := eps * eps
+	var out []segMatch
+	for _, iv := range plan.Intervals {
+		lo, hi := db.FindInterval(iv)
+		for i := lo; i < hi; i++ {
+			if seg.masked(db.ID(i)) {
+				continue
+			}
+			if d := distSqToFP(qf, db.FP(i)); d <= epsSq {
+				out = append(out, segMatch{key: db.Key(i), m: Match{
+					Pos: i, ID: db.ID(i), TC: db.TC(i), X: db.X(i), Y: db.Y(i), Dist: math.Sqrt(d)}})
+			}
+		}
+	}
+	return out
+}
+
+// refineStatSnap refines one plan against every segment of a snapshot.
+func refineStatSnap(snap *liveSnapshot, plan Plan) []Match {
+	segs := snap.all()
+	lists := make([][]segMatch, len(segs))
+	for i, s := range segs {
+		lists[i] = statMatchesSeg(s, plan)
+	}
+	return mergeCanonical(lists)
+}
+
+// SearchStat executes a statistical query against the current snapshot:
+// one plan against the shared curve, refined across every segment, with
+// results merged in canonical order. Pos fields are segment-local.
+func (li *LiveIndex) SearchStat(ctx context.Context, q []byte, sq StatQuery) ([]Match, Plan, error) {
+	if err := sq.validate(li.pl.dims()); err != nil {
+		return nil, Plan{}, err
+	}
+	qf, err := queryPoint(q, li.pl.dims())
+	if err != nil {
+		return nil, Plan{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, Plan{}, err
+	}
+	snap := li.snap.Load()
+	plan := li.pl.planStatFloat(qf, sq)
+	return refineStatSnap(snap, plan), plan, nil
+}
+
+// SearchRange executes an ε-range query against the current snapshot.
+func (li *LiveIndex) SearchRange(ctx context.Context, q []byte, eps float64) ([]Match, Plan, error) {
+	if eps < 0 {
+		return nil, Plan{}, fmt.Errorf("core: negative range radius %v", eps)
+	}
+	qf, err := queryPoint(q, li.pl.dims())
+	if err != nil {
+		return nil, Plan{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, Plan{}, err
+	}
+	snap := li.snap.Load()
+	plan := li.pl.planRangeFloat(qf, eps)
+	segs := snap.all()
+	lists := make([][]segMatch, len(segs))
+	for i, s := range segs {
+		lists[i] = rangeMatchesSeg(s, qf, eps, plan)
+	}
+	return mergeCanonical(lists), plan, nil
+}
+
+// SearchKNN answers a k-NN query against the current snapshot: an exact
+// (or per-segment early-stopped, when maxLeaves > 0) traversal of each
+// segment skipping tombstoned records, with candidates merged by
+// distance. Ties at equal distance order deterministically by
+// (ID, TC, X, Y).
+func (li *LiveIndex) SearchKNN(ctx context.Context, q []byte, k, maxLeaves int) ([]Match, KNNStats, error) {
+	if k < 1 {
+		return nil, KNNStats{}, fmt.Errorf("core: k = %d must be >= 1", k)
+	}
+	if _, err := queryPoint(q, li.pl.dims()); err != nil {
+		return nil, KNNStats{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, KNNStats{}, err
+	}
+	snap := li.snap.Load()
+	var (
+		all   []Match
+		stats KNNStats
+	)
+	stats.Exact = true
+	for _, seg := range snap.all() {
+		if seg.db.Len() == 0 {
+			continue
+		}
+		ix, err := NewIndex(seg.db, li.pl.depth)
+		if err != nil {
+			return nil, KNNStats{}, err
+		}
+		var keep func(uint32) bool
+		if len(seg.tomb) > 0 {
+			tomb := seg.tomb
+			keep = func(id uint32) bool {
+				_, dead := tomb[id]
+				return !dead
+			}
+		}
+		ms, st, err := ix.SearchKNNFilter(q, k, maxLeaves, keep)
+		if err != nil {
+			return nil, KNNStats{}, err
+		}
+		stats.Leaves += st.Leaves
+		stats.Scanned += st.Scanned
+		stats.Exact = stats.Exact && st.Exact
+		all = append(all, ms...)
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].Dist != all[b].Dist {
+			return all[a].Dist < all[b].Dist
+		}
+		if all[a].ID != all[b].ID {
+			return all[a].ID < all[b].ID
+		}
+		if all[a].TC != all[b].TC {
+			return all[a].TC < all[b].TC
+		}
+		if all[a].X != all[b].X {
+			return all[a].X < all[b].X
+		}
+		return all[a].Y < all[b].Y
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all, stats, nil
+}
+
+// SearchStatBatch pipelines many statistical queries across the worker
+// pool, all against ONE snapshot loaded at batch start — a consistent
+// view even while ingest continues. results[i] corresponds to
+// queries[i].
+func (li *LiveIndex) SearchStatBatch(ctx context.Context, queries [][]byte, sq StatQuery) ([][]Match, error) {
+	if err := sq.validate(li.pl.dims()); err != nil {
+		return nil, err
+	}
+	snap := li.snap.Load()
+	results := make([][]Match, len(queries))
+	err := forEach(ctx, li.opt.Workers, len(queries), nil, func(_ *struct{}, i int) error {
+		qf, err := queryPoint(queries[i], li.pl.dims())
+		if err != nil {
+			return fmt.Errorf("query %d: %w", i, err)
+		}
+		plan := li.pl.planStatFloat(qf, sq)
+		results[i] = refineStatSnap(snap, plan)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}

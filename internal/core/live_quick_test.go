@@ -1,0 +1,307 @@
+package core
+
+// Property test of the live index's central claim: whatever the split of
+// a record set across ingest batches, whatever the interleaving of
+// deletes, seals and compactions, every query answers exactly — same
+// matches, same order — as a monolithic store.Build over the currently
+// surviving records. testing/quick drives randomized schedules; each
+// schedule is replayed against a trivial slice model to compute the
+// surviving set.
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"s3cbcd/internal/hilbert"
+	"s3cbcd/internal/store"
+)
+
+const (
+	liveTestDims  = 4
+	liveTestOrder = 5 // side 32: small alphabet, frequent key collisions
+	liveTestDepth = 10
+)
+
+func liveTestCurve() *hilbert.Curve { return hilbert.MustNew(liveTestDims, liveTestOrder) }
+
+func randLiveRecord(r *rand.Rand) store.Record {
+	fp := make([]byte, liveTestDims)
+	for j := range fp {
+		fp[j] = byte(r.Intn(32))
+	}
+	return store.Record{
+		FP: fp,
+		ID: uint32(r.Intn(6)), // few ids: deletes hit, re-ingests collide
+		TC: uint32(r.Intn(64)),
+		X:  uint16(r.Intn(4)),
+		Y:  uint16(r.Intn(4)),
+	}
+}
+
+// stripPos clears Match.Pos: it is a global record index in monolithic
+// results but segment-local in live ones, so equivalence is over the
+// remaining fields.
+func stripPos(ms []Match) []Match {
+	out := make([]Match, len(ms))
+	for i, m := range ms {
+		m.Pos = 0
+		out[i] = m
+	}
+	return out
+}
+
+func matchesEqual(a, b []Match) bool {
+	if len(a) == 0 && len(b) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(stripPos(a), stripPos(b))
+}
+
+// knnEquivalent checks k-NN equivalence: identical distance sequences,
+// and identical matches strictly below the k-th distance (at the k-th
+// distance itself, ties may resolve to different — equally correct —
+// records depending on scan order).
+func knnEquivalent(ref, live []Match) bool {
+	if len(ref) != len(live) {
+		return false
+	}
+	if len(ref) == 0 {
+		return true
+	}
+	for i := range ref {
+		if ref[i].Dist != live[i].Dist {
+			return false
+		}
+	}
+	kth := ref[len(ref)-1].Dist
+	below := func(ms []Match) map[Match]int {
+		set := make(map[Match]int)
+		for _, m := range ms {
+			if m.Dist < kth {
+				m.Pos = 0
+				set[m]++
+			}
+		}
+		return set
+	}
+	return reflect.DeepEqual(below(ref), below(live))
+}
+
+// checkLiveEquivalence compares the live index against a monolithic
+// rebuild of the surviving records on a battery of statistical, range and
+// k-NN queries.
+func checkLiveEquivalence(t *testing.T, li *LiveIndex, surviving []store.Record, r *rand.Rand, label string) bool {
+	t.Helper()
+	ctx := context.Background()
+	if got, want := li.Len(), len(surviving); got != want {
+		t.Errorf("%s: live index holds %d records, model has %d", label, got, want)
+		return false
+	}
+	refDB, err := store.Build(liveTestCurve(), surviving)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refIx, err := NewIndex(refDB, liveTestDepth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq := StatQuery{Alpha: 0.9, Model: IsoNormal{D: liveTestDims, Sigma: 2.5}}
+	var queries [][]byte
+	for i := 0; i < 6; i++ {
+		queries = append(queries, randLiveRecord(r).FP)
+	}
+	for i := 0; i < 3 && len(surviving) > 0; i++ {
+		// Queries at stored points exercise dense result sets.
+		queries = append(queries, surviving[r.Intn(len(surviving))].FP)
+	}
+	for qi, q := range queries {
+		wantStat, wantPlan, err := refIx.SearchStat(q, sq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotStat, gotPlan, err := li.SearchStat(ctx, q, sq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !matchesEqual(wantStat, gotStat) {
+			t.Errorf("%s: query %d: statistical results differ (%d vs %d matches)",
+				label, qi, len(wantStat), len(gotStat))
+			return false
+		}
+		if wantPlan.Mass != gotPlan.Mass || wantPlan.Blocks != gotPlan.Blocks {
+			t.Errorf("%s: query %d: plans differ", label, qi)
+			return false
+		}
+
+		eps := 2 + 6*r.Float64()
+		wantRange, _, err := refIx.SearchRange(q, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotRange, _, err := li.SearchRange(ctx, q, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !matchesEqual(wantRange, gotRange) {
+			t.Errorf("%s: query %d: range results differ (%d vs %d matches)",
+				label, qi, len(wantRange), len(gotRange))
+			return false
+		}
+
+		for _, k := range []int{1, 4, len(surviving) + 3} {
+			wantKNN, _, err := refIx.SearchKNN(q, k, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotKNN, _, err := li.SearchKNN(ctx, q, k, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !knnEquivalent(wantKNN, gotKNN) {
+				t.Errorf("%s: query %d: %d-NN results differ", label, qi, k)
+				return false
+			}
+		}
+	}
+	// Batch path answers like the sequential path.
+	gotBatch, err := li.SearchStatBatch(ctx, queries, sq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range queries {
+		want, _, err := li.SearchStat(ctx, q, sq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !matchesEqual(want, gotBatch[qi]) {
+			t.Errorf("%s: batch result %d differs from sequential", label, qi)
+			return false
+		}
+	}
+	return true
+}
+
+func TestLiveIndexEquivalentToRebuildQuick(t *testing.T) {
+	scenario := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dir := ""
+		if seed%2 == 0 {
+			dir = t.TempDir()
+		}
+		li, err := OpenLiveIndex(liveTestCurve(), dir, LiveOptions{
+			Depth:           liveTestDepth,
+			MemtableRecords: 1 + r.Intn(40), // tiny: force frequent seals
+			CompactSegments: 2 + r.Intn(3),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer li.Close()
+
+		var model []store.Record // the surviving set, replayed trivially
+		nOps := 4 + r.Intn(8)
+		checkpoint := r.Intn(nOps)
+		for op := 0; op < nOps; op++ {
+			if r.Intn(10) < 7 {
+				batch := make([]store.Record, r.Intn(60))
+				for i := range batch {
+					batch[i] = randLiveRecord(r)
+				}
+				if err := li.Ingest(batch); err != nil {
+					t.Fatal(err)
+				}
+				model = append(model, batch...)
+			} else {
+				id := uint32(r.Intn(6))
+				if err := li.DeleteVideo(id); err != nil {
+					t.Fatal(err)
+				}
+				kept := model[:0:0]
+				for _, rec := range model {
+					if rec.ID != id {
+						kept = append(kept, rec)
+					}
+				}
+				model = kept
+			}
+			// Mid-schedule check: memtable live, seals and background
+			// compactions possibly in flight.
+			if op == checkpoint && !checkLiveEquivalence(t, li, model, r, "mid-schedule") {
+				return false
+			}
+		}
+		if !checkLiveEquivalence(t, li, model, r, "after schedule") {
+			return false
+		}
+		if err := li.Compact(); err != nil {
+			t.Fatal(err)
+		}
+		if !checkLiveEquivalence(t, li, model, r, "after compaction") {
+			return false
+		}
+		if dir != "" {
+			// Close seals the memtable; reopening must recover the full
+			// committed state.
+			if err := li.Close(); err != nil {
+				t.Fatal(err)
+			}
+			reopened, err := OpenLiveIndex(liveTestCurve(), dir, LiveOptions{Depth: liveTestDepth})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer reopened.Close()
+			if !checkLiveEquivalence(t, reopened, model, r, "after reopen") {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 12}
+	if testing.Short() {
+		cfg.MaxCount = 4
+	}
+	if err := quick.Check(scenario, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A deleted video re-ingested afterwards must be visible again — the
+// delete withdraws only the records stored at delete time.
+func TestLiveIndexReingestAfterDelete(t *testing.T) {
+	li, err := OpenLiveIndex(liveTestCurve(), "", LiveOptions{Depth: liveTestDepth, MemtableRecords: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer li.Close()
+	rec := store.Record{FP: []byte{1, 2, 3, 4}, ID: 7, TC: 100}
+	if err := li.Ingest([]store.Record{rec}); err != nil {
+		t.Fatal(err)
+	}
+	if err := li.DeleteVideo(7); err != nil {
+		t.Fatal(err)
+	}
+	if li.Len() != 0 {
+		t.Fatalf("after delete, %d records remain", li.Len())
+	}
+	rec2 := rec
+	rec2.TC = 200
+	if err := li.Ingest([]store.Record{rec2}); err != nil {
+		t.Fatal(err)
+	}
+	ms, _, err := li.SearchRange(context.Background(), rec.FP, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || ms[0].TC != 200 {
+		t.Fatalf("re-ingested record not found: %+v", ms)
+	}
+	if err := li.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if li.Len() != 1 {
+		t.Fatalf("compaction lost the re-ingested record (len %d)", li.Len())
+	}
+}

@@ -1,0 +1,202 @@
+package core
+
+// Concurrency stress for the live index, meant to run under -race (see
+// the Makefile race target and the CI race job): writers ingest disjoint
+// record streams while readers hammer every query path, a compactor
+// forces compactions and one video is deleted mid-flight. Invariants:
+//
+//   - no lost records: after the dust settles, a whole-space range query
+//     returns exactly the surviving (ingested minus deleted) records;
+//   - snapshot monotonicity: the generation a reader observes never
+//     decreases;
+//   - queries never error while writes and compactions race with them.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"s3cbcd/internal/store"
+)
+
+func TestLiveIndexConcurrentStress(t *testing.T) {
+	li, err := OpenLiveIndex(liveTestCurve(), "", LiveOptions{
+		Depth:           liveTestDepth,
+		MemtableRecords: 48,
+		CompactSegments: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer li.Close()
+
+	const (
+		writers   = 3
+		perWriter = 300
+		batchSize = 7
+		doomedID  = 99
+		doomedN   = 40
+	)
+	stop := make(chan struct{})
+	var writeWG, readWG sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	ingestStream := func(id uint32, total int, seed int64) {
+		r := rand.New(rand.NewSource(seed))
+		for done := 0; done < total; {
+			n := batchSize
+			if left := total - done; n > left {
+				n = left
+			}
+			batch := make([]store.Record, n)
+			for i := range batch {
+				rec := randLiveRecord(r)
+				rec.ID = id
+				rec.TC = uint32(done + i)
+				batch[i] = rec
+			}
+			if err := li.Ingest(batch); err != nil {
+				fail(err)
+				return
+			}
+			done += n
+		}
+	}
+
+	// Writers: disjoint ids, unique time codes per id.
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			ingestStream(uint32(w+1), perWriter, int64(w))
+		}(w)
+	}
+
+	// The doomed video: fully ingested, then deleted once. No writer
+	// touches its id afterwards, so it must be gone at the end.
+	writeWG.Add(1)
+	go func() {
+		defer writeWG.Done()
+		ingestStream(doomedID, doomedN, 1000)
+		if err := li.DeleteVideo(doomedID); err != nil {
+			fail(err)
+		}
+	}()
+
+	// Readers: every query path, plus generation monotonicity.
+	for g := 0; g < 2; g++ {
+		readWG.Add(1)
+		go func(g int) {
+			defer readWG.Done()
+			r := rand.New(rand.NewSource(int64(2000 + g)))
+			ctx := context.Background()
+			sq := StatQuery{Alpha: 0.9, Model: IsoNormal{D: liveTestDims, Sigma: 2.5}}
+			var lastGen uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if gen := li.Gen(); gen < lastGen {
+					fail(fmt.Errorf("snapshot generation regressed: %d after %d", gen, lastGen))
+					return
+				} else {
+					lastGen = gen
+				}
+				q := randLiveRecord(r).FP
+				if _, _, err := li.SearchStat(ctx, q, sq); err != nil {
+					fail(err)
+					return
+				}
+				if _, _, err := li.SearchRange(ctx, q, 4); err != nil {
+					fail(err)
+					return
+				}
+				if _, _, err := li.SearchKNN(ctx, q, 5, 0); err != nil {
+					fail(err)
+					return
+				}
+				if _, err := li.SearchStatBatch(ctx, [][]byte{q, q}, sq); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Compactor: force compactions on top of the background ones.
+	readWG.Add(1)
+	go func() {
+		defer readWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := li.Compact(); err != nil {
+				fail(err)
+				return
+			}
+		}
+	}()
+
+	writeWG.Wait()
+	close(stop)
+	readWG.Wait()
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+
+	// No lost records: a range query covering the entire space must
+	// return exactly the surviving records.
+	if err := li.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	wantTotal := writers * perWriter
+	if li.Len() != wantTotal {
+		t.Fatalf("live index holds %d records, want %d", li.Len(), wantTotal)
+	}
+	diag := math.Sqrt(float64(liveTestDims)) * 32
+	center := make([]byte, liveTestDims)
+	for i := range center {
+		center[i] = 16
+	}
+	ms, _, err := li.SearchRange(context.Background(), center, diag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != wantTotal {
+		t.Fatalf("whole-space range query returned %d records, want %d", len(ms), wantTotal)
+	}
+	seen := make(map[[2]uint32]bool)
+	for _, m := range ms {
+		if m.ID == doomedID {
+			t.Fatalf("deleted video %d resurfaced (tc %d)", m.ID, m.TC)
+		}
+		key := [2]uint32{m.ID, m.TC}
+		if seen[key] {
+			t.Fatalf("duplicate record id=%d tc=%d", m.ID, m.TC)
+		}
+		seen[key] = true
+	}
+	for w := 0; w < writers; w++ {
+		for tc := 0; tc < perWriter; tc++ {
+			if !seen[[2]uint32{uint32(w + 1), uint32(tc)}] {
+				t.Fatalf("lost record id=%d tc=%d", w+1, tc)
+			}
+		}
+	}
+}

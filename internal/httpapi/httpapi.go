@@ -5,7 +5,7 @@
 //
 // Endpoints:
 //
-//	GET  /healthz                    liveness plus shard/record counts
+//	GET  /healthz                    liveness plus shard/segment/record counts
 //	GET  /stats                      database and index facts
 //	POST /search/statistical         {"fingerprint": [..], "alpha": 0.8, "sigma": 20}
 //	POST /search/statistical/batch   {"fingerprints": [[..], ..], "alpha": 0.8, "sigma": 20}
@@ -16,17 +16,26 @@
 // matches (id, tc, x, y, dist) plus plan/search diagnostics. Non-POST
 // requests to the search endpoints get 405.
 //
-// Searches run through a sharded query engine (core.Engine): every
-// request is executed under its own context (client disconnects cancel
-// the search) and the number of requests concurrently inside the engine
-// is bounded by a semaphore, so a traffic burst queues instead of
-// spawning unbounded concurrent scans.
+// A server over a live index (NewLive) additionally accepts writes:
+//
+//	POST   /ingest       {"records": [{"fingerprint": [..], "id": 7, "tc": 120, "x": 10, "y": 20}, ..]}
+//	DELETE /video/{id}   withdraw every stored record of video id
+//
+// and its /healthz reports segment, memtable and compaction counters.
+//
+// Searches run through the core.Searcher surface — a sharded query
+// engine (core.Engine) for a static archive, a core.LiveIndex for a
+// growing one. Every request executes under its own context (client
+// disconnects cancel the search) and the number of requests concurrently
+// searching is bounded by a semaphore, so a traffic burst queues instead
+// of spawning unbounded concurrent scans.
 package httpapi
 
 import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"s3cbcd/internal/core"
 	"s3cbcd/internal/store"
@@ -52,18 +61,43 @@ type Options struct {
 
 // Server wires an index into an http.Handler.
 type Server struct {
-	eng *core.Engine
-	mux *http.ServeMux
-	sem chan struct{} // nil = unbounded
+	search core.Searcher
+	eng    *core.Engine    // nil when serving a live index
+	live   *core.LiveIndex // nil when serving a static index
+	dims   int
+	mux    *http.ServeMux
+	sem    chan struct{} // nil = unbounded
 }
 
-// New returns a ready handler over the given database.
+// New returns a ready handler over the given static database.
 func New(db *store.DB, opt Options) (*Server, error) {
 	ix, err := core.NewIndex(db, opt.Depth)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{eng: core.NewEngine(ix, opt.Shards, opt.Workers), mux: http.NewServeMux()}
+	eng := core.NewEngine(ix, opt.Shards, opt.Workers)
+	s := newServer(opt)
+	s.search, s.eng, s.dims = eng, eng, db.Dims()
+	return s, nil
+}
+
+// NewLive returns a handler over a live segmented index, additionally
+// exposing the ingest and delete endpoints. Options.Depth and Shards are
+// ignored (the live index carries its own depth; segments play the role
+// of shards).
+func NewLive(li *core.LiveIndex, opt Options) *Server {
+	s := newServer(opt)
+	s.search, s.live, s.dims = li, li, li.Curve().Dims()
+	s.mux.HandleFunc("POST /ingest", s.handleIngest)
+	s.mux.HandleFunc("DELETE /video/{id}", s.handleDeleteVideo)
+	s.mux.HandleFunc("POST /flush", s.handleFlush)
+	s.mux.HandleFunc("POST /compact", s.handleCompact)
+	return s
+}
+
+// newServer builds the shared mux and semaphore.
+func newServer(opt Options) *Server {
+	s := &Server{mux: http.NewServeMux()}
 	if opt.MaxInFlight == 0 {
 		opt.MaxInFlight = DefaultMaxInFlight
 	}
@@ -76,11 +110,14 @@ func New(db *store.DB, opt Options) (*Server, error) {
 	s.mux.HandleFunc("POST /search/statistical/batch", s.bounded(s.handleStatBatch))
 	s.mux.HandleFunc("POST /search/range", s.bounded(s.handleRange))
 	s.mux.HandleFunc("POST /search/knn", s.bounded(s.handleKNN))
-	return s, nil
+	return s
 }
 
-// Engine returns the server's query engine.
+// Engine returns the server's query engine (nil for a live server).
 func (s *Server) Engine() *core.Engine { return s.eng }
+
+// Live returns the server's live index (nil for a static server).
+func (s *Server) Live() *core.LiveIndex { return s.live }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -138,7 +175,7 @@ type searchRequest struct {
 
 // fingerprint validates and converts one request fingerprint.
 func (s *Server) fingerprint(raw []int) ([]byte, error) {
-	dims := s.eng.Index().DB().Dims()
+	dims := s.dims
 	if len(raw) != dims {
 		return nil, fmt.Errorf("fingerprint has %d components, index needs %d", len(raw), dims)
 	}
@@ -173,6 +210,21 @@ func reply(w http.ResponseWriter, v interface{}) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.live != nil {
+		st := s.live.Stats()
+		reply(w, map[string]interface{}{
+			"status":          "ok",
+			"gen":             st.Gen,
+			"records":         st.LiveRecords,
+			"segments":        st.Segments,
+			"memtableRecords": st.MemtableRecords,
+			"tombstonedIds":   st.TombstonedIDs,
+			"ingested":        st.Ingested,
+			"deletes":         st.Deletes,
+			"compactions":     st.Compactions,
+		})
+		return
+	}
 	reply(w, map[string]interface{}{
 		"status":  "ok",
 		"shards":  s.eng.Shards(),
@@ -185,6 +237,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	if s.live != nil {
+		st := s.live.Stats()
+		reply(w, map[string]interface{}{
+			"records":        st.LiveRecords,
+			"dims":           s.dims,
+			"order":          s.live.Curve().Order(),
+			"depth":          s.live.Depth(),
+			"segments":       st.Segments,
+			"segmentRecords": st.SegmentRecords,
+		})
+		return
+	}
 	ix := s.eng.Index()
 	db := ix.DB()
 	reply(w, map[string]interface{}{
@@ -203,7 +267,7 @@ func (s *Server) statQuery(req *searchRequest) (core.StatQuery, error) {
 		return core.StatQuery{}, fmt.Errorf("sigma must be > 0")
 	}
 	return core.StatQuery{Alpha: req.Alpha,
-		Model: core.IsoNormal{D: s.eng.Index().DB().Dims(), Sigma: req.Sigma}}, nil
+		Model: core.IsoNormal{D: s.dims, Sigma: req.Sigma}}, nil
 }
 
 func planJSON(plan core.Plan) map[string]interface{} {
@@ -232,7 +296,7 @@ func (s *Server) handleStat(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	matches, plan, err := s.eng.SearchStat(r.Context(), fp, sq)
+	matches, plan, err := s.search.SearchStat(r.Context(), fp, sq)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -266,7 +330,7 @@ func (s *Server) handleStatBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	results, err := s.eng.SearchStatBatch(r.Context(), queries, sq)
+	results, err := s.search.SearchStatBatch(r.Context(), queries, sq)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -288,7 +352,7 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	matches, plan, err := s.eng.SearchRange(r.Context(), fp, req.Epsilon)
+	matches, plan, err := s.search.SearchRange(r.Context(), fp, req.Epsilon)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -309,7 +373,7 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	matches, stats, err := s.eng.SearchKNN(r.Context(), fp, req.K, req.MaxLeaves)
+	matches, stats, err := s.search.SearchKNN(r.Context(), fp, req.K, req.MaxLeaves)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -319,4 +383,73 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		"exact":   stats.Exact,
 		"scanned": stats.Scanned,
 	})
+}
+
+// recordJSON is the wire form of one ingested record.
+type recordJSON struct {
+	Fingerprint []int  `json:"fingerprint"`
+	ID          uint32 `json:"id"`
+	TC          uint32 `json:"tc"`
+	X           uint16 `json:"x"`
+	Y           uint16 `json:"y"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Records []recordJSON `json:"records"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if len(req.Records) == 0 {
+		httpError(w, http.StatusBadRequest, "records must be a non-empty array")
+		return
+	}
+	recs := make([]store.Record, len(req.Records))
+	for i, rj := range req.Records {
+		fp, err := s.fingerprint(rj.Fingerprint)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "record %d: %v", i, err)
+			return
+		}
+		recs[i] = store.Record{FP: fp, ID: rj.ID, TC: rj.TC, X: rj.X, Y: rj.Y}
+	}
+	if err := s.live.Ingest(recs); err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	st := s.live.Stats()
+	reply(w, map[string]interface{}{"ingested": len(recs), "records": st.LiveRecords, "gen": st.Gen})
+}
+
+func (s *Server) handleDeleteVideo(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 32)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "video id %q is not a uint32", r.PathValue("id"))
+		return
+	}
+	if err := s.live.DeleteVideo(uint32(id)); err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	st := s.live.Stats()
+	reply(w, map[string]interface{}{"deleted": id, "records": st.LiveRecords, "gen": st.Gen})
+}
+
+func (s *Server) handleFlush(w http.ResponseWriter, _ *http.Request) {
+	if err := s.live.Flush(); err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	reply(w, map[string]interface{}{"gen": s.live.Gen()})
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, _ *http.Request) {
+	if err := s.live.Compact(); err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	st := s.live.Stats()
+	reply(w, map[string]interface{}{"segments": st.Segments, "compactions": st.Compactions, "gen": st.Gen})
 }

@@ -1,0 +1,177 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"s3cbcd/internal/core"
+	"s3cbcd/internal/hilbert"
+)
+
+func liveTestServer(t *testing.T) (*Server, *core.LiveIndex) {
+	t.Helper()
+	curve := hilbert.MustNew(4, 5)
+	li, err := core.OpenLiveIndex(curve, "", core.LiveOptions{Depth: 10, MemtableRecords: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { li.Close() })
+	return NewLive(li, Options{}), li
+}
+
+func ingestBody(id int, fps ...[]int) map[string]interface{} {
+	recs := make([]map[string]interface{}, len(fps))
+	for i, fp := range fps {
+		recs[i] = map[string]interface{}{"fingerprint": fp, "id": id, "tc": 100 + i}
+	}
+	return map[string]interface{}{"records": recs}
+}
+
+func TestLiveIngestSearchDelete(t *testing.T) {
+	s, _ := liveTestServer(t)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, out := post(t, ts, "/ingest", ingestBody(7,
+		[]int{1, 2, 3, 4}, []int{5, 6, 7, 8}, []int{9, 10, 11, 12}))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: status %d: %v", resp.StatusCode, out)
+	}
+	if out["ingested"].(float64) != 3 || out["records"].(float64) != 3 {
+		t.Fatalf("ingest response %v", out)
+	}
+
+	// Ingested records are immediately searchable.
+	resp, out = post(t, ts, "/search/range", map[string]interface{}{
+		"fingerprint": []int{1, 2, 3, 4}, "epsilon": 0.5})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("search: status %d: %v", resp.StatusCode, out)
+	}
+	if n := len(out["matches"].([]interface{})); n != 1 {
+		t.Fatalf("range search found %d matches, want 1", n)
+	}
+
+	// Statistical search works over the live snapshot too.
+	resp, out = post(t, ts, "/search/statistical", map[string]interface{}{
+		"fingerprint": []int{1, 2, 3, 4}, "alpha": 0.9, "sigma": 2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stat search: status %d: %v", resp.StatusCode, out)
+	}
+
+	// Delete the video and verify it is gone.
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/video/7", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d", dresp.StatusCode)
+	}
+	resp, out = post(t, ts, "/search/range", map[string]interface{}{
+		"fingerprint": []int{1, 2, 3, 4}, "epsilon": 0.5})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("search after delete: status %d", resp.StatusCode)
+	}
+	if n := len(out["matches"].([]interface{})); n != 0 {
+		t.Fatalf("deleted video still matches (%d)", n)
+	}
+}
+
+func TestLiveIngestValidation(t *testing.T) {
+	s, _ := liveTestServer(t)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, _ := post(t, ts, "/ingest", map[string]interface{}{"records": []interface{}{}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty ingest: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = post(t, ts, "/ingest", ingestBody(1, []int{1, 2})) // wrong dims
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("wrong-dims ingest: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = post(t, ts, "/ingest", ingestBody(1, []int{1, 2, 3, 999})) // out of range
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range ingest: status %d, want 400", resp.StatusCode)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/video/notanumber", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad video id: status %d, want 400", dresp.StatusCode)
+	}
+}
+
+func TestLiveHealthzAndCompact(t *testing.T) {
+	s, li := liveTestServer(t)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// 10 records with threshold 4: several sealed segments.
+	var fps [][]int
+	for i := 0; i < 10; i++ {
+		fps = append(fps, []int{i, i, i, i})
+	}
+	if resp, out := post(t, ts, "/ingest", ingestBody(3, fps...)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: %v", out)
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]interface{}
+	err = json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if health["status"] != "ok" || health["records"].(float64) != 10 {
+		t.Fatalf("healthz %v", health)
+	}
+	if _, ok := health["segments"]; !ok {
+		t.Fatal("live healthz missing segment count")
+	}
+	if _, ok := health["compactions"]; !ok {
+		t.Fatal("live healthz missing compaction counter")
+	}
+
+	if resp, out := post(t, ts, "/flush", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("flush: %v", out)
+	}
+	if resp, out := post(t, ts, "/compact", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("compact: %v", out)
+	}
+	st := li.Stats()
+	if st.Segments != 1 || st.MemtableRecords != 0 {
+		t.Fatalf("after flush+compact: %+v", st)
+	}
+	if st.LiveRecords != 10 {
+		t.Fatalf("records lost across flush+compact: %+v", st)
+	}
+}
+
+// A static server must not expose the live endpoints.
+func TestStaticServerRejectsIngest(t *testing.T) {
+	s, _ := testServer(t)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/ingest", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("static server accepted /ingest")
+	}
+}

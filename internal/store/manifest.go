@@ -1,0 +1,328 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The segment manifest is the durable root of a live (segmented) index: a
+// small file naming the immutable segment files that make up one
+// committed snapshot, each with its record count and the set of video
+// identifiers tombstoned out of it.
+//
+// Commits are crash-safe by construction:
+//
+//  1. new segment files are written under fresh, never-reused names;
+//  2. the manifest for generation g is written to MANIFEST-<g>.tmp,
+//     fsynced, and renamed to MANIFEST-<g> (the atomic commit point);
+//  3. manifests older than the immediate predecessor are pruned.
+//
+// Recovery scans MANIFEST-* files from the highest generation down and
+// adopts the first one that decodes, passes its CRC and satisfies the
+// caller's validation (typically: every referenced segment file opens
+// with the expected geometry and count). A crash at any byte of step 2
+// therefore leaves the previous committed snapshot recoverable: the torn
+// file either fails the scan or was never renamed into place.
+//
+// Manifest format (all integers little-endian):
+//
+//	magic    [4]byte "S3LM"
+//	version  uint32 (1)
+//	gen      uint64
+//	dims     uint32
+//	order    uint32
+//	segments uint32
+//	per segment:
+//	  nameLen   uint16, name bytes (base name, no path separators)
+//	  count     uint64
+//	  tombCount uint32, tombCount × uint32 sorted video ids
+//	crc32    uint32 (IEEE, over everything before it)
+
+var manifestMagic = [4]byte{'S', '3', 'L', 'M'}
+
+const manifestVersion = 1
+
+// Decode guards: a torn or hostile manifest must not drive allocations.
+const (
+	maxManifestSegments   = 1 << 16
+	maxManifestName       = 255
+	maxManifestTombstones = 1 << 24
+)
+
+// SegmentInfo describes one immutable segment of a committed snapshot.
+type SegmentInfo struct {
+	// Name is the segment file's base name within the manifest directory.
+	Name string
+	// Count is the segment's record count, validated on open.
+	Count int
+	// Tombstones are the video identifiers masked out of this segment,
+	// sorted ascending.
+	Tombstones []uint32
+}
+
+// SegmentManifest is one committed snapshot of a live index.
+type SegmentManifest struct {
+	// Gen is the commit generation; commits are strictly increasing.
+	Gen uint64
+	// Dims and Order pin the curve geometry every segment must match.
+	Dims, Order int
+	// Segments lists the snapshot's immutable segments, oldest first.
+	Segments []SegmentInfo
+}
+
+// EncodeManifest serializes m, CRC included.
+func EncodeManifest(m *SegmentManifest) []byte {
+	var buf []byte
+	buf = append(buf, manifestMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, manifestVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, m.Gen)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Dims))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Order))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Segments)))
+	for _, s := range m.Segments {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s.Name)))
+		buf = append(buf, s.Name...)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(s.Count))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Tombstones)))
+		for _, id := range s.Tombstones {
+			buf = binary.LittleEndian.AppendUint32(buf, id)
+		}
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// DecodeManifest parses and validates a manifest blob. It never panics on
+// arbitrary input; any structural violation, trailing garbage or CRC
+// mismatch is an error.
+func DecodeManifest(data []byte) (*SegmentManifest, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("store: manifest shorter than its checksum")
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, fmt.Errorf("store: manifest checksum mismatch")
+	}
+	pos := 0
+	need := func(n int) ([]byte, error) {
+		if len(body)-pos < n {
+			return nil, fmt.Errorf("store: manifest truncated at byte %d", pos)
+		}
+		b := body[pos : pos+n]
+		pos += n
+		return b, nil
+	}
+	hdr, err := need(4 + 4 + 8 + 4 + 4 + 4)
+	if err != nil {
+		return nil, err
+	}
+	if [4]byte(hdr[0:4]) != manifestMagic {
+		return nil, fmt.Errorf("store: not a segment manifest")
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != manifestVersion {
+		return nil, fmt.Errorf("store: unsupported manifest version %d", v)
+	}
+	m := &SegmentManifest{
+		Gen:   binary.LittleEndian.Uint64(hdr[8:]),
+		Dims:  int(binary.LittleEndian.Uint32(hdr[16:])),
+		Order: int(binary.LittleEndian.Uint32(hdr[20:])),
+	}
+	if m.Dims < 1 || m.Order < 1 {
+		return nil, fmt.Errorf("store: manifest geometry D=%d K=%d invalid", m.Dims, m.Order)
+	}
+	nSegs := int(binary.LittleEndian.Uint32(hdr[24:]))
+	if nSegs > maxManifestSegments {
+		return nil, fmt.Errorf("store: manifest claims %d segments", nSegs)
+	}
+	if nSegs > 0 {
+		m.Segments = make([]SegmentInfo, 0, nSegs)
+	}
+	for i := 0; i < nSegs; i++ {
+		nb, err := need(2)
+		if err != nil {
+			return nil, err
+		}
+		nameLen := int(binary.LittleEndian.Uint16(nb))
+		if nameLen == 0 || nameLen > maxManifestName {
+			return nil, fmt.Errorf("store: manifest segment %d name length %d", i, nameLen)
+		}
+		nameB, err := need(nameLen)
+		if err != nil {
+			return nil, err
+		}
+		name := string(nameB)
+		if name != filepath.Base(name) || strings.ContainsAny(name, "/\\") || name == "." || name == ".." {
+			return nil, fmt.Errorf("store: manifest segment %d has unsafe name %q", i, name)
+		}
+		cb, err := need(8 + 4)
+		if err != nil {
+			return nil, err
+		}
+		count := binary.LittleEndian.Uint64(cb)
+		if count > 1<<48 {
+			return nil, fmt.Errorf("store: manifest segment %d claims %d records", i, count)
+		}
+		nTombs := int(binary.LittleEndian.Uint32(cb[8:]))
+		if nTombs > maxManifestTombstones {
+			return nil, fmt.Errorf("store: manifest segment %d claims %d tombstones", i, nTombs)
+		}
+		tb, err := need(4 * nTombs)
+		if err != nil {
+			return nil, err
+		}
+		var tombs []uint32
+		for t := 0; t < nTombs; t++ {
+			id := binary.LittleEndian.Uint32(tb[4*t:])
+			if t > 0 && id <= tombs[t-1] {
+				return nil, fmt.Errorf("store: manifest segment %d tombstones not strictly sorted", i)
+			}
+			tombs = append(tombs, id)
+		}
+		m.Segments = append(m.Segments, SegmentInfo{Name: name, Count: int(count), Tombstones: tombs})
+	}
+	if pos != len(body) {
+		return nil, fmt.Errorf("store: %d trailing manifest bytes", len(body)-pos)
+	}
+	return m, nil
+}
+
+// ManifestName returns the file name of the manifest for generation gen.
+func ManifestName(gen uint64) string {
+	return fmt.Sprintf("MANIFEST-%016x", gen)
+}
+
+// parseManifestName extracts the generation from a manifest file name.
+func parseManifestName(name string) (uint64, bool) {
+	const prefix = "MANIFEST-"
+	if !strings.HasPrefix(name, prefix) || strings.HasSuffix(name, ".tmp") {
+		return 0, false
+	}
+	gen, err := strconv.ParseUint(name[len(prefix):], 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return gen, true
+}
+
+// CommitManifest durably writes m into dir: temp file, fsync, atomic
+// rename to MANIFEST-<gen>, directory fsync, then best-effort pruning of
+// every manifest older than the immediate predecessor (the predecessor is
+// kept as the recovery fallback against a torn newest file).
+func CommitManifest(dir string, m *SegmentManifest) error {
+	path := filepath.Join(dir, ManifestName(m.Gen))
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(EncodeManifest(m)); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	syncDir(dir)
+	pruneManifests(dir, m.Gen)
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename is durable; best-effort on
+// filesystems that reject directory syncs.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// pruneManifests removes manifests older than the predecessor of gen.
+func pruneManifests(dir string, gen uint64) {
+	gens := listManifestGens(dir)
+	var prev uint64
+	hasPrev := false
+	for _, g := range gens {
+		if g < gen && (!hasPrev || g > prev) {
+			prev, hasPrev = g, true
+		}
+	}
+	for _, g := range gens {
+		if g < gen && (!hasPrev || g != prev) {
+			os.Remove(filepath.Join(dir, ManifestName(g)))
+		}
+	}
+}
+
+// listManifestGens returns the generations of all manifests present.
+func listManifestGens(dir string) []uint64 {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var gens []uint64
+	for _, e := range ents {
+		if g, ok := parseManifestName(e.Name()); ok {
+			gens = append(gens, g)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens
+}
+
+// RecoverManifest returns the newest committed manifest in dir that
+// decodes cleanly and passes validate (nil validate accepts any decodable
+// manifest). Torn or invalid newer manifests are skipped, so a crash
+// mid-commit recovers the previous committed snapshot. It returns
+// (nil, nil) when dir holds no manifest at all — a fresh index.
+func RecoverManifest(dir string, validate func(*SegmentManifest) error) (*SegmentManifest, error) {
+	gens := listManifestGens(dir)
+	var firstErr error
+	for i := len(gens) - 1; i >= 0; i-- {
+		path := filepath.Join(dir, ManifestName(gens[i]))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		m, err := DecodeManifest(data)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", path, err)
+			}
+			continue
+		}
+		if m.Gen != gens[i] {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: embedded generation %d disagrees with name", path, m.Gen)
+			}
+			continue
+		}
+		if validate != nil {
+			if err := validate(m); err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%s: %w", path, err)
+				}
+				continue
+			}
+		}
+		return m, nil
+	}
+	if len(gens) == 0 {
+		return nil, nil
+	}
+	return nil, fmt.Errorf("store: no usable manifest in %s: %w", dir, firstErr)
+}

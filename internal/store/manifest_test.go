@@ -1,0 +1,204 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func testManifest(gen uint64) *SegmentManifest {
+	return &SegmentManifest{
+		Gen:   gen,
+		Dims:  20,
+		Order: 8,
+		Segments: []SegmentInfo{
+			{Name: fmt.Sprintf("seg-%016x.s3db", gen), Count: 4096},
+			{Name: "seg-000000000000000a.s3db", Count: 12, Tombstones: []uint32{3, 7, 900}},
+			{Name: "base.s3db", Count: 1 << 20, Tombstones: []uint32{0}},
+		},
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	for _, m := range []*SegmentManifest{
+		{Gen: 0, Dims: 1, Order: 1},
+		{Gen: 42, Dims: 20, Order: 8, Segments: []SegmentInfo{{Name: "a.s3db", Count: 0}}},
+		testManifest(7),
+	} {
+		got, err := DecodeManifest(EncodeManifest(m))
+		if err != nil {
+			t.Fatalf("decode(encode(%+v)): %v", m, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("round trip changed manifest:\n got %+v\nwant %+v", got, m)
+		}
+	}
+}
+
+func TestManifestDecodeRejectsCorruption(t *testing.T) {
+	enc := EncodeManifest(testManifest(3))
+	// Any single flipped byte must fail the CRC (or a structural check).
+	for i := range enc {
+		bad := append([]byte(nil), enc...)
+		bad[i] ^= 0x5a
+		if _, err := DecodeManifest(bad); err == nil {
+			t.Fatalf("decode accepted a manifest with byte %d corrupted", i)
+		}
+	}
+	if _, err := DecodeManifest(append(append([]byte(nil), enc...), 0)); err == nil {
+		t.Fatal("decode accepted trailing bytes")
+	}
+	if _, err := DecodeManifest(nil); err == nil {
+		t.Fatal("decode accepted an empty blob")
+	}
+}
+
+func TestManifestDecodeRejectsUnsafeNames(t *testing.T) {
+	for _, name := range []string{"../evil", "a/b", `a\b`, "..", "."} {
+		m := &SegmentManifest{Gen: 1, Dims: 2, Order: 2,
+			Segments: []SegmentInfo{{Name: name, Count: 1}}}
+		if _, err := DecodeManifest(EncodeManifest(m)); err == nil {
+			t.Fatalf("decode accepted segment name %q", name)
+		}
+	}
+}
+
+func TestCommitRecoverManifest(t *testing.T) {
+	dir := t.TempDir()
+	if m, err := RecoverManifest(dir, nil); err != nil || m != nil {
+		t.Fatalf("empty dir: got (%v, %v), want (nil, nil)", m, err)
+	}
+	for gen := uint64(1); gen <= 4; gen++ {
+		if err := CommitManifest(dir, testManifest(gen)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := RecoverManifest(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Gen != 4 {
+		t.Fatalf("recovered generation %d, want 4", m.Gen)
+	}
+	// Pruning keeps the newest manifest plus its immediate predecessor.
+	gens := listManifestGens(dir)
+	if !reflect.DeepEqual(gens, []uint64{3, 4}) {
+		t.Fatalf("after pruning, manifests %v remain, want [3 4]", gens)
+	}
+}
+
+// TestRecoverManifestTornCommit simulates a crash at every byte of a
+// manifest commit: the newest manifest file is truncated to each possible
+// prefix length, and recovery must always fall back to the previous
+// committed generation — never adopt the torn file, never fail.
+func TestRecoverManifestTornCommit(t *testing.T) {
+	full := EncodeManifest(testManifest(4))
+	for cut := 0; cut <= len(full); cut++ {
+		dir := t.TempDir()
+		if err := CommitManifest(dir, testManifest(2)); err != nil {
+			t.Fatal(err)
+		}
+		if err := CommitManifest(dir, testManifest(3)); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, ManifestName(4)), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		m, err := RecoverManifest(dir, nil)
+		if err != nil {
+			t.Fatalf("cut at byte %d: recovery failed: %v", cut, err)
+		}
+		want := uint64(3)
+		if cut == len(full) {
+			want = 4 // the full file is a completed commit
+		}
+		if m.Gen != want {
+			t.Fatalf("cut at byte %d: recovered generation %d, want %d", cut, m.Gen, want)
+		}
+	}
+}
+
+// A crash before the rename leaves only a .tmp file, which recovery must
+// ignore entirely.
+func TestRecoverManifestIgnoresTmp(t *testing.T) {
+	dir := t.TempDir()
+	if err := CommitManifest(dir, testManifest(1)); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(dir, ManifestName(2)+".tmp")
+	if err := os.WriteFile(tmp, EncodeManifest(testManifest(2)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := RecoverManifest(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Gen != 1 {
+		t.Fatalf("recovered generation %d, want 1 (tmp must be ignored)", m.Gen)
+	}
+}
+
+// Recovery must skip a manifest the caller's validation rejects (e.g. a
+// referenced segment file is missing) and fall back to the predecessor.
+func TestRecoverManifestValidateFallback(t *testing.T) {
+	dir := t.TempDir()
+	if err := CommitManifest(dir, testManifest(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := CommitManifest(dir, testManifest(3)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := RecoverManifest(dir, func(m *SegmentManifest) error {
+		if m.Gen == 3 {
+			return fmt.Errorf("segment file missing")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Gen != 2 {
+		t.Fatalf("recovered generation %d, want 2", m.Gen)
+	}
+	// When every manifest is invalid the first failure must surface.
+	if _, err := RecoverManifest(dir, func(*SegmentManifest) error {
+		return fmt.Errorf("nope")
+	}); err == nil {
+		t.Fatal("recovery with all manifests invalid did not fail")
+	}
+}
+
+func TestManifestNameRoundTrip(t *testing.T) {
+	for _, gen := range []uint64{0, 1, 0xdeadbeef, ^uint64(0)} {
+		g, ok := parseManifestName(ManifestName(gen))
+		if !ok || g != gen {
+			t.Fatalf("parse(ManifestName(%d)) = (%d, %v)", gen, g, ok)
+		}
+	}
+	for _, name := range []string{"MANIFEST-", "MANIFEST-xyz", "MANIFEST-0000000000000001.tmp", "seg-1.s3db"} {
+		if _, ok := parseManifestName(name); ok {
+			t.Fatalf("parse accepted %q", name)
+		}
+	}
+}
+
+func FuzzManifestDecode(f *testing.F) {
+	f.Add(EncodeManifest(&SegmentManifest{Gen: 1, Dims: 2, Order: 2}))
+	f.Add(EncodeManifest(testManifest(9)))
+	f.Add([]byte("S3LM garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeManifest(data) // must never panic
+		if err != nil {
+			return
+		}
+		// Anything that decodes must re-encode to the identical bytes (the
+		// format has exactly one serialization per manifest).
+		if !bytes.Equal(EncodeManifest(m), data) {
+			t.Fatalf("decode/encode not an identity for %x", data)
+		}
+	})
+}

@@ -6,15 +6,64 @@ import (
 	"s3cbcd/internal/bitkey"
 )
 
+// checkIntegrity verifies that a database's columnar slices agree with
+// each other and with the curve dimension. A DB produced by Build, Merge,
+// Filter or a file load always passes; a hand-assembled or corrupted one
+// may not, and Merge used to propagate such malformed payloads silently
+// whenever the other input was empty (the merge loop never touched the
+// bad slice lengths). Every merge input is validated up front instead.
+func (db *DB) checkIntegrity() error {
+	if db.curve == nil {
+		return fmt.Errorf("store: database has no curve")
+	}
+	n := len(db.keys)
+	if len(db.fps) != n*db.curve.Dims() {
+		return fmt.Errorf("store: database holds %d fingerprint bytes for %d records of dimension %d",
+			len(db.fps), n, db.curve.Dims())
+	}
+	if len(db.ids) != n || len(db.tcs) != n || len(db.xs) != n || len(db.ys) != n {
+		return fmt.Errorf("store: database columns disagree: %d keys, %d ids, %d tcs, %d xs, %d ys",
+			n, len(db.ids), len(db.tcs), len(db.xs), len(db.ys))
+	}
+	return nil
+}
+
+// mergeLess reports whether record i of a orders before record j of b in
+// the canonical order: Hilbert key first, ties broken like Build by
+// (ID, TC, X, Y). Equal records order stably (a first).
+func mergeLess(a *DB, i int, b *DB, j int) bool {
+	if c := a.keys[i].Cmp(b.keys[j]); c != 0 {
+		return c < 0
+	}
+	if a.ids[i] != b.ids[j] {
+		return a.ids[i] < b.ids[j]
+	}
+	if a.tcs[i] != b.tcs[j] {
+		return a.tcs[i] < b.tcs[j]
+	}
+	if a.xs[i] != b.xs[j] {
+		return a.xs[i] < b.xs[j]
+	}
+	return a.ys[i] <= b.ys[j]
+}
+
 // Merge combines two curve-ordered databases into one, preserving the
-// curve order with a linear merge. Both inputs must share the same curve
-// geometry. It is how a static S³ archive grows: index the new material
-// separately, then merge — the paper's system is rebuilt offline the same
-// way, and merging sorted runs is far cheaper than re-sorting everything.
+// canonical order with a linear merge. Both inputs must share the same
+// curve geometry and pass the columnar integrity check. It is how an S³
+// archive grows: index the new material separately, then merge — merging
+// sorted runs is far cheaper than re-sorting everything, and because both
+// Build and Merge use the same canonical total order, the result is
+// record-for-record identical to one Build over the union.
 func Merge(a, b *DB) (*DB, error) {
 	if a.curve.Dims() != b.curve.Dims() || a.curve.Order() != b.curve.Order() {
 		return nil, fmt.Errorf("store: merging incompatible curves (D=%d,K=%d vs D=%d,K=%d)",
 			a.curve.Dims(), a.curve.Order(), b.curve.Dims(), b.curve.Order())
+	}
+	if err := a.checkIntegrity(); err != nil {
+		return nil, fmt.Errorf("store: merge input a: %w", err)
+	}
+	if err := b.checkIntegrity(); err != nil {
+		return nil, fmt.Errorf("store: merge input b: %w", err)
 	}
 	dims := a.Dims()
 	n := a.Len() + b.Len()
@@ -37,7 +86,7 @@ func Merge(a, b *DB) (*DB, error) {
 	}
 	i, j := 0, 0
 	for i < a.Len() && j < b.Len() {
-		if a.keys[i].Cmp(b.keys[j]) <= 0 {
+		if mergeLess(a, i, b, j) {
 			take(a, i)
 			i++
 		} else {
@@ -55,9 +104,9 @@ func Merge(a, b *DB) (*DB, error) {
 }
 
 // Filter returns a new database containing only the records the predicate
-// keeps (called with each record's identifier and time code). Curve order
-// is preserved, so no re-sort is needed. This is the withdrawal path of a
-// static archive: rebuild without the removed material.
+// keeps (called with each record's identifier and time code). Order is
+// preserved, so no re-sort is needed. This is the withdrawal path of an
+// archive: rebuild without the removed material.
 func Filter(db *DB, keep func(id, tc uint32) bool) *DB {
 	dims := db.Dims()
 	out := &DB{curve: db.curve}
@@ -73,4 +122,26 @@ func Filter(db *DB, keep func(id, tc uint32) bool) *DB {
 		out.ys = append(out.ys, db.ys[i])
 	}
 	return out
+}
+
+// ContainsID reports whether any record carries the given video
+// identifier (linear scan; used by tombstone bookkeeping).
+func (db *DB) ContainsID(id uint32) bool {
+	for _, v := range db.ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// CountID returns the number of records carrying the given identifier.
+func (db *DB) CountID(id uint32) int {
+	n := 0
+	for _, v := range db.ids {
+		if v == id {
+			n++
+		}
+	}
+	return n
 }

@@ -2,6 +2,7 @@ package store
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"s3cbcd/internal/hilbert"
@@ -123,5 +124,107 @@ func TestFilterRemovesIdentifier(t *testing.T) {
 	all := Filter(db, func(uint32, uint32) bool { return true })
 	if all.Len() != db.Len() {
 		t.Fatal("keep-all changed length")
+	}
+}
+
+// Regression: Merge used to propagate a malformed database silently when
+// the other input was empty — the merge loop never touched the bad
+// slices, so the corruption surfaced later as an out-of-range panic in
+// readers. Both inputs are now validated up front.
+func TestMergeRejectsMalformedInput(t *testing.T) {
+	curve := hilbert.MustNew(4, 4)
+	empty := MustBuild(curve, nil)
+	// One record whose fingerprint payload disagrees with Dims()=4.
+	bad := &DB{
+		curve: curve,
+		keys:  MustBuild(curve, []Record{{FP: []byte{1, 2, 3, 4}}}).keys,
+		fps:   []byte{1, 2, 3}, // 3 bytes for 1 record of dimension 4
+		ids:   []uint32{0},
+		tcs:   []uint32{0},
+		xs:    []uint16{0},
+		ys:    []uint16{0},
+	}
+	if _, err := Merge(bad, empty); err == nil {
+		t.Fatal("Merge(bad, empty) accepted a malformed first input")
+	}
+	if _, err := Merge(empty, bad); err == nil {
+		t.Fatal("Merge(empty, bad) accepted a malformed second input")
+	}
+	// Mismatched parallel columns must be rejected too.
+	short := &DB{
+		curve: curve,
+		keys:  bad.keys,
+		fps:   []byte{1, 2, 3, 4},
+		ids:   []uint32{0},
+		tcs:   nil, // missing
+		xs:    []uint16{0},
+		ys:    []uint16{0},
+	}
+	if _, err := Merge(short, empty); err == nil {
+		t.Fatal("Merge accepted a database with missing columns")
+	}
+	if _, err := Merge(empty, empty); err != nil {
+		t.Fatalf("Merge of two empty databases failed: %v", err)
+	}
+}
+
+// Merging arbitrary splits of a record set must reproduce the one-shot
+// Build exactly — same records, same canonical order — including ties:
+// duplicate fingerprints and full duplicate records.
+func TestMergeMatchesBuildCanonically(t *testing.T) {
+	curve := hilbert.MustNew(4, 4)
+	r := rand.New(rand.NewSource(11))
+	var recs []Record
+	for i := 0; i < 200; i++ {
+		fp := make([]byte, 4)
+		for j := range fp {
+			fp[j] = byte(r.Intn(4)) // tiny alphabet: many key collisions
+		}
+		recs = append(recs, Record{FP: fp, ID: uint32(r.Intn(5)), TC: uint32(r.Intn(8))})
+	}
+	// A few exact duplicates.
+	recs = append(recs, recs[0], recs[1], recs[0])
+	want := MustBuild(curve, recs)
+	for trial := 0; trial < 20; trial++ {
+		cut := r.Intn(len(recs) + 1)
+		a := MustBuild(curve, recs[:cut])
+		b := MustBuild(curve, recs[cut:])
+		var got *DB
+		var err error
+		if trial%2 == 0 {
+			got, err = Merge(a, b)
+		} else {
+			got, err = Merge(b, a)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dbEqual(got, want) {
+			t.Fatalf("trial %d (cut %d): merged database differs from one-shot build", trial, cut)
+		}
+	}
+}
+
+func dbEqual(a, b *DB) bool {
+	return reflect.DeepEqual(a.keys, b.keys) &&
+		reflect.DeepEqual(a.fps, b.fps) &&
+		reflect.DeepEqual(a.ids, b.ids) &&
+		reflect.DeepEqual(a.tcs, b.tcs) &&
+		reflect.DeepEqual(a.xs, b.xs) &&
+		reflect.DeepEqual(a.ys, b.ys)
+}
+
+func TestContainsAndCountID(t *testing.T) {
+	curve := hilbert.MustNew(2, 3)
+	db := MustBuild(curve, []Record{
+		{FP: []byte{1, 2}, ID: 5},
+		{FP: []byte{3, 4}, ID: 5},
+		{FP: []byte{5, 6}, ID: 9},
+	})
+	if !db.ContainsID(5) || !db.ContainsID(9) || db.ContainsID(7) {
+		t.Fatal("ContainsID wrong")
+	}
+	if db.CountID(5) != 2 || db.CountID(9) != 1 || db.CountID(7) != 0 {
+		t.Fatal("CountID wrong")
 	}
 }

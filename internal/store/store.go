@@ -46,6 +46,14 @@ type DB struct {
 // returns the database. Records must all have len(FP) == curve.Dims() and
 // components below 2^K; Build returns an error otherwise. The input slice
 // is not modified.
+//
+// Records sharing a Hilbert key (hence an identical fingerprint — the
+// curve encoding is a bijection) are ordered canonically by (ID, TC, X,
+// Y). This total order makes the stored sequence a function of the record
+// multiset alone: a database built in one shot and one assembled by
+// merging arbitrary sorted pieces (Merge) hold their records in exactly
+// the same order, which is what lets a segmented live index prove its
+// results identical to an offline rebuild.
 func Build(curve *hilbert.Curve, recs []Record) (*DB, error) {
 	dims := curve.Dims()
 	side := uint32(curve.SideLen())
@@ -69,7 +77,10 @@ func Build(curve *hilbert.Curve, recs []Record) (*DB, error) {
 		keyedRecs[i] = keyed{key: curve.Encode(pt), idx: i}
 	}
 	sort.Slice(keyedRecs, func(a, b int) bool {
-		return keyedRecs[a].key.Less(keyedRecs[b].key)
+		if c := keyedRecs[a].key.Cmp(keyedRecs[b].key); c != 0 {
+			return c < 0
+		}
+		return recordLess(&recs[keyedRecs[a].idx], &recs[keyedRecs[b].idx])
 	})
 	db := &DB{
 		curve: curve,
@@ -90,6 +101,21 @@ func Build(curve *hilbert.Curve, recs []Record) (*DB, error) {
 		db.ys[i] = r.Y
 	}
 	return db, nil
+}
+
+// recordLess is the canonical tie-break among records with equal Hilbert
+// keys: (ID, TC, X, Y) lexicographically.
+func recordLess(a, b *Record) bool {
+	if a.ID != b.ID {
+		return a.ID < b.ID
+	}
+	if a.TC != b.TC {
+		return a.TC < b.TC
+	}
+	if a.X != b.X {
+		return a.X < b.X
+	}
+	return a.Y < b.Y
 }
 
 // MustBuild is Build, panicking on error. For static test fixtures.

@@ -1,0 +1,173 @@
+package s3
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// The facade-level live index: ingest, search, delete, persistence and
+// equivalence with the static BuildIndex over the same records.
+func TestLiveIndexFacadeLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	const dims = 8
+	li, err := OpenLiveIndex(dims, 0, dir, LiveOptions{MemtableRecords: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := rand.New(rand.NewSource(5))
+	recs := make([]Record, 300)
+	for i := range recs {
+		fp := make([]byte, dims)
+		for j := range fp {
+			fp[j] = byte(r.Intn(256))
+		}
+		recs[i] = Record{FP: fp, ID: uint32(i % 10), TC: uint32(i)}
+	}
+	// Three ingest batches.
+	for lo := 0; lo < len(recs); lo += 100 {
+		if err := li.Ingest(recs[lo : lo+100]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := li.DeleteVideo(3); err != nil {
+		t.Fatal(err)
+	}
+	surviving := recs[:0:0]
+	for _, rec := range recs {
+		if rec.ID != 3 {
+			surviving = append(surviving, rec)
+		}
+	}
+	if li.Len() != len(surviving) {
+		t.Fatalf("live index holds %d records, want %d", li.Len(), len(surviving))
+	}
+
+	static, err := BuildIndex(dims, surviving, IndexOptions{Depth: li.Core().Depth()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq := StatQuery{Alpha: 0.9, Model: IsoNormal{D: dims, Sigma: 15}}
+	queries := make([][]byte, 10)
+	for i := range queries {
+		fp := make([]byte, dims)
+		for j := range fp {
+			fp[j] = byte(r.Intn(256))
+		}
+		queries[i] = fp
+	}
+	checkEquiv := func(label string) {
+		t.Helper()
+		for qi, q := range queries {
+			want, _, err := static.StatSearch(q, sq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := li.StatSearch(q, sq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(want) != len(got) {
+				t.Fatalf("%s: query %d: %d matches, want %d", label, qi, len(got), len(want))
+			}
+			for i := range want {
+				if want[i].ID != got[i].ID || want[i].TC != got[i].TC {
+					t.Fatalf("%s: query %d: match %d differs", label, qi, i)
+				}
+			}
+		}
+	}
+	checkEquiv("before compaction")
+	if err := li.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	checkEquiv("after compaction")
+
+	// Batch path.
+	batch, err := li.SearchStatBatch(context.Background(), queries, sq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(queries) {
+		t.Fatalf("batch returned %d result sets", len(batch))
+	}
+
+	st := li.Stats()
+	if st.Ingested != int64(len(recs)) || st.Deletes != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	// Persistence round trip.
+	if err := li.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenLiveIndex(dims, 0, dir, LiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != len(surviving) {
+		t.Fatalf("reopened index holds %d records, want %d", re.Len(), len(surviving))
+	}
+	// Writes after Close are rejected.
+	if err := li.Ingest(recs[:1]); err == nil {
+		t.Fatal("ingest after Close accepted")
+	}
+}
+
+// A live detector detects a referenced clip and stops detecting it after
+// its video is withdrawn.
+func TestLiveDetectorIngestAndDelete(t *testing.T) {
+	li, err := OpenLiveIndex(FingerprintDims, 0, "", LiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer li.Close()
+	det, err := NewLiveDetector(li, CBCDConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref := GenerateVideo(77, 120)
+	locals := ExtractFingerprints(ref, det.Config().Fingerprint)
+	if len(locals) == 0 {
+		t.Fatal("no fingerprints extracted")
+	}
+	recs := make([]Record, len(locals))
+	for i, l := range locals {
+		fp := make([]byte, FingerprintDims)
+		copy(fp, l.FP[:])
+		recs[i] = Record{FP: fp, ID: 42, TC: l.TC}
+	}
+	if err := li.Ingest(recs); err != nil {
+		t.Fatal(err)
+	}
+
+	dets, err := det.DetectClip(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range dets {
+		if d.ID == 42 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("live detector missed the referenced clip: %+v", dets)
+	}
+
+	if err := li.DeleteVideo(42); err != nil {
+		t.Fatal(err)
+	}
+	dets, err = det.DetectClip(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dets {
+		if d.ID == 42 {
+			t.Fatal("withdrawn video still detected")
+		}
+	}
+}

@@ -256,6 +256,90 @@ func MatchedRangeRadius(dims int, sigma, alpha float64) float64 {
 	return stat.RadiusDist{D: dims, Sigma: sigma}.Quantile(alpha)
 }
 
+// LiveOptions tunes a live index (see core.LiveOptions).
+type LiveOptions = core.LiveOptions
+
+// LiveStats reports a live index's shape (see core.LiveStats).
+type LiveStats = core.LiveStats
+
+// LiveIndex is the growing variant of the S³ index: an LSM-style
+// segmented structure supporting concurrent ingest, per-video deletion
+// and query, with background compaction folding sealed segments
+// together. Query results are identical — same matches, same order — to
+// a monolithic BuildIndex over the surviving records (the property
+// internal/core/live_quick_test.go checks).
+type LiveIndex struct {
+	li *core.LiveIndex
+}
+
+// OpenLiveIndex opens (or creates) a live index. dir == "" keeps it
+// memory-only; otherwise dir persists segment files plus a crash-safe
+// manifest, and reopening recovers the last committed snapshot. dims is
+// the fingerprint dimension; order 0 selects 8 bits per component.
+func OpenLiveIndex(dims, order int, dir string, opt LiveOptions) (*LiveIndex, error) {
+	if order == 0 {
+		order = 8
+	}
+	curve, err := hilbert.New(dims, order)
+	if err != nil {
+		return nil, err
+	}
+	li, err := core.OpenLiveIndex(curve, dir, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &LiveIndex{li: li}, nil
+}
+
+// Core exposes the underlying core.LiveIndex (e.g. to hand to a serving
+// layer).
+func (x *LiveIndex) Core() *core.LiveIndex { return x.li }
+
+// Ingest adds records; they are searchable on return.
+func (x *LiveIndex) Ingest(recs []Record) error { return x.li.Ingest(recs) }
+
+// DeleteVideo withdraws every currently stored record of a video.
+func (x *LiveIndex) DeleteVideo(id uint32) error { return x.li.DeleteVideo(id) }
+
+// Flush seals the memtable into the durable committed snapshot.
+func (x *LiveIndex) Flush() error { return x.li.Flush() }
+
+// Compact folds all sealed segments (minus tombstones) into one.
+func (x *LiveIndex) Compact() error { return x.li.Compact() }
+
+// Close seals pending records, stops background work and rejects
+// further writes.
+func (x *LiveIndex) Close() error { return x.li.Close() }
+
+// Len returns the number of query-visible fingerprints.
+func (x *LiveIndex) Len() int { return x.li.Len() }
+
+// Stats reports the index's segment/memtable shape and counters.
+func (x *LiveIndex) Stats() LiveStats { return x.li.Stats() }
+
+// StatSearch runs a statistical query against the current snapshot.
+func (x *LiveIndex) StatSearch(q []byte, sq StatQuery) ([]Match, Plan, error) {
+	return x.li.SearchStat(context.Background(), q, sq)
+}
+
+// RangeSearch runs an exact spherical ε-range query.
+func (x *LiveIndex) RangeSearch(q []byte, eps float64) ([]Match, Plan, error) {
+	return x.li.SearchRange(context.Background(), q, eps)
+}
+
+// SearchStatBatch pipelines many statistical queries, all against one
+// consistent snapshot taken at batch start.
+func (x *LiveIndex) SearchStatBatch(ctx context.Context, queries [][]byte, sq StatQuery) ([][]Match, error) {
+	return x.li.SearchStatBatch(ctx, queries, sq)
+}
+
+// NewLiveDetector builds a copy detector over a live index: detection
+// batches run against consistent snapshots while reference material is
+// ingested or withdrawn concurrently.
+func NewLiveDetector(x *LiveIndex, cfg CBCDConfig) (*Detector, error) {
+	return cbcd.NewLiveDetector(x.li, cfg)
+}
+
 // DiskIndex answers batched statistical queries against a database file
 // too large for memory (the pseudo-disk strategy).
 type DiskIndex struct {
