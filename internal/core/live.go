@@ -36,12 +36,16 @@ package core
 //
 // With a backing directory, every seal, delete and compaction commits a
 // versioned segment manifest (store.CommitManifest): segment files are
-// written first under never-reused names, then a MANIFEST-<gen> rename
-// publishes the snapshot atomically. Reopening recovers the newest
-// manifest that decodes and whose segments all load — a crash at any
-// byte of a commit yields the previous committed snapshot, never a
-// partial one. Unsealed memtable records are volatile (there is no WAL);
-// Flush or Close seals them.
+// written and fsynced first under never-reused names, then a
+// MANIFEST-<gen> rename publishes the snapshot atomically. Reopening
+// recovers the newest manifest that decodes and whose segments all load
+// — a crash at any byte of a commit yields the previous committed
+// snapshot, never a partial one. Segment files superseded by a
+// compaction are not deleted at its commit: the retained predecessor
+// manifest (the recovery fallback) still references them, so they are
+// garbage-collected at a later commit once pruning drops that manifest.
+// Unsealed memtable records are volatile (there is no WAL); Flush or
+// Close seals them.
 
 import (
 	"context"
@@ -191,11 +195,19 @@ type LiveIndex struct {
 	// mu serializes writers (Ingest, DeleteVideo, Flush, Close and the
 	// commit phase of a compaction). Readers never take it.
 	mu sync.Mutex
-	// compactMu singleflights compaction; the merge phase runs under it
-	// alone, off the writer lock.
+	// compactMu singleflights compaction; the merge and segment-write
+	// phases run under it alone, off the writer lock.
 	compactMu sync.Mutex
 	wg        sync.WaitGroup
 	closed    atomic.Bool
+
+	// segSeq allocates never-reused segment file names; seeded at open
+	// past every name on disk.
+	segSeq atomic.Uint64
+	// pendingMu guards pending: segment files written (or being written)
+	// ahead of their commit, which the deferred GC must not collect.
+	pendingMu sync.Mutex
+	pending   map[string]struct{}
 
 	ingested    atomic.Int64
 	deletes     atomic.Int64
@@ -211,7 +223,8 @@ func OpenLiveIndex(curve *hilbert.Curve, dir string, opt LiveOptions) (*LiveInde
 	if opt.Depth > curve.IndexBits() {
 		return nil, fmt.Errorf("core: depth %d exceeds index bits %d", opt.Depth, curve.IndexBits())
 	}
-	li := &LiveIndex{pl: planner{curve: curve, depth: opt.Depth}, opt: opt, dir: dir}
+	li := &LiveIndex{pl: planner{curve: curve, depth: opt.Depth}, opt: opt, dir: dir,
+		pending: make(map[string]struct{})}
 	var (
 		segs []*liveSegment
 		gen  uint64
@@ -259,6 +272,17 @@ func OpenLiveIndex(curve *hilbert.Curve, dir string, opt LiveOptions) (*LiveInde
 		if m != nil {
 			gen = m.Gen
 		}
+		// Seed the name allocator past every segment file ever written —
+		// historical names were derived from generations, and orphans from
+		// a crashed, uncommitted write may carry a higher sequence than any
+		// manifest records — then collect files no retained manifest
+		// references (crash leftovers and long-superseded segments).
+		seq := store.MaxSegmentFileSeq(dir)
+		if gen > seq {
+			seq = gen
+		}
+		li.segSeq.Store(seq)
+		store.GCSegmentFiles(dir, nil)
 	}
 	empty, err := store.Build(curve, nil)
 	if err != nil {
@@ -268,10 +292,32 @@ func OpenLiveIndex(curve *hilbert.Curve, dir string, opt LiveOptions) (*LiveInde
 	return li, nil
 }
 
-// segmentName returns the never-reused file name for a segment sealed or
-// compacted at the given generation.
-func segmentName(gen uint64) string {
-	return fmt.Sprintf("seg-%016x.s3db", gen)
+// nextSegName allocates a never-reused file name for a freshly sealed or
+// compacted segment.
+func (li *LiveIndex) nextSegName() string {
+	return store.SegmentFileName(li.segSeq.Add(1))
+}
+
+// protectPending marks a segment file as written ahead of its commit so
+// the deferred GC skips it; the returned release drops the mark (after
+// the commit that references it, or after cleanup of an aborted write).
+func (li *LiveIndex) protectPending(name string) (release func()) {
+	li.pendingMu.Lock()
+	li.pending[name] = struct{}{}
+	li.pendingMu.Unlock()
+	return func() {
+		li.pendingMu.Lock()
+		delete(li.pending, name)
+		li.pendingMu.Unlock()
+	}
+}
+
+// isPending reports whether a segment file awaits its commit.
+func (li *LiveIndex) isPending(name string) bool {
+	li.pendingMu.Lock()
+	_, ok := li.pending[name]
+	li.pendingMu.Unlock()
+	return ok
 }
 
 // Curve returns the index's curve geometry.
@@ -366,14 +412,16 @@ func (li *LiveIndex) Ingest(recs []store.Record) error {
 
 // sealInto converts next's memtable into a sealed immutable segment,
 // writing its file and committing the manifest when durable. The caller
-// holds mu; next is not yet published.
+// holds mu; next is not yet published. The file write happens under mu
+// but is bounded by the memtable seal threshold, unlike a compaction's
+// (which therefore runs off the lock).
 func (li *LiveIndex) sealInto(next *liveSnapshot) error {
 	if next.mem.db.Len() == 0 {
 		return nil
 	}
 	seg := &liveSegment{db: next.mem.db, live: next.mem.db.Len()}
 	if li.dir != "" {
-		seg.name = segmentName(next.gen)
+		seg.name = li.nextSegName()
 		if err := seg.db.WriteFile(filepath.Join(li.dir, seg.name), li.opt.SectionBits); err != nil {
 			return err
 		}
@@ -446,8 +494,11 @@ func (li *LiveIndex) DeleteVideo(id uint32) error {
 	return nil
 }
 
-// commitLocked durably commits the snapshot's manifest. The caller holds
-// mu; memory-only indexes commit nothing.
+// commitLocked durably commits the snapshot's manifest, then collects
+// segment files no retained manifest references any more (files the
+// predecessor manifest — kept as the recovery fallback — still names
+// survive until a later commit prunes it). The caller holds mu;
+// memory-only indexes commit nothing.
 func (li *LiveIndex) commitLocked(s *liveSnapshot) error {
 	if li.dir == "" {
 		return nil
@@ -464,7 +515,11 @@ func (li *LiveIndex) commitLocked(s *liveSnapshot) error {
 		}
 		m.Segments = append(m.Segments, info)
 	}
-	return store.CommitManifest(li.dir, m)
+	if err := store.CommitManifest(li.dir, m); err != nil {
+		return err
+	}
+	store.GCSegmentFiles(li.dir, li.isPending)
+	return nil
 }
 
 // compactAsync starts a background compaction unless one is already
@@ -492,9 +547,13 @@ func (li *LiveIndex) Compact() error {
 	return li.compact()
 }
 
-// compact runs with compactMu held. The merge phase reads only immutable
-// segments and runs off the writer lock; the commit phase revalidates
-// under mu, folding in tombstones added while merging.
+// compact runs with compactMu held. The merge phase and the merged
+// segment's file write both run off the writer lock (the merged DB is
+// immutable and its name is never reused); only revalidation, the
+// manifest commit and snapshot publication run under mu. Superseded
+// input files are not deleted here — the retained predecessor manifest
+// still references them as the recovery fallback — the deferred GC in
+// commitLocked collects them once a later commit prunes that manifest.
 func (li *LiveIndex) compact() error {
 	if li.closed.Load() {
 		return ErrClosed
@@ -512,11 +571,35 @@ func (li *LiveIndex) compact() error {
 		}
 		merged = m
 	}
+	// Write the merged segment before taking the writer lock, so
+	// Ingest/DeleteVideo/Flush never stall on this potentially large disk
+	// write. The file contents are final: tombstones added while merging
+	// are carried as a mask on the new segment, not rewritten into it.
+	var (
+		name    string
+		release func()
+	)
+	if li.dir != "" && merged.Len() > 0 {
+		name = li.nextSegName()
+		release = li.protectPending(name)
+		if err := merged.WriteFile(filepath.Join(li.dir, name), li.opt.SectionBits); err != nil {
+			os.Remove(filepath.Join(li.dir, name))
+			release()
+			return err
+		}
+	}
+	abort := func(err error) error {
+		if release != nil {
+			os.Remove(filepath.Join(li.dir, name))
+			release()
+		}
+		return err
+	}
 
 	li.mu.Lock()
 	defer li.mu.Unlock()
 	if li.closed.Load() {
-		return ErrClosed
+		return abort(ErrClosed)
 	}
 	cur := li.snap.Load()
 	k := len(inputs)
@@ -525,12 +608,12 @@ func (li *LiveIndex) compact() error {
 	// the wrapper but keep the database).
 	for i := 0; i < k; i++ {
 		if cur.segs[i].db != inputs[i].db {
-			return fmt.Errorf("core: compaction inputs changed underfoot")
+			return abort(fmt.Errorf("core: compaction inputs changed underfoot"))
 		}
 	}
-	// Tombstones added to the inputs while merging: apply the delta to
-	// the merged base (its records all come from the inputs, so the
-	// delta filter is exact).
+	// Tombstones added to the inputs while merging become the new base
+	// segment's mask (applied physically by the next compaction), keeping
+	// the already-written file valid.
 	var delta map[uint32]struct{}
 	for i := 0; i < k; i++ {
 		for id := range cur.segs[i].tomb {
@@ -542,36 +625,23 @@ func (li *LiveIndex) compact() error {
 			}
 		}
 	}
-	if delta != nil {
-		merged = store.Filter(merged, func(id, _ uint32) bool {
-			_, dead := delta[id]
-			return !dead
-		})
-	}
 	next := &liveSnapshot{gen: cur.gen + 1, mem: cur.mem}
 	var base []*liveSegment
 	if merged.Len() > 0 {
-		seg := &liveSegment{db: merged, live: merged.Len()}
-		if li.dir != "" {
-			seg.name = segmentName(next.gen)
-			if err := merged.WriteFile(filepath.Join(li.dir, seg.name), li.opt.SectionBits); err != nil {
-				return err
-			}
+		seg := &liveSegment{db: merged, name: name, tomb: delta, live: merged.Len()}
+		for id := range delta {
+			seg.live -= merged.CountID(id)
 		}
 		base = []*liveSegment{seg}
 	}
 	next.segs = append(base, cur.segs[k:]...)
 	if err := li.commitLocked(next); err != nil {
-		return err
+		return abort(err)
 	}
 	li.snap.Store(next)
 	li.compactions.Add(1)
-	if li.dir != "" {
-		for _, s := range inputs {
-			if s.name != "" {
-				os.Remove(filepath.Join(li.dir, s.name))
-			}
-		}
+	if release != nil {
+		release()
 	}
 	return nil
 }

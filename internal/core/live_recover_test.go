@@ -152,3 +152,132 @@ func TestLiveIndexRecoversFromTornManifestCommit(t *testing.T) {
 		t.Fatalf("tmp-only commit: recovered %d records, want %d", len(got), len(s1))
 	}
 }
+
+// TestCompactionKeepsPredecessorRecoverable is the regression test for
+// the dead-fallback bug: compaction used to unlink its input segment
+// files at commit, so the retained predecessor manifest — the recovery
+// fallback against a torn newest commit — referenced files that no
+// longer existed, and a crash during the post-compaction commit lost
+// committed data. Superseded files must survive until a later commit's
+// GC observes that no retained manifest references them.
+func TestCompactionKeepsPredecessorRecoverable(t *testing.T) {
+	master := t.TempDir()
+	li, err := OpenLiveIndex(liveTestCurve(), master, LiveOptions{
+		Depth:           liveTestDepth,
+		MemtableRecords: 1 << 20,
+		CompactSegments: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch1 := []store.Record{
+		{FP: []byte{1, 2, 3, 4}, ID: 1, TC: 10},
+		{FP: []byte{5, 6, 7, 8}, ID: 1, TC: 11},
+		{FP: []byte{9, 10, 11, 12}, ID: 2, TC: 20},
+	}
+	batch2 := []store.Record{
+		{FP: []byte{13, 14, 15, 16}, ID: 3, TC: 30},
+		{FP: []byte{17, 18, 19, 20}, ID: 3, TC: 31},
+	}
+	if err := li.Ingest(batch1); err != nil {
+		t.Fatal(err)
+	}
+	if err := li.Flush(); err != nil { // commit: state S1
+		t.Fatal(err)
+	}
+	if err := li.Ingest(batch2); err != nil {
+		t.Fatal(err)
+	}
+	if err := li.Flush(); err != nil { // commit: state S2
+		t.Fatal(err)
+	}
+	inputs, err := filepath.Glob(filepath.Join(master, "seg-*.s3db"))
+	if err != nil || len(inputs) != 2 {
+		t.Fatalf("expected 2 sealed segment files, found %v (err %v)", inputs, err)
+	}
+	if err := li.Compact(); err != nil { // commit: state S3 (same records)
+		t.Fatal(err)
+	}
+	want := liveRecordSet(t, li)
+	// The compaction inputs are still referenced by the retained
+	// predecessor manifest and must survive its commit.
+	for _, f := range inputs {
+		if _, err := os.Stat(f); err != nil {
+			t.Fatalf("compaction input %s deleted at commit: %v", filepath.Base(f), err)
+		}
+	}
+	if err := li.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	manifests, err := filepath.Glob(filepath.Join(master, "MANIFEST-*"))
+	if err != nil || len(manifests) != 2 {
+		t.Fatalf("expected 2 manifests, found %v (err %v)", manifests, err)
+	}
+	sort.Strings(manifests)
+	newest := manifests[1]
+	full, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A torn post-compaction manifest (any strict prefix) must fall back
+	// to the pre-compaction snapshot — identical records here, since the
+	// compaction changed layout, not content.
+	for cut := 0; cut < len(full); cut += 7 {
+		dir := t.TempDir()
+		copyDir(t, master, dir)
+		if err := os.WriteFile(filepath.Join(dir, filepath.Base(newest)), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		re, err := OpenLiveIndex(liveTestCurve(), dir, LiveOptions{Depth: liveTestDepth})
+		if err != nil {
+			t.Fatalf("cut %d: reopen failed: %v", cut, err)
+		}
+		got := liveRecordSet(t, re)
+		re.Close()
+		if len(got) != len(want) {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, len(got), len(want))
+		}
+		for k, n := range want {
+			if got[k] != n {
+				t.Fatalf("cut %d: record id=%d tc=%d count %d, want %d", cut, k[0], k[1], got[k], n)
+			}
+		}
+	}
+
+	// Once a later commit prunes the predecessor manifest, the GC must
+	// collect the superseded input files (and an unreferenced orphan),
+	// while the live merged segment survives.
+	re, err := OpenLiveIndex(liveTestCurve(), master, LiveOptions{
+		Depth:           liveTestDepth,
+		MemtableRecords: 1 << 20,
+		CompactSegments: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	orphan := filepath.Join(master, store.SegmentFileName(1<<40))
+	if err := os.WriteFile(orphan, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Ingest([]store.Record{{FP: []byte{21, 22, 23, 24}, ID: 4, TC: 40}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Flush(); err != nil { // commit: prunes S2's manifest
+		t.Fatal(err)
+	}
+	for _, f := range inputs {
+		if _, err := os.Stat(f); err == nil {
+			t.Fatalf("superseded segment %s not collected after pruning commit", filepath.Base(f))
+		}
+	}
+	if _, err := os.Stat(orphan); err == nil {
+		t.Fatal("orphan segment file not collected")
+	}
+	got := liveRecordSet(t, re)
+	if len(got) != len(want)+1 {
+		t.Fatalf("post-GC index lost records: %d, want %d", len(got), len(want)+1)
+	}
+}

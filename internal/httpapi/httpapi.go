@@ -22,6 +22,9 @@
 //	DELETE /video/{id}   withdraw every stored record of video id
 //
 // and its /healthz reports segment, memtable and compaction counters.
+// Write endpoints run under the same in-flight semaphore as searches,
+// and ingest bodies are capped (Options.MaxIngestBytes) so concurrent
+// large ingests cannot consume unbounded memory.
 //
 // Searches run through the core.Searcher surface — a sharded query
 // engine (core.Engine) for a static archive, a core.LiveIndex for a
@@ -33,6 +36,7 @@ package httpapi
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -54,19 +58,27 @@ type Options struct {
 	// Workers bounds the engine's concurrency; 0 selects GOMAXPROCS.
 	Workers int
 	// MaxInFlight bounds the number of requests concurrently executing
-	// searches; 0 selects DefaultMaxInFlight, negative values disable the
-	// bound.
+	// searches or writes; 0 selects DefaultMaxInFlight, negative values
+	// disable the bound.
 	MaxInFlight int
+	// MaxIngestBytes caps the request body of POST /ingest; 0 selects
+	// DefaultMaxIngestBytes, negative values disable the cap.
+	MaxIngestBytes int64
 }
+
+// DefaultMaxIngestBytes bounds an ingest request body when
+// Options.MaxIngestBytes is zero.
+const DefaultMaxIngestBytes = 32 << 20
 
 // Server wires an index into an http.Handler.
 type Server struct {
-	search core.Searcher
-	eng    *core.Engine    // nil when serving a live index
-	live   *core.LiveIndex // nil when serving a static index
-	dims   int
-	mux    *http.ServeMux
-	sem    chan struct{} // nil = unbounded
+	search    core.Searcher
+	eng       *core.Engine    // nil when serving a live index
+	live      *core.LiveIndex // nil when serving a static index
+	dims      int
+	mux       *http.ServeMux
+	sem       chan struct{} // nil = unbounded
+	maxIngest int64         // <= 0 = uncapped
 }
 
 // New returns a ready handler over the given static database.
@@ -88,10 +100,17 @@ func New(db *store.DB, opt Options) (*Server, error) {
 func NewLive(li *core.LiveIndex, opt Options) *Server {
 	s := newServer(opt)
 	s.search, s.live, s.dims = li, li, li.Curve().Dims()
-	s.mux.HandleFunc("POST /ingest", s.handleIngest)
-	s.mux.HandleFunc("DELETE /video/{id}", s.handleDeleteVideo)
-	s.mux.HandleFunc("POST /flush", s.handleFlush)
-	s.mux.HandleFunc("POST /compact", s.handleCompact)
+	if opt.MaxIngestBytes == 0 {
+		opt.MaxIngestBytes = DefaultMaxIngestBytes
+	}
+	s.maxIngest = opt.MaxIngestBytes
+	// Writes share the in-flight semaphore with searches, so a burst of
+	// ingests queues under the same admission control instead of
+	// spawning unbounded concurrent decodes and merges.
+	s.mux.HandleFunc("POST /ingest", s.bounded(s.handleIngest))
+	s.mux.HandleFunc("DELETE /video/{id}", s.bounded(s.handleDeleteVideo))
+	s.mux.HandleFunc("POST /flush", s.bounded(s.handleFlush))
+	s.mux.HandleFunc("POST /compact", s.bounded(s.handleCompact))
 	return s
 }
 
@@ -395,10 +414,19 @@ type recordJSON struct {
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.maxIngest > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxIngest)
+	}
 	var req struct {
 		Records []recordJSON `json:"records"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"ingest body exceeds %d bytes; split the batch", tooBig.Limit)
+			return
+		}
 		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}

@@ -161,6 +161,32 @@ func TestLiveHealthzAndCompact(t *testing.T) {
 	}
 }
 
+// The ingest body cap must reject oversized batches with 413 instead of
+// buffering them, while small batches pass unaffected.
+func TestLiveIngestBodyCap(t *testing.T) {
+	curve := hilbert.MustNew(4, 5)
+	li, err := core.OpenLiveIndex(curve, "", core.LiveOptions{Depth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { li.Close() })
+	ts := httptest.NewServer(NewLive(li, Options{MaxIngestBytes: 256}))
+	defer ts.Close()
+
+	resp, out := post(t, ts, "/ingest", ingestBody(1, []int{1, 2, 3, 4}))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("small ingest: status %d: %v", resp.StatusCode, out)
+	}
+	var fps [][]int
+	for i := 0; i < 64; i++ {
+		fps = append(fps, []int{1, 2, 3, 4})
+	}
+	resp, out = post(t, ts, "/ingest", ingestBody(1, fps...))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized ingest: status %d, want 413: %v", resp.StatusCode, out)
+	}
+}
+
 // A static server must not expose the live endpoints.
 func TestStaticServerRejectsIngest(t *testing.T) {
 	s, _ := testServer(t)

@@ -92,6 +92,14 @@ func (db *DB) writeFile(path string, sectionBits int, shardStarts []int) error {
 		f.Close()
 		return err
 	}
+	// Segment files may be referenced by a durable manifest the moment
+	// they are committed (CommitManifest); their data must reach stable
+	// storage first, or a power loss could leave a committed manifest
+	// pointing at torn records.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
 	return f.Close()
 }
 

@@ -213,7 +213,13 @@ func parseManifestName(name string) (uint64, bool) {
 // rename to MANIFEST-<gen>, directory fsync, then best-effort pruning of
 // every manifest older than the immediate predecessor (the predecessor is
 // kept as the recovery fallback against a torn newest file).
+//
+// The directory is also fsynced before the rename, so the directory
+// entries of segment files written for this commit are durable no later
+// than the manifest that references them. Callers must have fsynced the
+// segment data itself (WriteFile does).
 func CommitManifest(dir string, m *SegmentManifest) error {
+	syncDir(dir)
 	path := filepath.Join(dir, ManifestName(m.Gen))
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -237,6 +243,93 @@ func CommitManifest(dir string, m *SegmentManifest) error {
 	syncDir(dir)
 	pruneManifests(dir, m.Gen)
 	return nil
+}
+
+// SegmentFileName returns the canonical segment file name for allocation
+// sequence number seq. Names are never reused within a live index.
+func SegmentFileName(seq uint64) string {
+	return fmt.Sprintf("seg-%016x.s3db", seq)
+}
+
+// ParseSegmentFileName extracts the allocation sequence number from a
+// canonical segment file name.
+func ParseSegmentFileName(name string) (uint64, bool) {
+	const prefix, suffix = "seg-", ".s3db"
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(name[len(prefix):len(name)-len(suffix)], 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// MaxSegmentFileSeq returns the largest allocation sequence number among
+// canonical segment file names present in dir (0 when there are none), so
+// a reopening index can seed its allocator past every file ever written —
+// including orphans from a crashed, uncommitted write.
+func MaxSegmentFileSeq(dir string) uint64 {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	var max uint64
+	for _, e := range ents {
+		if seq, ok := ParseSegmentFileName(e.Name()); ok && seq > max {
+			max = seq
+		}
+	}
+	return max
+}
+
+// GCSegmentFiles removes canonical segment files in dir that no manifest
+// present in dir references and protect (when non-nil) does not claim.
+// It is the deferred counterpart of compaction's file cleanup: superseded
+// segments stay on disk as long as the retained predecessor manifest —
+// the recovery fallback against a torn newest commit — still references
+// them, and are collected at a later commit once pruning has dropped that
+// manifest.
+//
+// Conservative by construction: if any manifest present fails to decode,
+// its references are unknown and nothing is removed. Removal is
+// best-effort; the removed names are returned.
+func GCSegmentFiles(dir string, protect func(name string) bool) []string {
+	referenced := make(map[string]struct{})
+	for _, gen := range listManifestGens(dir) {
+		data, err := os.ReadFile(filepath.Join(dir, ManifestName(gen)))
+		if err != nil {
+			return nil
+		}
+		m, err := DecodeManifest(data)
+		if err != nil {
+			return nil
+		}
+		for _, s := range m.Segments {
+			referenced[s.Name] = struct{}{}
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var removed []string
+	for _, e := range ents {
+		name := e.Name()
+		if _, ok := ParseSegmentFileName(name); !ok {
+			continue
+		}
+		if _, ok := referenced[name]; ok {
+			continue
+		}
+		if protect != nil && protect(name) {
+			continue
+		}
+		if os.Remove(filepath.Join(dir, name)) == nil {
+			removed = append(removed, name)
+		}
+	}
+	return removed
 }
 
 // syncDir fsyncs a directory so a rename is durable; best-effort on

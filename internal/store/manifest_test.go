@@ -185,6 +185,81 @@ func TestManifestNameRoundTrip(t *testing.T) {
 	}
 }
 
+func TestSegmentFileNameRoundTrip(t *testing.T) {
+	for _, seq := range []uint64{0, 1, 0xdeadbeef, ^uint64(0)} {
+		got, ok := ParseSegmentFileName(SegmentFileName(seq))
+		if !ok || got != seq {
+			t.Fatalf("parse(SegmentFileName(%d)) = (%d, %v)", seq, got, ok)
+		}
+	}
+	for _, name := range []string{"seg-.s3db", "seg-xyz.s3db", "seg-1.tmp", "MANIFEST-1", "base.s3db"} {
+		if _, ok := ParseSegmentFileName(name); ok {
+			t.Fatalf("parse accepted %q", name)
+		}
+	}
+}
+
+func TestMaxSegmentFileSeq(t *testing.T) {
+	dir := t.TempDir()
+	if got := MaxSegmentFileSeq(dir); got != 0 {
+		t.Fatalf("empty dir: max seq %d, want 0", got)
+	}
+	for _, name := range []string{SegmentFileName(3), SegmentFileName(0x1f), "base.s3db", ManifestName(0xffff)} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := MaxSegmentFileSeq(dir); got != 0x1f {
+		t.Fatalf("max seq %d, want %d", got, 0x1f)
+	}
+}
+
+// GC must remove only canonical segment files that no manifest present
+// references and no caller protection claims — and must remove nothing
+// at all when any manifest fails to decode, since its references are
+// then unknown.
+func TestGCSegmentFiles(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(name string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	referenced := SegmentFileName(1)
+	orphan := mk(SegmentFileName(2))
+	pending := mk(SegmentFileName(3))
+	other := mk("notes.txt")
+	mk(referenced)
+	if err := CommitManifest(dir, &SegmentManifest{Gen: 1, Dims: 2, Order: 2,
+		Segments: []SegmentInfo{{Name: referenced, Count: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	removed := GCSegmentFiles(dir, func(name string) bool { return name == filepath.Base(pending) })
+	if len(removed) != 1 || removed[0] != filepath.Base(orphan) {
+		t.Fatalf("GC removed %v, want just %s", removed, filepath.Base(orphan))
+	}
+	for _, p := range []string{filepath.Join(dir, referenced), pending, other} {
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("GC removed %s: %v", filepath.Base(p), err)
+		}
+	}
+	if _, err := os.Stat(orphan); err == nil {
+		t.Fatal("orphan survived GC")
+	}
+
+	// An undecodable manifest (torn commit found at open) disables GC.
+	orphan2 := mk(SegmentFileName(4))
+	mk(ManifestName(2)) // garbage bytes, fails decode
+	if removed := GCSegmentFiles(dir, nil); removed != nil {
+		t.Fatalf("GC with a torn manifest removed %v, want nothing", removed)
+	}
+	if _, err := os.Stat(orphan2); err != nil {
+		t.Fatalf("GC with a torn manifest removed %s", filepath.Base(orphan2))
+	}
+}
+
 func FuzzManifestDecode(f *testing.F) {
 	f.Add(EncodeManifest(&SegmentManifest{Gen: 1, Dims: 2, Order: 2}))
 	f.Add(EncodeManifest(testManifest(9)))
