@@ -4,7 +4,7 @@ GO ?= go
 # pass because they exercise real concurrency.
 RACE_PKGS = . ./internal/core ./internal/store ./internal/httpapi ./internal/cbcd
 
-.PHONY: check vet build test race cover bench bench-shard bench-plan
+.PHONY: check vet build test race cover bench bench-shard bench-plan faults
 
 # check is the full verification gate: static checks, build, all tests,
 # then the race detector over the engine packages.
@@ -21,6 +21,20 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# faults runs the chaos suite — the crash harness (a crash injected at
+# every I/O operation of a randomized schedule), transient-fault and
+# degraded-mode tests — under the race detector with a randomized
+# schedule seed. The seed is printed by each test; rerun a failure with
+# FAULT_SEED=<seed> make faults.
+ifeq ($(origin FAULT_SEED), undefined)
+FAULT_SEED := $(shell date +%s%N)
+endif
+faults:
+	@echo "fault injection with FAULT_SEED=$(FAULT_SEED)"
+	FAULT_SEED=$(FAULT_SEED) $(GO) test -race -count=1 \
+		-run 'TestLiveIndex(CrashHarness|RetriesTransientFaults|DegradedMode)|TestOpenFault|TestLoadRecords(FaultyReadAt|ShortReadAt)|TestDegradedWrites503' \
+		./internal/core ./internal/store ./internal/httpapi ./internal/faultfs
 
 # cover prints per-package statement coverage (and leaves cover.out for
 # `go tool cover -html=cover.out`).

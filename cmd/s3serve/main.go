@@ -24,6 +24,13 @@
 //	     -d '{"records":[{"fingerprint":[...],"id":7,"tc":120}]}'
 //	curl -X DELETE localhost:8080/video/7
 //
+// Live-mode persistence failures are retried in the background with
+// capped exponential backoff (-compact-backoff sets the base delay);
+// after -compact-retries consecutive failures the index serves degraded
+// read-only — writes answer 503 with Retry-After, /healthz reports
+// status "degraded" with the last persistence error — until a retry
+// commits.
+//
 // The server carries read/write timeouts and drains in-flight requests
 // before exiting on SIGINT/SIGTERM.
 package main
@@ -48,15 +55,19 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("s3serve: ")
 	var (
-		dbPath       = flag.String("db", "archive.s3db", "database file (static mode)")
-		liveDir      = flag.String("live", "", "live index directory (enables ingest/delete; overrides -db)")
-		dims         = flag.Int("dims", 20, "fingerprint dimension (live mode)")
-		order        = flag.Int("order", 8, "bits per component (live mode)")
-		addr         = flag.String("addr", ":8080", "listen address")
-		depth        = flag.Int("depth", 0, "partition depth p (0 = auto)")
-		shards       = flag.Int("shards", 0, "keyspace shards (0 = file manifest or 1)")
-		workers      = flag.Int("workers", 0, "engine worker bound (0 = GOMAXPROCS)")
-		maxInFlight  = flag.Int("max-inflight", 0, "concurrent searches bound (0 = default, <0 = unlimited)")
+		dbPath         = flag.String("db", "archive.s3db", "database file (static mode)")
+		liveDir        = flag.String("live", "", "live index directory (enables ingest/delete; overrides -db)")
+		dims           = flag.Int("dims", 20, "fingerprint dimension (live mode)")
+		order          = flag.Int("order", 8, "bits per component (live mode)")
+		addr           = flag.String("addr", ":8080", "listen address")
+		depth          = flag.Int("depth", 0, "partition depth p (0 = auto)")
+		shards         = flag.Int("shards", 0, "keyspace shards (0 = file manifest or 1)")
+		workers        = flag.Int("workers", 0, "engine worker bound (0 = GOMAXPROCS)")
+		maxInFlight    = flag.Int("max-inflight", 0, "concurrent searches bound (0 = default, <0 = unlimited)")
+		compactBackoff = flag.Duration("compact-backoff", 0,
+			"base delay between persistence/compaction retries, live mode (0 = default)")
+		compactRetries = flag.Int("compact-retries", 0,
+			"consecutive persistence failures before degraded read-only mode, live mode (0 = default, <0 = never degrade)")
 		readTimeout  = flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "HTTP write timeout")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown drain timeout")
@@ -69,7 +80,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		li, err := core.OpenLiveIndex(curve, *liveDir, core.LiveOptions{Depth: *depth, Workers: *workers})
+		li, err := core.OpenLiveIndex(curve, *liveDir, core.LiveOptions{
+			Depth:        *depth,
+			Workers:      *workers,
+			RetryBackoff: *compactBackoff,
+			RetryLimit:   *compactRetries,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -80,8 +96,12 @@ func main() {
 		}()
 		srv = httpapi.NewLive(li, httpapi.Options{MaxInFlight: *maxInFlight})
 		st := li.Stats()
-		log.Printf("live index in %s: %d fingerprints (D=%d, gen %d, %d segments)",
-			*liveDir, st.LiveRecords, *dims, st.Gen, st.Segments)
+		mode := "ok"
+		if st.Degraded {
+			mode = "DEGRADED (writes rejected until persistence recovers)"
+		}
+		log.Printf("live index in %s: %d fingerprints (D=%d, gen %d, %d segments), persistence %s",
+			*liveDir, st.LiveRecords, *dims, st.Gen, st.Segments, mode)
 	} else {
 		fl, err := store.Open(*dbPath)
 		if err != nil {

@@ -46,18 +46,31 @@ package core
 // garbage-collected at a later commit once pruning drops that manifest.
 // Unsealed memtable records are volatile (there is no WAL); Flush or
 // Close seals them.
+//
+// Persistence failures do not lose accepted writes: a failed seal or
+// manifest commit leaves the records query-visible in memory, records
+// the error, and a background loop retries the owed persistence with
+// capped exponential backoff and jitter until it lands or the index
+// closes. After RetryLimit consecutive failures the index enters
+// degraded read-only mode — queries keep serving the last published
+// snapshot but Ingest and DeleteVideo return ErrDegraded — and any
+// subsequent successful commit clears it. All storage I/O goes through
+// a pluggable store.FS (LiveOptions.FS), which is how the fault-
+// injection harness drives every one of these paths deterministically.
 
 import (
 	"context"
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"s3cbcd/internal/bitkey"
 	"s3cbcd/internal/hilbert"
@@ -82,6 +95,14 @@ var (
 // ErrClosed is returned by operations on a closed LiveIndex.
 var ErrClosed = errors.New("core: live index is closed")
 
+// ErrDegraded is returned by Ingest and DeleteVideo while the index is
+// in degraded read-only mode: RetryLimit consecutive persistence
+// failures have accumulated and accepting more writes would only grow
+// the volatile backlog. Queries keep serving; the background retry loop
+// keeps attempting persistence, and the first successful commit clears
+// the mode. Errors returned alongside wrap this sentinel (errors.Is).
+var ErrDegraded = errors.New("core: live index is degraded (persistence failing), writes rejected")
+
 // LiveOptions tunes a LiveIndex.
 type LiveOptions struct {
 	// Depth is the partition depth p shared by every segment (a plan is
@@ -99,6 +120,23 @@ type LiveOptions struct {
 	// SectionBits is the section-table granularity of written segment
 	// files. 0 selects 10 (clamped to the curve's index bits).
 	SectionBits int
+	// FS is the filesystem all segment and manifest I/O goes through.
+	// nil selects the operating system (store.OSFS); tests inject
+	// faultfs.FS here.
+	FS store.FS
+	// RetryBackoff is the base delay of the persistence retry schedule;
+	// attempt n waits about RetryBackoff<<n (with jitter), capped at
+	// MaxRetryBackoff. 0 selects DefaultLiveRetryBackoff.
+	RetryBackoff time.Duration
+	// MaxRetryBackoff caps the exponential backoff. 0 selects
+	// DefaultLiveMaxRetryBackoff.
+	MaxRetryBackoff time.Duration
+	// RetryLimit is the consecutive-persistence-failure count at which
+	// the index enters degraded read-only mode, and the attempt budget of
+	// one background compaction before it gives up until re-triggered.
+	// 0 selects DefaultLiveRetryLimit; negative disables degraded mode
+	// (writes are accepted no matter how long persistence has failed).
+	RetryLimit int
 }
 
 // DefaultLiveMemtableRecords is the default seal threshold.
@@ -106,6 +144,19 @@ const DefaultLiveMemtableRecords = 4096
 
 // DefaultLiveCompactSegments is the default compaction trigger.
 const DefaultLiveCompactSegments = 4
+
+// DefaultLiveRetryBackoff is the default base delay between persistence
+// retry attempts.
+const DefaultLiveRetryBackoff = 50 * time.Millisecond
+
+// DefaultLiveMaxRetryBackoff is the default cap on the exponential
+// persistence retry backoff.
+const DefaultLiveMaxRetryBackoff = 5 * time.Second
+
+// DefaultLiveRetryLimit is the default consecutive-failure count that
+// trips degraded mode (and the per-trigger attempt budget of a
+// background compaction).
+const DefaultLiveRetryLimit = 5
 
 func (o LiveOptions) withDefaults(curve *hilbert.Curve) LiveOptions {
 	if o.Depth <= 0 {
@@ -125,6 +176,18 @@ func (o LiveOptions) withDefaults(curve *hilbert.Curve) LiveOptions {
 	}
 	if o.SectionBits > curve.IndexBits() {
 		o.SectionBits = curve.IndexBits()
+	}
+	if o.FS == nil {
+		o.FS = store.OSFS
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = DefaultLiveRetryBackoff
+	}
+	if o.MaxRetryBackoff <= 0 {
+		o.MaxRetryBackoff = DefaultLiveMaxRetryBackoff
+	}
+	if o.RetryLimit == 0 {
+		o.RetryLimit = DefaultLiveRetryLimit
 	}
 	return o
 }
@@ -190,6 +253,7 @@ type LiveIndex struct {
 	pl  planner
 	opt LiveOptions
 	dir string // "" = memory-only
+	fs  store.FS
 
 	snap atomic.Pointer[liveSnapshot]
 	// mu serializes writers (Ingest, DeleteVideo, Flush, Close and the
@@ -200,6 +264,28 @@ type LiveIndex struct {
 	compactMu sync.Mutex
 	wg        sync.WaitGroup
 	closed    atomic.Bool
+	// closedCh is closed by Close so backoff sleeps in background retry
+	// loops end immediately instead of running out their timers.
+	closedCh chan struct{}
+
+	// persistMu guards the persistence-failure state below. It is a leaf
+	// lock: taken with or without mu, never the other way around.
+	persistMu sync.Mutex
+	// lastPersistErr is the most recent persistence failure (nil after a
+	// successful commit).
+	lastPersistErr error
+	// consecFails counts consecutive failed persistence attempts;
+	// reaching RetryLimit trips degraded mode.
+	consecFails int
+	// dirty records that the durable state lags the published snapshot
+	// (a seal or commit is owed); the retry loop runs while it is set.
+	dirty bool
+	// retrying records that a retry loop goroutine is active.
+	retrying bool
+
+	degraded        atomic.Bool
+	persistFailures atomic.Int64
+	persistRetries  atomic.Int64
 
 	// segSeq allocates never-reused segment file names; seeded at open
 	// past every name on disk.
@@ -224,7 +310,7 @@ func OpenLiveIndex(curve *hilbert.Curve, dir string, opt LiveOptions) (*LiveInde
 		return nil, fmt.Errorf("core: depth %d exceeds index bits %d", opt.Depth, curve.IndexBits())
 	}
 	li := &LiveIndex{pl: planner{curve: curve, depth: opt.Depth}, opt: opt, dir: dir,
-		pending: make(map[string]struct{})}
+		fs: opt.FS, closedCh: make(chan struct{}), pending: make(map[string]struct{})}
 	var (
 		segs []*liveSegment
 		gen  uint64
@@ -233,14 +319,14 @@ func OpenLiveIndex(curve *hilbert.Curve, dir string, opt LiveOptions) (*LiveInde
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, err
 		}
-		m, err := store.RecoverManifest(dir, func(m *store.SegmentManifest) error {
+		m, err := store.RecoverManifestFS(li.fs, dir, func(m *store.SegmentManifest) error {
 			if m.Dims != curve.Dims() || m.Order != curve.Order() {
 				return fmt.Errorf("manifest geometry D=%d K=%d, index wants D=%d K=%d",
 					m.Dims, m.Order, curve.Dims(), curve.Order())
 			}
 			loaded := make([]*liveSegment, 0, len(m.Segments))
 			for _, si := range m.Segments {
-				db, err := store.ReadFile(filepath.Join(dir, si.Name))
+				db, err := store.ReadFileFS(li.fs, filepath.Join(dir, si.Name))
 				if err != nil {
 					return err
 				}
@@ -277,12 +363,12 @@ func OpenLiveIndex(curve *hilbert.Curve, dir string, opt LiveOptions) (*LiveInde
 		// a crashed, uncommitted write may carry a higher sequence than any
 		// manifest records — then collect files no retained manifest
 		// references (crash leftovers and long-superseded segments).
-		seq := store.MaxSegmentFileSeq(dir)
+		seq := store.MaxSegmentFileSeqFS(li.fs, dir)
 		if gen > seq {
 			seq = gen
 		}
 		li.segSeq.Store(seq)
-		store.GCSegmentFiles(dir, nil)
+		store.GCSegmentFilesFS(li.fs, dir, nil)
 	}
 	empty, err := store.Build(curve, nil)
 	if err != nil {
@@ -348,6 +434,21 @@ type LiveStats struct {
 	TombstonedIDs int
 	// Ingested, Deletes and Compactions are lifetime operation counters.
 	Ingested, Deletes, Compactions int64
+	// Degraded reports degraded read-only mode: persistence has failed
+	// RetryLimit consecutive times and writes are being rejected.
+	Degraded bool
+	// Dirty reports that the durable state lags the published snapshot
+	// and the background retry loop is working to catch it up.
+	Dirty bool
+	// LastPersistErr is the most recent persistence failure ("" after a
+	// successful commit).
+	LastPersistErr string
+	// PersistFailures and PersistRetries are lifetime counters of failed
+	// persistence attempts and of backoff-scheduled retry attempts.
+	PersistFailures, PersistRetries int64
+	// ConsecutiveFailures counts persistence failures since the last
+	// successful commit (degraded mode trips at RetryLimit).
+	ConsecutiveFailures int
 }
 
 // Stats reports the current snapshot's shape and lifetime counters.
@@ -361,7 +462,17 @@ func (li *LiveIndex) Stats() LiveStats {
 		Ingested:        li.ingested.Load(),
 		Deletes:         li.deletes.Load(),
 		Compactions:     li.compactions.Load(),
+		Degraded:        li.degraded.Load(),
+		PersistFailures: li.persistFailures.Load(),
+		PersistRetries:  li.persistRetries.Load(),
 	}
+	li.persistMu.Lock()
+	st.Dirty = li.dirty
+	st.ConsecutiveFailures = li.consecFails
+	if li.lastPersistErr != nil {
+		st.LastPersistErr = li.lastPersistErr.Error()
+	}
+	li.persistMu.Unlock()
 	for _, s := range snap.segs {
 		st.SegmentRecords += s.db.Len()
 		st.LiveRecords += s.live
@@ -391,6 +502,9 @@ func (li *LiveIndex) Ingest(recs []store.Record) error {
 	if li.closed.Load() {
 		return ErrClosed
 	}
+	if li.degraded.Load() {
+		return li.degradedErr()
+	}
 	cur := li.snap.Load()
 	memDB, err := store.Merge(cur.mem.db, batch)
 	if err != nil {
@@ -399,7 +513,13 @@ func (li *LiveIndex) Ingest(recs []store.Record) error {
 	next := &liveSnapshot{gen: cur.gen + 1, segs: cur.segs, mem: &liveSegment{db: memDB, live: memDB.Len()}}
 	if memDB.Len() >= li.opt.MemtableRecords {
 		if err := li.sealInto(next); err != nil {
-			return err
+			// The seal failed (segment write or manifest commit). The batch
+			// is still accepted: republish with the grown memtable — the
+			// records stay query-visible in memory — record the failure, and
+			// let the background loop retry the seal with backoff.
+			next = &liveSnapshot{gen: cur.gen + 1, segs: cur.segs,
+				mem: &liveSegment{db: memDB, live: memDB.Len()}}
+			li.notePersistFailure(err, true)
 		}
 	}
 	li.snap.Store(next)
@@ -422,7 +542,7 @@ func (li *LiveIndex) sealInto(next *liveSnapshot) error {
 	seg := &liveSegment{db: next.mem.db, live: next.mem.db.Len()}
 	if li.dir != "" {
 		seg.name = li.nextSegName()
-		if err := seg.db.WriteFile(filepath.Join(li.dir, seg.name), li.opt.SectionBits); err != nil {
+		if err := seg.db.WriteFileFS(li.fs, filepath.Join(li.dir, seg.name), li.opt.SectionBits); err != nil {
 			return err
 		}
 	}
@@ -449,6 +569,7 @@ func (li *LiveIndex) Flush() error {
 	}
 	next := &liveSnapshot{gen: cur.gen + 1, segs: cur.segs, mem: cur.mem}
 	if err := li.sealInto(next); err != nil {
+		li.notePersistFailure(err, true)
 		return err
 	}
 	li.snap.Store(next)
@@ -464,6 +585,9 @@ func (li *LiveIndex) DeleteVideo(id uint32) error {
 	defer li.mu.Unlock()
 	if li.closed.Load() {
 		return ErrClosed
+	}
+	if li.degraded.Load() {
+		return li.degradedErr()
 	}
 	cur := li.snap.Load()
 	changed := false
@@ -487,7 +611,12 @@ func (li *LiveIndex) DeleteVideo(id uint32) error {
 	}
 	next := &liveSnapshot{gen: cur.gen + 1, segs: segs, mem: mem}
 	if err := li.commitLocked(next); err != nil {
-		return err
+		// The tombstones could not be committed, but the delete is still
+		// honored in memory: publish the masked snapshot so queries stop
+		// returning the video, record the failure, and let the background
+		// loop retry the commit — a crash before it lands would resurrect
+		// the video, which is why dirty stays set until the commit does.
+		li.notePersistFailure(err, true)
 	}
 	li.snap.Store(next)
 	li.deletes.Add(1)
@@ -515,16 +644,164 @@ func (li *LiveIndex) commitLocked(s *liveSnapshot) error {
 		}
 		m.Segments = append(m.Segments, info)
 	}
-	if err := store.CommitManifest(li.dir, m); err != nil {
+	if err := store.CommitManifestFS(li.fs, li.dir, m); err != nil {
 		return err
 	}
-	store.GCSegmentFiles(li.dir, li.isPending)
+	// The committed snapshot still owes a seal when its memtable sits at
+	// or above the threshold (a previously failed seal): keep the retry
+	// loop running for it.
+	li.notePersistSuccess(s.mem.db.Len() >= li.opt.MemtableRecords)
+	store.GCSegmentFilesFS(li.fs, li.dir, li.isPending)
 	return nil
+}
+
+// degradedErr returns the error writes receive while degraded, wrapping
+// ErrDegraded with the persistence failure that caused it.
+func (li *LiveIndex) degradedErr() error {
+	li.persistMu.Lock()
+	cause := li.lastPersistErr
+	li.persistMu.Unlock()
+	if cause == nil {
+		return ErrDegraded
+	}
+	return fmt.Errorf("%w: %v", ErrDegraded, cause)
+}
+
+// notePersistFailure records one failed persistence attempt. owed marks
+// that the durable state now lags the published snapshot, which starts
+// (or keeps alive) the background retry loop. Degraded mode trips at
+// RetryLimit consecutive failures (a negative RetryLimit never trips
+// it). Safe with or without mu held; takes only the leaf persistMu.
+func (li *LiveIndex) notePersistFailure(err error, owed bool) {
+	li.persistFailures.Add(1)
+	li.persistMu.Lock()
+	defer li.persistMu.Unlock()
+	li.lastPersistErr = err
+	li.consecFails++
+	if li.opt.RetryLimit > 0 && li.consecFails >= li.opt.RetryLimit {
+		li.degraded.Store(true)
+	}
+	if owed {
+		li.dirty = true
+	}
+	li.spawnRetryLocked()
+}
+
+// notePersistSuccess records a successful manifest commit: the failure
+// streak and degraded mode clear. stillOwed keeps the retry loop alive
+// for persistence the committed snapshot still lacks (an unsealed
+// over-threshold memtable).
+func (li *LiveIndex) notePersistSuccess(stillOwed bool) {
+	li.persistMu.Lock()
+	defer li.persistMu.Unlock()
+	li.lastPersistErr = nil
+	li.consecFails = 0
+	li.degraded.Store(false)
+	li.dirty = stillOwed
+	li.spawnRetryLocked()
+}
+
+// spawnRetryLocked starts the retry loop when persistence is owed and no
+// loop is running. Caller holds persistMu — which is what makes the
+// wg.Add safe against Close: Close stores closed, then passes through
+// persistMu before wg.Wait, so an Add here either precedes the Wait or
+// never happens.
+func (li *LiveIndex) spawnRetryLocked() {
+	if li.dirty && !li.retrying && !li.closed.Load() {
+		li.retrying = true
+		li.wg.Add(1)
+		go li.retryLoop()
+	}
+}
+
+// backoffDelay returns the delay before retry attempt (0-based): an
+// exponential schedule with jitter in [d/2, d], capped at
+// MaxRetryBackoff.
+func (li *LiveIndex) backoffDelay(attempt int) time.Duration {
+	d := li.opt.RetryBackoff
+	for i := 0; i < attempt && d < li.opt.MaxRetryBackoff; i++ {
+		d *= 2
+	}
+	if d > li.opt.MaxRetryBackoff {
+		d = li.opt.MaxRetryBackoff
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// retryLoop re-attempts owed persistence with capped exponential backoff
+// and jitter until it lands or the index closes. At most one loop runs
+// at a time (the retrying flag); it is wg-tracked so Close waits for it.
+func (li *LiveIndex) retryLoop() {
+	defer li.wg.Done()
+	stop := func() {
+		li.persistMu.Lock()
+		li.retrying = false
+		li.persistMu.Unlock()
+	}
+	for attempt := 0; ; attempt++ {
+		select {
+		case <-li.closedCh:
+			stop()
+			return
+		case <-time.After(li.backoffDelay(attempt)):
+		}
+		li.persistRetries.Add(1)
+		li.mu.Lock()
+		if li.closed.Load() {
+			li.mu.Unlock()
+			stop()
+			return
+		}
+		if err := li.persistLocked(); err != nil {
+			li.notePersistFailure(err, true)
+		}
+		li.mu.Unlock()
+		li.persistMu.Lock()
+		if !li.dirty {
+			li.retrying = false
+			li.persistMu.Unlock()
+			return
+		}
+		li.persistMu.Unlock()
+	}
+}
+
+// persistLocked re-establishes the owed durability for the current
+// snapshot: an over-threshold memtable (a seal that previously failed)
+// is sealed into a fresh segment, otherwise the current manifest is
+// re-committed (covering tombstones whose commit failed). Caller holds
+// mu.
+func (li *LiveIndex) persistLocked() error {
+	if li.dir == "" {
+		li.persistMu.Lock()
+		li.dirty = false
+		li.persistMu.Unlock()
+		return nil
+	}
+	cur := li.snap.Load()
+	if cur.mem.db.Len() >= li.opt.MemtableRecords {
+		next := &liveSnapshot{gen: cur.gen + 1, segs: cur.segs, mem: cur.mem}
+		if err := li.sealInto(next); err != nil {
+			return err
+		}
+		li.snap.Store(next)
+		if len(next.segs) >= li.opt.CompactSegments {
+			li.compactAsync()
+		}
+		return nil
+	}
+	return li.commitLocked(cur)
 }
 
 // compactAsync starts a background compaction unless one is already
 // running. Called with mu held; the goroutine acquires mu only for its
-// commit phase.
+// commit phase. A failed compaction is retried with capped exponential
+// backoff and jitter — up to RetryLimit attempts, then it gives up until
+// a later seal re-triggers it; failures are recorded for Stats.
 func (li *LiveIndex) compactAsync() {
 	if !li.compactMu.TryLock() {
 		return
@@ -533,9 +810,23 @@ func (li *LiveIndex) compactAsync() {
 	go func() {
 		defer li.wg.Done()
 		defer li.compactMu.Unlock()
-		// Errors surface through Stats (no compaction counted) and at the
-		// next forced Compact; background retries happen on later seals.
-		_ = li.compact()
+		attempts := li.opt.RetryLimit
+		if attempts < 1 {
+			attempts = DefaultLiveRetryLimit
+		}
+		for attempt := 0; attempt < attempts; attempt++ {
+			if attempt > 0 {
+				li.persistRetries.Add(1)
+				select {
+				case <-li.closedCh:
+					return
+				case <-time.After(li.backoffDelay(attempt - 1)):
+				}
+			}
+			if err := li.compact(); err == nil || errors.Is(err, ErrClosed) {
+				return
+			}
+		}
 	}()
 }
 
@@ -582,15 +873,16 @@ func (li *LiveIndex) compact() error {
 	if li.dir != "" && merged.Len() > 0 {
 		name = li.nextSegName()
 		release = li.protectPending(name)
-		if err := merged.WriteFile(filepath.Join(li.dir, name), li.opt.SectionBits); err != nil {
-			os.Remove(filepath.Join(li.dir, name))
+		if err := merged.WriteFileFS(li.fs, filepath.Join(li.dir, name), li.opt.SectionBits); err != nil {
+			li.fs.Remove(filepath.Join(li.dir, name))
 			release()
+			li.notePersistFailure(err, false)
 			return err
 		}
 	}
 	abort := func(err error) error {
 		if release != nil {
-			os.Remove(filepath.Join(li.dir, name))
+			li.fs.Remove(filepath.Join(li.dir, name))
 			release()
 		}
 		return err
@@ -636,6 +928,10 @@ func (li *LiveIndex) compact() error {
 	}
 	next.segs = append(base, cur.segs[k:]...)
 	if err := li.commitLocked(next); err != nil {
+		// The compaction's commit failed; the old layout stays published
+		// and durable (nothing is owed), but the failure feeds the
+		// degraded-mode streak.
+		li.notePersistFailure(err, false)
 		return abort(err)
 	}
 	li.snap.Store(next)
@@ -660,10 +956,17 @@ func (li *LiveIndex) Close() error {
 		next := &liveSnapshot{gen: cur.gen + 1, segs: cur.segs, mem: cur.mem}
 		if err = li.sealInto(next); err == nil {
 			li.snap.Store(next)
+		} else {
+			li.notePersistFailure(err, false)
 		}
 	}
 	li.closed.Store(true)
+	close(li.closedCh)
 	li.mu.Unlock()
+	// Passing through persistMu after storing closed orders any in-flight
+	// retry-loop spawn's wg.Add before the Wait (see spawnRetryLocked).
+	li.persistMu.Lock()
+	li.persistMu.Unlock()
 	li.wg.Wait()
 	return err
 }

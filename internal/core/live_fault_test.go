@@ -1,0 +1,432 @@
+package core
+
+// Fault-injection properties of the live index, driven through the
+// store.FS seam by faultfs:
+//
+//   - the crash harness replays one randomized schedule of ingests,
+//     deletes and compactions, injecting a crash at every mutating I/O
+//     operation index in turn; reopening after each crash must yield
+//     exactly the state as of an operation boundary adjacent to the
+//     crash — never a torn or reordered state, never an error;
+//   - transient faults (each mutating operation failing with some
+//     probability) must never lose an accepted write: once the faults
+//     stop, the background retry loop catches durability up to the
+//     published snapshot and a reopen sees everything;
+//   - persistent faults trip degraded read-only mode: writes are
+//     rejected with ErrDegraded while queries keep serving, and the
+//     first successful commit after the fault clears heals the index.
+//
+// Set FAULT_SEED to reproduce a failing schedule; the seed in use is
+// always logged.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"reflect"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"s3cbcd/internal/faultfs"
+	"s3cbcd/internal/store"
+)
+
+// faultSeed returns the schedule seed: FAULT_SEED when set (the CI chaos
+// job randomizes it), a fixed default otherwise.
+func faultSeed(t *testing.T) int64 {
+	t.Helper()
+	if s := os.Getenv("FAULT_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad FAULT_SEED %q: %v", s, err)
+		}
+		return v
+	}
+	return 20260806
+}
+
+// faultOp is one step of a crash-harness schedule.
+type faultOp struct {
+	kind string // "ingest", "delete" or "compact"
+	recs []store.Record
+	id   uint32
+}
+
+// buildFaultSchedule derives a deterministic operation schedule from r.
+// Every record carries a unique TC so the (ID, TC) multiset is a set and
+// model comparison is exact.
+func buildFaultSchedule(r *rand.Rand, nOps int) []faultOp {
+	var ops []faultOp
+	tc := uint32(0)
+	for i := 0; i < nOps; i++ {
+		switch k := r.Intn(10); {
+		case k < 6:
+			recs := make([]store.Record, 2+r.Intn(3))
+			for j := range recs {
+				rec := randLiveRecord(r)
+				rec.TC = tc
+				tc++
+				recs[j] = rec
+			}
+			ops = append(ops, faultOp{kind: "ingest", recs: recs})
+		case k < 8:
+			ops = append(ops, faultOp{kind: "delete", id: uint32(r.Intn(6))})
+		default:
+			ops = append(ops, faultOp{kind: "compact"})
+		}
+	}
+	return ops
+}
+
+// appliedStates returns the (ID, TC) set visible after each schedule
+// prefix: states[i] is the state once the first i operations applied.
+func appliedStates(ops []faultOp) []map[[2]uint32]int {
+	states := make([]map[[2]uint32]int, len(ops)+1)
+	cur := map[[2]uint32]int{}
+	clone := func() map[[2]uint32]int {
+		c := make(map[[2]uint32]int, len(cur))
+		for k, v := range cur {
+			c[k] = v
+		}
+		return c
+	}
+	states[0] = clone()
+	for i, op := range ops {
+		switch op.kind {
+		case "ingest":
+			for _, rec := range op.recs {
+				cur[[2]uint32{rec.ID, rec.TC}]++
+			}
+		case "delete":
+			for k := range cur {
+				if k[0] == op.id {
+					delete(cur, k)
+				}
+			}
+		}
+		states[i+1] = clone()
+	}
+	return states
+}
+
+// replayFaultSchedule runs the schedule against a fresh index over ffs,
+// ignoring per-operation errors (post-crash operations fail by design),
+// and returns the index of the operation during which the filesystem
+// froze (len(ops) if it never did). Every ingest seals and commits
+// (MemtableRecords = 1), so each schedule operation is one commit.
+func replayFaultSchedule(t *testing.T, dir string, ffs *faultfs.FS, ops []faultOp) int {
+	t.Helper()
+	li, err := OpenLiveIndex(liveTestCurve(), dir, LiveOptions{
+		Depth:           liveTestDepth,
+		MemtableRecords: 1,
+		CompactSegments: 1 << 20, // background compaction off: determinism
+		FS:              ffs,
+		RetryBackoff:    time.Hour, // background retries never fire mid-replay
+		RetryLimit:      -1,        // never degrade: keep attempting every op
+	})
+	if err != nil {
+		t.Fatalf("open through faultfs: %v", err)
+	}
+	crashOp := len(ops)
+	for i, op := range ops {
+		switch op.kind {
+		case "ingest":
+			_ = li.Ingest(op.recs)
+		case "delete":
+			_ = li.DeleteVideo(op.id)
+		case "compact":
+			_ = li.Compact()
+		}
+		if crashOp == len(ops) && ffs.Crashed() {
+			crashOp = i
+		}
+	}
+	_ = li.Close()
+	return crashOp
+}
+
+// TestLiveIndexCrashHarness injects a crash at every mutating I/O
+// operation of a randomized schedule in turn. After each crash the
+// directory must reopen cleanly to exactly the applied state of an
+// operation boundary adjacent to the crash: the state before the
+// crashed operation (its commit never landed) or after it (the commit's
+// rename landed and only later I/O crashed).
+func TestLiveIndexCrashHarness(t *testing.T) {
+	seed := faultSeed(t)
+	t.Logf("crash harness seed %d (set FAULT_SEED to reproduce)", seed)
+	ops := buildFaultSchedule(rand.New(rand.NewSource(seed)), 10)
+	states := appliedStates(ops)
+
+	// Count pass: no faults. Establishes how many mutating I/O operations
+	// the schedule performs, and that the fault-free replay lands on the
+	// full model.
+	countDir := t.TempDir()
+	var mutating atomic.Int64
+	counter := faultfs.New(store.OSFS, func(op faultfs.Op, _ string, _ int) faultfs.Action {
+		if op.Mutating() {
+			mutating.Add(1)
+		}
+		return faultfs.Pass
+	})
+	if got := replayFaultSchedule(t, countDir, counter, ops); got != len(ops) {
+		t.Fatalf("fault-free replay reported a crash at op %d", got)
+	}
+	clean, err := OpenLiveIndex(liveTestCurve(), countDir, LiveOptions{Depth: liveTestDepth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := liveRecordSet(t, clean); !reflect.DeepEqual(got, states[len(ops)]) {
+		t.Fatalf("fault-free replay recovered %v, want %v", got, states[len(ops)])
+	}
+	clean.Close()
+	n := int(mutating.Load())
+	if n == 0 {
+		t.Fatal("schedule performed no mutating I/O")
+	}
+
+	stride := 1
+	if testing.Short() {
+		stride = 7
+	}
+	for k := 0; k < n; k += stride {
+		k := k
+		t.Run(fmt.Sprintf("crash-at-%d", k), func(t *testing.T) {
+			dir := t.TempDir()
+			var seen atomic.Int64
+			ffs := faultfs.New(store.OSFS, func(op faultfs.Op, _ string, _ int) faultfs.Action {
+				if !op.Mutating() {
+					return faultfs.Pass
+				}
+				if int(seen.Add(1))-1 == k {
+					return faultfs.Crash
+				}
+				return faultfs.Pass
+			})
+			crashOp := replayFaultSchedule(t, dir, ffs, ops)
+			if !ffs.Crashed() {
+				t.Fatalf("crash point %d never reached (%d mutating ops this replay)", k, seen.Load())
+			}
+			re, err := OpenLiveIndex(liveTestCurve(), dir, LiveOptions{Depth: liveTestDepth})
+			if err != nil {
+				t.Fatalf("reopen after crash at I/O op %d (schedule op %d): %v", k, crashOp, err)
+			}
+			defer re.Close()
+			got := liveRecordSet(t, re)
+			if !reflect.DeepEqual(got, states[crashOp]) && !reflect.DeepEqual(got, states[crashOp+1]) {
+				t.Fatalf("crash at I/O op %d (during schedule op %d %s): recovered %v,\nwant %v (before op)\n  or %v (after op)",
+					k, crashOp, ops[crashOp].kind, got, states[crashOp], states[crashOp+1])
+			}
+		})
+	}
+}
+
+// TestLiveIndexRetriesTransientFaults subjects every mutating operation
+// to a seeded failure probability, then lifts the faults: no accepted
+// write may be lost — the retry loop must catch durability up so a clean
+// reopen sees the full surviving record set.
+func TestLiveIndexRetriesTransientFaults(t *testing.T) {
+	seed := faultSeed(t)
+	t.Logf("transient-fault seed %d (set FAULT_SEED to reproduce)", seed)
+	rng := rand.New(rand.NewSource(seed + 1)) // injector's own stream
+	var failing atomic.Bool
+	failing.Store(true)
+	// The injector runs under faultfs's mutex, so rng needs no extra lock.
+	ffs := faultfs.New(store.OSFS, func(op faultfs.Op, _ string, _ int) faultfs.Action {
+		if !failing.Load() || !op.Mutating() {
+			return faultfs.Pass
+		}
+		if rng.Float64() < 0.3 {
+			if op == faultfs.OpWrite && rng.Intn(2) == 0 {
+				return faultfs.ShortWrite
+			}
+			return faultfs.Fail
+		}
+		return faultfs.Pass
+	})
+
+	dir := t.TempDir()
+	li, err := OpenLiveIndex(liveTestCurve(), dir, LiveOptions{
+		Depth:           liveTestDepth,
+		MemtableRecords: 4,
+		CompactSegments: 3,
+		FS:              ffs,
+		RetryBackoff:    time.Millisecond,
+		RetryLimit:      -1, // accept writes throughout the fault storm
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := rand.New(rand.NewSource(seed + 2))
+	var surviving []store.Record
+	tc := uint32(0)
+	for i := 0; i < 30; i++ {
+		if i%7 == 6 {
+			id := uint32(r.Intn(6))
+			if err := li.DeleteVideo(id); err != nil {
+				t.Fatalf("delete during faults: %v", err)
+			}
+			kept := surviving[:0]
+			for _, rec := range surviving {
+				if rec.ID != id {
+					kept = append(kept, rec)
+				}
+			}
+			surviving = kept
+			continue
+		}
+		recs := make([]store.Record, 3)
+		for j := range recs {
+			rec := randLiveRecord(r)
+			rec.TC = tc
+			tc++
+			recs[j] = rec
+		}
+		if err := li.Ingest(recs); err != nil {
+			t.Fatalf("ingest during faults: %v", err)
+		}
+		surviving = append(surviving, recs...)
+	}
+	if ffs.Injected() == 0 {
+		t.Fatal("fault storm injected nothing; the test exercised no failure path")
+	}
+	// Accepted writes stay query-visible throughout.
+	if got, want := li.Len(), len(surviving); got != want {
+		t.Fatalf("mid-storm live index holds %d records, model has %d", got, want)
+	}
+
+	failing.Store(false)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := li.Stats()
+		if !st.Dirty {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("retry loop did not converge: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := li.Flush(); err != nil {
+		t.Fatalf("flush after faults lifted: %v", err)
+	}
+	if err := li.Close(); err != nil {
+		t.Fatalf("close after faults lifted: %v", err)
+	}
+	if lh := ffs.OpenHandles(); lh != 0 {
+		t.Fatalf("%d file handles leaked through the fault storm", lh)
+	}
+
+	re, err := OpenLiveIndex(liveTestCurve(), dir, LiveOptions{Depth: liveTestDepth})
+	if err != nil {
+		t.Fatalf("reopen after fault storm: %v", err)
+	}
+	defer re.Close()
+	checkLiveEquivalence(t, re, surviving, r, "after transient faults")
+}
+
+// TestLiveIndexDegradedMode drives persistence into repeated failure and
+// checks the full degraded-mode arc: writes rejected with ErrDegraded,
+// queries still serving the published snapshot, and the first successful
+// commit after the fault clears healing the index.
+func TestLiveIndexDegradedMode(t *testing.T) {
+	var failing atomic.Bool
+	ffs := faultfs.New(store.OSFS, func(op faultfs.Op, _ string, _ int) faultfs.Action {
+		if failing.Load() && op == faultfs.OpCreate {
+			return faultfs.Fail
+		}
+		return faultfs.Pass
+	})
+	dir := t.TempDir()
+	li, err := OpenLiveIndex(liveTestCurve(), dir, LiveOptions{
+		Depth:           liveTestDepth,
+		MemtableRecords: 4,
+		CompactSegments: 1 << 20,
+		FS:              ffs,
+		RetryBackoff:    time.Millisecond,
+		RetryLimit:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer li.Close()
+
+	recs := make([]store.Record, 4)
+	r := rand.New(rand.NewSource(7))
+	for j := range recs {
+		rec := randLiveRecord(r)
+		rec.TC = uint32(j)
+		recs[j] = rec
+	}
+	failing.Store(true)
+	// Over-threshold ingest: the seal fails but the batch is accepted.
+	if err := li.Ingest(recs); err != nil {
+		t.Fatalf("ingest with failing storage rejected: %v", err)
+	}
+	if got := li.Len(); got != 4 {
+		t.Fatalf("accepted batch not query-visible: %d records", got)
+	}
+	st := li.Stats()
+	if !st.Dirty || st.PersistFailures == 0 || st.LastPersistErr == "" {
+		t.Fatalf("failed seal not recorded: %+v", st)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for !li.Stats().Degraded {
+		if time.Now().After(deadline) {
+			t.Fatalf("index never degraded: %+v", li.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := li.Ingest(recs[:1]); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("degraded ingest returned %v, want ErrDegraded", err)
+	}
+	if err := li.DeleteVideo(recs[0].ID); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("degraded delete returned %v, want ErrDegraded", err)
+	}
+	// Queries keep serving the published snapshot.
+	if got := li.Len(); got != 4 {
+		t.Fatalf("degraded index serves %d records, want 4", got)
+	}
+	if _, _, err := li.SearchRange(context.Background(), make([]byte, liveTestDims), 1e9); err != nil {
+		t.Fatalf("degraded query failed: %v", err)
+	}
+
+	// Heal: the retry loop's next attempt commits, clearing the mode.
+	failing.Store(false)
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		st := li.Stats()
+		if !st.Degraded && !st.Dirty {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("index never healed: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st = li.Stats()
+	if st.LastPersistErr != "" || st.ConsecutiveFailures != 0 {
+		t.Fatalf("healed index still reports failure state: %+v", st)
+	}
+	if err := li.Ingest(recs[:1]); err != nil {
+		t.Fatalf("ingest after healing: %v", err)
+	}
+	if err := li.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenLiveIndex(liveTestCurve(), dir, LiveOptions{Depth: liveTestDepth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	// 4 original records (sealed by the healed retry loop) + 1 re-ingested.
+	if got := re.Len(); got != 5 {
+		t.Fatalf("reopen after heal holds %d records, want 5", got)
+	}
+}

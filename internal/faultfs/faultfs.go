@@ -1,0 +1,360 @@
+// Package faultfs provides a deterministic fault-injecting
+// implementation of store.FS, the chaos half of the live index's
+// crash-safety story: every failure mode the storage layer claims to
+// survive — a transient ENOSPC, a failed fsync, a torn write, a power
+// loss freezing the disk mid-operation — can be injected at an exact,
+// reproducible point of the I/O stream and the recovery invariants
+// checked against it.
+//
+// The fault model is the standard "synchronous, no reordering" one: an
+// operation the inner filesystem reported complete is durable, a crash
+// freezes all subsequent mutations, and the crashing operation itself may
+// be applied partially (a torn write). Page-cache loss of unsynced data
+// is not modelled beyond the DropSync action (a disk that acknowledges
+// fsync without performing it); the store's commit protocol syncs every
+// byte it relies on, so this model exercises exactly the guarantees the
+// protocol claims.
+//
+// Faults are driven by an Injector callback consulted — under the
+// filesystem's single mutex, so in a deterministic global order for a
+// deterministic workload — once per intercepted operation, or by a
+// seeded random schedule (NewSeeded) for soak-style chaos runs.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	iofs "io/fs"
+	"sync"
+
+	"math/rand"
+
+	"s3cbcd/internal/store"
+)
+
+// Op identifies one intercepted filesystem operation class.
+type Op uint8
+
+const (
+	OpOpen Op = iota
+	OpCreate
+	OpRead
+	OpReadAt
+	OpWrite
+	OpSync
+	OpClose
+	OpRename
+	OpRemove
+	OpReadDir
+	OpSyncDir
+)
+
+var opNames = [...]string{
+	OpOpen: "open", OpCreate: "create", OpRead: "read", OpReadAt: "readat",
+	OpWrite: "write", OpSync: "sync", OpClose: "close", OpRename: "rename",
+	OpRemove: "remove", OpReadDir: "readdir", OpSyncDir: "syncdir",
+}
+
+func (op Op) String() string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Mutating reports whether the operation changes durable state. These are
+// the operations a crash point freezes and the crash-harness iterates
+// over.
+func (op Op) Mutating() bool {
+	switch op {
+	case OpCreate, OpWrite, OpSync, OpRename, OpRemove, OpSyncDir:
+		return true
+	}
+	return false
+}
+
+// Action is an injector's verdict on one operation.
+type Action uint8
+
+const (
+	// Pass lets the operation through to the inner filesystem.
+	Pass Action = iota
+	// Fail makes the operation return ErrInjected with no side effect.
+	Fail
+	// ShortWrite (writes only) applies a prefix of the buffer to the
+	// inner file, then returns ErrInjected — a torn write. Non-write
+	// operations treat it as Fail.
+	ShortWrite
+	// DropSync (sync and syncdir only) reports success without syncing —
+	// a disk that lies about fsync. Other operations treat it as Pass.
+	DropSync
+	// Crash applies Fail (or a torn write, for writes) to this operation
+	// and freezes the filesystem: every later mutating operation returns
+	// ErrCrashed. Reads keep working — the dying process may still serve
+	// queries from what is on disk.
+	Crash
+)
+
+// ErrInjected is the error returned by operations an Injector fails.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// ErrCrashed is returned by every mutating operation after a Crash point.
+var ErrCrashed = errors.New("faultfs: filesystem frozen by simulated crash")
+
+// Injector decides the fate of one operation. seq is the global sequence
+// number of intercepted operations (reads included), starting at 0. The
+// callback runs under the filesystem's mutex: invocations are totally
+// ordered, and it must not call back into the filesystem.
+type Injector func(op Op, path string, seq int) Action
+
+// FS is a fault-injecting store.FS wrapping an inner filesystem
+// (typically store.OSFS over a test directory). It is safe for concurrent
+// use; all bookkeeping is serialized by one mutex.
+type FS struct {
+	inner  store.FS
+	mu     sync.Mutex
+	inject Injector
+	seq    int
+	frozen bool
+
+	opens, closes int
+	injected      int
+}
+
+// New wraps inner with the given injector. A nil injector passes
+// everything through (pure accounting mode).
+func New(inner store.FS, inject Injector) *FS {
+	return &FS{inner: inner, inject: inject}
+}
+
+// NewSeeded wraps inner with a reproducible random injector: each
+// mutating operation independently fails, tears or drops its sync with
+// probability rate. Reads are never failed — seeded chaos targets the
+// write path, whose guarantees are the recoverable ones.
+func NewSeeded(inner store.FS, seed int64, rate float64) *FS {
+	rng := rand.New(rand.NewSource(seed))
+	return New(inner, func(op Op, _ string, _ int) Action {
+		if !op.Mutating() || rng.Float64() >= rate {
+			return Pass
+		}
+		switch {
+		case op == OpWrite && rng.Intn(2) == 0:
+			return ShortWrite
+		case (op == OpSync || op == OpSyncDir) && rng.Intn(2) == 0:
+			return DropSync
+		default:
+			return Fail
+		}
+	})
+}
+
+// decide consults the injector for one operation and applies the freeze.
+func (f *FS) decide(op Op, path string) Action {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	seq := f.seq
+	f.seq++
+	if f.frozen && op.Mutating() {
+		return frozenAction
+	}
+	act := Pass
+	if f.inject != nil {
+		act = f.inject(op, path, seq)
+	}
+	if act == Crash {
+		f.frozen = true
+	}
+	switch act {
+	case Fail, ShortWrite, Crash:
+		f.injected++
+	case DropSync:
+		if op == OpSync || op == OpSyncDir {
+			f.injected++
+		}
+	}
+	return act
+}
+
+// frozenAction is a sentinel distinct from Crash so the frozen error is
+// ErrCrashed rather than ErrInjected.
+const frozenAction Action = 255
+
+// errFor maps a non-Pass action to the error the operation returns.
+func errFor(act Action) error {
+	if act == frozenAction {
+		return ErrCrashed
+	}
+	return ErrInjected
+}
+
+// Crashed reports whether a Crash point has frozen the filesystem.
+func (f *FS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.frozen
+}
+
+// Ops returns the number of operations intercepted so far.
+func (f *FS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.seq
+}
+
+// Injected returns the number of faults injected so far.
+func (f *FS) Injected() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// OpenHandles returns opens minus closes — the live descriptor balance,
+// for fd-leak checks.
+func (f *FS) OpenHandles() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.opens - f.closes
+}
+
+func (f *FS) Open(path string) (store.Handle, error) {
+	switch act := f.decide(OpOpen, path); act {
+	case Pass, DropSync:
+	default:
+		return nil, fmt.Errorf("open %s: %w", path, errFor(act))
+	}
+	h, err := f.inner.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	f.opens++
+	f.mu.Unlock()
+	return &handle{fs: f, path: path, inner: h}, nil
+}
+
+func (f *FS) Create(path string) (store.Handle, error) {
+	switch act := f.decide(OpCreate, path); act {
+	case Pass, DropSync:
+	default:
+		return nil, fmt.Errorf("create %s: %w", path, errFor(act))
+	}
+	h, err := f.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	f.opens++
+	f.mu.Unlock()
+	return &handle{fs: f, path: path, inner: h}, nil
+}
+
+func (f *FS) Rename(oldPath, newPath string) error {
+	switch act := f.decide(OpRename, oldPath); act {
+	case Pass, DropSync:
+	default:
+		return fmt.Errorf("rename %s: %w", oldPath, errFor(act))
+	}
+	return f.inner.Rename(oldPath, newPath)
+}
+
+func (f *FS) Remove(path string) error {
+	switch act := f.decide(OpRemove, path); act {
+	case Pass, DropSync:
+	default:
+		return fmt.Errorf("remove %s: %w", path, errFor(act))
+	}
+	return f.inner.Remove(path)
+}
+
+func (f *FS) ReadDir(dir string) ([]iofs.DirEntry, error) {
+	switch act := f.decide(OpReadDir, dir); act {
+	case Pass, DropSync:
+	default:
+		return nil, fmt.Errorf("readdir %s: %w", dir, errFor(act))
+	}
+	return f.inner.ReadDir(dir)
+}
+
+func (f *FS) SyncDir(dir string) error {
+	switch act := f.decide(OpSyncDir, dir); act {
+	case Pass:
+	case DropSync:
+		return nil
+	default:
+		return fmt.Errorf("syncdir %s: %w", dir, errFor(act))
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// handle wraps one open file, consulting the injector per I/O call.
+type handle struct {
+	fs    *FS
+	path  string
+	inner store.Handle
+}
+
+func (h *handle) Read(p []byte) (int, error) {
+	switch act := h.fs.decide(OpRead, h.path); act {
+	case Pass, DropSync:
+	case ShortWrite:
+		// A short *read*: deliver half the requested bytes then report
+		// EOF, simulating a file shorter than its metadata promises.
+		n, err := h.inner.Read(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, io.EOF
+	default:
+		return 0, fmt.Errorf("read %s: %w", h.path, errFor(act))
+	}
+	return h.inner.Read(p)
+}
+
+func (h *handle) ReadAt(p []byte, off int64) (int, error) {
+	switch act := h.fs.decide(OpReadAt, h.path); act {
+	case Pass, DropSync:
+	case ShortWrite:
+		n, err := h.inner.ReadAt(p[:len(p)/2], off)
+		if err != nil {
+			return n, err
+		}
+		return n, io.EOF
+	default:
+		return 0, fmt.Errorf("readat %s: %w", h.path, errFor(act))
+	}
+	return h.inner.ReadAt(p, off)
+}
+
+func (h *handle) Write(p []byte) (int, error) {
+	switch act := h.fs.decide(OpWrite, h.path); act {
+	case Pass, DropSync:
+	case ShortWrite, Crash:
+		// Torn write: a prefix reaches the inner file, the rest is lost.
+		n, _ := h.inner.Write(p[:(len(p)+1)/2])
+		return n, fmt.Errorf("write %s: %w", h.path, ErrInjected)
+	default:
+		return 0, fmt.Errorf("write %s: %w", h.path, errFor(act))
+	}
+	return h.inner.Write(p)
+}
+
+func (h *handle) Sync() error {
+	switch act := h.fs.decide(OpSync, h.path); act {
+	case Pass:
+	case DropSync:
+		return nil
+	default:
+		return fmt.Errorf("sync %s: %w", h.path, errFor(act))
+	}
+	return h.inner.Sync()
+}
+
+func (h *handle) Close() error {
+	h.fs.mu.Lock()
+	h.fs.closes++
+	h.fs.mu.Unlock()
+	// Close is never failed: error paths must always be able to release
+	// descriptors, and failing Close would make leak accounting ambiguous.
+	return h.inner.Close()
+}

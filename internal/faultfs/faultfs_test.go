@@ -1,0 +1,229 @@
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"s3cbcd/internal/store"
+)
+
+// scripted returns an injector failing exactly the n-th operation (global
+// sequence order) matching op with the given action.
+func scripted(target Op, n int, act Action) Injector {
+	count := 0
+	return func(op Op, _ string, _ int) Action {
+		if op != target {
+			return Pass
+		}
+		count++
+		if count == n {
+			return act
+		}
+		return Pass
+	}
+}
+
+func TestFailNthMatchingOp(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(store.OSFS, scripted(OpCreate, 2, Fail))
+	if _, err := fs.Create(filepath.Join(dir, "a")); err != nil {
+		t.Fatalf("first create failed: %v", err)
+	}
+	if _, err := fs.Create(filepath.Join(dir, "b")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second create: err %v, want ErrInjected", err)
+	}
+	if _, err := fs.Create(filepath.Join(dir, "c")); err != nil {
+		t.Fatalf("third create failed: %v", err)
+	}
+	if got := fs.Injected(); got != 1 {
+		t.Fatalf("injected %d faults, want 1", got)
+	}
+}
+
+func TestShortWriteTearsData(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(store.OSFS, scripted(OpWrite, 1, ShortWrite))
+	path := filepath.Join(dir, "torn")
+	h, err := fs.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := h.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write err %v, want ErrInjected", err)
+	}
+	if n != 5 {
+		t.Fatalf("torn write reported %d bytes, want 5", n)
+	}
+	h.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "01234" {
+		t.Fatalf("file holds %q, want the torn prefix %q", data, "01234")
+	}
+}
+
+func TestShortReadReportsEOF(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := os.WriteFile(path, []byte("0123456789"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := New(store.OSFS, scripted(OpRead, 1, ShortWrite))
+	h, err := fs.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	buf := make([]byte, 10)
+	if _, err := io.ReadFull(h, buf); !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+		t.Fatalf("short read err %v, want unexpected EOF", err)
+	}
+}
+
+func TestDropSyncReportsSuccess(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(store.OSFS, scripted(OpSync, 1, DropSync))
+	h, err := fs.Create(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if err := h.Sync(); err != nil {
+		t.Fatalf("dropped sync reported %v, want nil", err)
+	}
+	if got := fs.Injected(); got != 1 {
+		t.Fatalf("injected %d faults, want 1", got)
+	}
+}
+
+// A crash point freezes every subsequent mutation while reads keep
+// serving, and the crashing write itself is torn.
+func TestCrashFreezesMutations(t *testing.T) {
+	dir := t.TempDir()
+	intact := filepath.Join(dir, "intact")
+	if err := os.WriteFile(intact, []byte("ok"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := New(store.OSFS, scripted(OpWrite, 2, Crash))
+	h, err := fs.Create(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("abcd")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("crash-point write err %v, want ErrInjected", err)
+	}
+	h.Close()
+	if !fs.Crashed() {
+		t.Fatal("filesystem not frozen after crash point")
+	}
+	if _, err := fs.Create(filepath.Join(dir, "g")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash create err %v, want ErrCrashed", err)
+	}
+	if err := fs.Remove(intact); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash remove err %v, want ErrCrashed", err)
+	}
+	// Reads still pass.
+	r, err := fs.Open(intact)
+	if err != nil {
+		t.Fatalf("post-crash open failed: %v", err)
+	}
+	data, err := io.ReadAll(r)
+	r.Close()
+	if err != nil || string(data) != "ok" {
+		t.Fatalf("post-crash read got (%q, %v)", data, err)
+	}
+	// The torn file holds the prefix of the crashing write.
+	data, err = os.ReadFile(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "firstab" {
+		t.Fatalf("torn file holds %q, want %q", data, "firstab")
+	}
+}
+
+func TestOpenHandleAccounting(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(store.OSFS, nil)
+	h, err := fs.Create(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.OpenHandles(); got != 1 {
+		t.Fatalf("open handles %d, want 1", got)
+	}
+	h.Close()
+	if got := fs.OpenHandles(); got != 0 {
+		t.Fatalf("open handles %d after close, want 0", got)
+	}
+}
+
+// The seeded injector is reproducible: identical seeds give identical
+// fault schedules over identical workloads.
+func TestSeededDeterminism(t *testing.T) {
+	run := func(seed int64) (injected int, errs []bool) {
+		dir := t.TempDir()
+		fs := NewSeeded(store.OSFS, seed, 0.5)
+		for i := 0; i < 40; i++ {
+			h, err := fs.Create(filepath.Join(dir, "f"))
+			if err != nil {
+				errs = append(errs, true)
+				continue
+			}
+			_, werr := h.Write([]byte("payload"))
+			serr := h.Sync()
+			h.Close()
+			errs = append(errs, werr != nil || serr != nil)
+		}
+		return fs.Injected(), errs
+	}
+	i1, e1 := run(42)
+	i2, e2 := run(42)
+	if i1 != i2 {
+		t.Fatalf("same seed injected %d vs %d faults", i1, i2)
+	}
+	if len(e1) != len(e2) {
+		t.Fatal("schedules diverged")
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("same seed diverged at op %d", i)
+		}
+	}
+	if i1 == 0 {
+		t.Fatal("seeded injector at rate 0.5 injected nothing")
+	}
+}
+
+// faultfs composes with the store: a database written through a clean
+// pass-through reads back identically, and CommitManifest through a
+// failing SyncDir reports the failure (the syncDir error propagation
+// regression).
+func TestStoreThroughFaultFS(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(store.OSFS, nil)
+	m := &store.SegmentManifest{Gen: 1, Dims: 2, Order: 2}
+	if err := store.CommitManifestFS(fs, dir, m); err != nil {
+		t.Fatalf("clean commit failed: %v", err)
+	}
+	got, err := store.RecoverManifestFS(fs, dir, nil)
+	if err != nil || got.Gen != 1 {
+		t.Fatalf("recover got (%+v, %v)", got, err)
+	}
+
+	failing := New(store.OSFS, scripted(OpSyncDir, 2, Fail))
+	m2 := &store.SegmentManifest{Gen: 2, Dims: 2, Order: 2}
+	err = store.CommitManifestFS(failing, dir, m2)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("commit with failed post-rename dir sync reported %v, want ErrInjected", err)
+	}
+}

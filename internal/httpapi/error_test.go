@@ -1,0 +1,221 @@
+package httpapi
+
+// Error-path contract of the API: every failure mode has a defined
+// status code and a JSON {"error": ...} body — malformed JSON, oversized
+// ingest bodies, wrong methods on live write endpoints, and the 503 +
+// Retry-After shape of degraded read-only mode.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"s3cbcd/internal/core"
+	"s3cbcd/internal/faultfs"
+	"s3cbcd/internal/hilbert"
+	"s3cbcd/internal/store"
+)
+
+// postRaw sends body verbatim (no JSON marshalling) and decodes the
+// response as the error-shape map.
+func postRaw(t *testing.T, ts *httptest.Server, path, body string) (*http.Response, map[string]interface{}) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("%s: response is not JSON: %v", path, err)
+	}
+	return resp, out
+}
+
+func TestIngestMalformedJSON(t *testing.T) {
+	s, _ := liveTestServer(t)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	for _, body := range []string{`{"records": [`, `not json at all`, `42`} {
+		resp, out := postRaw(t, ts, "/ingest", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("malformed body %q: status %d, want 400", body, resp.StatusCode)
+		}
+		if msg, _ := out["error"].(string); msg == "" {
+			t.Fatalf("malformed body %q: error response %v lacks an error message", body, out)
+		}
+	}
+}
+
+// The 413 from the ingest body cap must carry the standard JSON error
+// shape (content type and an actionable message), not a plain-text stub.
+func TestIngestBodyCapErrorShape(t *testing.T) {
+	curve := hilbert.MustNew(4, 5)
+	li, err := core.OpenLiveIndex(curve, "", core.LiveOptions{Depth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { li.Close() })
+	ts := httptest.NewServer(NewLive(li, Options{MaxIngestBytes: 128}))
+	defer ts.Close()
+
+	resp, out := postRaw(t, ts, "/ingest", `{"records": [`+strings.Repeat(`{"fingerprint":[1,2,3,4],"id":1},`, 63)+`{"fingerprint":[1,2,3,4],"id":1}]}`)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized ingest: status %d, want 413", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("413 content type %q, want application/json", ct)
+	}
+	msg, _ := out["error"].(string)
+	if !strings.Contains(msg, "128") || !strings.Contains(msg, "split") {
+		t.Fatalf("413 error %q does not tell the client the limit and the remedy", msg)
+	}
+}
+
+// Live write endpoints are method-routed: the wrong verb gets 405, not a
+// handler error or a 404.
+func TestLiveWriteMethodNotAllowed(t *testing.T) {
+	s, _ := liveTestServer(t)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	for _, c := range []struct{ method, path string }{
+		{http.MethodGet, "/ingest"},
+		{http.MethodDelete, "/ingest"},
+		{http.MethodGet, "/flush"},
+		{http.MethodGet, "/compact"},
+		{http.MethodPost, "/video/3"},
+		{http.MethodGet, "/video/3"},
+	} {
+		req, err := http.NewRequest(c.method, ts.URL+c.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("%s %s: status %d, want 405", c.method, c.path, resp.StatusCode)
+		}
+	}
+}
+
+// A degraded index answers writes with 503 + Retry-After while searches
+// and /healthz (now reporting the failure) keep working.
+func TestDegradedWrites503(t *testing.T) {
+	var failing atomic.Bool
+	ffs := faultfs.New(store.OSFS, func(op faultfs.Op, _ string, _ int) faultfs.Action {
+		if failing.Load() && op == faultfs.OpCreate {
+			return faultfs.Fail
+		}
+		return faultfs.Pass
+	})
+	curve := hilbert.MustNew(4, 5)
+	li, err := core.OpenLiveIndex(curve, t.TempDir(), core.LiveOptions{
+		Depth:           10,
+		MemtableRecords: 4,
+		FS:              ffs,
+		RetryBackoff:    time.Millisecond,
+		RetryLimit:      1, // first persistence failure trips degraded mode
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { li.Close() })
+	ts := httptest.NewServer(NewLive(li, Options{}))
+	defer ts.Close()
+
+	failing.Store(true)
+	// Over-threshold ingest: the batch is accepted (202-style semantics:
+	// the response is 200, records are query-visible) but the seal fails,
+	// tripping degraded mode with RetryLimit 1.
+	fps := [][]int{{1, 2, 3, 4}, {5, 6, 7, 8}, {9, 10, 11, 12}, {2, 2, 2, 2}}
+	if resp, out := post(t, ts, "/ingest", ingestBody(7, fps...)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("tripping ingest: status %d: %v", resp.StatusCode, out)
+	}
+
+	resp, out := post(t, ts, "/ingest", ingestBody(8, []int{3, 3, 3, 3}))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded ingest: status %d, want 503: %v", resp.StatusCode, out)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("degraded 503 lacks a Retry-After header")
+	}
+	if msg, _ := out["error"].(string); !strings.Contains(msg, "degraded") {
+		t.Fatalf("degraded 503 error %q does not name the condition", msg)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/video/7", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded delete: status %d, want 503", dresp.StatusCode)
+	}
+	if dresp.Header.Get("Retry-After") == "" {
+		t.Fatal("degraded delete 503 lacks a Retry-After header")
+	}
+
+	// Reads still serve the published snapshot.
+	if resp, out := post(t, ts, "/search/range", map[string]interface{}{
+		"fingerprint": []int{1, 2, 3, 4}, "epsilon": 0.5}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded search: status %d: %v", resp.StatusCode, out)
+	} else if n := len(out["matches"].([]interface{})); n != 1 {
+		t.Fatalf("degraded search found %d matches, want 1", n)
+	}
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]interface{}
+	err = json.NewDecoder(hresp.Body).Decode(&health)
+	hresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if health["status"] != "degraded" || health["degraded"] != true {
+		t.Fatalf("degraded healthz %v", health)
+	}
+	if msg, _ := health["lastPersistErr"].(string); msg == "" {
+		t.Fatalf("degraded healthz lacks lastPersistErr: %v", health)
+	}
+	if health["persistFailures"].(float64) == 0 {
+		t.Fatalf("degraded healthz reports no persistence failures: %v", health)
+	}
+
+	// Heal the storage: the retry loop commits, writes resume.
+	failing.Store(false)
+	deadline := time.Now().Add(10 * time.Second)
+	for li.Stats().Degraded || li.Stats().Dirty {
+		if time.Now().After(deadline) {
+			t.Fatalf("index never healed: %+v", li.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if resp, out := post(t, ts, "/ingest", ingestBody(8, []int{3, 3, 3, 3})); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-heal ingest: status %d: %v", resp.StatusCode, out)
+	}
+	hresp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health = map[string]interface{}{}
+	err = json.NewDecoder(hresp.Body).Decode(&health)
+	hresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if health["status"] != "ok" || health["lastPersistErr"] != "" {
+		t.Fatalf("healed healthz still reports failure state: %v", health)
+	}
+}

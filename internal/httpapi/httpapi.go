@@ -21,8 +21,13 @@
 //	POST   /ingest       {"records": [{"fingerprint": [..], "id": 7, "tc": 120, "x": 10, "y": 20}, ..]}
 //	DELETE /video/{id}   withdraw every stored record of video id
 //
-// and its /healthz reports segment, memtable and compaction counters.
-// Write endpoints run under the same in-flight semaphore as searches,
+// and its /healthz reports segment, memtable and compaction counters
+// plus the persistence health (degraded flag, last persistence error,
+// retry counters). While the index is in degraded read-only mode —
+// persistence failing repeatedly — write endpoints answer 503 with a
+// Retry-After header; searches keep serving the last published
+// snapshot. Write endpoints run under the same in-flight semaphore as
+// searches,
 // and ingest bodies are capped (Options.MaxIngestBytes) so concurrent
 // large ingests cannot consume unbounded memory.
 //
@@ -228,11 +233,37 @@ func reply(w http.ResponseWriter, v interface{}) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// degradedRetryAfter is the Retry-After hint (seconds) sent with 503
+// responses while the live index is degraded: long enough for a few
+// backoff-spaced persistence retries to run, short enough that clients
+// probe again promptly once storage recovers.
+const degradedRetryAfter = 5
+
+// writeError maps a live-index write failure to its HTTP shape: a
+// degraded index answers 503 + Retry-After (the condition is transient
+// by design — the background retry loop is working on it), a closed one
+// 503 without the hint, anything else 500.
+func writeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, core.ErrDegraded):
+		w.Header().Set("Retry-After", strconv.Itoa(degradedRetryAfter))
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, core.ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		httpError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if s.live != nil {
 		st := s.live.Stats()
+		status := "ok"
+		if st.Degraded {
+			status = "degraded"
+		}
 		reply(w, map[string]interface{}{
-			"status":          "ok",
+			"status":          status,
 			"gen":             st.Gen,
 			"records":         st.LiveRecords,
 			"segments":        st.Segments,
@@ -241,6 +272,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 			"ingested":        st.Ingested,
 			"deletes":         st.Deletes,
 			"compactions":     st.Compactions,
+			"degraded":        st.Degraded,
+			"dirty":           st.Dirty,
+			"lastPersistErr":  st.LastPersistErr,
+			"persistFailures": st.PersistFailures,
+			"persistRetries":  st.PersistRetries,
 		})
 		return
 	}
@@ -444,7 +480,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		recs[i] = store.Record{FP: fp, ID: rj.ID, TC: rj.TC, X: rj.X, Y: rj.Y}
 	}
 	if err := s.live.Ingest(recs); err != nil {
-		httpError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, err)
 		return
 	}
 	st := s.live.Stats()
@@ -458,7 +494,7 @@ func (s *Server) handleDeleteVideo(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.live.DeleteVideo(uint32(id)); err != nil {
-		httpError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, err)
 		return
 	}
 	st := s.live.Stats()
@@ -467,7 +503,7 @@ func (s *Server) handleDeleteVideo(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleFlush(w http.ResponseWriter, _ *http.Request) {
 	if err := s.live.Flush(); err != nil {
-		httpError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, err)
 		return
 	}
 	reply(w, map[string]interface{}{"gen": s.live.Gen()})
@@ -475,7 +511,7 @@ func (s *Server) handleFlush(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleCompact(w http.ResponseWriter, _ *http.Request) {
 	if err := s.live.Compact(); err != nil {
-		httpError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, err)
 		return
 	}
 	st := s.live.Stats()

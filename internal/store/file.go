@@ -5,7 +5,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"os"
 	"sort"
 
 	"s3cbcd/internal/bitkey"
@@ -62,7 +61,12 @@ func keyBytes(c *hilbert.Curve) int {
 // the paper's configuration. The file carries no shard manifest (format
 // version 2); use WriteFileSharded to embed one.
 func (db *DB) WriteFile(path string, sectionBits int) error {
-	return db.writeFile(path, sectionBits, nil)
+	return db.writeFile(OSFS, path, sectionBits, nil)
+}
+
+// WriteFileFS is WriteFile through an explicit filesystem seam.
+func (db *DB) WriteFileFS(fsys FS, path string, sectionBits int) error {
+	return db.writeFile(fsys, path, sectionBits, nil)
 }
 
 // WriteFileSharded serializes the database like WriteFile and embeds the
@@ -72,14 +76,14 @@ func (db *DB) WriteFileSharded(path string, sectionBits, shards int) error {
 	if shards < 1 {
 		return fmt.Errorf("store: shard count %d must be >= 1", shards)
 	}
-	return db.writeFile(path, sectionBits, db.ShardStarts(shards))
+	return db.writeFile(OSFS, path, sectionBits, db.ShardStarts(shards))
 }
 
-func (db *DB) writeFile(path string, sectionBits int, shardStarts []int) error {
+func (db *DB) writeFile(fsys FS, path string, sectionBits int, shardStarts []int) error {
 	if sectionBits < 0 || sectionBits > db.curve.IndexBits() {
 		return fmt.Errorf("store: sectionBits %d outside [0,%d]", sectionBits, db.curve.IndexBits())
 	}
-	f, err := os.Create(path)
+	f, err := fsys.Create(path)
 	if err != nil {
 		return err
 	}
@@ -156,9 +160,10 @@ func (db *DB) writeTo(w io.Writer, sectionBits int, shardStarts []int) error {
 
 // File is an opened database file. Only the header and section table are
 // resident; records are loaded on demand with LoadRecords. A File is safe
-// for concurrent LoadRecords calls (os.File.ReadAt is concurrency-safe).
+// for concurrent LoadRecords calls (the FS File contract requires a
+// concurrency-safe ReadAt, as os.File's is).
 type File struct {
-	f           *os.File
+	f           Handle
 	curve       *hilbert.Curve
 	count       int
 	sectionBits int
@@ -170,8 +175,13 @@ type File struct {
 }
 
 // Open reads a file's header and section table.
-func Open(path string) (*File, error) {
-	f, err := os.Open(path)
+func Open(path string) (*File, error) { return OpenFS(OSFS, path) }
+
+// OpenFS is Open through an explicit filesystem seam. Every validation
+// failure closes the file before returning: a failed open must never
+// leak a descriptor.
+func OpenFS(fsys FS, path string) (*File, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, err
 	}
@@ -346,8 +356,11 @@ func (fl *File) LoadAll() (*DB, error) {
 }
 
 // ReadFile opens path and loads the complete database.
-func ReadFile(path string) (*DB, error) {
-	fl, err := Open(path)
+func ReadFile(path string) (*DB, error) { return ReadFileFS(OSFS, path) }
+
+// ReadFileFS is ReadFile through an explicit filesystem seam.
+func ReadFileFS(fsys FS, path string) (*DB, error) {
+	fl, err := OpenFS(fsys, path)
 	if err != nil {
 		return nil, err
 	}

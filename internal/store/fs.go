@@ -1,0 +1,83 @@
+package store
+
+import (
+	"io"
+	iofs "io/fs"
+	"os"
+)
+
+// FS is the filesystem seam every durable byte of the store flows
+// through: segment file writes and reads, manifest commits, the recovery
+// scan and garbage collection. The default implementation (OSFS) is the
+// real operating system; internal/faultfs substitutes a deterministic
+// fault-injecting one so crash recovery and degraded-mode behaviour are
+// testable without real disk failures.
+//
+// Implementations must preserve the durability contract the store's
+// crash-safety argument rests on: Create+Write+Sync makes file data
+// stable, Rename is atomic, and SyncDir makes preceding renames and
+// creations in a directory stable.
+type FS interface {
+	// Open opens an existing file for reading.
+	Open(path string) (Handle, error)
+	// Create creates (or truncates) a file for writing.
+	Create(path string) (Handle, error)
+	// Rename atomically moves oldPath to newPath, replacing any existing
+	// file at newPath.
+	Rename(oldPath, newPath string) error
+	// Remove deletes a file.
+	Remove(path string) error
+	// ReadDir lists a directory.
+	ReadDir(dir string) ([]iofs.DirEntry, error)
+	// SyncDir fsyncs a directory, making renames and creations within it
+	// durable.
+	SyncDir(dir string) error
+}
+
+// Handle is the subset of *os.File the store uses. ReadAt must be safe for
+// concurrent use (os.File's is), because an opened database file serves
+// concurrent LoadRecords calls.
+type Handle interface {
+	io.Reader
+	io.ReaderAt
+	io.Writer
+	io.Closer
+	// Sync flushes the file's data to stable storage.
+	Sync() error
+}
+
+// OSFS is the real operating-system filesystem, the default FS.
+var OSFS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) Open(path string) (Handle, error)   { return os.Open(path) }
+func (osFS) Create(path string) (Handle, error) { return os.Create(path) }
+func (osFS) Rename(o, n string) error           { return os.Rename(o, n) }
+func (osFS) Remove(path string) error           { return os.Remove(path) }
+func (osFS) ReadDir(dir string) ([]iofs.DirEntry, error) {
+	return os.ReadDir(dir)
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
+}
+
+// fsReadFile reads a whole file through an FS (the os.ReadFile of the
+// seam).
+func fsReadFile(fsys FS, path string) ([]byte, error) {
+	f, err := fsys.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}

@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -217,31 +216,49 @@ func parseManifestName(name string) (uint64, bool) {
 // The directory is also fsynced before the rename, so the directory
 // entries of segment files written for this commit are durable no later
 // than the manifest that references them. Callers must have fsynced the
-// segment data itself (WriteFile does).
+// segment data itself (WriteFile does). Either directory fsync failing
+// fails the commit: a rename whose durability is unconfirmed must not be
+// reported as committed, or a power loss could silently lose it.
 func CommitManifest(dir string, m *SegmentManifest) error {
-	syncDir(dir)
+	return CommitManifestFS(OSFS, dir, m)
+}
+
+// CommitManifestFS is CommitManifest through an explicit filesystem seam.
+func CommitManifestFS(fsys FS, dir string, m *SegmentManifest) error {
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("store: syncing %s before manifest commit: %w", dir, err)
+	}
 	path := filepath.Join(dir, ManifestName(m.Gen))
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return err
 	}
+	// A failed commit removes its temp file (best-effort): recovery
+	// ignores .tmp files anyway, but a retrying caller would otherwise
+	// strand one orphan per failed generation.
 	if _, err := f.Write(EncodeManifest(m)); err != nil {
 		f.Close()
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
 		return err
 	}
-	syncDir(dir)
-	pruneManifests(dir, m.Gen)
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("store: syncing %s after manifest rename: %w", dir, err)
+	}
+	pruneManifests(fsys, dir, m.Gen)
 	return nil
 }
 
@@ -269,8 +286,11 @@ func ParseSegmentFileName(name string) (uint64, bool) {
 // canonical segment file names present in dir (0 when there are none), so
 // a reopening index can seed its allocator past every file ever written —
 // including orphans from a crashed, uncommitted write.
-func MaxSegmentFileSeq(dir string) uint64 {
-	ents, err := os.ReadDir(dir)
+func MaxSegmentFileSeq(dir string) uint64 { return MaxSegmentFileSeqFS(OSFS, dir) }
+
+// MaxSegmentFileSeqFS is MaxSegmentFileSeq through an explicit seam.
+func MaxSegmentFileSeqFS(fsys FS, dir string) uint64 {
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		return 0
 	}
@@ -295,9 +315,14 @@ func MaxSegmentFileSeq(dir string) uint64 {
 // its references are unknown and nothing is removed. Removal is
 // best-effort; the removed names are returned.
 func GCSegmentFiles(dir string, protect func(name string) bool) []string {
+	return GCSegmentFilesFS(OSFS, dir, protect)
+}
+
+// GCSegmentFilesFS is GCSegmentFiles through an explicit seam.
+func GCSegmentFilesFS(fsys FS, dir string, protect func(name string) bool) []string {
 	referenced := make(map[string]struct{})
-	for _, gen := range listManifestGens(dir) {
-		data, err := os.ReadFile(filepath.Join(dir, ManifestName(gen)))
+	for _, gen := range listManifestGens(fsys, dir) {
+		data, err := fsReadFile(fsys, filepath.Join(dir, ManifestName(gen)))
 		if err != nil {
 			return nil
 		}
@@ -309,7 +334,7 @@ func GCSegmentFiles(dir string, protect func(name string) bool) []string {
 			referenced[s.Name] = struct{}{}
 		}
 	}
-	ents, err := os.ReadDir(dir)
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil
 	}
@@ -325,25 +350,16 @@ func GCSegmentFiles(dir string, protect func(name string) bool) []string {
 		if protect != nil && protect(name) {
 			continue
 		}
-		if os.Remove(filepath.Join(dir, name)) == nil {
+		if fsys.Remove(filepath.Join(dir, name)) == nil {
 			removed = append(removed, name)
 		}
 	}
 	return removed
 }
 
-// syncDir fsyncs a directory so a rename is durable; best-effort on
-// filesystems that reject directory syncs.
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
-	}
-}
-
 // pruneManifests removes manifests older than the predecessor of gen.
-func pruneManifests(dir string, gen uint64) {
-	gens := listManifestGens(dir)
+func pruneManifests(fsys FS, dir string, gen uint64) {
+	gens := listManifestGens(fsys, dir)
 	var prev uint64
 	hasPrev := false
 	for _, g := range gens {
@@ -353,14 +369,14 @@ func pruneManifests(dir string, gen uint64) {
 	}
 	for _, g := range gens {
 		if g < gen && (!hasPrev || g != prev) {
-			os.Remove(filepath.Join(dir, ManifestName(g)))
+			fsys.Remove(filepath.Join(dir, ManifestName(g)))
 		}
 	}
 }
 
 // listManifestGens returns the generations of all manifests present.
-func listManifestGens(dir string) []uint64 {
-	ents, err := os.ReadDir(dir)
+func listManifestGens(fsys FS, dir string) []uint64 {
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil
 	}
@@ -380,11 +396,16 @@ func listManifestGens(dir string) []uint64 {
 // mid-commit recovers the previous committed snapshot. It returns
 // (nil, nil) when dir holds no manifest at all — a fresh index.
 func RecoverManifest(dir string, validate func(*SegmentManifest) error) (*SegmentManifest, error) {
-	gens := listManifestGens(dir)
+	return RecoverManifestFS(OSFS, dir, validate)
+}
+
+// RecoverManifestFS is RecoverManifest through an explicit seam.
+func RecoverManifestFS(fsys FS, dir string, validate func(*SegmentManifest) error) (*SegmentManifest, error) {
+	gens := listManifestGens(fsys, dir)
 	var firstErr error
 	for i := len(gens) - 1; i >= 0; i-- {
 		path := filepath.Join(dir, ManifestName(gens[i]))
-		data, err := os.ReadFile(path)
+		data, err := fsReadFile(fsys, path)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err

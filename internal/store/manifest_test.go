@@ -84,7 +84,7 @@ func TestCommitRecoverManifest(t *testing.T) {
 		t.Fatalf("recovered generation %d, want 4", m.Gen)
 	}
 	// Pruning keeps the newest manifest plus its immediate predecessor.
-	gens := listManifestGens(dir)
+	gens := listManifestGens(OSFS, dir)
 	if !reflect.DeepEqual(gens, []uint64{3, 4}) {
 		t.Fatalf("after pruning, manifests %v remain, want [3 4]", gens)
 	}

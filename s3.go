@@ -262,6 +262,15 @@ type LiveOptions = core.LiveOptions
 // LiveStats reports a live index's shape (see core.LiveStats).
 type LiveStats = core.LiveStats
 
+// ErrLiveDegraded is returned by live-index writes while persistence is
+// failing repeatedly and the index serves read-only (see
+// core.ErrDegraded). Queries keep working; the background retry loop
+// clears the mode at its first successful commit.
+var ErrLiveDegraded = core.ErrDegraded
+
+// ErrLiveClosed is returned by operations on a closed live index.
+var ErrLiveClosed = core.ErrClosed
+
 // LiveIndex is the growing variant of the S³ index: an LSM-style
 // segmented structure supporting concurrent ingest, per-video deletion
 // and query, with background compaction folding sealed segments
