@@ -33,7 +33,7 @@ endif
 faults:
 	@echo "fault injection with FAULT_SEED=$(FAULT_SEED)"
 	FAULT_SEED=$(FAULT_SEED) $(GO) test -race -count=1 \
-		-run 'TestLiveIndex(CrashHarness|RetriesTransientFaults|DegradedMode)|TestOpenFault|TestLoadRecords(FaultyReadAt|ShortReadAt)|TestDegradedWrites503' \
+		-run 'TestLiveIndex(CrashHarness|RetriesTransientFaults|DegradedMode|CompactionDegradedHeals|SealFailureLeavesNoOrphans)|TestOpenFault|TestLoadRecords(FaultyReadAt|ShortReadAt)|TestDegradedWrites503' \
 		./internal/core ./internal/store ./internal/httpapi ./internal/faultfs
 
 # cover prints per-package statement coverage (and leaves cover.out for

@@ -54,7 +54,10 @@ package core
 // closes. After RetryLimit consecutive failures the index enters
 // degraded read-only mode — queries keep serving the last published
 // snapshot but Ingest and DeleteVideo return ErrDegraded — and any
-// subsequent successful commit clears it. All storage I/O goes through
+// subsequent successful commit clears it; while degraded, the retry loop
+// stays alive even with nothing owed, probing storage by re-committing
+// the current manifest so the mode clears (and an abandoned compaction
+// is re-triggered) as soon as the fault does. All storage I/O goes through
 // a pluggable store.FS (LiveOptions.FS), which is how the fault-
 // injection harness drives every one of these paths deterministically.
 
@@ -552,7 +555,19 @@ func (li *LiveIndex) sealInto(next *liveSnapshot) error {
 		return err
 	}
 	next.mem = &liveSegment{db: empty}
-	return li.commitLocked(next)
+	if err := li.commitLocked(next); err != nil {
+		// Best-effort removal of the segment file written for the failed
+		// commit (mirroring compact's cleanup): each background retry
+		// allocates a fresh name and writes a fresh file, so a persistent
+		// commit failure would otherwise strand one orphan per attempt.
+		// Recovery never adopts the failed manifest — with its segment gone
+		// it fails validation and falls back to the predecessor.
+		if seg.name != "" {
+			li.fs.Remove(filepath.Join(li.dir, seg.name))
+		}
+		return err
+	}
+	return nil
 }
 
 // Flush seals the current memtable (whatever its size) so its records
@@ -569,7 +584,14 @@ func (li *LiveIndex) Flush() error {
 	}
 	next := &liveSnapshot{gen: cur.gen + 1, segs: cur.segs, mem: cur.mem}
 	if err := li.sealInto(next); err != nil {
-		li.notePersistFailure(err, true)
+		// The sealed snapshot was never published, so durable state does
+		// not lag the published one: nothing is owed (marking it owed would
+		// make the retry loop re-commit the unchanged manifest and clear
+		// dirty while the memtable stays volatile). The caller holds the
+		// error and decides whether to retry; the failure still feeds the
+		// degraded-mode streak. An over-threshold memtable is re-sealed by
+		// the retry loop regardless, via Ingest's owed path.
+		li.notePersistFailure(err, false)
 		return err
 	}
 	li.snap.Store(next)
@@ -701,13 +723,19 @@ func (li *LiveIndex) notePersistSuccess(stillOwed bool) {
 	li.spawnRetryLocked()
 }
 
-// spawnRetryLocked starts the retry loop when persistence is owed and no
-// loop is running. Caller holds persistMu — which is what makes the
-// wg.Add safe against Close: Close stores closed, then passes through
-// persistMu before wg.Wait, so an Add here either precedes the Wait or
-// never happens.
+// spawnRetryLocked starts the retry loop when persistence is owed — or
+// the index is degraded — and no loop is running. Degraded mode keeps a
+// loop alive even with nothing owed (a compaction failure trips the mode
+// without durable state lagging the snapshot): the loop then probes
+// storage by re-committing the current manifest, and the first commit
+// that lands clears the mode — otherwise a compaction-tripped degraded
+// index could never heal, since writes are rejected and compactAsync has
+// exhausted its attempt budget. Caller holds persistMu — which is what
+// makes the wg.Add safe against Close: Close stores closed, then passes
+// through persistMu before wg.Wait, so an Add here either precedes the
+// Wait or never happens.
 func (li *LiveIndex) spawnRetryLocked() {
-	if li.dirty && !li.retrying && !li.closed.Load() {
+	if (li.dirty || li.degraded.Load()) && !li.retrying && !li.closed.Load() {
 		li.retrying = true
 		li.wg.Add(1)
 		go li.retryLoop()
@@ -733,8 +761,10 @@ func (li *LiveIndex) backoffDelay(attempt int) time.Duration {
 }
 
 // retryLoop re-attempts owed persistence with capped exponential backoff
-// and jitter until it lands or the index closes. At most one loop runs
-// at a time (the retrying flag); it is wg-tracked so Close waits for it.
+// and jitter until it lands — and, while the index is degraded, keeps
+// probing storage so the mode can clear — or the index closes. At most
+// one loop runs at a time (the retrying flag); it is wg-tracked so Close
+// waits for it.
 func (li *LiveIndex) retryLoop() {
 	defer li.wg.Done()
 	stop := func() {
@@ -742,7 +772,8 @@ func (li *LiveIndex) retryLoop() {
 		li.retrying = false
 		li.persistMu.Unlock()
 	}
-	for attempt := 0; ; attempt++ {
+	attempt := 0
+	for {
 		select {
 		case <-li.closedCh:
 			stop()
@@ -756,12 +787,25 @@ func (li *LiveIndex) retryLoop() {
 			stop()
 			return
 		}
+		li.persistMu.Lock()
+		owed := li.dirty
+		li.persistMu.Unlock()
 		if err := li.persistLocked(); err != nil {
-			li.notePersistFailure(err, true)
+			// owed preserves the dirty flag as-is across a failed
+			// degraded-mode probe: re-committing an already-durable manifest
+			// owes nothing, so its failure must not pretend durable state
+			// now lags the snapshot.
+			li.notePersistFailure(err, owed)
+			attempt++
+		} else {
+			// Reset the backoff so draining a backlog after recovery (a
+			// still-owed memtable) proceeds at the base delay, not at
+			// whatever cap the outage had built up.
+			attempt = 0
 		}
 		li.mu.Unlock()
 		li.persistMu.Lock()
-		if !li.dirty {
+		if !li.dirty && !li.degraded.Load() {
 			li.retrying = false
 			li.persistMu.Unlock()
 			return
@@ -773,8 +817,8 @@ func (li *LiveIndex) retryLoop() {
 // persistLocked re-establishes the owed durability for the current
 // snapshot: an over-threshold memtable (a seal that previously failed)
 // is sealed into a fresh segment, otherwise the current manifest is
-// re-committed (covering tombstones whose commit failed). Caller holds
-// mu.
+// re-committed (covering tombstones whose commit failed, and doubling as
+// the degraded-mode storage probe). Caller holds mu.
 func (li *LiveIndex) persistLocked() error {
 	if li.dir == "" {
 		li.persistMu.Lock()
@@ -794,14 +838,25 @@ func (li *LiveIndex) persistLocked() error {
 		}
 		return nil
 	}
-	return li.commitLocked(cur)
+	if err := li.commitLocked(cur); err != nil {
+		return err
+	}
+	// A compaction abandoned during the outage (compactAsync gives up
+	// after its attempt budget) is owed again now that a commit landed:
+	// re-trigger it while the segment count still warrants one.
+	if len(cur.segs) >= li.opt.CompactSegments {
+		li.compactAsync()
+	}
+	return nil
 }
 
 // compactAsync starts a background compaction unless one is already
 // running. Called with mu held; the goroutine acquires mu only for its
 // commit phase. A failed compaction is retried with capped exponential
 // backoff and jitter — up to RetryLimit attempts, then it gives up until
-// a later seal re-triggers it; failures are recorded for Stats.
+// a later seal re-triggers it (or, when its failures tripped degraded
+// mode, until the retry loop's first successful commit re-triggers it
+// from persistLocked); failures are recorded for Stats.
 func (li *LiveIndex) compactAsync() {
 	if !li.compactMu.TryLock() {
 		return

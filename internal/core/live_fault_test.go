@@ -27,6 +27,7 @@ import (
 	"os"
 	"reflect"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -428,5 +429,191 @@ func TestLiveIndexDegradedMode(t *testing.T) {
 	// 4 original records (sealed by the healed retry loop) + 1 re-ingested.
 	if got := re.Len(); got != 5 {
 		t.Fatalf("reopen after heal holds %d records, want 5", got)
+	}
+}
+
+// TestLiveIndexCompactionDegradedHeals trips degraded mode purely through
+// compaction failures — nothing is owed, so no seal or delete retry keeps
+// the loop alive — and checks the index still self-heals once the fault
+// clears, without any write being issued: the retry loop must keep
+// probing storage while degraded (regression: a compaction-tripped
+// degraded index used to wedge permanently, since writes were rejected
+// and compactAsync had exhausted its budget).
+func TestLiveIndexCompactionDegradedHeals(t *testing.T) {
+	var failing atomic.Bool
+	ffs := faultfs.New(store.OSFS, func(op faultfs.Op, _ string, _ int) faultfs.Action {
+		if failing.Load() && op == faultfs.OpCreate {
+			return faultfs.Fail
+		}
+		return faultfs.Pass
+	})
+	dir := t.TempDir()
+	li, err := OpenLiveIndex(liveTestCurve(), dir, LiveOptions{
+		Depth:           liveTestDepth,
+		MemtableRecords: 2,
+		CompactSegments: 1 << 20, // compaction only via explicit Compact
+		FS:              ffs,
+		RetryBackoff:    time.Millisecond,
+		RetryLimit:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer li.Close()
+
+	// Two cleanly sealed segments so a compaction has something to merge.
+	r := rand.New(rand.NewSource(11))
+	for batch := 0; batch < 2; batch++ {
+		recs := make([]store.Record, 2)
+		for j := range recs {
+			rec := randLiveRecord(r)
+			rec.TC = uint32(2*batch + j)
+			recs[j] = rec
+		}
+		if err := li.Ingest(recs); err != nil {
+			t.Fatalf("clean ingest: %v", err)
+		}
+	}
+	if st := li.Stats(); st.Segments != 2 || st.Dirty {
+		t.Fatalf("setup did not seal cleanly: %+v", st)
+	}
+
+	// Every compaction attempt fails at its segment write: non-owed
+	// failures only, so dirty stays false while the streak trips degraded.
+	failing.Store(true)
+	for i := 0; i < 3; i++ {
+		if err := li.Compact(); err == nil {
+			t.Fatalf("compaction %d with failing storage succeeded", i)
+		}
+	}
+	st := li.Stats()
+	if !st.Degraded {
+		t.Fatalf("3 compaction failures did not trip degraded mode: %+v", st)
+	}
+	if st.Dirty {
+		t.Fatalf("compaction failures owe no persistence, but dirty is set: %+v", st)
+	}
+	if err := li.Ingest([]store.Record{randLiveRecord(r)}); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("degraded ingest returned %v, want ErrDegraded", err)
+	}
+
+	// Heal without issuing a single write: only the retry loop's storage
+	// probe can clear the mode.
+	failing.Store(false)
+	deadline := time.Now().Add(10 * time.Second)
+	for li.Stats().Degraded {
+		if time.Now().After(deadline) {
+			t.Fatalf("compaction-tripped degraded mode never healed: %+v", li.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st = li.Stats()
+	if st.LastPersistErr != "" || st.ConsecutiveFailures != 0 {
+		t.Fatalf("healed index still reports failure state: %+v", st)
+	}
+	rec := randLiveRecord(r)
+	rec.TC = 99
+	if err := li.Ingest([]store.Record{rec}); err != nil {
+		t.Fatalf("ingest after healing: %v", err)
+	}
+	if err := li.Compact(); err != nil {
+		t.Fatalf("compaction after healing: %v", err)
+	}
+	if err := li.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenLiveIndex(liveTestCurve(), dir, LiveOptions{Depth: liveTestDepth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.Len(); got != 5 {
+		t.Fatalf("reopen after heal holds %d records, want 5", got)
+	}
+}
+
+// TestLiveIndexSealFailureLeavesNoOrphans drives manifest commits into
+// persistent failure while segment writes succeed: every background
+// re-seal writes a fresh segment file under a fresh name, and each failed
+// attempt must remove the file it wrote (regression: they used to
+// accumulate unboundedly until a commit finally landed and GC ran).
+func TestLiveIndexSealFailureLeavesNoOrphans(t *testing.T) {
+	var failing atomic.Bool
+	ffs := faultfs.New(store.OSFS, func(op faultfs.Op, path string, _ int) faultfs.Action {
+		if failing.Load() && op == faultfs.OpCreate && strings.Contains(path, "MANIFEST") {
+			return faultfs.Fail
+		}
+		return faultfs.Pass
+	})
+	dir := t.TempDir()
+	li, err := OpenLiveIndex(liveTestCurve(), dir, LiveOptions{
+		Depth:           liveTestDepth,
+		MemtableRecords: 1,
+		CompactSegments: 1 << 20,
+		FS:              ffs,
+		RetryBackoff:    time.Millisecond,
+		RetryLimit:      -1, // keep accepting and retrying throughout
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer li.Close()
+
+	segFiles := func() int {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, e := range ents {
+			if _, ok := store.ParseSegmentFileName(e.Name()); ok {
+				n++
+			}
+		}
+		return n
+	}
+
+	failing.Store(true)
+	rec := randLiveRecord(rand.New(rand.NewSource(13)))
+	if err := li.Ingest([]store.Record{rec}); err != nil {
+		t.Fatalf("ingest with failing manifest commits rejected: %v", err)
+	}
+	// Let a handful of background re-seals fail; each writes and must
+	// remove one segment file. At most one may be observed in flight.
+	deadline := time.Now().Add(10 * time.Second)
+	for li.Stats().PersistFailures < 6 {
+		if time.Now().After(deadline) {
+			t.Fatalf("retry loop stalled: %+v", li.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if n := segFiles(); n > 1 {
+		t.Fatalf("%d segment files on disk after %d failed seals, want <= 1 (orphans accumulating)",
+			n, li.Stats().PersistFailures)
+	}
+
+	failing.Store(false)
+	deadline = time.Now().Add(10 * time.Second)
+	for li.Stats().Dirty {
+		if time.Now().After(deadline) {
+			t.Fatalf("retry loop did not converge: %+v", li.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if n := segFiles(); n != 1 {
+		t.Fatalf("%d segment files after recovery, want exactly 1", n)
+	}
+	if err := li.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenLiveIndex(liveTestCurve(), dir, LiveOptions{Depth: liveTestDepth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.Len(); got != 1 {
+		t.Fatalf("reopen after recovery holds %d records, want 1", got)
 	}
 }
