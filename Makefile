@@ -1,8 +1,9 @@
 GO ?= go
 
 # Packages touched by the sharded query engine; they get the extra -race
-# pass because they exercise real concurrency.
-RACE_PKGS = . ./internal/core ./internal/store ./internal/httpapi ./internal/cbcd
+# pass because they exercise real concurrency. internal/obs rides along:
+# its counters and histograms are written from every engine goroutine.
+RACE_PKGS = . ./internal/core ./internal/store ./internal/httpapi ./internal/cbcd ./internal/obs
 
 .PHONY: check vet build test race cover bench bench-shard bench-plan faults
 
@@ -10,8 +11,12 @@ RACE_PKGS = . ./internal/core ./internal/store ./internal/httpapi ./internal/cbc
 # then the race detector over the engine packages.
 check: vet build test race
 
+# vet is go vet plus the metric-name lint: every exported s3_* family
+# must be constructed at exactly one site and documented in
+# docs/METRICS.md (scripts/check_metrics.sh).
 vet:
 	$(GO) vet ./...
+	sh scripts/check_metrics.sh
 
 build:
 	$(GO) build ./...

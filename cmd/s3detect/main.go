@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	s3 "s3cbcd"
+	"s3cbcd/internal/obs"
 	"s3cbcd/internal/vidsim"
 )
 
@@ -37,6 +39,7 @@ func main() {
 		sigma     = flag.Float64("sigma", 20, "distortion model sigma")
 		minVotes  = flag.Int("min-votes", 0, "decision threshold n_sim (0 = calibrate on clean clips)")
 		unrelated = flag.Bool("unrelated", false, "use an unrelated clip (false-alarm check)")
+		trace     = flag.Bool("trace", false, "print a stage-level execution trace of the detection")
 	)
 	flag.Parse()
 
@@ -85,21 +88,37 @@ func main() {
 		fmt.Printf("transformation: %s\n", tf.Name())
 	}
 
+	ctx := context.Background()
+	var tr *obs.Trace
+	if *trace {
+		tr = obs.NewTrace()
+		ctx = obs.WithTrace(ctx, tr)
+	}
 	t0 := time.Now()
-	dets, err := det.DetectClip(clip)
+	dets, err := det.DetectClipCtx(ctx, clip)
 	if err != nil {
 		log.Fatal(err)
 	}
 	elapsed := time.Since(t0)
 	if len(dets) == 0 {
 		fmt.Printf("no copy detected (%v)\n", elapsed.Round(time.Millisecond))
-		return
 	}
 	for _, d := range dets {
 		fmt.Printf("COPY of video %d: temporal offset b=%.1f frames, n_sim=%d votes\n",
 			d.ID, d.Offset, d.Votes)
 	}
-	fmt.Printf("detection took %v\n", elapsed.Round(time.Millisecond))
+	if len(dets) > 0 {
+		fmt.Printf("detection took %v\n", elapsed.Round(time.Millisecond))
+	}
+	if tr != nil {
+		rep := tr.Report()
+		fmt.Printf("trace (total %dµs):\n", rep.TotalMicros)
+		for _, st := range rep.Stages {
+			fmt.Printf("  %-8s +%6dµs  %6dµs\n", st.Name, st.StartMicros, st.Micros)
+		}
+		fmt.Printf("  work: %d descent nodes, %d blocks, %d candidates refined\n",
+			rep.DescentNodes, rep.Blocks, rep.Candidates)
+	}
 }
 
 // parseTransform turns "gamma=1.8" or "resize=0.8+noise=10" into a

@@ -1,8 +1,10 @@
 // Command s3monitor reproduces the TV monitoring deployment of Section
 // V-D: it synthesizes a continuous channel stream with copies of
 // referenced videos embedded at random positions among unrelated filler,
-// monitors it with a sliding decision window, and reports the detections
-// together with the monitoring speed relative to real time.
+// monitors it incrementally with a sliding decision window (the frames
+// are fed second by second, as a capture card would deliver them), and
+// reports the detections together with the monitoring speed relative to
+// real time and the per-window decision latency percentiles.
 //
 // Usage:
 //
@@ -17,6 +19,7 @@ import (
 	"time"
 
 	s3 "s3cbcd"
+	"s3cbcd/internal/obs"
 )
 
 func main() {
@@ -80,21 +83,44 @@ func main() {
 		fmt.Printf("  video %2d at frames [%d,%d)\n", p.id, p.at, p.until)
 	}
 
-	mon := s3.NewMonitor(det)
-	t0 := time.Now()
-	dets, err := mon.ProcessStream(stream)
+	// Monitor incrementally: frames arrive in one-second batches, the way
+	// a capture pipeline would deliver them, and every decided window's
+	// wall time lands in a latency histogram.
+	mon, err := s3.NewStreamMonitor(det, 0, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
+	lat := obs.NewHistogram("window_seconds", "decision window latency", obs.LatencyBuckets())
+	mon.WindowLatency = lat
+
+	t0 := time.Now()
+	var dets []s3.StreamDetection
+	for at := 0; at < stream.Len(); at += fps {
+		hi := at + fps
+		if hi > stream.Len() {
+			hi = stream.Len()
+		}
+		d, err := mon.Feed(stream.Frames[at:hi])
+		if err != nil {
+			log.Fatal(err)
+		}
+		dets = append(dets, d...)
+	}
+	tail, err := mon.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	dets = append(dets, tail...)
 	elapsed := time.Since(t0)
+
 	fmt.Printf("\ndetections:\n")
 	found := map[int]bool{}
 	for _, d := range dets {
 		fmt.Printf("  video %2d in window [%d,%d): offset %.1f, %d votes\n",
 			d.ID, d.WindowStart, d.WindowEnd, d.Offset, d.Votes)
-		for _, p := range planted {
+		for i, p := range planted {
 			if int(d.ID) == p.id && int(d.WindowEnd) > p.at && int(d.WindowStart) < p.until {
-				found[p.id] = true
+				found[i] = true
 			}
 		}
 	}
@@ -102,4 +128,14 @@ func main() {
 	fmt.Printf("\nfound %d/%d planted copies; monitored %.1fs of video in %v (%.1fx real time)\n",
 		len(found), len(planted), streamDur.Seconds(), elapsed.Round(time.Millisecond),
 		streamDur.Seconds()/elapsed.Seconds())
+	if n := lat.Count(); n > 0 {
+		fmt.Printf("window latency over %d windows: p50 %s, p90 %s, p99 %s, mean %s\n",
+			n, fmtSeconds(lat.Quantile(0.50)), fmtSeconds(lat.Quantile(0.90)),
+			fmtSeconds(lat.Quantile(0.99)), fmtSeconds(lat.Sum()/float64(n)))
+	}
+}
+
+// fmtSeconds renders a latency in seconds with duration-style units.
+func fmtSeconds(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(10 * time.Microsecond).String()
 }

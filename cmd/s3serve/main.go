@@ -9,6 +9,7 @@
 //
 //	curl localhost:8080/healthz
 //	curl localhost:8080/stats
+//	curl localhost:8080/metrics
 //	curl -X POST localhost:8080/search/statistical \
 //	     -d '{"fingerprint":[...20 ints...],"alpha":0.8,"sigma":20}'
 //	curl -X POST localhost:8080/search/statistical/batch \
@@ -31,6 +32,15 @@
 // status "degraded" with the last persistence error — until a retry
 // commits.
 //
+// Observability: GET /metrics serves Prometheus text covering the
+// engine or live index, store I/O (every byte and fsync crossing the
+// filesystem seam) and per-route HTTP latency/status series. A search
+// with ?trace=1 returns a stage-level execution trace, and -trace-rate
+// samples a fraction of all searches the same way. -debug-addr starts a
+// second, operator-only listener with net/http/pprof and a /metrics
+// alias — keep it off the service port. Logs are structured
+// (log/slog); -log-json switches them to JSON.
+//
 // The server carries read/write timeouts and drains in-flight requests
 // before exiting on SIGINT/SIGTERM.
 package main
@@ -39,8 +49,10 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
@@ -48,12 +60,11 @@ import (
 	"s3cbcd/internal/core"
 	"s3cbcd/internal/hilbert"
 	"s3cbcd/internal/httpapi"
+	"s3cbcd/internal/obs"
 	"s3cbcd/internal/store"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("s3serve: ")
 	var (
 		dbPath         = flag.String("db", "archive.s3db", "database file (static mode)")
 		liveDir        = flag.String("live", "", "live index directory (enables ingest/delete; overrides -db)")
@@ -68,66 +79,84 @@ func main() {
 			"base delay between persistence/compaction retries, live mode (0 = default)")
 		compactRetries = flag.Int("compact-retries", 0,
 			"consecutive persistence failures before degraded read-only mode, live mode (0 = default, <0 = never degrade)")
+		traceRate = flag.Float64("trace-rate", 0,
+			"fraction of searches carrying a stage-level trace (0 = only ?trace=1 requests)")
+		traceSeed = flag.Int64("trace-seed", 0, "trace sampler seed (reproducible sampling)")
+		debugAddr = flag.String("debug-addr", "",
+			"operator listener with /debug/pprof/* and /metrics (empty = disabled)")
+		logJSON      = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 		readTimeout  = flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "HTTP write timeout")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown drain timeout")
 	)
 	flag.Parse()
 
+	logger := newLogger(*logJSON)
+
+	// Every durable byte flows through the counting FS, so /metrics
+	// reports store I/O in both modes.
+	cfs := store.NewCountingFS(store.OSFS)
+	reg := obs.NewRegistry()
+	cfs.RegisterMetrics(reg)
+	opt := httpapi.Options{
+		MaxInFlight: *maxInFlight,
+		Metrics:     reg,
+		TraceRate:   *traceRate,
+		TraceSeed:   *traceSeed,
+	}
+
 	var srv *httpapi.Server
 	if *liveDir != "" {
 		curve, err := hilbert.New(*dims, *order)
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, "invalid geometry", err)
 		}
 		li, err := core.OpenLiveIndex(curve, *liveDir, core.LiveOptions{
 			Depth:        *depth,
 			Workers:      *workers,
+			FS:           cfs,
 			RetryBackoff: *compactBackoff,
 			RetryLimit:   *compactRetries,
+			Logger:       logger,
 		})
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, "open live index", err)
 		}
 		defer func() {
 			if err := li.Close(); err != nil {
-				log.Printf("close: %v", err)
+				logger.Error("close live index", "err", err)
 			}
 		}()
-		srv = httpapi.NewLive(li, httpapi.Options{MaxInFlight: *maxInFlight})
+		srv = httpapi.NewLive(li, opt)
 		st := li.Stats()
-		mode := "ok"
-		if st.Degraded {
-			mode = "DEGRADED (writes rejected until persistence recovers)"
-		}
-		log.Printf("live index in %s: %d fingerprints (D=%d, gen %d, %d segments), persistence %s",
-			*liveDir, st.LiveRecords, *dims, st.Gen, st.Segments, mode)
+		logger.Info("serving live index", "dir", *liveDir, "records", st.LiveRecords,
+			"dims", *dims, "gen", st.Gen, "segments", st.Segments, "degraded", st.Degraded)
 	} else {
-		fl, err := store.Open(*dbPath)
+		fl, err := store.OpenFS(cfs, *dbPath)
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, "open database", err)
 		}
 		db, err := fl.LoadAll()
 		if err != nil {
 			fl.Close()
-			log.Fatal(err)
+			fatal(logger, "load database", err)
 		}
 		nShards := *shards
 		if starts := fl.ShardStarts(); nShards == 0 && starts != nil {
 			nShards = len(starts) - 1
 		}
 		fl.Close()
-		srv, err = httpapi.New(db, httpapi.Options{
-			Depth:       *depth,
-			Shards:      nShards,
-			Workers:     *workers,
-			MaxInFlight: *maxInFlight,
-		})
+		opt.Depth, opt.Shards, opt.Workers = *depth, nShards, *workers
+		srv, err = httpapi.New(db, opt)
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, "build index", err)
 		}
-		log.Printf("serving %d fingerprints (D=%d, %d shards) on %s",
-			db.Len(), db.Dims(), srv.Engine().Shards(), *addr)
+		logger.Info("serving static database", "path", *dbPath, "records", db.Len(),
+			"dims", db.Dims(), "shards", srv.Engine().Shards())
+	}
+
+	if *debugAddr != "" {
+		go serveDebug(logger, *debugAddr, reg)
 	}
 
 	hs := &http.Server{
@@ -142,21 +171,54 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
-	log.Printf("listening on %s", *addr)
+	logger.Info("listening", "addr", *addr)
 
 	select {
 	case err := <-errCh:
-		log.Fatal(err)
+		fatal(logger, "serve", err)
 	case <-ctx.Done():
 		stop()
-		log.Printf("signal received, draining for up to %v", *drainTimeout)
+		logger.Info("signal received, draining", "timeout", *drainTimeout)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := hs.Shutdown(shutdownCtx); err != nil {
-			log.Fatalf("shutdown: %v", err)
+			fatal(logger, "shutdown", err)
 		}
 		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatal(err)
+			fatal(logger, "serve", err)
 		}
+	}
+}
+
+func newLogger(asJSON bool) *slog.Logger {
+	var h slog.Handler
+	if asJSON {
+		h = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, nil)
+	}
+	return slog.New(h).With("service", "s3serve")
+}
+
+func fatal(logger *slog.Logger, msg string, err error) {
+	logger.Error(msg, "err", err)
+	os.Exit(1)
+}
+
+// serveDebug runs the operator-only listener: pprof profiles plus a
+// /metrics alias. It registers pprof on its own mux — never on
+// http.DefaultServeMux — so profiling endpoints exist only where this
+// listener is reachable.
+func serveDebug(logger *slog.Logger, addr string, reg *obs.Registry) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", reg.Handler())
+	logger.Info("debug listener", "addr", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		logger.Error("debug listener failed", "err", err)
 	}
 }

@@ -11,10 +11,12 @@ package cbcd
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"s3cbcd/internal/core"
 	"s3cbcd/internal/fingerprint"
 	"s3cbcd/internal/hilbert"
+	"s3cbcd/internal/obs"
 	"s3cbcd/internal/store"
 	"s3cbcd/internal/vidsim"
 	"s3cbcd/internal/vote"
@@ -212,11 +214,17 @@ func (d *Detector) Query() core.StatQuery {
 // candidates. With Config.Workers > 1 the engine pipelines the queries
 // across its pool; the result order matches locals either way.
 func (d *Detector) SearchLocals(locals []fingerprint.Local) ([]vote.Candidate, error) {
+	return d.SearchLocalsCtx(context.Background(), locals)
+}
+
+// SearchLocalsCtx is SearchLocals with a caller context: a trace carried
+// by ctx (obs.WithTrace) accumulates the batch's work counters.
+func (d *Detector) SearchLocalsCtx(ctx context.Context, locals []fingerprint.Local) ([]vote.Candidate, error) {
 	queries := make([][]byte, len(locals))
 	for i := range locals {
 		queries[i] = locals[i].FP[:]
 	}
-	results, err := d.search.SearchStatBatch(context.Background(), queries, d.Query())
+	results, err := d.search.SearchStatBatch(ctx, queries, d.Query())
 	if err != nil {
 		return nil, err
 	}
@@ -235,11 +243,28 @@ func (d *Detector) SearchLocals(locals []fingerprint.Local) ([]vote.Candidate, e
 // extraction, per-fingerprint statistical search, then the voting
 // decision over the whole clip's buffered results.
 func (d *Detector) DetectClip(seq *vidsim.Sequence) ([]vote.Detection, error) {
-	cands, err := d.SearchLocals(d.cfg.Extract(seq, d.cfg.Fingerprint))
+	return d.DetectClipCtx(context.Background(), seq)
+}
+
+// DetectClipCtx is DetectClip with a caller context. A trace carried by
+// ctx (obs.WithTrace) records the pipeline's stage wall times — extract,
+// search, vote — plus the search work counters, so one traced detection
+// shows where a clip's latency went.
+func (d *Detector) DetectClipCtx(ctx context.Context, seq *vidsim.Sequence) ([]vote.Detection, error) {
+	tr := obs.FromContext(ctx)
+	t0 := time.Now()
+	locals := d.cfg.Extract(seq, d.cfg.Fingerprint)
+	tr.StageSince("extract", t0)
+	t1 := time.Now()
+	cands, err := d.SearchLocalsCtx(ctx, locals)
 	if err != nil {
 		return nil, err
 	}
-	return vote.Decide(cands, d.cfg.Vote), nil
+	tr.StageSince("search", t1)
+	t2 := time.Now()
+	dets := vote.Decide(cands, d.cfg.Vote)
+	tr.StageSince("vote", t2)
+	return dets, nil
 }
 
 // ScoreClip is DetectClip without the decision threshold: every candidate

@@ -3,8 +3,10 @@ package cbcd
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"s3cbcd/internal/fingerprint"
+	"s3cbcd/internal/obs"
 	"s3cbcd/internal/vidsim"
 	"s3cbcd/internal/vote"
 )
@@ -27,6 +29,12 @@ type StreamMonitor struct {
 	base   int             // absolute index of frames[0]
 	cursor int             // absolute start of the next window to decide
 	next   int             // absolute index of the next frame to arrive
+
+	// WindowLatency, when set before feeding, observes the wall time of
+	// every decided window (extract + search + vote), so a monitoring
+	// deployment can report per-window latency percentiles next to its
+	// speed factor. Nil disables the accounting.
+	WindowLatency *obs.Histogram
 }
 
 // NewStreamMonitor returns an incremental monitor with the given window
@@ -95,6 +103,7 @@ func (m *StreamMonitor) Close() ([]StreamDetection, error) {
 // decideWindow extracts and searches frames [from, to) (absolute), using
 // the retained margin for temporal support, and votes over the results.
 func (m *StreamMonitor) decideWindow(from, to int) ([]StreamDetection, error) {
+	defer m.WindowLatency.ObserveSince(time.Now())
 	lo := from - m.margin
 	if lo < m.base {
 		lo = m.base

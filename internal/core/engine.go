@@ -7,7 +7,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"s3cbcd/internal/obs"
 	"s3cbcd/internal/store"
 )
 
@@ -36,10 +38,10 @@ type Engine struct {
 	workers int
 	qctxs   sync.Pool // *queryContext
 	bufs    sync.Pool // *[]Match
-	// descentNodes accumulates Plan.DescentNodes over every plan the
-	// engine computes — the partition-tree work the filtering step has
-	// performed since construction, exposed for monitoring.
-	descentNodes atomic.Int64
+	// met instruments every query: the plan/refine cost split, plan
+	// selectivity, and cumulative partition-tree descent work. Always
+	// updated (a few atomics per query); exported via RegisterMetrics.
+	met engineMetrics
 }
 
 // NewEngine builds an engine over ix with nShards key-range shards and at
@@ -54,7 +56,7 @@ func NewEngine(ix *Index, nShards, workers int) *Engine {
 	if nShards <= 0 {
 		nShards = 1
 	}
-	e := &Engine{ix: ix, shards: ix.db.Shards(nShards), workers: workers}
+	e := &Engine{ix: ix, shards: ix.db.Shards(nShards), workers: workers, met: newEngineMetrics()}
 	e.qctxs.New = func() any {
 		return &queryContext{
 			qf: make([]float64, ix.db.Dims()),
@@ -115,19 +117,52 @@ func (e *Engine) putCtx(qc *queryContext) { e.qctxs.Put(qc) }
 
 // planStat computes the statistical plan for q using the context's cache.
 // sq must already be validated.
-func (e *Engine) planStat(qc *queryContext, q []byte, sq StatQuery) (Plan, error) {
+func (e *Engine) planStat(ctx context.Context, qc *queryContext, q []byte, sq StatQuery) (Plan, error) {
 	if err := qc.setQuery(q); err != nil {
 		return Plan{}, err
 	}
+	t0 := time.Now()
 	qc.mc.reset()
 	plan := e.ix.planStatFrontier(qc.qf, sq, qc.mc, qc.fs)
-	e.descentNodes.Add(int64(plan.DescentNodes))
+	e.notePlan(ctx, plan, t0)
 	return plan, nil
+}
+
+// PlanStat computes the filtering-step plan for q without refining it,
+// through the engine's pooled per-worker scratch — the statistical-query
+// hot path up to (but excluding) the record scan. The returned plan's
+// Intervals alias pooled buffers reused by later queries (the same
+// contract as the plan SearchStat returns); copy them to retain. With
+// tracing disabled this path allocates nothing once the pool is warm
+// (guarded by the alloc test next to bench_plan_test.go).
+func (e *Engine) PlanStat(ctx context.Context, q []byte, sq StatQuery) (Plan, error) {
+	if err := sq.validate(e.ix.db.Dims()); err != nil {
+		return Plan{}, err
+	}
+	qc := e.getCtx()
+	defer e.putCtx(qc)
+	qc.fs.alias = true
+	plan, err := e.planStat(ctx, qc, q, sq)
+	qc.fs.alias = false
+	return plan, err
+}
+
+// notePlan records one computed plan into the engine metrics and, when
+// the query is traced, the trace's work counters.
+func (e *Engine) notePlan(ctx context.Context, plan Plan, t0 time.Time) {
+	e.met.plans.Inc()
+	e.met.planSeconds.ObserveSince(t0)
+	e.met.planBlocks.Observe(float64(plan.Blocks))
+	e.met.descentNodes.Add(int64(plan.DescentNodes))
+	if tr := obs.FromContext(ctx); tr != nil {
+		tr.AddDescentNodes(int64(plan.DescentNodes))
+		tr.AddBlocks(int64(plan.Blocks))
+	}
 }
 
 // DescentNodes returns the cumulative number of partition-tree nodes
 // visited by every plan this engine has computed.
-func (e *Engine) DescentNodes() int64 { return e.descentNodes.Load() }
+func (e *Engine) DescentNodes() int64 { return e.met.descentNodes.Value() }
 
 // piece is the record range [lo, hi) a plan interval maps to, plus the
 // offset of its first match in the final result slice (statistical
@@ -164,8 +199,11 @@ var refineParallelCutoff = 4096
 // of the pieces with its record range concurrently; the output is
 // identical either way.
 func (e *Engine) refineStat(ctx context.Context, plan Plan, parallel bool) ([]Match, error) {
+	defer e.met.refineSeconds.ObserveSince(time.Now())
 	db := e.ix.db
 	pieces, total := e.planPieces(plan)
+	e.met.candidates.Add(int64(total))
+	obs.FromContext(ctx).AddCandidates(int64(total))
 	if total == 0 {
 		// nil, not an empty slice: byte-identical to the sequential path.
 		return nil, ctx.Err()
@@ -212,9 +250,12 @@ func (e *Engine) refineStat(ctx context.Context, plan Plan, parallel bool) ([]Ma
 // refine into pooled scratch buffers that are concatenated in shard (=
 // key) order afterwards; the output is identical to the sequential scan.
 func (e *Engine) refineRange(ctx context.Context, qf []float64, eps float64, plan Plan, parallel bool) ([]Match, error) {
+	defer e.met.refineSeconds.ObserveSince(time.Now())
 	db := e.ix.db
 	epsSq := eps * eps
 	pieces, total := e.planPieces(plan)
+	e.met.candidates.Add(int64(total))
+	obs.FromContext(ctx).AddCandidates(int64(total))
 	scan := func(lo, hi int, out []Match) []Match {
 		for i := lo; i < hi; i++ {
 			if d := distSqToFP(qf, db.FP(i)); d <= epsSq {
@@ -285,16 +326,25 @@ func (e *Engine) SearchStat(ctx context.Context, q []byte, sq StatQuery) ([]Matc
 	if err := sq.validate(e.ix.db.Dims()); err != nil {
 		return nil, Plan{}, err
 	}
+	e.met.statQueries.Inc()
+	e.met.inflight.Add(1)
+	defer e.met.inflight.Add(-1)
+	tr := obs.FromContext(ctx)
 	qc := e.getCtx()
 	defer e.putCtx(qc)
-	plan, err := e.planStat(qc, q, sq)
+	t0 := time.Now()
+	plan, err := e.planStat(ctx, qc, q, sq)
 	if err != nil {
 		return nil, Plan{}, err
 	}
+	tr.StageSince("plan", t0)
+	t1 := time.Now()
 	matches, err := e.refineStat(ctx, plan, true)
 	if err != nil {
 		return nil, Plan{}, err
 	}
+	tr.StageSince("refine", t1)
+	tr.AddSegments(int64(len(e.shards)))
 	return matches, plan, nil
 }
 
@@ -304,17 +354,26 @@ func (e *Engine) SearchRange(ctx context.Context, q []byte, eps float64) ([]Matc
 	if eps < 0 {
 		return nil, Plan{}, fmt.Errorf("core: negative range radius %v", eps)
 	}
+	e.met.rangeQueries.Inc()
+	e.met.inflight.Add(1)
+	defer e.met.inflight.Add(-1)
+	tr := obs.FromContext(ctx)
 	qc := e.getCtx()
 	defer e.putCtx(qc)
 	if err := qc.setQuery(q); err != nil {
 		return nil, Plan{}, err
 	}
+	t0 := time.Now()
 	plan := e.ix.planRangeFloat(qc.qf, eps)
-	e.descentNodes.Add(int64(plan.DescentNodes))
+	e.notePlan(ctx, plan, t0)
+	tr.StageSince("plan", t0)
+	t1 := time.Now()
 	matches, err := e.refineRange(ctx, qc.qf, eps, plan, true)
 	if err != nil {
 		return nil, Plan{}, err
 	}
+	tr.StageSince("refine", t1)
+	tr.AddSegments(int64(len(e.shards)))
 	return matches, plan, nil
 }
 
@@ -326,7 +385,20 @@ func (e *Engine) SearchKNN(ctx context.Context, q []byte, k, maxLeaves int) ([]M
 	if err := ctx.Err(); err != nil {
 		return nil, KNNStats{}, err
 	}
-	return e.ix.SearchKNN(q, k, maxLeaves)
+	e.met.knnQueries.Inc()
+	e.met.inflight.Add(1)
+	defer e.met.inflight.Add(-1)
+	t0 := time.Now()
+	m, st, err := e.ix.SearchKNN(q, k, maxLeaves)
+	if err != nil {
+		return nil, KNNStats{}, err
+	}
+	e.met.candidates.Add(int64(st.Scanned))
+	if tr := obs.FromContext(ctx); tr != nil {
+		tr.StageSince("knn", t0)
+		tr.AddCandidates(int64(st.Scanned))
+	}
+	return m, st, nil
 }
 
 // SearchStatBatch pipelines many statistical queries across the worker
@@ -338,9 +410,13 @@ func (e *Engine) SearchStatBatch(ctx context.Context, queries [][]byte, sq StatQ
 	if err := sq.validate(e.ix.db.Dims()); err != nil {
 		return nil, err
 	}
+	e.met.statQueries.Add(int64(len(queries)))
+	e.met.batchQueries.Add(int64(len(queries)))
+	e.met.inflight.Add(1)
+	defer e.met.inflight.Add(-1)
 	results := make([][]Match, len(queries))
 	err := forEach(ctx, e.workers, len(queries), e.getCtx, func(qc *queryContext, i int) error {
-		plan, err := e.planStat(qc, queries[i], sq)
+		plan, err := e.planStat(ctx, qc, queries[i], sq)
 		if err != nil {
 			return fmt.Errorf("query %d: %w", i, err)
 		}
@@ -362,12 +438,18 @@ func (e *Engine) SearchRangeBatch(ctx context.Context, queries [][]byte, eps flo
 	if eps < 0 {
 		return nil, fmt.Errorf("core: negative range radius %v", eps)
 	}
+	e.met.rangeQueries.Add(int64(len(queries)))
+	e.met.batchQueries.Add(int64(len(queries)))
+	e.met.inflight.Add(1)
+	defer e.met.inflight.Add(-1)
 	results := make([][]Match, len(queries))
 	err := forEach(ctx, e.workers, len(queries), e.getCtx, func(qc *queryContext, i int) error {
 		if err := qc.setQuery(queries[i]); err != nil {
 			return fmt.Errorf("query %d: %w", i, err)
 		}
+		t0 := time.Now()
 		plan := e.ix.planRangeFloat(qc.qf, eps)
+		e.notePlan(ctx, plan, t0)
 		matches, err := e.refineRange(ctx, qc.qf, eps, plan, false)
 		if err != nil {
 			return err
@@ -384,6 +466,10 @@ func (e *Engine) SearchRangeBatch(ctx context.Context, queries [][]byte, eps flo
 // SearchKNNBatch answers many k-NN queries in parallel, one worker per
 // query.
 func (e *Engine) SearchKNNBatch(ctx context.Context, queries [][]byte, k, maxLeaves int) ([][]Match, []KNNStats, error) {
+	e.met.knnQueries.Add(int64(len(queries)))
+	e.met.batchQueries.Add(int64(len(queries)))
+	e.met.inflight.Add(1)
+	defer e.met.inflight.Add(-1)
 	results := make([][]Match, len(queries))
 	stats := make([]KNNStats, len(queries))
 	err := forEach(ctx, e.workers, len(queries), nil, func(_ *struct{}, i int) error {
@@ -391,6 +477,8 @@ func (e *Engine) SearchKNNBatch(ctx context.Context, queries [][]byte, k, maxLea
 		if err != nil {
 			return fmt.Errorf("query %d: %w", i, err)
 		}
+		e.met.candidates.Add(int64(st.Scanned))
+		obs.FromContext(ctx).AddCandidates(int64(st.Scanned))
 		results[i], stats[i] = m, st
 		return nil
 	})

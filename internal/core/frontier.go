@@ -85,6 +85,16 @@ type frontierState struct {
 	frontier []frontierEntry
 	bounds   []uint32 // arena backing frontier node Lo/Hi
 	ivs      []hilbert.Interval
+
+	// alias makes intervalsAt skip its defensive copy: the produced
+	// plan's Intervals then share s.ivs and are overwritten by the next
+	// query that borrows this state. Only Engine.PlanStat sets it — the
+	// one caller whose contract documents the aliasing — keeping the
+	// untraced pooled plan path allocation-free.
+	alias bool
+
+	// pruned is prunedCB bound once at construction (see newFrontierState).
+	pruned func(hilbert.Node)
 }
 
 type frontierFrame struct {
@@ -95,12 +105,16 @@ type frontierFrame struct {
 }
 
 func newFrontierState(curve *hilbert.Curve) *frontierState {
-	return &frontierState{
+	s := &frontierState{
 		curve:   curve,
 		fd:      curve.NewFrontierDescent(),
 		root:    curve.RootNode(),
 		factors: make([]float64, curve.Dims()),
 	}
+	// Bind the pruned callback once: a method value created at the call
+	// site would allocate on every node expansion.
+	s.pruned = s.prunedCB
+	return s
 }
 
 // begin binds the state to one query and seeds the frontier with the
@@ -162,7 +176,7 @@ func (s *frontierState) expandTo(t float64) {
 		}
 		s.prod, s.gate = e.mass, e.gate
 		s.stack = s.stack[:0]
-		s.fd.Descend(node, s.depth, s, s.prunedCB)
+		s.fd.Descend(node, s.depth, s, s.pruned)
 	}
 	if len(s.pending) > 0 {
 		s.mergePending()
@@ -262,7 +276,8 @@ func (s *frontierState) selectAt(t float64) (blocks int, mass float64) {
 }
 
 // intervalsAt returns the merged curve intervals of the selection at t.
-// The result is freshly allocated: plans outlive the pooled state.
+// Unless s.alias is set the result is freshly allocated: plans outlive
+// the pooled state.
 func (s *frontierState) intervalsAt(t float64) []hilbert.Interval {
 	s.ivs = s.ivs[:0]
 	for i := range s.leaves {
@@ -273,6 +288,9 @@ func (s *frontierState) intervalsAt(t float64) []hilbert.Interval {
 	merged := hilbert.MergeIntervals(s.ivs)
 	if len(merged) == 0 {
 		return nil // matches the legacy planner's empty result exactly
+	}
+	if s.alias {
+		return merged
 	}
 	out := make([]hilbert.Interval, len(merged))
 	copy(out, merged)

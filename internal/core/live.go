@@ -65,6 +65,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"math/rand"
 	"os"
@@ -77,6 +78,7 @@ import (
 
 	"s3cbcd/internal/bitkey"
 	"s3cbcd/internal/hilbert"
+	"s3cbcd/internal/obs"
 	"s3cbcd/internal/store"
 )
 
@@ -140,6 +142,10 @@ type LiveOptions struct {
 	// 0 selects DefaultLiveRetryLimit; negative disables degraded mode
 	// (writes are accepted no matter how long persistence has failed).
 	RetryLimit int
+	// Logger receives structured events for the write path's lifecycle:
+	// persistence failures, retry attempts, degraded-mode transitions and
+	// compactions. nil discards them (obs.NopLogger).
+	Logger *slog.Logger
 }
 
 // DefaultLiveMemtableRecords is the default seal threshold.
@@ -191,6 +197,9 @@ func (o LiveOptions) withDefaults(curve *hilbert.Curve) LiveOptions {
 	}
 	if o.RetryLimit == 0 {
 		o.RetryLimit = DefaultLiveRetryLimit
+	}
+	if o.Logger == nil {
+		o.Logger = obs.NopLogger()
 	}
 	return o
 }
@@ -286,9 +295,7 @@ type LiveIndex struct {
 	// retrying records that a retry loop goroutine is active.
 	retrying bool
 
-	degraded        atomic.Bool
-	persistFailures atomic.Int64
-	persistRetries  atomic.Int64
+	degraded atomic.Bool
 
 	// segSeq allocates never-reused segment file names; seeded at open
 	// past every name on disk.
@@ -298,9 +305,11 @@ type LiveIndex struct {
 	pendingMu sync.Mutex
 	pending   map[string]struct{}
 
-	ingested    atomic.Int64
-	deletes     atomic.Int64
-	compactions atomic.Int64
+	// met instruments the write path and queries (lifetime counters,
+	// latency histograms, retry/degraded state); log receives the write
+	// path's lifecycle events. Exported via RegisterMetrics.
+	met liveMetrics
+	log *slog.Logger
 }
 
 // OpenLiveIndex opens (or creates) a live index over the given curve.
@@ -313,7 +322,8 @@ func OpenLiveIndex(curve *hilbert.Curve, dir string, opt LiveOptions) (*LiveInde
 		return nil, fmt.Errorf("core: depth %d exceeds index bits %d", opt.Depth, curve.IndexBits())
 	}
 	li := &LiveIndex{pl: planner{curve: curve, depth: opt.Depth}, opt: opt, dir: dir,
-		fs: opt.FS, closedCh: make(chan struct{}), pending: make(map[string]struct{})}
+		fs: opt.FS, closedCh: make(chan struct{}), pending: make(map[string]struct{}),
+		met: newLiveMetrics(), log: opt.Logger}
 	var (
 		segs []*liveSegment
 		gen  uint64
@@ -378,6 +388,7 @@ func OpenLiveIndex(curve *hilbert.Curve, dir string, opt LiveOptions) (*LiveInde
 		return nil, err
 	}
 	li.snap.Store(&liveSnapshot{gen: gen, segs: segs, mem: &liveSegment{db: empty}})
+	li.log.Info("live index opened", "dir", dir, "gen", gen, "segments", len(segs))
 	return li, nil
 }
 
@@ -462,12 +473,12 @@ func (li *LiveIndex) Stats() LiveStats {
 		Segments:        len(snap.segs),
 		MemtableRecords: snap.mem.db.Len(),
 		LiveRecords:     snap.mem.db.Len(),
-		Ingested:        li.ingested.Load(),
-		Deletes:         li.deletes.Load(),
-		Compactions:     li.compactions.Load(),
+		Ingested:        li.met.ingested.Value(),
+		Deletes:         li.met.deletes.Value(),
+		Compactions:     li.met.compactions.Value(),
 		Degraded:        li.degraded.Load(),
-		PersistFailures: li.persistFailures.Load(),
-		PersistRetries:  li.persistRetries.Load(),
+		PersistFailures: li.met.persistFailures.Value(),
+		PersistRetries:  li.met.persistRetries.Value(),
 	}
 	li.persistMu.Lock()
 	st.Dirty = li.dirty
@@ -526,7 +537,7 @@ func (li *LiveIndex) Ingest(recs []store.Record) error {
 		}
 	}
 	li.snap.Store(next)
-	li.ingested.Add(int64(len(recs)))
+	li.met.ingested.Add(int64(len(recs)))
 	if len(next.segs) >= li.opt.CompactSegments {
 		li.compactAsync()
 	}
@@ -542,6 +553,7 @@ func (li *LiveIndex) sealInto(next *liveSnapshot) error {
 	if next.mem.db.Len() == 0 {
 		return nil
 	}
+	t0 := time.Now()
 	seg := &liveSegment{db: next.mem.db, live: next.mem.db.Len()}
 	if li.dir != "" {
 		seg.name = li.nextSegName()
@@ -567,6 +579,8 @@ func (li *LiveIndex) sealInto(next *liveSnapshot) error {
 		}
 		return err
 	}
+	li.met.sealSeconds.ObserveSince(t0)
+	li.log.Debug("memtable sealed", "segment", seg.name, "records", seg.live, "gen", next.gen)
 	return nil
 }
 
@@ -641,7 +655,7 @@ func (li *LiveIndex) DeleteVideo(id uint32) error {
 		li.notePersistFailure(err, true)
 	}
 	li.snap.Store(next)
-	li.deletes.Add(1)
+	li.met.deletes.Inc()
 	return nil
 }
 
@@ -666,9 +680,11 @@ func (li *LiveIndex) commitLocked(s *liveSnapshot) error {
 		}
 		m.Segments = append(m.Segments, info)
 	}
+	t0 := time.Now()
 	if err := store.CommitManifestFS(li.fs, li.dir, m); err != nil {
 		return err
 	}
+	li.met.commitSeconds.ObserveSince(t0)
 	// The committed snapshot still owes a seal when its memtable sits at
 	// or above the threshold (a previously failed seal): keep the retry
 	// loop running for it.
@@ -695,13 +711,19 @@ func (li *LiveIndex) degradedErr() error {
 // RetryLimit consecutive failures (a negative RetryLimit never trips
 // it). Safe with or without mu held; takes only the leaf persistMu.
 func (li *LiveIndex) notePersistFailure(err error, owed bool) {
-	li.persistFailures.Add(1)
+	li.met.persistFailures.Inc()
 	li.persistMu.Lock()
 	defer li.persistMu.Unlock()
 	li.lastPersistErr = err
 	li.consecFails++
+	li.log.Warn("persistence failure", "err", err, "consecutive", li.consecFails, "owed", owed)
 	if li.opt.RetryLimit > 0 && li.consecFails >= li.opt.RetryLimit {
-		li.degraded.Store(true)
+		if !li.degraded.Swap(true) {
+			li.met.degradedTrips.Inc()
+			li.met.degraded.Set(1)
+			li.log.Error("degraded read-only mode tripped",
+				"err", err, "consecutiveFailures", li.consecFails)
+		}
 	}
 	if owed {
 		li.dirty = true
@@ -718,7 +740,10 @@ func (li *LiveIndex) notePersistSuccess(stillOwed bool) {
 	defer li.persistMu.Unlock()
 	li.lastPersistErr = nil
 	li.consecFails = 0
-	li.degraded.Store(false)
+	if li.degraded.Swap(false) {
+		li.met.degraded.Set(0)
+		li.log.Info("degraded mode cleared, writes accepted again", "stillOwed", stillOwed)
+	}
 	li.dirty = stillOwed
 	li.spawnRetryLocked()
 }
@@ -772,15 +797,19 @@ func (li *LiveIndex) retryLoop() {
 		li.retrying = false
 		li.persistMu.Unlock()
 	}
+	defer li.met.retryBackoff.Set(0)
 	attempt := 0
 	for {
+		d := li.backoffDelay(attempt)
+		li.met.retryBackoff.Set(d.Seconds())
 		select {
 		case <-li.closedCh:
 			stop()
 			return
-		case <-time.After(li.backoffDelay(attempt)):
+		case <-time.After(d):
 		}
-		li.persistRetries.Add(1)
+		li.met.persistRetries.Inc()
+		li.log.Info("persistence retry", "attempt", attempt+1, "waited", d)
 		li.mu.Lock()
 		if li.closed.Load() {
 			li.mu.Unlock()
@@ -871,7 +900,7 @@ func (li *LiveIndex) compactAsync() {
 		}
 		for attempt := 0; attempt < attempts; attempt++ {
 			if attempt > 0 {
-				li.persistRetries.Add(1)
+				li.met.persistRetries.Inc()
 				select {
 				case <-li.closedCh:
 					return
@@ -904,6 +933,7 @@ func (li *LiveIndex) compact() error {
 	if li.closed.Load() {
 		return ErrClosed
 	}
+	t0 := time.Now()
 	snap := li.snap.Load()
 	inputs := snap.segs
 	if len(inputs) == 0 || (len(inputs) == 1 && len(inputs[0].tomb) == 0) {
@@ -931,6 +961,7 @@ func (li *LiveIndex) compact() error {
 		if err := merged.WriteFileFS(li.fs, filepath.Join(li.dir, name), li.opt.SectionBits); err != nil {
 			li.fs.Remove(filepath.Join(li.dir, name))
 			release()
+			li.log.Warn("compaction segment write failed", "segment", name, "err", err)
 			li.notePersistFailure(err, false)
 			return err
 		}
@@ -986,11 +1017,15 @@ func (li *LiveIndex) compact() error {
 		// The compaction's commit failed; the old layout stays published
 		// and durable (nothing is owed), but the failure feeds the
 		// degraded-mode streak.
+		li.log.Warn("compaction commit failed", "err", err)
 		li.notePersistFailure(err, false)
 		return abort(err)
 	}
 	li.snap.Store(next)
-	li.compactions.Add(1)
+	li.met.compactions.Inc()
+	li.met.compactSeconds.ObserveSince(t0)
+	li.log.Info("compaction committed", "inputs", k, "records", merged.Len(),
+		"gen", next.gen, "seconds", time.Since(t0).Seconds())
 	if release != nil {
 		release()
 	}
@@ -1145,8 +1180,35 @@ func (li *LiveIndex) SearchStat(ctx context.Context, q []byte, sq StatQuery) ([]
 		return nil, Plan{}, err
 	}
 	snap := li.snap.Load()
+	li.noteQuery(snap)
+	tr := obs.FromContext(ctx)
+	t0 := time.Now()
 	plan := li.pl.planStatFloat(qf, sq)
-	return refineStatSnap(snap, plan), plan, nil
+	tr.StageSince("plan", t0)
+	tr.AddDescentNodes(int64(plan.DescentNodes))
+	tr.AddBlocks(int64(plan.Blocks))
+	t1 := time.Now()
+	ms := refineStatSnap(snap, plan)
+	tr.StageSince("refine", t1)
+	tr.AddCandidates(int64(len(ms)))
+	tr.AddSegments(int64(snapSegments(snap)))
+	return ms, plan, nil
+}
+
+// noteQuery counts one query against snap into the live metrics.
+func (li *LiveIndex) noteQuery(snap *liveSnapshot) {
+	li.met.queries.Inc()
+	li.met.querySegments.Observe(float64(snapSegments(snap)))
+}
+
+// snapSegments counts the segments a query against snap visits (the
+// memtable included when non-empty), without materializing snap.all().
+func snapSegments(snap *liveSnapshot) int {
+	n := len(snap.segs)
+	if snap.mem.db.Len() > 0 {
+		n++
+	}
+	return n
 }
 
 // SearchRange executes an ε-range query against the current snapshot.
@@ -1162,13 +1224,24 @@ func (li *LiveIndex) SearchRange(ctx context.Context, q []byte, eps float64) ([]
 		return nil, Plan{}, err
 	}
 	snap := li.snap.Load()
+	li.noteQuery(snap)
+	tr := obs.FromContext(ctx)
+	t0 := time.Now()
 	plan := li.pl.planRangeFloat(qf, eps)
+	tr.StageSince("plan", t0)
+	tr.AddDescentNodes(int64(plan.DescentNodes))
+	tr.AddBlocks(int64(plan.Blocks))
+	t1 := time.Now()
 	segs := snap.all()
 	lists := make([][]segMatch, len(segs))
 	for i, s := range segs {
 		lists[i] = rangeMatchesSeg(s, qf, eps, plan)
 	}
-	return mergeCanonical(lists), plan, nil
+	ms := mergeCanonical(lists)
+	tr.StageSince("refine", t1)
+	tr.AddCandidates(int64(len(ms)))
+	tr.AddSegments(int64(len(segs)))
+	return ms, plan, nil
 }
 
 // SearchKNN answers a k-NN query against the current snapshot: an exact
@@ -1187,6 +1260,8 @@ func (li *LiveIndex) SearchKNN(ctx context.Context, q []byte, k, maxLeaves int) 
 		return nil, KNNStats{}, err
 	}
 	snap := li.snap.Load()
+	li.noteQuery(snap)
+	t0 := time.Now()
 	var (
 		all   []Match
 		stats KNNStats
@@ -1235,6 +1310,11 @@ func (li *LiveIndex) SearchKNN(ctx context.Context, q []byte, k, maxLeaves int) 
 	if len(all) > k {
 		all = all[:k]
 	}
+	if tr := obs.FromContext(ctx); tr != nil {
+		tr.StageSince("knn", t0)
+		tr.AddCandidates(int64(stats.Scanned))
+		tr.AddSegments(int64(snapSegments(snap)))
+	}
 	return all, stats, nil
 }
 
@@ -1247,6 +1327,7 @@ func (li *LiveIndex) SearchStatBatch(ctx context.Context, queries [][]byte, sq S
 		return nil, err
 	}
 	snap := li.snap.Load()
+	li.met.queries.Add(int64(len(queries)))
 	results := make([][]Match, len(queries))
 	err := forEach(ctx, li.opt.Workers, len(queries), nil, func(_ *struct{}, i int) error {
 		qf, err := queryPoint(queries[i], li.pl.dims())

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"s3cbcd/internal/obs"
+)
+
+// engineMetrics are the query engine's instruments: the plan/refine
+// split of every query (the paper's filtering vs refinement cost), the
+// partition-tree work the planner performs, and the selectivity of the
+// plans it emits. They are created unregistered at NewEngine — updating
+// them is a few atomics, so the engine always counts — and published
+// into a registry by Engine.RegisterMetrics (one engine per registry).
+type engineMetrics struct {
+	plans         *obs.Counter
+	descentNodes  *obs.Counter
+	planSeconds   *obs.Histogram
+	planBlocks    *obs.Histogram
+	refineSeconds *obs.Histogram
+	candidates    *obs.Counter
+	statQueries   *obs.Counter
+	rangeQueries  *obs.Counter
+	knnQueries    *obs.Counter
+	batchQueries  *obs.Counter
+	inflight      *obs.Gauge
+}
+
+func newEngineMetrics() engineMetrics {
+	return engineMetrics{
+		plans: obs.NewCounter("s3_engine_plans_total",
+			"plans computed (statistical and geometric, batch included)"),
+		descentNodes: obs.NewCounter("s3_engine_descent_nodes_total",
+			"partition-tree nodes visited by planning (the filtering-step work the frontier planner minimizes)"),
+		planSeconds: obs.NewHistogram("s3_engine_plan_seconds",
+			"wall time of the filtering step (one plan)", obs.LatencyBuckets()),
+		planBlocks: obs.NewHistogram("s3_engine_plan_blocks",
+			"p-blocks selected per plan (card of B_alpha)", obs.SizeBuckets()),
+		refineSeconds: obs.NewHistogram("s3_engine_refine_seconds",
+			"wall time of the refinement step (scanning the selected intervals)", obs.LatencyBuckets()),
+		candidates: obs.NewCounter("s3_engine_candidates_refined_total",
+			"candidate records materialized or scanned by refinement"),
+		statQueries: obs.NewCounter("s3_engine_stat_queries_total",
+			"statistical queries executed (batch included)"),
+		rangeQueries: obs.NewCounter("s3_engine_range_queries_total",
+			"range queries executed (batch included)"),
+		knnQueries: obs.NewCounter("s3_engine_knn_queries_total",
+			"k-NN queries executed (batch included)"),
+		batchQueries: obs.NewCounter("s3_engine_batch_queries_total",
+			"queries executed through the batch endpoints"),
+		inflight: obs.NewGauge("s3_engine_inflight_queries",
+			"queries currently executing in the engine (vs s3_engine_workers for utilization)"),
+	}
+}
+
+// RegisterMetrics publishes the engine's metrics, plus gauges describing
+// its static shape, into r. Call at most once per registry.
+func (e *Engine) RegisterMetrics(r *obs.Registry) {
+	r.MustRegister(e.met.plans, e.met.descentNodes, e.met.planSeconds,
+		e.met.planBlocks, e.met.refineSeconds, e.met.candidates,
+		e.met.statQueries, e.met.rangeQueries, e.met.knnQueries,
+		e.met.batchQueries, e.met.inflight)
+	r.GaugeFunc("s3_engine_workers", "engine worker bound",
+		func() float64 { return float64(e.workers) })
+	r.GaugeFunc("s3_engine_shards", "keyspace shard count",
+		func() float64 { return float64(len(e.shards)) })
+	r.GaugeFunc("s3_engine_records", "records in the served database",
+		func() float64 { return float64(e.ix.db.Len()) })
+}
+
+// liveMetrics are the live index's instruments: LSM shape and write-path
+// latencies (seal, manifest commit, compaction), plus the persistence
+// retry/degraded machinery's state. Created unregistered at
+// OpenLiveIndex; published by LiveIndex.RegisterMetrics.
+type liveMetrics struct {
+	ingested        *obs.Counter
+	deletes         *obs.Counter
+	compactions     *obs.Counter
+	persistFailures *obs.Counter
+	persistRetries  *obs.Counter
+	degradedTrips   *obs.Counter
+	degraded        *obs.Gauge
+	retryBackoff    *obs.Gauge
+	sealSeconds     *obs.Histogram
+	commitSeconds   *obs.Histogram
+	compactSeconds  *obs.Histogram
+	queries         *obs.Counter
+	querySegments   *obs.Histogram
+}
+
+func newLiveMetrics() liveMetrics {
+	return liveMetrics{
+		ingested: obs.NewCounter("s3_live_ingested_records_total",
+			"records accepted by Ingest"),
+		deletes: obs.NewCounter("s3_live_deletes_total",
+			"DeleteVideo operations that changed the snapshot"),
+		compactions: obs.NewCounter("s3_live_compactions_total",
+			"compactions committed"),
+		persistFailures: obs.NewCounter("s3_live_persist_failures_total",
+			"failed persistence attempts (seal, manifest commit or compaction)"),
+		persistRetries: obs.NewCounter("s3_live_persist_retries_total",
+			"backoff-scheduled persistence retry attempts"),
+		degradedTrips: obs.NewCounter("s3_live_degraded_transitions_total",
+			"transitions into degraded read-only mode"),
+		degraded: obs.NewGauge("s3_live_degraded",
+			"1 while the index is in degraded read-only mode"),
+		retryBackoff: obs.NewGauge("s3_live_retry_backoff_seconds",
+			"current persistence retry backoff delay (0 when no retry loop is waiting)"),
+		sealSeconds: obs.NewHistogram("s3_live_seal_seconds",
+			"wall time of sealing the memtable into an immutable segment", obs.LatencyBuckets()),
+		commitSeconds: obs.NewHistogram("s3_live_commit_seconds",
+			"wall time of a durable manifest commit", obs.LatencyBuckets()),
+		compactSeconds: obs.NewHistogram("s3_live_compaction_seconds",
+			"wall time of a committed compaction (merge, segment write and commit)", obs.LatencyBuckets()),
+		queries: obs.NewCounter("s3_live_queries_total",
+			"queries served against live snapshots (batch included)"),
+		querySegments: obs.NewHistogram("s3_live_query_segments",
+			"segments visited per query (memtable included)", obs.SizeBuckets()),
+	}
+}
+
+// RegisterMetrics publishes the live index's metrics, plus gauges
+// reading the current snapshot's shape, into r. Call at most once per
+// registry.
+func (li *LiveIndex) RegisterMetrics(r *obs.Registry) {
+	r.MustRegister(li.met.ingested, li.met.deletes, li.met.compactions,
+		li.met.persistFailures, li.met.persistRetries, li.met.degradedTrips,
+		li.met.degraded, li.met.retryBackoff, li.met.sealSeconds,
+		li.met.commitSeconds, li.met.compactSeconds, li.met.queries,
+		li.met.querySegments)
+	r.GaugeFunc("s3_live_memtable_records", "records in the mutable memtable",
+		func() float64 { return float64(li.snap.Load().mem.db.Len()) })
+	r.GaugeFunc("s3_live_segments", "sealed immutable segments",
+		func() float64 { return float64(len(li.snap.Load().segs)) })
+	r.GaugeFunc("s3_live_records", "query-visible records",
+		func() float64 {
+			snap := li.snap.Load()
+			n := snap.mem.db.Len()
+			for _, s := range snap.segs {
+				n += s.live
+			}
+			return float64(n)
+		})
+	r.GaugeFunc("s3_live_gen", "published snapshot generation",
+		func() float64 { return float64(li.snap.Load().gen) })
+	r.GaugeFunc("s3_live_dirty", "1 while durable state lags the published snapshot",
+		func() float64 {
+			li.persistMu.Lock()
+			dirty := li.dirty
+			li.persistMu.Unlock()
+			if dirty {
+				return 1
+			}
+			return 0
+		})
+}

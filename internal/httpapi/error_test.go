@@ -68,8 +68,11 @@ func TestIngestBodyCapErrorShape(t *testing.T) {
 	if resp.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Fatalf("oversized ingest: status %d, want 413", resp.StatusCode)
 	}
-	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
-		t.Fatalf("413 content type %q, want application/json", ct)
+	if ct := resp.Header.Get("Content-Type"); ct != jsonContentType {
+		t.Fatalf("413 content type %q, want %q", ct, jsonContentType)
+	}
+	if sv := resp.Header.Get("Server"); sv != serverHeader {
+		t.Fatalf("413 Server header %q, want %q", sv, serverHeader)
 	}
 	msg, _ := out["error"].(string)
 	if !strings.Contains(msg, "128") || !strings.Contains(msg, "split") {
@@ -104,7 +107,56 @@ func TestLiveWriteMethodNotAllowed(t *testing.T) {
 		if resp.StatusCode != http.StatusMethodNotAllowed {
 			t.Fatalf("%s %s: status %d, want 405", c.method, c.path, resp.StatusCode)
 		}
+		// The Server header is set before mux dispatch, so even 405s
+		// carry it.
+		if sv := resp.Header.Get("Server"); sv != serverHeader {
+			t.Fatalf("%s %s: Server header %q, want %q", c.method, c.path, sv, serverHeader)
+		}
 	}
+}
+
+// Every JSON response — success and every error path — carries the
+// Server header and the charset-qualified JSON content type.
+func TestJSONResponseHeaders(t *testing.T) {
+	s, _ := liveTestServer(t)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	check := func(what string, resp *http.Response) {
+		t.Helper()
+		if ct := resp.Header.Get("Content-Type"); ct != jsonContentType {
+			t.Errorf("%s: content type %q, want %q", what, ct, jsonContentType)
+		}
+		if sv := resp.Header.Get("Server"); sv != serverHeader {
+			t.Errorf("%s: Server header %q, want %q", what, sv, serverHeader)
+		}
+	}
+
+	// Success paths.
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	check("GET /healthz 200", hresp)
+	resp, _ := post(t, ts, "/search/range", map[string]interface{}{
+		"fingerprint": []int{1, 2, 3, 4}, "epsilon": 1.0})
+	check("search 200", resp)
+
+	// Error paths: malformed JSON (400), bad fingerprint (400), bad
+	// video id (400).
+	resp, _ = postRaw(t, ts, "/search/statistical", `{`)
+	check("malformed JSON 400", resp)
+	resp, _ = post(t, ts, "/search/knn", map[string]interface{}{
+		"fingerprint": []int{1}, "k": 3})
+	check("bad fingerprint 400", resp)
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/video/not-a-number", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	check("bad video id 400", dresp)
 }
 
 // A degraded index answers writes with 503 + Retry-After while searches

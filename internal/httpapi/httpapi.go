@@ -7,6 +7,7 @@
 //
 //	GET  /healthz                    liveness plus shard/segment/record counts
 //	GET  /stats                      database and index facts
+//	GET  /metrics                    Prometheus text exposition of every registered metric
 //	POST /search/statistical         {"fingerprint": [..], "alpha": 0.8, "sigma": 20}
 //	POST /search/statistical/batch   {"fingerprints": [[..], ..], "alpha": 0.8, "sigma": 20}
 //	POST /search/range               {"fingerprint": [..], "epsilon": 95}
@@ -15,6 +16,14 @@
 // Fingerprints are arrays of D integers in [0, 255]. Responses carry the
 // matches (id, tc, x, y, dist) plus plan/search diagnostics. Non-POST
 // requests to the search endpoints get 405.
+//
+// Appending ?trace=1 to a search request attaches a stage-level
+// execution trace ("trace": wall time per plan/refine stage plus
+// descent-node/block/candidate work counters) to the response;
+// Options.TraceRate additionally samples a fraction of untraced
+// searches. Every request is counted into per-route latency and
+// status-class series served at /metrics, alongside the engine's (or
+// live index's) own metrics.
 //
 // A server over a live index (NewLive) additionally accepts writes:
 //
@@ -40,13 +49,16 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"s3cbcd/internal/core"
+	"s3cbcd/internal/obs"
 	"s3cbcd/internal/store"
 )
 
@@ -69,7 +81,27 @@ type Options struct {
 	// MaxIngestBytes caps the request body of POST /ingest; 0 selects
 	// DefaultMaxIngestBytes, negative values disable the cap.
 	MaxIngestBytes int64
+	// Metrics is the registry the server publishes into: per-route
+	// request latency/status series, plus the engine's (or live index's)
+	// metrics, all served at GET /metrics. nil creates a fresh registry
+	// (reachable via Server.Metrics). A registry accommodates one server.
+	Metrics *obs.Registry
+	// TraceRate samples queries for stage-level tracing: each search
+	// carries a trace with probability TraceRate (0 disables sampling; a
+	// request can always opt in with ?trace=1). Sampled or requested
+	// traces are attached to the response under "trace".
+	TraceRate float64
+	// TraceSeed seeds the trace sampler, making the accept/reject
+	// sequence reproducible.
+	TraceSeed int64
 }
+
+// serverHeader identifies the service on every response.
+const serverHeader = "s3cbcd"
+
+// jsonContentType is the Content-Type of every JSON response, error
+// bodies included.
+const jsonContentType = "application/json; charset=utf-8"
 
 // DefaultMaxIngestBytes bounds an ingest request body when
 // Options.MaxIngestBytes is zero.
@@ -84,6 +116,10 @@ type Server struct {
 	mux       *http.ServeMux
 	sem       chan struct{} // nil = unbounded
 	maxIngest int64         // <= 0 = uncapped
+
+	reg      *obs.Registry
+	sampler  *obs.Sampler
+	inflight *obs.Gauge
 }
 
 // New returns a ready handler over the given static database.
@@ -95,6 +131,7 @@ func New(db *store.DB, opt Options) (*Server, error) {
 	eng := core.NewEngine(ix, opt.Shards, opt.Workers)
 	s := newServer(opt)
 	s.search, s.eng, s.dims = eng, eng, db.Dims()
+	eng.RegisterMetrics(s.reg)
 	return s, nil
 }
 
@@ -109,32 +146,103 @@ func NewLive(li *core.LiveIndex, opt Options) *Server {
 		opt.MaxIngestBytes = DefaultMaxIngestBytes
 	}
 	s.maxIngest = opt.MaxIngestBytes
+	li.RegisterMetrics(s.reg)
 	// Writes share the in-flight semaphore with searches, so a burst of
 	// ingests queues under the same admission control instead of
 	// spawning unbounded concurrent decodes and merges.
-	s.mux.HandleFunc("POST /ingest", s.bounded(s.handleIngest))
-	s.mux.HandleFunc("DELETE /video/{id}", s.bounded(s.handleDeleteVideo))
-	s.mux.HandleFunc("POST /flush", s.bounded(s.handleFlush))
-	s.mux.HandleFunc("POST /compact", s.bounded(s.handleCompact))
+	s.handle("POST /ingest", "/ingest", s.bounded(s.handleIngest))
+	s.handle("DELETE /video/{id}", "/video/{id}", s.bounded(s.handleDeleteVideo))
+	s.handle("POST /flush", "/flush", s.bounded(s.handleFlush))
+	s.handle("POST /compact", "/compact", s.bounded(s.handleCompact))
 	return s
 }
 
-// newServer builds the shared mux and semaphore.
+// newServer builds the shared mux, semaphore, registry and sampler.
 func newServer(opt Options) *Server {
-	s := &Server{mux: http.NewServeMux()}
+	s := &Server{mux: http.NewServeMux(), reg: opt.Metrics}
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
+	}
+	if opt.TraceRate > 0 {
+		s.sampler = obs.NewSampler(opt.TraceRate, opt.TraceSeed)
+	}
+	s.inflight = s.reg.Gauge("s3_http_inflight_requests",
+		"requests currently being handled (admission queue included)")
 	if opt.MaxInFlight == 0 {
 		opt.MaxInFlight = DefaultMaxInFlight
 	}
 	if opt.MaxInFlight > 0 {
 		s.sem = make(chan struct{}, opt.MaxInFlight)
 	}
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("POST /search/statistical", s.bounded(s.handleStat))
-	s.mux.HandleFunc("POST /search/statistical/batch", s.bounded(s.handleStatBatch))
-	s.mux.HandleFunc("POST /search/range", s.bounded(s.handleRange))
-	s.mux.HandleFunc("POST /search/knn", s.bounded(s.handleKNN))
+	s.mux.Handle("GET /metrics", s.reg.Handler())
+	s.handle("GET /healthz", "/healthz", s.handleHealthz)
+	s.handle("GET /stats", "/stats", s.handleStats)
+	s.handle("POST /search/statistical", "/search/statistical", s.bounded(s.handleStat))
+	s.handle("POST /search/statistical/batch", "/search/statistical/batch", s.bounded(s.handleStatBatch))
+	s.handle("POST /search/range", "/search/range", s.bounded(s.handleRange))
+	s.handle("POST /search/knn", "/search/knn", s.bounded(s.handleKNN))
 	return s
+}
+
+// handle registers h on the mux pattern wrapped in per-route
+// instrumentation labelled with route (the pattern's path, a fixed, low
+// cardinality set — never the raw request URL).
+func (s *Server) handle(pattern, route string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, s.instrument(route, h))
+}
+
+// instrument wraps a handler with the route's latency histogram and
+// status-class counters, created eagerly so every route renders in
+// /metrics from the first scrape. Latency covers time queued on the
+// admission semaphore (instrument wraps bounded).
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.reg.Histogram(fmt.Sprintf("s3_http_request_seconds{route=%q}", route),
+		"request wall time by route", obs.LatencyBuckets())
+	classes := [4]*obs.Counter{}
+	for i, class := range []string{"2xx", "3xx", "4xx", "5xx"} {
+		classes[i] = s.reg.Counter(
+			fmt.Sprintf("s3_http_requests_total{route=%q,code=%q}", route, class),
+			"requests served by route and status class")
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		hist.ObserveSince(t0)
+		if i := sw.code/100 - 2; i >= 0 && i < len(classes) {
+			classes[i].Inc()
+		}
+	}
+}
+
+// statusWriter captures the response status code for the route metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Metrics returns the server's registry (also served at GET /metrics),
+// for callers that add their own series — process gauges, store I/O
+// counters — next to the server's.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// traceFor decides whether this request's search is traced: always when
+// the client asks with ?trace=1, otherwise by the sampler. It returns
+// the context to run the search under and the trace to report (nil when
+// untraced).
+func (s *Server) traceFor(r *http.Request) (context.Context, *obs.Trace) {
+	if r.URL.Query().Get("trace") == "1" || s.sampler.Sample() {
+		tr := obs.NewTrace()
+		return obs.WithTrace(r.Context(), tr), tr
+	}
+	return r.Context(), nil
 }
 
 // Engine returns the server's query engine (nil for a live server).
@@ -143,8 +251,10 @@ func (s *Server) Engine() *core.Engine { return s.eng }
 // Live returns the server's live index (nil for a static server).
 func (s *Server) Live() *core.LiveIndex { return s.live }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. The Server header is set here,
+// before mux dispatch, so 404/405 responses carry it too.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Server", serverHeader)
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -223,13 +333,13 @@ func decode(w http.ResponseWriter, r *http.Request) (*searchRequest, bool) {
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", jsonContentType)
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
 func reply(w http.ResponseWriter, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", jsonContentType)
 	json.NewEncoder(w).Encode(v)
 }
 
@@ -351,15 +461,20 @@ func (s *Server) handleStat(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	matches, plan, err := s.search.SearchStat(r.Context(), fp, sq)
+	ctx, tr := s.traceFor(r)
+	matches, plan, err := s.search.SearchStat(ctx, fp, sq)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	reply(w, map[string]interface{}{
+	resp := map[string]interface{}{
 		"matches": toJSON(matches),
 		"plan":    planJSON(plan),
-	})
+	}
+	if tr != nil {
+		resp["trace"] = tr.Report()
+	}
+	reply(w, resp)
 }
 
 func (s *Server) handleStatBatch(w http.ResponseWriter, r *http.Request) {
@@ -385,7 +500,8 @@ func (s *Server) handleStatBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	results, err := s.search.SearchStatBatch(r.Context(), queries, sq)
+	ctx, tr := s.traceFor(r)
+	results, err := s.search.SearchStatBatch(ctx, queries, sq)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -394,7 +510,11 @@ func (s *Server) handleStatBatch(w http.ResponseWriter, r *http.Request) {
 	for i, ms := range results {
 		out[i] = toJSON(ms)
 	}
-	reply(w, map[string]interface{}{"results": out})
+	resp := map[string]interface{}{"results": out}
+	if tr != nil {
+		resp["trace"] = tr.Report()
+	}
+	reply(w, resp)
 }
 
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
@@ -407,15 +527,20 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	matches, plan, err := s.search.SearchRange(r.Context(), fp, req.Epsilon)
+	ctx, tr := s.traceFor(r)
+	matches, plan, err := s.search.SearchRange(ctx, fp, req.Epsilon)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	reply(w, map[string]interface{}{
+	resp := map[string]interface{}{
 		"matches": toJSON(matches),
 		"blocks":  plan.Blocks,
-	})
+	}
+	if tr != nil {
+		resp["trace"] = tr.Report()
+	}
+	reply(w, resp)
 }
 
 func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
@@ -428,16 +553,21 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	matches, stats, err := s.search.SearchKNN(r.Context(), fp, req.K, req.MaxLeaves)
+	ctx, tr := s.traceFor(r)
+	matches, stats, err := s.search.SearchKNN(ctx, fp, req.K, req.MaxLeaves)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	reply(w, map[string]interface{}{
+	resp := map[string]interface{}{
 		"matches": toJSON(matches),
 		"exact":   stats.Exact,
 		"scanned": stats.Scanned,
-	})
+	}
+	if tr != nil {
+		resp["trace"] = tr.Report()
+	}
+	reply(w, resp)
 }
 
 // recordJSON is the wire form of one ingested record.

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket histogram: bounds are chosen at
+// construction, an observation is a binary search plus two atomic
+// updates (no locks, no allocation), and quantiles are estimated from
+// the bucket counts by linear interpolation. Rendered in Prometheus
+// histogram form (_bucket/_sum/_count with cumulative le buckets).
+type Histogram struct {
+	family, labels, help string
+	bounds               []float64 // ascending upper bounds; +Inf implicit
+	counts               []atomic.Uint64
+	sumBits              atomic.Uint64
+}
+
+// NewHistogram returns an unregistered histogram over the given upper
+// bucket bounds, which must be sorted ascending. The +Inf overflow
+// bucket is implicit. The bounds slice is copied.
+func NewHistogram(name, help string, bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("obs: histogram %s bounds are not ascending", name))
+	}
+	family, labels := splitName(name)
+	return &Histogram{
+		family: family, labels: labels, help: help,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// First bound >= v: the le="bound" bucket the sample belongs to.
+	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since t0 — the one-liner for
+// latency instrumentation.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h != nil {
+		h.Observe(time.Since(t0).Seconds())
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) by linear
+// interpolation within the bucket holding the target rank. Values in the
+// overflow bucket are attributed to the largest finite bound (the
+// estimate saturates there). Returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	counts := make([]uint64, len(h.counts))
+	var total uint64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(total)
+	cum := 0.0
+	for i, c := range counts {
+		next := cum + float64(c)
+		if next >= target && c > 0 {
+			if i == len(h.bounds) {
+				// Overflow bucket: no finite upper edge to interpolate to.
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (target - cum) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum = next
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+func (h *Histogram) desc() (string, string, string, string) {
+	return h.family, h.labels, h.help, "histogram"
+}
+
+func (h *Histogram) write(w io.Writer) {
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatFloat(h.bounds[i])
+		}
+		fmt.Fprintf(w, "%s_bucket{%s} %d\n", h.family, labelsWith(h.labels, `le="`+le+`"`), cum)
+	}
+	fmt.Fprintf(w, "%s %s\n", seriesName(h.family+"_sum", h.labels), formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s %d\n", seriesName(h.family+"_count", h.labels), cum)
+}
+
+// LatencyBuckets are the default histogram bounds for request and stage
+// latencies, in seconds: 10µs to 10s, roughly 2.5x apart.
+func LatencyBuckets() []float64 {
+	return []float64{
+		1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+		1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+		0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+}
+
+// SizeBuckets are the default histogram bounds for counts (blocks,
+// records, candidates): powers of four from 1 to 1M.
+func SizeBuckets() []float64 {
+	return []float64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576}
+}

@@ -1,0 +1,19 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+)
+
+// NopLogger returns a *slog.Logger that discards every record, for
+// components whose caller wired no logging (a library default that
+// keeps call sites unconditional: log through the logger, never check
+// for nil).
+func NopLogger() *slog.Logger { return slog.New(nopHandler{}) }
+
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }

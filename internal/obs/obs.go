@@ -1,0 +1,295 @@
+// Package obs is the observability layer of the system: a lock-cheap
+// metrics registry (atomic counters, gauges and fixed-bucket histograms
+// with quantile summaries) rendered in the Prometheus text exposition
+// format, a per-query Trace carrier threaded through query execution via
+// context, a seeded sampler deciding which queries carry one, and a
+// no-op slog logger for components whose caller wired no logging.
+//
+// The package is stdlib-only and dependency-free within the repository,
+// so every layer (store, core, httpapi, cbcd, cmds) can instrument
+// itself without import cycles.
+//
+// # Metric naming
+//
+// Families are snake_case with an `s3_<subsystem>_` prefix and a unit
+// suffix where one applies: `s3_engine_plan_seconds`,
+// `s3_store_read_bytes_total`, `s3_live_memtable_records`. Counters end
+// in `_total`. Label sets are fixed at registration time (there is no
+// dynamic label API) and bounded by construction — routes come from the
+// static mux table, status codes are collapsed to classes — which keeps
+// series cardinality a compile-time property. Every family must be
+// documented in docs/METRICS.md; `make vet` fails otherwise.
+//
+// Metric update paths are allocation-free and safe for concurrent use:
+// counters and gauges are single atomics, a histogram observation is a
+// binary search plus two atomic updates. Metric methods tolerate nil
+// receivers (they do nothing), so optional instrumentation points need
+// no guards.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Metric is one registered series: a Counter, Gauge or Histogram.
+// Implementations live in this package; other packages only construct
+// and register them.
+type Metric interface {
+	// desc returns the family name, the fixed label pairs (raw, e.g.
+	// `route="/x"`, empty for none) and the help and type strings.
+	desc() (family, labels, help, typ string)
+	// write renders the metric's current sample lines (without HELP/TYPE
+	// headers) in Prometheus text format.
+	write(w io.Writer)
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	family, labels, help string
+	v                    atomic.Int64
+}
+
+// NewCounter returns an unregistered counter (register it later with
+// Registry.MustRegister, or never — it still counts).
+func NewCounter(name, help string) *Counter {
+	family, labels := splitName(name)
+	return &Counter{family: family, labels: labels, help: help}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (n must be >= 0 to keep the counter monotone).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+func (c *Counter) desc() (string, string, string, string) {
+	return c.family, c.labels, c.help, "counter"
+}
+
+func (c *Counter) write(w io.Writer) {
+	fmt.Fprintf(w, "%s %d\n", seriesName(c.family, c.labels), c.v.Load())
+}
+
+// Gauge is an atomic float64 gauge, optionally backed by a callback
+// evaluated at scrape time (NewGaugeFunc).
+type Gauge struct {
+	family, labels, help string
+	bits                 atomic.Uint64
+	fn                   func() float64
+}
+
+// NewGauge returns an unregistered settable gauge.
+func NewGauge(name, help string) *Gauge {
+	family, labels := splitName(name)
+	return &Gauge{family: family, labels: labels, help: help}
+}
+
+// NewGaugeFunc returns an unregistered gauge whose value is fn(),
+// evaluated at every scrape. fn must be safe for concurrent use.
+func NewGaugeFunc(name, help string, fn func() float64) *Gauge {
+	g := NewGauge(name, help)
+	g.fn = fn
+	return g
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds d to the gauge (use a negative d to decrease).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (the callback's result for a
+// NewGaugeFunc gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	if g.fn != nil {
+		return g.fn()
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+func (g *Gauge) desc() (string, string, string, string) {
+	return g.family, g.labels, g.help, "gauge"
+}
+
+func (g *Gauge) write(w io.Writer) {
+	fmt.Fprintf(w, "%s %s\n", seriesName(g.family, g.labels), formatFloat(g.Value()))
+}
+
+// Registry holds a set of metrics for rendering. Registering the same
+// (family, labels) series twice panics: every series must have exactly
+// one owner. A Registry is safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []Metric
+	names   map[string]struct{}
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]struct{})}
+}
+
+// MustRegister adds metrics to the registry, panicking if any series
+// (family plus label set) is already present.
+func (r *Registry) MustRegister(ms ...Metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, m := range ms {
+		family, labels, _, _ := m.desc()
+		key := seriesName(family, labels)
+		if _, dup := r.names[key]; dup {
+			panic(fmt.Sprintf("obs: metric %s registered twice", key))
+		}
+		r.names[key] = struct{}{}
+		r.metrics = append(r.metrics, m)
+	}
+}
+
+// Counter creates and registers a counter. The name may carry a fixed
+// label set in braces: `s3_http_requests_total{route="/x"}`.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := NewCounter(name, help)
+	r.MustRegister(c)
+	return c
+}
+
+// Gauge creates and registers a settable gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := NewGauge(name, help)
+	r.MustRegister(g)
+	return g
+}
+
+// GaugeFunc creates and registers a callback gauge.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) *Gauge {
+	g := NewGaugeFunc(name, help, fn)
+	r.MustRegister(g)
+	return g
+}
+
+// Histogram creates and registers a histogram with the given upper
+// bucket bounds (see NewHistogram).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	h := NewHistogram(name, help, bounds)
+	r.MustRegister(h)
+	return h
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4), sorted by series name with one
+// HELP/TYPE header per family.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	ms := make([]Metric, len(r.metrics))
+	copy(ms, r.metrics)
+	r.mu.Unlock()
+	sort.SliceStable(ms, func(i, j int) bool {
+		fi, li, _, _ := ms[i].desc()
+		fj, lj, _, _ := ms[j].desc()
+		if fi != fj {
+			return fi < fj
+		}
+		return li < lj
+	})
+	lastFamily := ""
+	for _, m := range ms {
+		family, _, help, typ := m.desc()
+		if family != lastFamily {
+			fmt.Fprintf(w, "# HELP %s %s\n", family, escapeHelp(help))
+			fmt.Fprintf(w, "# TYPE %s %s\n", family, typ)
+			lastFamily = family
+		}
+		m.write(w)
+	}
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text format (the GET /metrics endpoint).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// splitName splits `family{labels}` into its parts; names without braces
+// have no labels.
+func splitName(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], strings.TrimSuffix(name[i+1:], "}")
+	}
+	return name, ""
+}
+
+// seriesName renders the full series name with its fixed label set.
+func seriesName(family, labels string) string {
+	if labels == "" {
+		return family
+	}
+	return family + "{" + labels + "}"
+}
+
+// labelsWith appends one more label pair to a (possibly empty) fixed
+// label set.
+func labelsWith(labels, extra string) string {
+	if labels == "" {
+		return extra
+	}
+	return labels + "," + extra
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Bucket assignment follows Prometheus le semantics: a value lands in
+// the first bucket whose upper bound is >= the value, boundary values
+// inclusive.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram("s3_test_h", "t", []float64{1, 10, 100})
+	for _, v := range []float64{0, 1, 1.5, 10, 10.5, 100, 101, 1e9} {
+		h.Observe(v)
+	}
+	want := []uint64{2, 2, 2, 2} // {0,1} {1.5,10} {10.5,100} {101,1e9}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d holds %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 8 {
+		t.Errorf("count %d, want 8", h.Count())
+	}
+	wantSum := 0 + 1 + 1.5 + 10 + 10.5 + 100 + 101 + 1e9
+	if math.Abs(h.Sum()-wantSum) > 1e-9 {
+		t.Errorf("sum %v, want %v", h.Sum(), wantSum)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram("s3_test_q", "t", []float64{10, 20, 30, 40})
+	// 100 observations uniform over (0, 40]: 25 per bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 0.4)
+	}
+	for _, c := range []struct{ q, want, tol float64 }{
+		{0.5, 20, 0.5},   // median at the 20 boundary
+		{0.25, 10, 0.5},  // first quartile at the 10 boundary
+		{0.75, 30, 0.5},  // third quartile at the 30 boundary
+		{0.9, 36, 0.75},  // interpolated inside the last bucket
+		{1.0, 40, 0.01},  // max is the top bound
+		{0.0, 0.0, 0.25}, // q=0 degenerates to the bucket floor
+	} {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > c.tol {
+			t.Errorf("q%.2f = %v, want %v +- %v", c.q, got, c.want, c.tol)
+		}
+	}
+	// Overflow observations saturate the estimate at the top bound.
+	h2 := NewHistogram("s3_test_q2", "t", []float64{1, 2})
+	for i := 0; i < 10; i++ {
+		h2.Observe(50)
+	}
+	if got := h2.Quantile(0.5); got != 2 {
+		t.Errorf("overflow quantile %v, want 2 (top bound)", got)
+	}
+	// Empty histogram.
+	if got := NewHistogram("s3_e", "t", []float64{1}).Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile %v, want 0", got)
+	}
+	// Nil receiver is inert.
+	var nilH *Histogram
+	nilH.Observe(1)
+	if nilH.Quantile(0.5) != 0 || nilH.Count() != 0 {
+		t.Error("nil histogram is not inert")
+	}
+}
+
+// Counters, gauges and histograms take concurrent updates without loss
+// (run under -race in make race).
+func TestConcurrentUpdates(t *testing.T) {
+	c := NewCounter("s3_test_c", "t")
+	g := NewGauge("s3_test_g", "t")
+	h := NewHistogram("s3_test_ch", "t", []float64{0.5, 1.5})
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Errorf("counter %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != workers*per {
+		t.Errorf("gauge %v, want %d", g.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Errorf("histogram count %d, want %d", h.Count(), workers*per)
+	}
+	if h.Sum() != workers*per {
+		t.Errorf("histogram sum %v, want %d", h.Sum(), workers*per)
+	}
+	if n := h.counts[1].Load(); n != workers*per {
+		t.Errorf("le=1.5 bucket %d, want %d", n, workers*per)
+	}
+}
+
+// Golden test of the text exposition: families sorted, HELP/TYPE once
+// per family, cumulative buckets, labelled series.
+func TestPrometheusRenderingGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("s3_test_requests_total", "requests served")
+	c.Add(3)
+	g := r.Gauge("s3_test_inflight", "in-flight requests")
+	g.Set(2)
+	r.GaugeFunc("s3_test_fn", "callback gauge", func() float64 { return 7.5 })
+	h := r.Histogram(`s3_test_seconds{route="/x"}`, "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	lc := r.Counter(`s3_test_requests_by_route_total{route="/x",code="2xx"}`, "by route")
+	lc.Inc()
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	got := b.String()
+	want := `# HELP s3_test_fn callback gauge
+# TYPE s3_test_fn gauge
+s3_test_fn 7.5
+# HELP s3_test_inflight in-flight requests
+# TYPE s3_test_inflight gauge
+s3_test_inflight 2
+# HELP s3_test_requests_by_route_total by route
+# TYPE s3_test_requests_by_route_total counter
+s3_test_requests_by_route_total{route="/x",code="2xx"} 1
+# HELP s3_test_requests_total requests served
+# TYPE s3_test_requests_total counter
+s3_test_requests_total 3
+# HELP s3_test_seconds latency
+# TYPE s3_test_seconds histogram
+s3_test_seconds_bucket{route="/x",le="0.1"} 1
+s3_test_seconds_bucket{route="/x",le="1"} 2
+s3_test_seconds_bucket{route="/x",le="+Inf"} 3
+s3_test_seconds_sum{route="/x"} 5.55
+s3_test_seconds_count{route="/x"} 3
+`
+	if got != want {
+		t.Errorf("rendering mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("s3_test_dup_total", "t")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("s3_test_dup_total", "t")
+}
+
+// Same family with distinct label sets is not a duplicate.
+func TestRegistryLabelledSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`s3_test_lbl_total{route="/a"}`, "t")
+	r.Counter(`s3_test_lbl_total{route="/b"}`, "t")
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if n := strings.Count(b.String(), "# TYPE s3_test_lbl_total counter"); n != 1 {
+		t.Errorf("family header appears %d times, want 1:\n%s", n, b.String())
+	}
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace is the per-query execution record threaded through a search via
+// its context: plan → frontier descent → per-shard/per-segment
+// refinement → vote, each stage recording its wall time, plus the
+// work counters the paper's evaluation is phrased in (partition-tree
+// nodes descended, p-blocks selected, candidate records refined,
+// segments visited).
+//
+// A nil *Trace is the disabled state: every method no-ops, FromContext
+// returns nil for untraced contexts, and the instrumentation points are
+// written so the disabled path performs no allocation — tracing off
+// costs one context lookup and a few predictable branches.
+//
+// Stage records come from the orchestrating goroutine of a query; the
+// work counters are atomic so concurrent shard/segment refinement
+// workers can add to a shared trace.
+type Trace struct {
+	t0 time.Time
+
+	mu     sync.Mutex
+	stages []traceStage
+
+	descentNodes atomic.Int64
+	blocks       atomic.Int64
+	candidates   atomic.Int64
+	segments     atomic.Int64
+}
+
+type traceStage struct {
+	name       string
+	start, dur time.Duration
+}
+
+// NewTrace returns an armed trace starting now.
+func NewTrace() *Trace { return &Trace{t0: time.Now()} }
+
+type traceKey struct{}
+
+// WithTrace arms ctx with tr: instrumentation points downstream record
+// into it.
+func WithTrace(ctx context.Context, tr *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, tr)
+}
+
+// FromContext returns the context's trace, or nil when the query is not
+// traced. The lookup allocates nothing.
+func FromContext(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(traceKey{}).(*Trace)
+	return tr
+}
+
+// StageSince appends a stage that began at start and ends now. Offsets
+// are relative to the trace start, so stages from nested calls line up
+// on one timeline.
+func (t *Trace) StageSince(name string, start time.Time) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.mu.Lock()
+	t.stages = append(t.stages, traceStage{name: name, start: start.Sub(t.t0), dur: now.Sub(start)})
+	t.mu.Unlock()
+}
+
+// AddDescentNodes accumulates partition-tree nodes visited by planning.
+func (t *Trace) AddDescentNodes(n int64) {
+	if t != nil {
+		t.descentNodes.Add(n)
+	}
+}
+
+// AddBlocks accumulates p-blocks selected by plans.
+func (t *Trace) AddBlocks(n int64) {
+	if t != nil {
+		t.blocks.Add(n)
+	}
+}
+
+// AddCandidates accumulates candidate records scanned by refinement.
+func (t *Trace) AddCandidates(n int64) {
+	if t != nil {
+		t.candidates.Add(n)
+	}
+}
+
+// AddSegments accumulates segments (or shards) visited by refinement.
+func (t *Trace) AddSegments(n int64) {
+	if t != nil {
+		t.segments.Add(n)
+	}
+}
+
+// StageReport is one stage of a trace report. Times are microseconds
+// from the trace start (Start) and stage duration (Micros).
+type StageReport struct {
+	Name        string `json:"name"`
+	StartMicros int64  `json:"startMicros"`
+	Micros      int64  `json:"micros"`
+}
+
+// TraceReport is the JSON-marshalable snapshot of a trace, attached to
+// HTTP responses for traced queries.
+type TraceReport struct {
+	TotalMicros  int64         `json:"totalMicros"`
+	Stages       []StageReport `json:"stages"`
+	DescentNodes int64         `json:"descentNodes"`
+	Blocks       int64         `json:"blocks"`
+	Candidates   int64         `json:"candidates"`
+	Segments     int64         `json:"segments,omitempty"`
+}
+
+// Report snapshots the trace. Total time runs from NewTrace to this
+// call.
+func (t *Trace) Report() TraceReport {
+	if t == nil {
+		return TraceReport{}
+	}
+	r := TraceReport{
+		TotalMicros:  time.Since(t.t0).Microseconds(),
+		DescentNodes: t.descentNodes.Load(),
+		Blocks:       t.blocks.Load(),
+		Candidates:   t.candidates.Load(),
+		Segments:     t.segments.Load(),
+	}
+	t.mu.Lock()
+	for _, s := range t.stages {
+		r.Stages = append(r.Stages, StageReport{
+			Name:        s.name,
+			StartMicros: s.start.Microseconds(),
+			Micros:      s.dur.Microseconds(),
+		})
+	}
+	t.mu.Unlock()
+	return r
+}
+
+// Sampler decides which queries carry a trace: each Sample draws
+// independently with the configured probability from a seeded generator,
+// so a test (or a reproduction) with a fixed seed sees a deterministic
+// accept/reject sequence.
+type Sampler struct {
+	mu   sync.Mutex
+	rate float64
+	rng  *rand.Rand
+}
+
+// NewSampler returns a sampler accepting with probability rate (clamped
+// to [0, 1]) using the given seed. A nil sampler never samples.
+func NewSampler(rate float64, seed int64) *Sampler {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return &Sampler{rate: rate, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Sample reports whether the next query should be traced.
+func (s *Sampler) Sample() bool {
+	if s == nil {
+		return false
+	}
+	if s.rate <= 0 {
+		return false
+	}
+	if s.rate >= 1 {
+		return true
+	}
+	s.mu.Lock()
+	ok := s.rng.Float64() < s.rate
+	s.mu.Unlock()
+	return ok
+}

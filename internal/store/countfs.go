@@ -1,0 +1,174 @@
+package store
+
+import (
+	"errors"
+	"io"
+	iofs "io/fs"
+
+	"s3cbcd/internal/obs"
+)
+
+// CountingFS wraps an FS and counts every byte and call that crosses
+// the seam: bytes read and written, fsyncs of files and directories,
+// opens, creates, renames, removes, and I/O errors. It composes with
+// any inner FS — the operating system, or a fault-injecting one, in
+// which case injected faults show up in the error counter exactly like
+// real ones would.
+//
+// The counters are standalone obs metrics, updated with single atomics
+// on the I/O path; RegisterMetrics publishes them. A CountingFS is safe
+// for concurrent use whenever its inner FS is.
+type CountingFS struct {
+	inner FS
+
+	readBytes    *obs.Counter
+	writtenBytes *obs.Counter
+	syncs        *obs.Counter
+	dirSyncs     *obs.Counter
+	opens        *obs.Counter
+	creates      *obs.Counter
+	renames      *obs.Counter
+	removes      *obs.Counter
+	ioErrors     *obs.Counter
+}
+
+// NewCountingFS wraps inner (nil selects OSFS) with fresh counters.
+func NewCountingFS(inner FS) *CountingFS {
+	if inner == nil {
+		inner = OSFS
+	}
+	return &CountingFS{
+		inner: inner,
+		readBytes: obs.NewCounter("s3_store_read_bytes_total",
+			"bytes read through the store filesystem seam"),
+		writtenBytes: obs.NewCounter("s3_store_written_bytes_total",
+			"bytes written through the store filesystem seam"),
+		syncs: obs.NewCounter("s3_store_syncs_total",
+			"file fsyncs issued"),
+		dirSyncs: obs.NewCounter("s3_store_dir_syncs_total",
+			"directory fsyncs issued"),
+		opens: obs.NewCounter("s3_store_opens_total",
+			"files opened for reading"),
+		creates: obs.NewCounter("s3_store_creates_total",
+			"files created for writing"),
+		renames: obs.NewCounter("s3_store_renames_total",
+			"atomic renames issued"),
+		removes: obs.NewCounter("s3_store_removes_total",
+			"file removals issued"),
+		ioErrors: obs.NewCounter("s3_store_io_errors_total",
+			"I/O operations that returned an error (injected faults included)"),
+	}
+}
+
+// RegisterMetrics publishes the I/O counters into r. Call at most once
+// per registry.
+func (c *CountingFS) RegisterMetrics(r *obs.Registry) {
+	r.MustRegister(c.readBytes, c.writtenBytes, c.syncs, c.dirSyncs,
+		c.opens, c.creates, c.renames, c.removes, c.ioErrors)
+}
+
+// Inner returns the wrapped FS.
+func (c *CountingFS) Inner() FS { return c.inner }
+
+// ReadBytes returns the lifetime count of bytes read.
+func (c *CountingFS) ReadBytes() int64 { return c.readBytes.Value() }
+
+// WrittenBytes returns the lifetime count of bytes written.
+func (c *CountingFS) WrittenBytes() int64 { return c.writtenBytes.Value() }
+
+// Syncs returns the lifetime count of file fsyncs.
+func (c *CountingFS) Syncs() int64 { return c.syncs.Value() }
+
+// IOErrors returns the lifetime count of failed I/O operations.
+func (c *CountingFS) IOErrors() int64 { return c.ioErrors.Value() }
+
+func (c *CountingFS) noteErr(err error) error {
+	if err != nil {
+		c.ioErrors.Inc()
+	}
+	return err
+}
+
+func (c *CountingFS) Open(path string) (Handle, error) {
+	h, err := c.inner.Open(path)
+	if err != nil {
+		c.ioErrors.Inc()
+		return nil, err
+	}
+	c.opens.Inc()
+	return &countingHandle{inner: h, fs: c}, nil
+}
+
+func (c *CountingFS) Create(path string) (Handle, error) {
+	h, err := c.inner.Create(path)
+	if err != nil {
+		c.ioErrors.Inc()
+		return nil, err
+	}
+	c.creates.Inc()
+	return &countingHandle{inner: h, fs: c}, nil
+}
+
+func (c *CountingFS) Rename(oldPath, newPath string) error {
+	c.renames.Inc()
+	return c.noteErr(c.inner.Rename(oldPath, newPath))
+}
+
+func (c *CountingFS) Remove(path string) error {
+	c.removes.Inc()
+	return c.noteErr(c.inner.Remove(path))
+}
+
+func (c *CountingFS) ReadDir(dir string) ([]iofs.DirEntry, error) {
+	ents, err := c.inner.ReadDir(dir)
+	return ents, c.noteErr(err)
+}
+
+func (c *CountingFS) SyncDir(dir string) error {
+	c.dirSyncs.Inc()
+	return c.noteErr(c.inner.SyncDir(dir))
+}
+
+// countingHandle counts the bytes and syncs of one open file. Partial
+// reads and writes are counted by what actually transferred.
+type countingHandle struct {
+	inner Handle
+	fs    *CountingFS
+}
+
+func (h *countingHandle) Read(p []byte) (int, error) {
+	n, err := h.inner.Read(p)
+	h.fs.readBytes.Add(int64(n))
+	// io.EOF is the normal end of a sequential read, not a fault.
+	if err != nil && !errors.Is(err, io.EOF) {
+		h.fs.ioErrors.Inc()
+	}
+	return n, err
+}
+
+func (h *countingHandle) ReadAt(p []byte, off int64) (int, error) {
+	n, err := h.inner.ReadAt(p, off)
+	h.fs.readBytes.Add(int64(n))
+	if err != nil && !errors.Is(err, io.EOF) {
+		h.fs.ioErrors.Inc()
+	}
+	return n, err
+}
+
+func (h *countingHandle) Write(p []byte) (int, error) {
+	n, err := h.inner.Write(p)
+	h.fs.writtenBytes.Add(int64(n))
+	if err != nil {
+		h.fs.ioErrors.Inc()
+	}
+	return n, err
+}
+
+func (h *countingHandle) Sync() error {
+	h.fs.syncs.Inc()
+	return h.fs.noteErr(h.inner.Sync())
+}
+
+func (h *countingHandle) Close() error {
+	return h.fs.noteErr(h.inner.Close())
+}

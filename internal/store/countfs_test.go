@@ -1,0 +1,103 @@
+package store_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"s3cbcd/internal/faultfs"
+	"s3cbcd/internal/hilbert"
+	"s3cbcd/internal/obs"
+	"s3cbcd/internal/store"
+)
+
+func countTestDB(t *testing.T) *store.DB {
+	t.Helper()
+	curve, err := hilbert.New(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]store.Record, 64)
+	for i := range recs {
+		var fp [4]byte
+		for d := range fp {
+			fp[d] = byte((i*37 + d*11) % 251)
+		}
+		recs[i] = store.Record{ID: uint32(i % 8), TC: uint32(i), FP: fp[:]}
+	}
+	db, err := store.Build(curve, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// A write-read round trip through a CountingFS accounts for every byte
+// and fsync the store issues, and the counters render through a
+// registry.
+func TestCountingFSRoundTrip(t *testing.T) {
+	db := countTestDB(t)
+	cfs := store.NewCountingFS(store.OSFS)
+	path := filepath.Join(t.TempDir(), "seg.s3db")
+
+	if err := db.WriteFileFS(cfs, path, 4); err != nil {
+		t.Fatal(err)
+	}
+	if cfs.WrittenBytes() == 0 {
+		t.Error("write counted no bytes")
+	}
+	if cfs.Syncs() == 0 {
+		t.Error("write counted no fsyncs")
+	}
+	written := cfs.WrittenBytes()
+
+	got, err := store.ReadFileFS(cfs, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != db.Len() {
+		t.Fatalf("read back %d records, want %d", got.Len(), db.Len())
+	}
+	if cfs.ReadBytes() == 0 {
+		t.Error("read counted no bytes")
+	}
+	if cfs.WrittenBytes() != written {
+		t.Error("reading changed the written-bytes counter")
+	}
+	if cfs.IOErrors() != 0 {
+		t.Errorf("clean round trip counted %d I/O errors", cfs.IOErrors())
+	}
+
+	r := obs.NewRegistry()
+	cfs.RegisterMetrics(r)
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	for _, want := range []string{
+		"s3_store_read_bytes_total", "s3_store_written_bytes_total",
+		"s3_store_syncs_total", "s3_store_io_errors_total",
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("rendering lacks %s", want)
+		}
+	}
+}
+
+// CountingFS composes with faultfs: injected faults surface in the
+// error counter like real ones.
+func TestCountingFSCountsInjectedFaults(t *testing.T) {
+	db := countTestDB(t)
+	ffs := faultfs.New(store.OSFS, func(op faultfs.Op, _ string, _ int) faultfs.Action {
+		if op == faultfs.OpSync {
+			return faultfs.Fail
+		}
+		return faultfs.Pass
+	})
+	cfs := store.NewCountingFS(ffs)
+	err := db.WriteFileFS(cfs, filepath.Join(t.TempDir(), "seg.s3db"), 4)
+	if err == nil {
+		t.Fatal("write succeeded despite injected sync failure")
+	}
+	if cfs.IOErrors() == 0 {
+		t.Error("injected fault not counted as an I/O error")
+	}
+}

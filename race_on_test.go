@@ -1,0 +1,7 @@
+//go:build race
+
+package s3
+
+// raceEnabled reports whether this binary was built with -race, whose
+// instrumentation allocates and invalidates allocation-count tests.
+const raceEnabled = true
