@@ -5,7 +5,7 @@ GO ?= go
 # its counters and histograms are written from every engine goroutine.
 RACE_PKGS = . ./internal/core ./internal/store ./internal/httpapi ./internal/cbcd ./internal/obs
 
-.PHONY: check vet build test race cover bench bench-shard bench-plan faults
+.PHONY: check vet build test race cover bench bench-shard bench-plan bench-cold faults
 
 # check is the full verification gate: static checks, build, all tests,
 # then the race detector over the engine packages.
@@ -38,7 +38,7 @@ endif
 faults:
 	@echo "fault injection with FAULT_SEED=$(FAULT_SEED)"
 	FAULT_SEED=$(FAULT_SEED) $(GO) test -race -count=1 \
-		-run 'TestLiveIndex(CrashHarness|RetriesTransientFaults|DegradedMode|CompactionDegradedHeals|SealFailureLeavesNoOrphans)|TestOpenFault|TestLoadRecords(FaultyReadAt|ShortReadAt)|TestDegradedWrites503' \
+		-run 'TestLiveIndex(CrashHarness|RetriesTransientFaults|DegradedMode|CompactionDegradedHeals|SealFailureLeavesNoOrphans)|TestOpenFault|TestLoadRecords(FaultyReadAt|ShortReadAt)|TestDegradedWrites503|TestColdRead' \
 		./internal/core ./internal/store ./internal/httpapi ./internal/faultfs
 
 # cover prints per-package statement coverage (and leaves cover.out for
@@ -60,3 +60,9 @@ bench-shard:
 # the 500k fingerprint corpus).
 bench-plan:
 	$(GO) test -run TestPlanBenchSweep -bench-plan -timeout 30m .
+
+# bench-cold regenerates BENCH_cold.json (cold-tier serving vs
+# all-resident: bytes read per query, cache hit rate and queries/sec at
+# cache budgets down to ~10% of the corpus record bytes).
+bench-cold:
+	$(GO) test -run TestColdBenchSweep -bench-cold -timeout 30m .

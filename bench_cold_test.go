@@ -1,0 +1,249 @@
+package s3
+
+// Cold-tier serving benchmark: statistical queries at α=0.8, σ=18 over a
+// live index whose sealed segments serve from disk through the block
+// cache, against the same directory served all-resident.
+//
+//	go test -run TestColdBenchSweep -bench-cold -timeout 30m .
+//
+// regenerates BENCH_cold.json in the repository root (gated behind the
+// flag because building the corpus takes a while). The sweep covers
+// cache budgets from "whole corpus fits" down to ~10% of the record
+// bytes and a retention-free cache, reporting queries/sec, bytes read
+// from disk per query and the cache hit rate — and verifies in-run that
+// every configuration answers match-for-match identically to the
+// resident baseline.
+//
+//	-bench-cold-records N   corpus size (default 200000)
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"s3cbcd/internal/core"
+	"s3cbcd/internal/experiments"
+	"s3cbcd/internal/fingerprint"
+	"s3cbcd/internal/hilbert"
+	"s3cbcd/internal/store"
+)
+
+var (
+	benchColdFlag    = flag.Bool("bench-cold", false, "run the cold-tier sweep and write BENCH_cold.json")
+	benchColdRecords = flag.Int("bench-cold-records", 200_000, "corpus size for -bench-cold")
+)
+
+const (
+	coldBenchQueries  = 96
+	coldBenchSegments = 4
+	coldBenchRounds   = 3
+)
+
+type coldBenchResult struct {
+	Name          string  `json:"name"`
+	CacheBudget   int64   `json:"cache_budget_bytes"`
+	BudgetPct     float64 `json:"cache_budget_pct_of_records"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	BytesPerQuery float64 `json:"disk_bytes_read_per_query"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	CacheEvicts   int64   `json:"cache_evictions"`
+}
+
+// coldBenchDir builds the shared on-disk index: one live directory whose
+// committed snapshot holds the corpus in a handful of sealed segments.
+func coldBenchDir(t *testing.T, curve *hilbert.Curve, recs []store.Record) string {
+	t.Helper()
+	dir := t.TempDir()
+	li, err := core.OpenLiveIndex(curve, dir, core.LiveOptions{
+		MemtableRecords: (len(recs) + coldBenchSegments - 1) / coldBenchSegments,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := li.Ingest(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := li.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := li.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// dirRecordBytes sums the on-disk record-area bytes of the committed
+// segments — the quantity cache budgets are expressed against.
+func dirRecordBytes(t *testing.T, dir string) int64 {
+	t.Helper()
+	man, err := store.RecoverManifestFS(store.OSFS, dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, seg := range man.Segments {
+		fl, err := store.Open(filepath.Join(dir, seg.Name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += fl.RecordBytes()
+		fl.Close()
+	}
+	return total
+}
+
+// TestColdBenchSweep measures the cold serving path against the resident
+// baseline and writes BENCH_cold.json. Gated behind -bench-cold.
+func TestColdBenchSweep(t *testing.T) {
+	if !*benchColdFlag {
+		t.Skip("pass -bench-cold to run the cold-tier sweep")
+	}
+	n := *benchColdRecords
+	curve := hilbert.MustNew(fingerprint.D, 8)
+	recs := experiments.FPCorpus(n, 1)
+	refDB, err := store.Build(curve, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, _ := experiments.DistortedQueries(refDB, coldBenchQueries, shardBenchSigma, 2)
+	sq := core.StatQuery{Alpha: shardBenchAlpha,
+		Model: core.IsoNormal{D: fingerprint.D, Sigma: shardBenchSigma}}
+
+	dir := coldBenchDir(t, curve, recs)
+	recordBytes := dirRecordBytes(t, dir)
+	t.Logf("corpus: %d records, %d segment record bytes", n, recordBytes)
+
+	configs := []struct {
+		name   string
+		cold   bool
+		budget int64
+	}{
+		{"resident", false, 0},
+		{"cold-full-cache", true, recordBytes},
+		{"cold-10pct-cache", true, recordBytes / 10},
+		{"cold-no-cache", true, 0},
+	}
+
+	ctx := context.Background()
+	var baseline [][]core.Match
+	results := make([]coldBenchResult, 0, len(configs))
+	for _, cfg := range configs {
+		cfs := store.NewCountingFS(store.OSFS)
+		opt := core.LiveOptions{FS: cfs}
+		if cfg.cold {
+			opt.ColdRecords = 1
+			opt.Cache = store.NewBlockCache(cfg.budget)
+		}
+		li, err := core.OpenLiveIndex(curve, dir, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := li.Stats(); cfg.cold && st.ColdSegments != st.Segments {
+			t.Fatalf("%s: %d of %d segments opened cold", cfg.name, st.ColdSegments, st.Segments)
+		}
+
+		// Warm pass: verifies every configuration answers exactly like the
+		// resident baseline (and, cold, populates the cache the way a
+		// steady-state server would have it).
+		answers := make([][]core.Match, len(queries))
+		for i, q := range queries {
+			m, _, err := li.SearchStat(ctx, q, sq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			answers[i] = m
+		}
+		if baseline == nil {
+			baseline = answers
+		} else if !reflect.DeepEqual(baseline, answers) {
+			t.Fatalf("%s: answers differ from the resident baseline", cfg.name)
+		}
+
+		readBefore := cfs.ReadBytes()
+		start := time.Now()
+		for r := 0; r < coldBenchRounds; r++ {
+			for _, q := range queries {
+				if _, _, err := li.SearchStat(ctx, q, sq); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		elapsed := time.Since(start).Seconds()
+		nq := float64(coldBenchRounds * len(queries))
+		res := coldBenchResult{
+			Name:          cfg.name,
+			CacheBudget:   cfg.budget,
+			QueriesPerSec: nq / elapsed,
+			BytesPerQuery: float64(cfs.ReadBytes()-readBefore) / nq,
+		}
+		if recordBytes > 0 {
+			res.BudgetPct = 100 * float64(cfg.budget) / float64(recordBytes)
+		}
+		if cfg.cold {
+			cs := li.Stats().Cache
+			res.CacheHits, res.CacheMisses = cs.Hits, cs.Misses
+			res.CacheEvicts = cs.Evictions
+			if total := cs.Hits + cs.Misses; total > 0 {
+				res.CacheHitRate = float64(cs.Hits) / float64(total)
+			}
+		}
+		if err := li.Close(); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%-18s budget %11d (%5.1f%%): %8.1f q/s, %10.0f disk bytes/query, hit rate %.3f",
+			res.Name, res.CacheBudget, res.BudgetPct, res.QueriesPerSec,
+			res.BytesPerQuery, res.CacheHitRate)
+		results = append(results, res)
+	}
+
+	// The resident baseline reads nothing per query; a cold tier with a
+	// cache must read dramatically less than one without.
+	if res := results[0]; res.BytesPerQuery != 0 {
+		t.Errorf("resident config read %f bytes/query from disk", res.BytesPerQuery)
+	}
+	if full, none := results[1], results[3]; full.BytesPerQuery >= none.BytesPerQuery {
+		t.Errorf("full cache reads as much as no cache (%.0f vs %.0f bytes/query)",
+			full.BytesPerQuery, none.BytesPerQuery)
+	}
+
+	report := map[string]interface{}{
+		"benchmark": "cold-tier serving: block-cached disk reads vs all-resident segments",
+		"corpus": map[string]interface{}{
+			"records":      n,
+			"record_bytes": recordBytes,
+			"segments":     coldBenchSegments,
+			"dims":         fingerprint.D,
+			"queries":      len(queries),
+			"rounds":       coldBenchRounds,
+			"alpha":        shardBenchAlpha,
+			"sigma":        shardBenchSigma,
+		},
+		"host": map[string]interface{}{
+			"num_cpu":    runtime.NumCPU(),
+			"go_version": runtime.Version(),
+		},
+		"note": fmt.Sprintf("All configurations answered match-for-match identically to the "+
+			"resident baseline (verified in-run). disk_bytes_read_per_query counts bytes "+
+			"crossing the store.FS seam during the timed passes on a %d-core host; the warm "+
+			"pass populates the cache first, so it reflects steady-state serving.",
+			runtime.NumCPU()),
+		"results": results,
+	}
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_cold.json", append(raw, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Log("wrote BENCH_cold.json")
+}

@@ -79,6 +79,10 @@ func main() {
 			"base delay between persistence/compaction retries, live mode (0 = default)")
 		compactRetries = flag.Int("compact-retries", 0,
 			"consecutive persistence failures before degraded read-only mode, live mode (0 = default, <0 = never degrade)")
+		coldRecords = flag.Int("cold-records", 0,
+			"serve sealed segments of at least this many records from disk through the block cache, live mode (0 = all resident)")
+		cacheMB = flag.Int("cache-mb", 64,
+			"block cache budget in MiB for cold segments (with -cold-records)")
 		traceRate = flag.Float64("trace-rate", 0,
 			"fraction of searches carrying a stage-level trace (0 = only ?trace=1 requests)")
 		traceSeed = flag.Int64("trace-seed", 0, "trace sampler seed (reproducible sampling)")
@@ -111,14 +115,21 @@ func main() {
 		if err != nil {
 			fatal(logger, "invalid geometry", err)
 		}
-		li, err := core.OpenLiveIndex(curve, *liveDir, core.LiveOptions{
+		lopt := core.LiveOptions{
 			Depth:        *depth,
 			Workers:      *workers,
 			FS:           cfs,
 			RetryBackoff: *compactBackoff,
 			RetryLimit:   *compactRetries,
 			Logger:       logger,
-		})
+			ColdRecords:  *coldRecords,
+		}
+		if *coldRecords > 0 {
+			cache := store.NewBlockCache(int64(*cacheMB) << 20)
+			cache.RegisterMetrics(reg)
+			lopt.Cache = cache
+		}
+		li, err := core.OpenLiveIndex(curve, *liveDir, lopt)
 		if err != nil {
 			fatal(logger, "open live index", err)
 		}
@@ -130,7 +141,9 @@ func main() {
 		srv = httpapi.NewLive(li, opt)
 		st := li.Stats()
 		logger.Info("serving live index", "dir", *liveDir, "records", st.LiveRecords,
-			"dims", *dims, "gen", st.Gen, "segments", st.Segments, "degraded", st.Degraded)
+			"dims", *dims, "gen", st.Gen, "segments", st.Segments,
+			"coldSegments", st.ColdSegments, "cacheBudgetBytes", st.Cache.BudgetBytes,
+			"degraded", st.Degraded)
 	} else {
 		fl, err := store.OpenFS(cfs, *dbPath)
 		if err != nil {

@@ -10,10 +10,6 @@ package core
 // and as a general-purpose query for other applications of the index.
 
 import (
-	"container/heap"
-	"fmt"
-	"math"
-
 	"s3cbcd/internal/hilbert"
 )
 
@@ -77,70 +73,12 @@ func (ix *Index) SearchKNN(q []byte, k int, maxLeaves int) ([]Match, KNNStats, e
 // identifier the keep predicate accepts; nil keep accepts every record.
 // Rejected records are skipped before they can occupy a result slot, so
 // the answer is the k nearest *kept* records — the form a segmented live
-// index needs to search past tombstoned videos.
+// index needs to search past tombstoned videos. The traversal itself
+// lives in searchKNNSource (refine.go), shared with disk-backed cold
+// segments; an in-memory DB never fails, so the error is always the
+// argument validation's.
 func (ix *Index) SearchKNNFilter(q []byte, k int, maxLeaves int, keep func(id uint32) bool) ([]Match, KNNStats, error) {
-	if k < 1 {
-		return nil, KNNStats{}, fmt.Errorf("core: k = %d must be >= 1", k)
-	}
-	qf, err := queryPoint(q, ix.db.Dims())
-	if err != nil {
-		return nil, KNNStats{}, err
-	}
-	var stats KNNStats
-	best := make(resultHeap, 0, k)
-	kth := func() float64 {
-		if len(best) < k {
-			return math.Inf(1)
-		}
-		return best[0].Dist
-	}
-
-	nodes := nodeQueue{{node: ix.curve.RootNode(), distSq: 0}}
-	for len(nodes) > 0 {
-		e := heap.Pop(&nodes).(nodeEntry)
-		if math.Sqrt(e.distSq) > kth() {
-			stats.Exact = true
-			break
-		}
-		if e.node.Bits >= ix.depth {
-			// Leaf block: refine its records.
-			stats.Leaves++
-			lo, hi := ix.db.FindInterval(ix.curve.NodeInterval(e.node))
-			for i := lo; i < hi; i++ {
-				if keep != nil && !keep(ix.db.ID(i)) {
-					continue
-				}
-				stats.Scanned++
-				d := math.Sqrt(distSqToFP(qf, ix.db.FP(i)))
-				if d < kth() {
-					m := Match{Pos: i, ID: ix.db.ID(i), TC: ix.db.TC(i), X: ix.db.X(i), Y: ix.db.Y(i), Dist: d}
-					if len(best) == k {
-						heap.Pop(&best)
-					}
-					heap.Push(&best, m)
-				}
-			}
-			if maxLeaves > 0 && stats.Leaves >= maxLeaves {
-				break
-			}
-			continue
-		}
-		for _, child := range ix.curve.SplitNode(e.node) {
-			d := nodeDistSq(qf, child.Lo, child.Hi)
-			if math.Sqrt(d) <= kth() {
-				heap.Push(&nodes, nodeEntry{node: child, distSq: d})
-			}
-		}
-	}
-	if len(nodes) == 0 {
-		stats.Exact = true
-	}
-	// Extract in ascending distance order.
-	out := make([]Match, len(best))
-	for i := len(best) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(&best).(Match)
-	}
-	return out, stats, nil
+	return searchKNNSource(ix.curve, ix.depth, ix.db, q, k, maxLeaves, keep)
 }
 
 // nodeDistSq is the squared distance from q to the nearest integer grid

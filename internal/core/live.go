@@ -47,6 +47,17 @@ package core
 // Unsealed memtable records are volatile (there is no WAL); Flush or
 // Close seals them.
 //
+// With ColdRecords set (and a directory), the index tiers its segments:
+// the memtable and young (small) segments stay resident, while sealed or
+// compacted segments at or above the threshold serve *cold* — only the
+// file header and section table stay in memory, and refinement reads
+// record blocks from disk through a fixed-budget shared block cache
+// (store.ColdFile / store.BlockCache). Because refinement visits records
+// through the store.RecordSource seam, results are byte-identical either
+// way; only the I/O changes. This is what lets the index serve an
+// archive larger than RAM: the big compacted base is cold, the write
+// path stays resident.
+//
 // Persistence failures do not lose accepted writes: a failed seal or
 // manifest commit leaves the records query-visible in memory, records
 // the error, and a background loop retries the owed persistence with
@@ -66,7 +77,6 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
-	"math"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -146,6 +156,15 @@ type LiveOptions struct {
 	// persistence failures, retry attempts, degraded-mode transitions and
 	// compactions. nil discards them (obs.NopLogger).
 	Logger *slog.Logger
+	// ColdRecords enables tiered serving: a sealed or compacted segment
+	// holding at least this many records is served cold — records read
+	// from its file through the block cache instead of staying resident.
+	// 0 disables tiering (every segment resident); requires a directory.
+	ColdRecords int
+	// Cache is the block cache cold segments read through, shared across
+	// segments (and, if the caller wants, across indexes). nil with
+	// ColdRecords > 0 selects a private cache of DefaultLiveCacheBytes.
+	Cache *store.BlockCache
 }
 
 // DefaultLiveMemtableRecords is the default seal threshold.
@@ -166,6 +185,10 @@ const DefaultLiveMaxRetryBackoff = 5 * time.Second
 // trips degraded mode (and the per-trigger attempt budget of a
 // background compaction).
 const DefaultLiveRetryLimit = 5
+
+// DefaultLiveCacheBytes is the block cache budget a tiered index gets
+// when LiveOptions.Cache is nil.
+const DefaultLiveCacheBytes = 64 << 20
 
 func (o LiveOptions) withDefaults(curve *hilbert.Curve) LiveOptions {
 	if o.Depth <= 0 {
@@ -201,16 +224,21 @@ func (o LiveOptions) withDefaults(curve *hilbert.Curve) LiveOptions {
 	if o.Logger == nil {
 		o.Logger = obs.NopLogger()
 	}
+	if o.ColdRecords > 0 && o.Cache == nil {
+		o.Cache = store.NewBlockCache(DefaultLiveCacheBytes)
+	}
 	return o
 }
 
 // liveSegment is one immutable piece of a snapshot: a curve-ordered
-// database plus the tombstone mask hiding deleted videos. Segments are
-// never mutated — tombstone growth replaces the struct (copy-on-write),
-// so a loaded snapshot stays coherent forever.
+// record set plus the tombstone mask hiding deleted videos. Exactly one
+// of db (resident) and cold (disk-backed through the block cache) is
+// set. Segments are never mutated — tombstone growth replaces the
+// struct (copy-on-write), so a loaded snapshot stays coherent forever.
 type liveSegment struct {
-	db   *store.DB
-	name string              // manifest file name; "" for the memtable
+	db   *store.DB       // resident records; nil when cold
+	cold *store.ColdFile // cold-tier records; nil when resident
+	name string          // manifest file name; "" for the memtable
 	tomb map[uint32]struct{} // masked video ids; nil or empty for none
 	live int                 // records not masked
 }
@@ -220,22 +248,77 @@ func (s *liveSegment) masked(id uint32) bool {
 	return dead
 }
 
-// withTombstone returns a copy of the segment with id masked.
-func (s *liveSegment) withTombstone(id uint32) *liveSegment {
+// maskFn returns the tombstone predicate refinement filters with, nil
+// when the segment has no tombstones.
+func (s *liveSegment) maskFn() func(uint32) bool {
+	if len(s.tomb) == 0 {
+		return nil
+	}
+	tomb := s.tomb
+	return func(id uint32) bool {
+		_, dead := tomb[id]
+		return dead
+	}
+}
+
+// source returns the seam refinement visits the segment's records
+// through.
+func (s *liveSegment) source() store.RecordSource {
+	if s.cold != nil {
+		return s.cold
+	}
+	return s.db
+}
+
+// records returns the segment's stored record count (masked included).
+func (s *liveSegment) records() int {
+	if s.cold != nil {
+		return s.cold.Len()
+	}
+	return s.db.Len()
+}
+
+// countID counts the segment's stored records of one video identifier.
+// Cold segments scan their file (bypassing the cache).
+func (s *liveSegment) countID(id uint32) (int, error) {
+	if s.cold != nil {
+		return s.cold.CountID(id)
+	}
+	return s.db.CountID(id), nil
+}
+
+// sameData reports whether two segment wrappers carry the same record
+// set (tombstone growth replaces the wrapper but keeps the data).
+func (s *liveSegment) sameData(o *liveSegment) bool {
+	return s.db == o.db && s.cold == o.cold
+}
+
+// withTombstone returns a copy of the segment with id masked; n is the
+// segment's stored count of that id (precomputed so cold segments scan
+// once).
+func (s *liveSegment) withTombstone(id uint32, n int) *liveSegment {
 	tomb := make(map[uint32]struct{}, len(s.tomb)+1)
 	for k := range s.tomb {
 		tomb[k] = struct{}{}
 	}
 	tomb[id] = struct{}{}
-	return &liveSegment{db: s.db, name: s.name, tomb: tomb, live: s.live - s.db.CountID(id)}
+	return &liveSegment{db: s.db, cold: s.cold, name: s.name, tomb: tomb, live: s.live - n}
 }
 
-// compacted returns the segment's surviving records as a database.
-func (s *liveSegment) compacted() *store.DB {
-	if len(s.tomb) == 0 {
-		return s.db
+// compacted returns the segment's surviving records as an in-memory
+// database; a cold segment's records are bulk-loaded (cache bypassed).
+func (s *liveSegment) compacted() (*store.DB, error) {
+	db := s.db
+	if s.cold != nil {
+		var err error
+		if db, err = s.cold.LoadAll(); err != nil {
+			return nil, err
+		}
 	}
-	return store.Filter(s.db, func(id, _ uint32) bool { return !s.masked(id) })
+	if len(s.tomb) == 0 {
+		return db, nil
+	}
+	return store.Filter(db, func(id, _ uint32) bool { return !s.masked(id) }), nil
 }
 
 // liveSnapshot is one immutable view of the index: sealed segments
@@ -271,6 +354,13 @@ type LiveIndex struct {
 	// mu serializes writers (Ingest, DeleteVideo, Flush, Close and the
 	// commit phase of a compaction). Readers never take it.
 	mu sync.Mutex
+	// queryGate tracks in-flight queries (read-locked for a query's
+	// duration). Writers never take it except to quiesce readers before
+	// closing retired cold files — a compaction's superseded inputs, or
+	// every cold file at Close — so queries mid-refine never see their
+	// segment's file close under them. It is a leaf lock: never acquired
+	// while holding mu.
+	queryGate sync.RWMutex
 	// compactMu singleflights compaction; the merge and segment-write
 	// phases run under it alone, off the writer lock.
 	compactMu sync.Mutex
@@ -332,40 +422,69 @@ func OpenLiveIndex(curve *hilbert.Curve, dir string, opt LiveOptions) (*LiveInde
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, err
 		}
-		m, err := store.RecoverManifestFS(li.fs, dir, func(m *store.SegmentManifest) error {
+		closeColds := func(ss []*liveSegment) {
+			for _, s := range ss {
+				if s.cold != nil {
+					s.cold.Close()
+				}
+			}
+		}
+		m, err := store.RecoverManifestFS(li.fs, dir, func(m *store.SegmentManifest) (reterr error) {
 			if m.Dims != curve.Dims() || m.Order != curve.Order() {
 				return fmt.Errorf("manifest geometry D=%d K=%d, index wants D=%d K=%d",
 					m.Dims, m.Order, curve.Dims(), curve.Order())
 			}
 			loaded := make([]*liveSegment, 0, len(m.Segments))
+			// A rejected manifest must not leak the descriptors of cold
+			// segments it managed to open before the validation failure.
+			defer func() {
+				if reterr != nil {
+					closeColds(loaded)
+				}
+			}()
 			for _, si := range m.Segments {
-				db, err := store.ReadFileFS(li.fs, filepath.Join(dir, si.Name))
-				if err != nil {
-					return err
+				seg := &liveSegment{name: si.Name}
+				var segCurve *hilbert.Curve
+				if li.coldEligible(si.Count) {
+					cf, err := li.openCold(si.Name)
+					if err != nil {
+						return err
+					}
+					seg.cold, segCurve = cf, cf.Curve()
+				} else {
+					db, err := store.ReadFileFS(li.fs, filepath.Join(dir, si.Name))
+					if err != nil {
+						return err
+					}
+					seg.db, segCurve = db, db.Curve()
 				}
-				if db.Len() != si.Count {
-					return fmt.Errorf("segment %s holds %d records, manifest says %d", si.Name, db.Len(), si.Count)
+				loaded = append(loaded, seg)
+				if seg.records() != si.Count {
+					return fmt.Errorf("segment %s holds %d records, manifest says %d", si.Name, seg.records(), si.Count)
 				}
-				if db.Dims() != curve.Dims() || db.Curve().Order() != curve.Order() {
+				if segCurve.Dims() != curve.Dims() || segCurve.Order() != curve.Order() {
 					return fmt.Errorf("segment %s geometry disagrees with manifest", si.Name)
 				}
-				seg := &liveSegment{db: db, name: si.Name}
 				if len(si.Tombstones) > 0 {
 					seg.tomb = make(map[uint32]struct{}, len(si.Tombstones))
 					for _, id := range si.Tombstones {
 						seg.tomb[id] = struct{}{}
 					}
 				}
-				seg.live = db.Len()
+				seg.live = seg.records()
 				for id := range seg.tomb {
-					seg.live -= db.CountID(id)
+					n, err := seg.countID(id)
+					if err != nil {
+						return err
+					}
+					seg.live -= n
 				}
-				loaded = append(loaded, seg)
 			}
 			segs = loaded
 			return nil
 		})
 		if err != nil {
+			closeColds(segs)
 			return nil, err
 		}
 		if m != nil {
@@ -396,6 +515,18 @@ func OpenLiveIndex(curve *hilbert.Curve, dir string, opt LiveOptions) (*LiveInde
 // compacted segment.
 func (li *LiveIndex) nextSegName() string {
 	return store.SegmentFileName(li.segSeq.Add(1))
+}
+
+// coldEligible reports whether a sealed segment of n records serves from
+// the cold tier.
+func (li *LiveIndex) coldEligible(n int) bool {
+	return li.dir != "" && li.opt.ColdRecords > 0 && n >= li.opt.ColdRecords
+}
+
+// openCold opens a committed segment file for cold serving through the
+// shared cache.
+func (li *LiveIndex) openCold(name string) (*store.ColdFile, error) {
+	return store.OpenColdFS(li.fs, filepath.Join(li.dir, name), li.opt.Cache, 0)
 }
 
 // protectPending marks a segment file as written ahead of its commit so
@@ -439,6 +570,12 @@ type LiveStats struct {
 	// SegmentRecords counts records stored in sealed segments, including
 	// tombstone-masked ones awaiting compaction.
 	SegmentRecords int
+	// ColdSegments counts sealed segments serving from the cold tier, and
+	// ColdRecords the records they hold (a subset of SegmentRecords).
+	ColdSegments, ColdRecords int
+	// Cache reports the block cache cold segments read through; zero when
+	// tiering is disabled.
+	Cache store.CacheStats
 	// MemtableRecords counts records in the mutable memtable.
 	MemtableRecords int
 	// LiveRecords counts surviving (query-visible) records.
@@ -488,9 +625,16 @@ func (li *LiveIndex) Stats() LiveStats {
 	}
 	li.persistMu.Unlock()
 	for _, s := range snap.segs {
-		st.SegmentRecords += s.db.Len()
+		st.SegmentRecords += s.records()
 		st.LiveRecords += s.live
 		st.TombstonedIDs += len(s.tomb)
+		if s.cold != nil {
+			st.ColdSegments++
+			st.ColdRecords += s.cold.Len()
+		}
+	}
+	if li.opt.Cache != nil {
+		st.Cache = li.opt.Cache.Stats()
 	}
 	return st
 }
@@ -579,8 +723,21 @@ func (li *LiveIndex) sealInto(next *liveSnapshot) error {
 		}
 		return err
 	}
+	// The segment is committed; a big one moves to the cold tier by
+	// reopening its just-written file. Failure to open it is not a seal
+	// failure — the records are durable and resident — so the segment
+	// just stays resident.
+	if li.coldEligible(seg.db.Len()) {
+		if cf, err := li.openCold(seg.name); err != nil {
+			li.log.Warn("cold open of sealed segment failed, serving resident",
+				"segment", seg.name, "err", err)
+		} else {
+			seg.cold, seg.db = cf, nil
+		}
+	}
 	li.met.sealSeconds.ObserveSince(t0)
-	li.log.Debug("memtable sealed", "segment", seg.name, "records", seg.live, "gen", next.gen)
+	li.log.Debug("memtable sealed", "segment", seg.name, "records", seg.live,
+		"cold", seg.cold != nil, "gen", next.gen)
 	return nil
 }
 
@@ -629,11 +786,19 @@ func (li *LiveIndex) DeleteVideo(id uint32) error {
 	changed := false
 	segs := make([]*liveSegment, len(cur.segs))
 	for i, s := range cur.segs {
-		if !s.masked(id) && s.db.ContainsID(id) {
-			segs[i] = s.withTombstone(id)
+		segs[i] = s
+		if s.masked(id) {
+			continue
+		}
+		// Cold segments count by scanning their file; a read failure
+		// aborts the delete before any state changed.
+		n, err := s.countID(id)
+		if err != nil {
+			return fmt.Errorf("core: delete scan of segment %s: %w", s.name, err)
+		}
+		if n > 0 {
+			segs[i] = s.withTombstone(id, n)
 			changed = true
-		} else {
-			segs[i] = s
 		}
 	}
 	mem := cur.mem
@@ -670,7 +835,7 @@ func (li *LiveIndex) commitLocked(s *liveSnapshot) error {
 	}
 	m := &store.SegmentManifest{Gen: s.gen, Dims: li.pl.curve.Dims(), Order: li.pl.curve.Order()}
 	for _, seg := range s.segs {
-		info := store.SegmentInfo{Name: seg.name, Count: seg.db.Len()}
+		info := store.SegmentInfo{Name: seg.name, Count: seg.records()}
 		if len(seg.tomb) > 0 {
 			info.Tombstones = make([]uint32, 0, len(seg.tomb))
 			for id := range seg.tomb {
@@ -939,9 +1104,16 @@ func (li *LiveIndex) compact() error {
 	if len(inputs) == 0 || (len(inputs) == 1 && len(inputs[0].tomb) == 0) {
 		return nil
 	}
-	merged := inputs[0].compacted()
+	merged, err := inputs[0].compacted()
+	if err != nil {
+		return err
+	}
 	for _, s := range inputs[1:] {
-		m, err := store.Merge(merged, s.compacted())
+		sdb, err := s.compacted()
+		if err != nil {
+			return err
+		}
+		m, err := store.Merge(merged, sdb)
 		if err != nil {
 			return err
 		}
@@ -974,6 +1146,23 @@ func (li *LiveIndex) compact() error {
 		return err
 	}
 
+	// The inputs' cold files retire once the new snapshot is published.
+	// Closing them must wait for queries that loaded the old snapshot to
+	// drain, and taking the queryGate under mu would deadlock with them —
+	// so the quiesce-and-close runs in a defer registered BEFORE mu is
+	// locked (defers run in reverse order: mu unlocks first).
+	var retire []*store.ColdFile
+	defer func() {
+		if len(retire) == 0 {
+			return
+		}
+		li.queryGate.Lock()
+		li.queryGate.Unlock()
+		for _, cf := range retire {
+			cf.Close()
+		}
+	}()
+
 	li.mu.Lock()
 	defer li.mu.Unlock()
 	if li.closed.Load() {
@@ -983,9 +1172,9 @@ func (li *LiveIndex) compact() error {
 	k := len(inputs)
 	// Seals only append and compaction is singleflighted, so the inputs
 	// are still the prefix of the current segment list (deletes replace
-	// the wrapper but keep the database).
+	// the wrapper but keep the record set).
 	for i := 0; i < k; i++ {
-		if cur.segs[i].db != inputs[i].db {
+		if !cur.segs[i].sameData(inputs[i]) {
 			return abort(fmt.Errorf("core: compaction inputs changed underfoot"))
 		}
 	}
@@ -1021,10 +1210,31 @@ func (li *LiveIndex) compact() error {
 		li.notePersistFailure(err, false)
 		return abort(err)
 	}
+	// Committed: a big merged base serves cold from the file just
+	// written (opened before publication so readers never see it flip).
+	// An open failure leaves it resident — the merge result is in memory
+	// anyway.
+	if len(base) == 1 && li.coldEligible(merged.Len()) {
+		if cf, err := li.openCold(name); err != nil {
+			li.log.Warn("cold open of compacted segment failed, serving resident",
+				"segment", name, "err", err)
+		} else {
+			base[0].cold, base[0].db = cf, nil
+		}
+	}
 	li.snap.Store(next)
+	// The superseded inputs' cold files are now unreachable from the
+	// published snapshot; the pre-registered defer closes them once
+	// in-flight queries drain.
+	for i := 0; i < k; i++ {
+		if cur.segs[i].cold != nil {
+			retire = append(retire, cur.segs[i].cold)
+		}
+	}
 	li.met.compactions.Inc()
 	li.met.compactSeconds.ObserveSince(t0)
 	li.log.Info("compaction committed", "inputs", k, "records", merged.Len(),
+		"cold", len(base) == 1 && base[0].cold != nil,
 		"gen", next.gen, "seconds", time.Since(t0).Seconds())
 	if release != nil {
 		release()
@@ -1032,9 +1242,11 @@ func (li *LiveIndex) compact() error {
 	return nil
 }
 
-// Close seals the memtable (when durable), rejects further writes and
-// waits for any background compaction to finish. Queries against
-// already-loaded snapshots remain valid.
+// Close seals the memtable (when durable), rejects further writes,
+// waits for any background compaction to finish and closes cold segment
+// files once in-flight queries drain. Queries against already-loaded
+// snapshots remain valid for resident segments; a query visiting a cold
+// segment after Close returns an error.
 func (li *LiveIndex) Close() error {
 	li.mu.Lock()
 	if li.closed.Load() {
@@ -1058,6 +1270,16 @@ func (li *LiveIndex) Close() error {
 	li.persistMu.Lock()
 	li.persistMu.Unlock()
 	li.wg.Wait()
+	// Quiesce queries, then release the cold tier's descriptors and
+	// cached blocks. Compactions have drained (wg), so the published
+	// snapshot's cold files are exactly the open ones.
+	li.queryGate.Lock()
+	for _, s := range li.snap.Load().segs {
+		if s.cold != nil {
+			s.cold.Close()
+		}
+	}
+	li.queryGate.Unlock()
 	return err
 }
 
@@ -1116,53 +1338,19 @@ func mergeCanonical(lists [][]segMatch) []Match {
 	return out
 }
 
-// statMatchesSeg refines a statistical plan against one segment. Pos is
-// the record's segment-local index.
-func statMatchesSeg(seg *liveSegment, plan Plan) []segMatch {
-	db := seg.db
-	var out []segMatch
-	for _, iv := range plan.Intervals {
-		lo, hi := db.FindInterval(iv)
-		for i := lo; i < hi; i++ {
-			if seg.masked(db.ID(i)) {
-				continue
-			}
-			out = append(out, segMatch{key: db.Key(i), m: Match{
-				Pos: i, ID: db.ID(i), TC: db.TC(i), X: db.X(i), Y: db.Y(i), Dist: -1}})
-		}
-	}
-	return out
-}
-
-// rangeMatchesSeg refines a geometric plan against one segment, keeping
-// records within eps of the query.
-func rangeMatchesSeg(seg *liveSegment, qf []float64, eps float64, plan Plan) []segMatch {
-	db := seg.db
-	epsSq := eps * eps
-	var out []segMatch
-	for _, iv := range plan.Intervals {
-		lo, hi := db.FindInterval(iv)
-		for i := lo; i < hi; i++ {
-			if seg.masked(db.ID(i)) {
-				continue
-			}
-			if d := distSqToFP(qf, db.FP(i)); d <= epsSq {
-				out = append(out, segMatch{key: db.Key(i), m: Match{
-					Pos: i, ID: db.ID(i), TC: db.TC(i), X: db.X(i), Y: db.Y(i), Dist: math.Sqrt(d)}})
-			}
-		}
-	}
-	return out
-}
-
-// refineStatSnap refines one plan against every segment of a snapshot.
-func refineStatSnap(snap *liveSnapshot, plan Plan) []Match {
+// refineStatSnap refines one plan against every segment of a snapshot,
+// resident or cold, through the RecordSource seam.
+func refineStatSnap(snap *liveSnapshot, plan Plan) ([]Match, error) {
 	segs := snap.all()
 	lists := make([][]segMatch, len(segs))
 	for i, s := range segs {
-		lists[i] = statMatchesSeg(s, plan)
+		ms, err := statMatchesSource(s.source(), s.maskFn(), plan)
+		if err != nil {
+			return nil, fmt.Errorf("core: refine of segment %s: %w", s.name, err)
+		}
+		lists[i] = ms
 	}
-	return mergeCanonical(lists)
+	return mergeCanonical(lists), nil
 }
 
 // SearchStat executes a statistical query against the current snapshot:
@@ -1179,6 +1367,8 @@ func (li *LiveIndex) SearchStat(ctx context.Context, q []byte, sq StatQuery) ([]
 	if err := ctx.Err(); err != nil {
 		return nil, Plan{}, err
 	}
+	li.queryGate.RLock()
+	defer li.queryGate.RUnlock()
 	snap := li.snap.Load()
 	li.noteQuery(snap)
 	tr := obs.FromContext(ctx)
@@ -1188,7 +1378,10 @@ func (li *LiveIndex) SearchStat(ctx context.Context, q []byte, sq StatQuery) ([]
 	tr.AddDescentNodes(int64(plan.DescentNodes))
 	tr.AddBlocks(int64(plan.Blocks))
 	t1 := time.Now()
-	ms := refineStatSnap(snap, plan)
+	ms, err := refineStatSnap(snap, plan)
+	if err != nil {
+		return nil, Plan{}, err
+	}
 	tr.StageSince("refine", t1)
 	tr.AddCandidates(int64(len(ms)))
 	tr.AddSegments(int64(snapSegments(snap)))
@@ -1223,6 +1416,8 @@ func (li *LiveIndex) SearchRange(ctx context.Context, q []byte, eps float64) ([]
 	if err := ctx.Err(); err != nil {
 		return nil, Plan{}, err
 	}
+	li.queryGate.RLock()
+	defer li.queryGate.RUnlock()
 	snap := li.snap.Load()
 	li.noteQuery(snap)
 	tr := obs.FromContext(ctx)
@@ -1235,7 +1430,11 @@ func (li *LiveIndex) SearchRange(ctx context.Context, q []byte, eps float64) ([]
 	segs := snap.all()
 	lists := make([][]segMatch, len(segs))
 	for i, s := range segs {
-		lists[i] = rangeMatchesSeg(s, qf, eps, plan)
+		sms, err := rangeMatchesSource(s.source(), qf, eps, s.maskFn(), plan)
+		if err != nil {
+			return nil, Plan{}, fmt.Errorf("core: refine of segment %s: %w", s.name, err)
+		}
+		lists[i] = sms
 	}
 	ms := mergeCanonical(lists)
 	tr.StageSince("refine", t1)
@@ -1259,6 +1458,8 @@ func (li *LiveIndex) SearchKNN(ctx context.Context, q []byte, k, maxLeaves int) 
 	if err := ctx.Err(); err != nil {
 		return nil, KNNStats{}, err
 	}
+	li.queryGate.RLock()
+	defer li.queryGate.RUnlock()
 	snap := li.snap.Load()
 	li.noteQuery(snap)
 	t0 := time.Now()
@@ -1268,24 +1469,16 @@ func (li *LiveIndex) SearchKNN(ctx context.Context, q []byte, k, maxLeaves int) 
 	)
 	stats.Exact = true
 	for _, seg := range snap.all() {
-		if seg.db.Len() == 0 {
+		if seg.records() == 0 {
 			continue
 		}
-		ix, err := NewIndex(seg.db, li.pl.depth)
-		if err != nil {
-			return nil, KNNStats{}, err
-		}
 		var keep func(uint32) bool
-		if len(seg.tomb) > 0 {
-			tomb := seg.tomb
-			keep = func(id uint32) bool {
-				_, dead := tomb[id]
-				return !dead
-			}
+		if masked := seg.maskFn(); masked != nil {
+			keep = func(id uint32) bool { return !masked(id) }
 		}
-		ms, st, err := ix.SearchKNNFilter(q, k, maxLeaves, keep)
+		ms, st, err := searchKNNSource(li.pl.curve, li.pl.depth, seg.source(), q, k, maxLeaves, keep)
 		if err != nil {
-			return nil, KNNStats{}, err
+			return nil, KNNStats{}, fmt.Errorf("core: refine of segment %s: %w", seg.name, err)
 		}
 		stats.Leaves += st.Leaves
 		stats.Scanned += st.Scanned
@@ -1326,6 +1519,8 @@ func (li *LiveIndex) SearchStatBatch(ctx context.Context, queries [][]byte, sq S
 	if err := sq.validate(li.pl.dims()); err != nil {
 		return nil, err
 	}
+	li.queryGate.RLock()
+	defer li.queryGate.RUnlock()
 	snap := li.snap.Load()
 	li.met.queries.Add(int64(len(queries)))
 	results := make([][]Match, len(queries))
@@ -1335,7 +1530,11 @@ func (li *LiveIndex) SearchStatBatch(ctx context.Context, queries [][]byte, sq S
 			return fmt.Errorf("query %d: %w", i, err)
 		}
 		plan := li.pl.planStatFloat(qf, sq)
-		results[i] = refineStatSnap(snap, plan)
+		ms, err := refineStatSnap(snap, plan)
+		if err != nil {
+			return fmt.Errorf("query %d: %w", i, err)
+		}
+		results[i] = ms
 		return nil
 	})
 	if err != nil {

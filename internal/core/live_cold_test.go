@@ -1,0 +1,284 @@
+package core
+
+// Cold-tier correctness: (1) the property test of ISSUE 6 — with every
+// sealed segment served from disk through a starved block cache, random
+// ingest/delete/compaction schedules must answer byte-identically to the
+// all-resident monolithic rebuild; (2) read-fault behaviour — an
+// injected ReadAt failure in the cold path surfaces as a query error,
+// never a wrong result, a cached failure or a leaked descriptor.
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"s3cbcd/internal/faultfs"
+	"s3cbcd/internal/store"
+)
+
+// coldTestOptions builds LiveOptions that push everything to the cold
+// tier: any sealed segment qualifies, under a cache too small to hold
+// the corpus (or, budget 0, holding nothing at all).
+func coldTestOptions(r *rand.Rand, cache *store.BlockCache) LiveOptions {
+	return LiveOptions{
+		Depth:           liveTestDepth,
+		MemtableRecords: 1 + r.Intn(40),
+		CompactSegments: 2 + r.Intn(3),
+		ColdRecords:     1,
+		Cache:           cache,
+	}
+}
+
+func TestLiveIndexColdEquivalentToResidentQuick(t *testing.T) {
+	scenario := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// Budget 0 disables retention entirely; the others thrash.
+		budget := []int64{0, 512, 4096}[r.Intn(3)]
+		cache := store.NewBlockCache(budget)
+		dir := t.TempDir()
+		li, err := OpenLiveIndex(liveTestCurve(), dir, coldTestOptions(r, cache))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer li.Close()
+
+		var model []store.Record
+		nOps := 4 + r.Intn(8)
+		checkpoint := r.Intn(nOps)
+		for op := 0; op < nOps; op++ {
+			if r.Intn(10) < 7 {
+				batch := make([]store.Record, r.Intn(60))
+				for i := range batch {
+					batch[i] = randLiveRecord(r)
+				}
+				if err := li.Ingest(batch); err != nil {
+					t.Fatal(err)
+				}
+				model = append(model, batch...)
+			} else {
+				id := uint32(r.Intn(6))
+				if err := li.DeleteVideo(id); err != nil {
+					t.Fatal(err)
+				}
+				kept := model[:0:0]
+				for _, rec := range model {
+					if rec.ID != id {
+						kept = append(kept, rec)
+					}
+				}
+				model = kept
+			}
+			if op == checkpoint && !checkLiveEquivalence(t, li, model, r, "cold mid-schedule") {
+				return false
+			}
+		}
+		if !checkLiveEquivalence(t, li, model, r, "cold after schedule") {
+			return false
+		}
+		if err := li.Compact(); err != nil {
+			t.Fatal(err)
+		}
+		if !checkLiveEquivalence(t, li, model, r, "cold after compaction") {
+			return false
+		}
+		st := li.Stats()
+		if st.Segments > 0 && st.ColdSegments == 0 {
+			t.Errorf("seed %d: ColdRecords=1 produced no cold segments (%d sealed)", seed, st.Segments)
+			return false
+		}
+		if st.Segments > 0 && budget > 0 && st.Cache.Misses == 0 {
+			t.Errorf("seed %d: cold queries never touched the cache", seed)
+			return false
+		}
+		// Reopen cold (fresh cache): recovery opens the committed segments
+		// through the cold path, including tombstone counting.
+		if err := li.Close(); err != nil {
+			t.Fatal(err)
+		}
+		reopened, err := OpenLiveIndex(liveTestCurve(), dir, LiveOptions{
+			Depth: liveTestDepth, ColdRecords: 1, Cache: store.NewBlockCache(budget)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer reopened.Close()
+		if !checkLiveEquivalence(t, reopened, model, r, "cold after reopen") {
+			return false
+		}
+		// And reopen resident: the same directory serves either tier.
+		if err := reopened.Close(); err != nil {
+			t.Fatal(err)
+		}
+		resident, err := OpenLiveIndex(liveTestCurve(), dir, LiveOptions{Depth: liveTestDepth})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resident.Close()
+		return checkLiveEquivalence(t, resident, model, r, "resident after cold reopen")
+	}
+	cfg := &quick.Config{MaxCount: 8}
+	if testing.Short() {
+		cfg.MaxCount = 3
+	}
+	if err := quick.Check(scenario, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// coldFaultIndex builds a durable index whose sealed segments all serve
+// cold through fs, returning it with the ingested records.
+func coldFaultIndex(t *testing.T, fs store.FS, cache *store.BlockCache) (*LiveIndex, []store.Record) {
+	t.Helper()
+	li, err := OpenLiveIndex(liveTestCurve(), t.TempDir(), LiveOptions{
+		Depth:           liveTestDepth,
+		MemtableRecords: 50,
+		ColdRecords:     1,
+		Cache:           cache,
+		FS:              fs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(99))
+	recs := make([]store.Record, 300)
+	for i := range recs {
+		recs[i] = randLiveRecord(r)
+	}
+	if err := li.Ingest(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := li.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := li.Stats()
+	if st.ColdSegments == 0 {
+		t.Fatalf("no cold segments to fault: %+v", st)
+	}
+	return li, recs
+}
+
+// TestColdReadFaultSurfacesAsQueryError toggles a deterministic ReadAt
+// failure under a cold index: queries must error while it is on, heal
+// completely when it clears, and Close must leave no descriptor behind.
+func TestColdReadFaultSurfacesAsQueryError(t *testing.T) {
+	var failing atomic.Bool
+	fs := faultfs.New(store.OSFS, func(op faultfs.Op, _ string, _ int) faultfs.Action {
+		if failing.Load() && op == faultfs.OpReadAt {
+			return faultfs.Fail
+		}
+		return faultfs.Pass
+	})
+	li, recs := coldFaultIndex(t, fs, store.NewBlockCache(1<<20))
+	ctx := context.Background()
+	sq := StatQuery{Alpha: 0.9, Model: IsoNormal{D: liveTestDims, Sigma: 2.5}}
+	q := recs[0].FP
+
+	failing.Store(true)
+	if _, _, err := li.SearchStat(ctx, q, sq); err == nil {
+		t.Fatal("SearchStat through a failing cold read succeeded")
+	}
+	if _, _, err := li.SearchRange(ctx, q, 4); err == nil {
+		t.Fatal("SearchRange through a failing cold read succeeded")
+	}
+	if _, _, err := li.SearchKNN(ctx, q, 3, 0); err == nil {
+		t.Fatal("SearchKNN through a failing cold read succeeded")
+	}
+	if _, err := li.SearchStatBatch(ctx, [][]byte{q}, sq); err == nil {
+		t.Fatal("SearchStatBatch through a failing cold read succeeded")
+	}
+
+	// The failure must not have been cached: with the fault cleared, the
+	// full battery answers exactly (checkLiveEquivalence re-runs every
+	// query type against the monolithic rebuild).
+	failing.Store(false)
+	r := rand.New(rand.NewSource(100))
+	if !checkLiveEquivalence(t, li, recs, r, "fault cleared") {
+		t.Fatal("cold index did not heal after the read fault cleared")
+	}
+	if err := li.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if lh := fs.OpenHandles(); lh != 0 {
+		t.Fatalf("closed cold index leaked %d descriptors", lh)
+	}
+	// Queries visiting cold segments after Close error rather than crash.
+	if _, _, err := li.SearchStat(ctx, q, sq); err == nil {
+		t.Fatal("SearchStat on a closed cold index succeeded")
+	}
+}
+
+// TestColdReadChaos serves a cold index through random read faults:
+// every query either errors or answers exactly; the index and cache
+// survive. The injector mirrors faultfs.NewSeededReads but is gated so
+// the build phase (whose cold opens read too, and fall back to resident
+// on failure) runs healthy — the store-level TestColdReadSeededInjector
+// covers the ungated constructor.
+func TestColdReadChaos(t *testing.T) {
+	var (
+		chaos   atomic.Bool
+		chaosMu sync.Mutex
+		rng     = rand.New(rand.NewSource(7))
+	)
+	fs := faultfs.New(store.OSFS, func(op faultfs.Op, _ string, _ int) faultfs.Action {
+		if !chaos.Load() || (op != faultfs.OpRead && op != faultfs.OpReadAt) {
+			return faultfs.Pass
+		}
+		chaosMu.Lock()
+		defer chaosMu.Unlock()
+		if rng.Float64() >= 0.3 {
+			return faultfs.Pass
+		}
+		if rng.Intn(2) == 0 {
+			return faultfs.ShortWrite
+		}
+		return faultfs.Fail
+	})
+	cache := store.NewBlockCache(2048) // starved: constant reload pressure
+	li, recs := coldFaultIndex(t, fs, cache)
+	chaos.Store(true)
+	defer chaos.Store(false)
+	defer li.Close()
+	refDB, err := store.Build(liveTestCurve(), recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refIx, err := NewIndex(refDB, liveTestDepth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	sq := StatQuery{Alpha: 0.9, Model: IsoNormal{D: liveTestDims, Sigma: 2.5}}
+	ok, failed := 0, 0
+	for i := 0; i < 60; i++ {
+		q := recs[i%len(recs)].FP
+		got, _, err := li.SearchStat(ctx, q, sq)
+		if err != nil {
+			failed++
+			continue
+		}
+		ok++
+		want, _, err := refIx.SearchStat(q, sq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !matchesEqual(want, got) {
+			t.Fatalf("query %d: survived the fault but answered wrong (%d vs %d matches)",
+				i, len(got), len(want))
+		}
+	}
+	if failed == 0 {
+		t.Fatal("30% read-fault rate never failed a query — the chaos injector is not wired")
+	}
+	if ok == 0 {
+		t.Fatal("no query ever succeeded under chaos — cache hits should have served some")
+	}
+	chaos.Store(false)
+	if err := li.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if lh := fs.OpenHandles(); lh != 0 {
+		t.Fatalf("closed chaos index leaked %d descriptors", lh)
+	}
+}

@@ -139,6 +139,26 @@ func (li *LiveIndex) RegisterMetrics(r *obs.Registry) {
 			}
 			return float64(n)
 		})
+	r.GaugeFunc("s3_live_cold_segments", "sealed segments serving from the cold tier",
+		func() float64 {
+			n := 0
+			for _, s := range li.snap.Load().segs {
+				if s.cold != nil {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	r.GaugeFunc("s3_live_cold_records", "records stored in cold-tier segments",
+		func() float64 {
+			n := 0
+			for _, s := range li.snap.Load().segs {
+				if s.cold != nil {
+					n += s.cold.Len()
+				}
+			}
+			return float64(n)
+		})
 	r.GaugeFunc("s3_live_gen", "published snapshot generation",
 		func() float64 { return float64(li.snap.Load().gen) })
 	r.GaugeFunc("s3_live_dirty", "1 while durable state lags the published snapshot",

@@ -73,19 +73,9 @@ type BatchStats struct {
 // the budget, the finest partition is returned (the caller's budget is
 // then best-effort, mirroring the paper where r <= p).
 func (di *DiskIndex) ChooseSectionBits(budget int) int {
-	for bits := 0; bits <= di.file.SectionBits(); bits++ {
-		maxSec := 0
-		for s := 0; s < 1<<uint(bits); s++ {
-			lo, hi := di.file.SectionRecordRange(bits, s)
-			if hi-lo > maxSec {
-				maxSec = hi - lo
-			}
-		}
-		if maxSec <= budget {
-			return bits
-		}
-	}
-	return di.file.SectionBits()
+	// The selection now lives on store.File, where the serving cold tier
+	// (store.ColdFile) picks its block granularity by the same rule.
+	return di.file.ChooseSectionBits(budget)
 }
 
 // SearchStatBatch runs N_sig = len(queries) statistical queries against

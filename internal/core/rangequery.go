@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"s3cbcd/internal/hilbert"
+	"s3cbcd/internal/store"
 )
 
 // PlanRange runs the geometric filtering step of a classical spherical
@@ -47,13 +48,12 @@ func (ix *Index) SearchRange(q []byte, eps float64) ([]Match, Plan, error) {
 func (ix *Index) refineRange(qf []float64, eps float64, plan Plan) []Match {
 	epsSq := eps * eps
 	var out []Match
-	for _, iv := range plan.Intervals {
-		lo, hi := ix.db.FindInterval(iv)
-		for i := lo; i < hi; i++ {
-			if d := distSqToFP(qf, ix.db.FP(i)); d <= epsSq {
-				out = append(out, Match{Pos: i, ID: ix.db.ID(i), TC: ix.db.TC(i), X: ix.db.X(i), Y: ix.db.Y(i), Dist: math.Sqrt(d)})
-			}
+	// A DB visit cannot fail; the error path exists for cold sources.
+	ix.db.VisitIntervals(plan.Intervals, func(rv store.RecordView) bool {
+		if d := distSqToFP(qf, rv.FP); d <= epsSq {
+			out = append(out, Match{Pos: rv.Pos, ID: rv.ID, TC: rv.TC, X: rv.X, Y: rv.Y, Dist: math.Sqrt(d)})
 		}
-	}
+		return true
+	})
 	return out
 }

@@ -1,0 +1,137 @@
+package core
+
+// Source-based refinement: the scan half of every query type expressed
+// over store.RecordSource, the seam both the in-memory store.DB and the
+// disk-backed store.ColdFile satisfy. Planning is untouched — a plan
+// depends only on curve geometry — but refinement here visits candidate
+// records through the interface, so one implementation serves resident
+// and cold segments alike. Sources backed by real I/O can fail
+// mid-visit; these helpers propagate that error, which the all-resident
+// wrappers (Index.refineStat and friends) may ignore since a DB never
+// fails.
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"s3cbcd/internal/hilbert"
+	"s3cbcd/internal/store"
+)
+
+// statMatchesSource refines a statistical plan against one source: every
+// record in the plan's intervals is an answer (the region is the
+// answer). masked, when non-nil, hides tombstoned video ids. Pos is
+// source-local.
+func statMatchesSource(src store.RecordSource, masked func(uint32) bool, plan Plan) ([]segMatch, error) {
+	var out []segMatch
+	err := src.VisitIntervals(plan.Intervals, func(rv store.RecordView) bool {
+		if masked != nil && masked(rv.ID) {
+			return true
+		}
+		out = append(out, segMatch{key: rv.Key, m: Match{
+			Pos: rv.Pos, ID: rv.ID, TC: rv.TC, X: rv.X, Y: rv.Y, Dist: -1}})
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// rangeMatchesSource refines a geometric plan against one source,
+// keeping records within eps of the query point.
+func rangeMatchesSource(src store.RecordSource, qf []float64, eps float64, masked func(uint32) bool, plan Plan) ([]segMatch, error) {
+	epsSq := eps * eps
+	var out []segMatch
+	err := src.VisitIntervals(plan.Intervals, func(rv store.RecordView) bool {
+		if masked != nil && masked(rv.ID) {
+			return true
+		}
+		if d := distSqToFP(qf, rv.FP); d <= epsSq {
+			out = append(out, segMatch{key: rv.Key, m: Match{
+				Pos: rv.Pos, ID: rv.ID, TC: rv.TC, X: rv.X, Y: rv.Y, Dist: math.Sqrt(d)}})
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// searchKNNSource is the k-NN best-first traversal over a record source:
+// blocks of the partition tree are expanded in increasing distance
+// order, leaves refined by visiting their curve interval through the
+// seam. keep, when non-nil, restricts results to accepted video ids.
+// See Index.SearchKNN for the exact/approximate contract.
+func searchKNNSource(curve *hilbert.Curve, depth int, src store.RecordSource, q []byte, k, maxLeaves int, keep func(id uint32) bool) ([]Match, KNNStats, error) {
+	if k < 1 {
+		return nil, KNNStats{}, fmt.Errorf("core: k = %d must be >= 1", k)
+	}
+	qf, err := queryPoint(q, curve.Dims())
+	if err != nil {
+		return nil, KNNStats{}, err
+	}
+	var stats KNNStats
+	best := make(resultHeap, 0, k)
+	kth := func() float64 {
+		if len(best) < k {
+			return math.Inf(1)
+		}
+		return best[0].Dist
+	}
+
+	// One-element interval slice reused for every leaf visit: a node's
+	// curve interval is a single contiguous range, trivially sorted.
+	ivbuf := make([]hilbert.Interval, 1)
+	nodes := nodeQueue{{node: curve.RootNode(), distSq: 0}}
+	for len(nodes) > 0 {
+		e := heap.Pop(&nodes).(nodeEntry)
+		if math.Sqrt(e.distSq) > kth() {
+			stats.Exact = true
+			break
+		}
+		if e.node.Bits >= depth {
+			// Leaf block: refine its records.
+			stats.Leaves++
+			ivbuf[0] = curve.NodeInterval(e.node)
+			if err := src.VisitIntervals(ivbuf, func(rv store.RecordView) bool {
+				if keep != nil && !keep(rv.ID) {
+					return true
+				}
+				stats.Scanned++
+				d := math.Sqrt(distSqToFP(qf, rv.FP))
+				if d < kth() {
+					m := Match{Pos: rv.Pos, ID: rv.ID, TC: rv.TC, X: rv.X, Y: rv.Y, Dist: d}
+					if len(best) == k {
+						heap.Pop(&best)
+					}
+					heap.Push(&best, m)
+				}
+				return true
+			}); err != nil {
+				return nil, stats, err
+			}
+			if maxLeaves > 0 && stats.Leaves >= maxLeaves {
+				break
+			}
+			continue
+		}
+		for _, child := range curve.SplitNode(e.node) {
+			d := nodeDistSq(qf, child.Lo, child.Hi)
+			if math.Sqrt(d) <= kth() {
+				heap.Push(&nodes, nodeEntry{node: child, distSq: d})
+			}
+		}
+	}
+	if len(nodes) == 0 {
+		stats.Exact = true
+	}
+	// Extract in ascending distance order.
+	out := make([]Match, len(best))
+	for i := len(best) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&best).(Match)
+	}
+	return out, stats, nil
+}

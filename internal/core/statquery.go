@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"s3cbcd/internal/hilbert"
+	"s3cbcd/internal/store"
 )
 
 // StatQuery parameterizes a statistical query of expectation Alpha under
@@ -318,12 +319,11 @@ func (ix *Index) SearchStat(q []byte, sq StatQuery) ([]Match, Plan, error) {
 
 func (ix *Index) refineStat(plan Plan) []Match {
 	var out []Match
-	for _, iv := range plan.Intervals {
-		lo, hi := ix.db.FindInterval(iv)
-		for i := lo; i < hi; i++ {
-			out = append(out, Match{Pos: i, ID: ix.db.ID(i), TC: ix.db.TC(i), X: ix.db.X(i), Y: ix.db.Y(i), Dist: -1})
-		}
-	}
+	// A DB visit cannot fail; the error path exists for cold sources.
+	ix.db.VisitIntervals(plan.Intervals, func(rv store.RecordView) bool {
+		out = append(out, Match{Pos: rv.Pos, ID: rv.ID, TC: rv.TC, X: rv.X, Y: rv.Y, Dist: -1})
+		return true
+	})
 	return out
 }
 

@@ -149,6 +149,25 @@ func NewSeeded(inner store.FS, seed int64, rate float64) *FS {
 	})
 }
 
+// NewSeededReads wraps inner with a reproducible random injector for the
+// READ side: each Read/ReadAt independently fails or comes up short with
+// probability rate; every other operation passes. This is the chaos mode
+// of the cold serving path (store.ColdFile), whose guarantee is that a
+// failed block read surfaces as a query error — never a torn result, a
+// cached failure or a leaked descriptor.
+func NewSeededReads(inner store.FS, seed int64, rate float64) *FS {
+	rng := rand.New(rand.NewSource(seed))
+	return New(inner, func(op Op, _ string, _ int) Action {
+		if (op != OpRead && op != OpReadAt) || rng.Float64() >= rate {
+			return Pass
+		}
+		if rng.Intn(2) == 0 {
+			return ShortWrite // short read: half the buffer, then io.EOF
+		}
+		return Fail
+	})
+}
+
 // decide consults the injector for one operation and applies the freeze.
 func (f *FS) decide(op Op, path string) Action {
 	f.mu.Lock()

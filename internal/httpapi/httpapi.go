@@ -372,7 +372,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		if st.Degraded {
 			status = "degraded"
 		}
-		reply(w, map[string]interface{}{
+		body := map[string]interface{}{
 			"status":          status,
 			"gen":             st.Gen,
 			"records":         st.LiveRecords,
@@ -387,7 +387,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 			"lastPersistErr":  st.LastPersistErr,
 			"persistFailures": st.PersistFailures,
 			"persistRetries":  st.PersistRetries,
-		})
+		}
+		if st.ColdSegments > 0 || st.Cache.BudgetBytes > 0 {
+			body["coldSegments"] = st.ColdSegments
+			body["coldRecords"] = st.ColdRecords
+			hitRate := 0.0
+			if lookups := st.Cache.Hits + st.Cache.Misses; lookups > 0 {
+				hitRate = float64(st.Cache.Hits) / float64(lookups)
+			}
+			body["cache"] = map[string]interface{}{
+				"budgetBytes": st.Cache.BudgetBytes,
+				"bytes":       st.Cache.Bytes,
+				"blocks":      st.Cache.Blocks,
+				"hits":        st.Cache.Hits,
+				"misses":      st.Cache.Misses,
+				"evictions":   st.Cache.Evictions,
+				"loadedBytes": st.Cache.LoadedBytes,
+				"hitRate":     hitRate,
+			}
+		}
+		reply(w, body)
 		return
 	}
 	reply(w, map[string]interface{}{
@@ -411,6 +430,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"depth":          s.live.Depth(),
 			"segments":       st.Segments,
 			"segmentRecords": st.SegmentRecords,
+			"coldSegments":   st.ColdSegments,
+			"coldRecords":    st.ColdRecords,
 		})
 		return
 	}

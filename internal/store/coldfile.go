@@ -1,0 +1,234 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+
+	"s3cbcd/internal/bitkey"
+	"s3cbcd/internal/hilbert"
+)
+
+// DefaultColdBlockRecords is the default target block size of a cold
+// file: the finest curve-section granularity whose largest block stays
+// at or below this many records.
+const DefaultColdBlockRecords = 4096
+
+// ColdFile serves a database file's records directly from disk: the
+// pseudo-disk strategy of Section IV-B promoted from a batch experiment
+// (core.DiskIndex) into the serving read path. Only the header and
+// section table are resident; record reads are pread-style block loads
+// aligned to curve-section boundaries, cached in a shared BlockCache.
+// Because curve sections are key-aligned, a block load is reusable by
+// every query whose plan touches that stretch of the curve — the
+// cross-query amortization of eq. (5), supplied by the cache instead of
+// batch scheduling.
+//
+// A ColdFile is safe for concurrent VisitIntervals calls (File.ReadAt
+// is). Close drops the file's cached blocks and releases the descriptor
+// once in-flight visits drain; visits after Close fail with an error.
+type ColdFile struct {
+	fl    *File
+	cache *BlockCache
+	id    uint64
+	bits  int  // blocks are curve sections of a 2^bits partition
+	shift uint // curve index bits - bits
+
+	mu     sync.Mutex
+	refs   int
+	closed bool
+}
+
+// OpenColdFS opens a database file for cold serving through the given
+// cache (nil disables caching: every block access reads the disk).
+// blockRecords is the target block size; <= 0 selects
+// DefaultColdBlockRecords. The block granularity is the finest partition
+// whose largest block fits the target, capped at the file's stored
+// section-table granularity.
+func OpenColdFS(fsys FS, path string, cache *BlockCache, blockRecords int) (*ColdFile, error) {
+	fl, err := OpenFS(fsys, path)
+	if err != nil {
+		return nil, err
+	}
+	if blockRecords <= 0 {
+		blockRecords = DefaultColdBlockRecords
+	}
+	bits := fl.ChooseSectionBits(blockRecords)
+	var id uint64
+	if cache != nil {
+		id = cache.nextFileID()
+	}
+	return &ColdFile{fl: fl, cache: cache, id: id, bits: bits,
+		shift: uint(fl.curve.IndexBits() - bits)}, nil
+}
+
+// Curve returns the Hilbert curve the records are ordered by.
+func (cf *ColdFile) Curve() *hilbert.Curve { return cf.fl.curve }
+
+// Len returns the number of records in the file.
+func (cf *ColdFile) Len() int { return cf.fl.count }
+
+// BlockBits returns the block granularity exponent: blocks are curve
+// sections of a 2^BlockBits partition.
+func (cf *ColdFile) BlockBits() int { return cf.bits }
+
+// RecordBytes returns the on-disk size of the record area.
+func (cf *ColdFile) RecordBytes() int64 { return cf.fl.RecordBytes() }
+
+// enter registers an in-flight read, failing once the file is closed.
+func (cf *ColdFile) enter() error {
+	cf.mu.Lock()
+	defer cf.mu.Unlock()
+	if cf.closed {
+		return fmt.Errorf("store: cold file is closed")
+	}
+	cf.refs++
+	return nil
+}
+
+// exit drops an in-flight read, releasing the descriptor if Close ran
+// meanwhile.
+func (cf *ColdFile) exit() {
+	cf.mu.Lock()
+	cf.refs--
+	release := cf.closed && cf.refs == 0
+	cf.mu.Unlock()
+	if release {
+		cf.fl.Close()
+	}
+}
+
+// Close marks the file closed, drops its cached blocks and releases the
+// descriptor (deferred until in-flight visits drain). Idempotent.
+func (cf *ColdFile) Close() error {
+	cf.mu.Lock()
+	if cf.closed {
+		cf.mu.Unlock()
+		return nil
+	}
+	cf.closed = true
+	release := cf.refs == 0
+	cf.mu.Unlock()
+	if cf.cache != nil {
+		cf.cache.Drop(cf.id)
+	}
+	if release {
+		return cf.fl.Close()
+	}
+	return nil
+}
+
+// block returns the chunk of block s (records [lo, hi)), through the
+// cache when one is attached.
+func (cf *ColdFile) block(s, lo, hi int) (*Chunk, error) {
+	if cf.cache == nil {
+		return cf.fl.LoadRecords(lo, hi)
+	}
+	return cf.cache.getOrLoad(blockKey{file: cf.id, block: s}, func() (*Chunk, int64, error) {
+		ch, err := cf.fl.LoadRecords(lo, hi)
+		if err != nil {
+			return nil, 0, err
+		}
+		return ch, int64(hi-lo) * int64(cf.fl.recSize), nil
+	})
+}
+
+// VisitIntervals implements RecordSource: walk the blocks the intervals
+// touch in curve order — the cursor logic of the pseudo-disk batch path
+// — loading each touched block once per call even when several intervals
+// fall inside it, and refine with per-block binary searches. Empty
+// stretches of the curve are skipped by jumping the block cursor to the
+// next interval's start.
+func (cf *ColdFile) VisitIntervals(ivs []hilbert.Interval, visit func(RecordView) bool) error {
+	if len(ivs) == 0 || cf.fl.count == 0 {
+		return nil
+	}
+	if err := cf.enter(); err != nil {
+		return err
+	}
+	defer cf.exit()
+	nb := 1 << uint(cf.bits)
+	c := 0
+	for c < len(ivs) {
+		// Jump to the first block the current interval touches.
+		s := int(ivs[c].Start.Shr(cf.shift).Uint64())
+		if s >= nb {
+			break
+		}
+		for ; s < nb && c < len(ivs); s++ {
+			secStart := bitkey.FromUint64(uint64(s)).Shl(cf.shift)
+			secEnd := bitkey.FromUint64(uint64(s) + 1).Shl(cf.shift)
+			for c < len(ivs) && ivs[c].End.Cmp(secStart) <= 0 {
+				c++
+			}
+			if c >= len(ivs) {
+				break
+			}
+			if !ivs[c].Start.Less(secEnd) {
+				// The next interval starts past this block: recompute the
+				// jump in the outer loop instead of scanning empty blocks.
+				break
+			}
+			lo, hi := cf.fl.SectionRecordRange(cf.bits, s)
+			if lo == hi {
+				continue
+			}
+			ch, err := cf.block(s, lo, hi)
+			if err != nil {
+				return err
+			}
+			for cc := c; cc < len(ivs) && ivs[cc].Start.Less(secEnd); cc++ {
+				clo, chi := ch.FindInterval(ivs[cc])
+				for i := clo; i < chi; i++ {
+					if !visit(RecordView{Pos: ch.Base + i, Key: ch.keys[i], FP: ch.FP(i),
+						ID: ch.ids[i], TC: ch.tcs[i], X: ch.xs[i], Y: ch.ys[i]}) {
+						return nil
+					}
+				}
+			}
+		}
+		if s >= nb {
+			// The block cursor ran off the curve: whatever interval tail
+			// remains was covered by the blocks just visited.
+			break
+		}
+	}
+	return nil
+}
+
+// CountID returns the number of records carrying the given identifier,
+// scanning the file block by block *without* touching the cache: the
+// delete path is rare and a full scan through the cache would evict the
+// hot query blocks.
+func (cf *ColdFile) CountID(id uint32) (int, error) {
+	if err := cf.enter(); err != nil {
+		return 0, err
+	}
+	defer cf.exit()
+	n := 0
+	for s := 0; s < 1<<uint(cf.bits); s++ {
+		lo, hi := cf.fl.SectionRecordRange(cf.bits, s)
+		if lo == hi {
+			continue
+		}
+		ch, err := cf.fl.LoadRecords(lo, hi)
+		if err != nil {
+			return 0, err
+		}
+		for i := 0; i < ch.Len(); i++ {
+			if ch.ids[i] == id {
+				n++
+			}
+		}
+	}
+	return n, nil
+}
+
+// LoadAll reads the whole file into an in-memory DB, bypassing the cache
+// (compaction input — one-shot bulk reads would churn the working set).
+func (cf *ColdFile) LoadAll() (*DB, error) {
+	if err := cf.enter(); err != nil {
+		return nil, err
+	}
+	defer cf.exit()
+	return cf.fl.LoadAll()
+}

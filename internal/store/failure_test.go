@@ -1,6 +1,7 @@
 package store
 
 import (
+	"encoding/binary"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -9,10 +10,12 @@ import (
 	"s3cbcd/internal/hilbert"
 )
 
-// TestLoadRecordsTruncatedFile injects a truncated record area: the
-// header and section table promise more records than the file holds, so
-// reads past the end must fail cleanly rather than return garbage.
-func TestLoadRecordsTruncatedFile(t *testing.T) {
+// TestOpenRejectsTruncatedRecordArea truncates the record area: the
+// header and section table promise more records than the file holds.
+// Open probes the promised record range against the actual file size, so
+// the corruption is rejected at open instead of surfacing as a garbage
+// (or short) read from a later LoadRecords.
+func TestOpenRejectsTruncatedRecordArea(t *testing.T) {
 	curve := hilbert.MustNew(6, 4)
 	db := MustBuild(curve, randRecords(rand.New(rand.NewSource(1)), curve, 50))
 	path := filepath.Join(t.TempDir(), "db.s3db")
@@ -26,17 +29,75 @@ func TestLoadRecordsTruncatedFile(t *testing.T) {
 	if err := os.Truncate(path, info.Size()-64); err != nil {
 		t.Fatal(err)
 	}
-	fl, err := Open(path)
+	if fl, err := Open(path); err == nil {
+		fl.Close()
+		t.Fatal("opening a file with a truncated record area succeeded")
+	}
+	// Truncating even the final byte must be caught.
+	if err := os.Truncate(path, info.Size()-65); err != nil {
+		t.Fatal(err)
+	}
+	if fl, err := Open(path); err == nil {
+		fl.Close()
+		t.Fatal("opening a file one byte short succeeded")
+	}
+}
+
+// TestOpenRejectsAbsurdHeaderClaims corrupts the header's record count
+// and section granularity to absurd values: both must be refused before
+// any allocation or read sized by them is attempted.
+func TestOpenRejectsAbsurdHeaderClaims(t *testing.T) {
+	curve := hilbert.MustNew(6, 4)
+	db := MustBuild(curve, randRecords(rand.New(rand.NewSource(1)), curve, 10))
+	path := filepath.Join(t.TempDir(), "db.s3db")
+	if err := db.WriteFile(path, 3); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := os.ReadFile(path)
 	if err != nil {
-		t.Fatal(err) // header and table are intact
+		t.Fatal(err)
 	}
-	defer fl.Close()
-	if _, err := fl.LoadRecords(0, fl.Count()); err == nil {
-		t.Fatal("reading past the truncation succeeded")
+	corrupt := func(t *testing.T, mutate func([]byte)) {
+		t.Helper()
+		blob := append([]byte(nil), orig...)
+		mutate(blob)
+		p := filepath.Join(t.TempDir(), "corrupt.s3db")
+		if err := os.WriteFile(p, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if fl, err := Open(p); err == nil {
+			fl.Close()
+			t.Fatal("opening the corrupted file succeeded")
+		}
 	}
-	// Early records are still readable.
-	if _, err := fl.LoadRecords(0, 5); err != nil {
-		t.Fatalf("reading intact prefix failed: %v", err)
+	// count = 2^60: past the absolute bound.
+	corrupt(t, func(b []byte) { binary.LittleEndian.PutUint64(b[16:], 1<<60) })
+	// count = 2^40: inside the bound but far past the file size — caught
+	// by the record-area probe, not the table validators.
+	corrupt(t, func(b []byte) { binary.LittleEndian.PutUint64(b[16:], 1<<40) })
+	// secBits = 23: valid for the 24-bit curve, so the geometry check
+	// accepts it — the pre-allocation probe must notice the 64 MiB table
+	// cannot fit in this file.
+	corrupt(t, func(b []byte) { binary.LittleEndian.PutUint32(b[24:], 23) })
+	// secBits past the absolute sanity cap, on a curve whose index bits
+	// would otherwise admit it: rejected before the 8 TiB table is
+	// allocated or probed.
+	big := MustBuild(hilbert.MustNew(8, 8), randRecords(rand.New(rand.NewSource(2)), hilbert.MustNew(8, 8), 4))
+	bigPath := filepath.Join(t.TempDir(), "big.s3db")
+	if err := big.WriteFile(bigPath, 3); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(bigPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint32(blob[24:], 40)
+	if err := os.WriteFile(bigPath, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if fl, err := Open(bigPath); err == nil {
+		fl.Close()
+		t.Fatal("opening a file with a 2^40-entry section table succeeded")
 	}
 }
 

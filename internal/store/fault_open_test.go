@@ -107,7 +107,9 @@ func TestOpenFaultOnOpen(t *testing.T) {
 // a subsequent healthy load.
 func TestLoadRecordsFaultyReadAt(t *testing.T) {
 	path := writeTestFile(t)
-	fs := faultfs.New(store.OSFS, scriptRead(faultfs.OpReadAt, 1, faultfs.Fail))
+	// Open itself issues two ReadAt probes (section-table end, record-area
+	// end); the third ReadAt is the LoadRecords body this test targets.
+	fs := faultfs.New(store.OSFS, scriptRead(faultfs.OpReadAt, 3, faultfs.Fail))
 	fl, err := store.OpenFS(fs, path)
 	if err != nil {
 		t.Fatal(err)
@@ -130,7 +132,8 @@ func TestLoadRecordsFaultyReadAt(t *testing.T) {
 // than its header promises must be reported, not silently padded.
 func TestLoadRecordsShortReadAt(t *testing.T) {
 	path := writeTestFile(t)
-	fs := faultfs.New(store.OSFS, scriptRead(faultfs.OpReadAt, 1, faultfs.ShortWrite))
+	// ReadAt #3: the first record read after open's two probes.
+	fs := faultfs.New(store.OSFS, scriptRead(faultfs.OpReadAt, 3, faultfs.ShortWrite))
 	fl, err := store.OpenFS(fs, path)
 	if err != nil {
 		t.Fatal(err)
@@ -138,6 +141,43 @@ func TestLoadRecordsShortReadAt(t *testing.T) {
 	defer fl.Close()
 	if _, err := fl.LoadRecords(0, fl.Count()); err == nil {
 		t.Fatal("LoadRecords with a short ReadAt succeeded")
+	}
+}
+
+// TestColdReadSeededInjector pins NewSeededReads's contract: at rate 1
+// every read faults (nothing opens, nothing leaks); at rate 0 nothing
+// does; and the injector never touches the write side.
+func TestColdReadSeededInjector(t *testing.T) {
+	path := writeTestFile(t)
+	always := faultfs.NewSeededReads(store.OSFS, 1, 1.0)
+	if fl, err := store.OpenFS(always, path); err == nil {
+		fl.Close()
+		t.Fatal("open with every read faulted succeeded")
+	}
+	if lh := always.OpenHandles(); lh != 0 {
+		t.Fatalf("failed open leaked %d descriptors", lh)
+	}
+
+	never := faultfs.NewSeededReads(store.OSFS, 1, 0)
+	fl, err := store.OpenFS(never, path)
+	if err != nil {
+		t.Fatalf("open at rate 0: %v", err)
+	}
+	defer fl.Close()
+	if _, err := fl.LoadAll(); err != nil {
+		t.Fatalf("LoadAll at rate 0: %v", err)
+	}
+
+	// Writes pass untouched even at rate 1: the read injector must not
+	// destabilize the write path's guarantees.
+	curve := hilbert.MustNew(4, 4)
+	db, err := store.Build(curve, []store.Record{{FP: []byte{1, 2, 3, 4}, ID: 1, TC: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "out.s3db")
+	if err := db.WriteFileFS(always, out, 2); err != nil {
+		t.Fatalf("write through a read-only injector: %v", err)
 	}
 }
 

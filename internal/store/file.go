@@ -201,18 +201,42 @@ func OpenFS(fsys FS, path string) (*File, error) {
 	}
 	dims := int(binary.LittleEndian.Uint32(hdr[8:]))
 	order := int(binary.LittleEndian.Uint32(hdr[12:]))
-	count := int(binary.LittleEndian.Uint64(hdr[16:]))
+	count64 := binary.LittleEndian.Uint64(hdr[16:])
 	secBits := int(binary.LittleEndian.Uint32(hdr[24:]))
 	curve, err := hilbert.New(dims, order)
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("store: %s: %w", path, err)
 	}
+	// A corrupt count would otherwise drive LoadRecords/LoadAll to
+	// allocate count*recSize bytes before any read could fail; bound it
+	// here, and below verify the record area actually exists on disk.
+	if count64 > maxFileRecords {
+		f.Close()
+		return nil, fmt.Errorf("store: %s claims %d records (limit %d)", path, count64, int64(maxFileRecords))
+	}
+	count := int(count64)
 	if secBits < 0 || secBits > curve.IndexBits() {
 		f.Close()
 		return nil, fmt.Errorf("store: %s has invalid section bits %d", path, secBits)
 	}
+	// Cap the table size independently of the curve geometry: a curve can
+	// legitimately carry 160 index bits, but a 2^p-entry table beyond
+	// maxSectionBits (8 GiB+) is only ever a corrupt header, and the
+	// allocation must be refused before it is attempted.
+	if secBits > maxSectionBits {
+		f.Close()
+		return nil, fmt.Errorf("store: %s section table of 2^%d entries exceeds the 2^%d sanity bound",
+			path, secBits, maxSectionBits)
+	}
 	n := (1 << uint(secBits)) + 1
+	// Probe the table's last byte before allocating its buffer, so a
+	// truncated file (or a header whose secBits outruns the actual size)
+	// is rejected without an allocation sized by untrusted input.
+	if err := probeOffset(f, int64(len(hdr))+int64(8*n)-1); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %s section table extends past end of file: %w", path, err)
+	}
 	tbl := make([]byte, 8*n)
 	if _, err := io.ReadFull(f, tbl); err != nil {
 		f.Close()
@@ -262,6 +286,18 @@ func OpenFS(fsys FS, path string) (*File, error) {
 		}
 		dataOff += int64(4 + len(manifest))
 	}
+	// The header's record count is only trustworthy once the record area
+	// it promises is actually on disk: probe the last record byte, so a
+	// truncated file fails here instead of returning garbage (or a short
+	// read) from a later LoadRecords.
+	recSize := recordSize(curve, version)
+	if count > 0 {
+		end := dataOff + int64(count)*int64(recSize) - 1
+		if err := probeOffset(f, end); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: %s record area truncated (want %d bytes): %w", path, end+1, err)
+		}
+	}
 	return &File{
 		f:           f,
 		curve:       curve,
@@ -270,9 +306,28 @@ func OpenFS(fsys FS, path string) (*File, error) {
 		starts:      starts,
 		shardStarts: shardStarts,
 		dataOff:     dataOff,
-		recSize:     recordSize(curve, version),
+		recSize:     recSize,
 		version:     version,
 	}, nil
+}
+
+// maxFileRecords bounds the record count a header may claim (2^48
+// records of the smallest record layout already exceed 8 PiB).
+const maxFileRecords = 1 << 48
+
+// maxSectionBits bounds the section-table granularity a header may
+// claim. Writers validate sectionBits against the curve alone, but any
+// value past this produces a multi-gigabyte table no real archive
+// carries; reading one is always header corruption.
+const maxSectionBits = 28
+
+// probeOffset verifies the file has a byte at off (a cheap existence
+// check against the actual file size, which the Handle interface does
+// not expose directly).
+func probeOffset(f Handle, off int64) error {
+	var b [1]byte
+	_, err := f.ReadAt(b[:], off)
+	return err
 }
 
 // Version returns the file's format version (1, 2 or 3).
@@ -295,6 +350,36 @@ func (fl *File) Count() int { return fl.count }
 
 // SectionBits returns the granularity exponent of the stored table.
 func (fl *File) SectionBits() int { return fl.sectionBits }
+
+// RecordBytes returns the on-disk size of the record area — the number
+// operators size block-cache budgets against.
+func (fl *File) RecordBytes() int64 { return int64(fl.count) * int64(fl.recSize) }
+
+// RecordSize returns the on-disk size of one record.
+func (fl *File) RecordSize() int { return fl.recSize }
+
+// ChooseSectionBits returns the smallest r such that every curve section
+// of a 2^r partition holds at most budget records, capped at the stored
+// table granularity. If even the finest stored partition exceeds the
+// budget, the finest partition is returned (best-effort, mirroring the
+// paper where r <= p). This is the pseudo-disk block sizing rule of
+// Section IV-B, shared by the batch experiment (core.DiskIndex) and the
+// cold serving path (ColdFile).
+func (fl *File) ChooseSectionBits(budget int) int {
+	for bits := 0; bits <= fl.sectionBits; bits++ {
+		per := 1 << uint(fl.sectionBits-bits)
+		maxSec := int64(0)
+		for s := 0; s < 1<<uint(bits); s++ {
+			if n := fl.starts[(s+1)*per] - fl.starts[s*per]; n > maxSec {
+				maxSec = n
+			}
+		}
+		if maxSec <= int64(budget) {
+			return bits
+		}
+	}
+	return fl.sectionBits
+}
 
 // SectionRecordRange returns the record index range [lo, hi) of curve
 // section idx in a partition into 2^bits sections. bits must not exceed
