@@ -5,7 +5,7 @@ GO ?= go
 # its counters and histograms are written from every engine goroutine.
 RACE_PKGS = . ./internal/core ./internal/store ./internal/httpapi ./internal/cbcd ./internal/obs
 
-.PHONY: check vet build test race cover bench bench-shard bench-plan bench-cold faults
+.PHONY: check vet build test race cover bench bench-shard bench-plan bench-cold bench-sketch faults
 
 # check is the full verification gate: static checks, build, all tests,
 # then the race detector over the engine packages.
@@ -63,6 +63,14 @@ bench-plan:
 
 # bench-cold regenerates BENCH_cold.json (cold-tier serving vs
 # all-resident: bytes read per query, cache hit rate and queries/sec at
-# cache budgets down to ~10% of the corpus record bytes).
+# cache budgets down to ~10% of the corpus record bytes; sketch-on/off
+# and codec-on/off rows included).
 bench-cold:
+	$(GO) test -run TestColdBenchSweep -bench-cold -timeout 30m .
+
+# bench-sketch is bench-cold's sketch/codec view: the same sweep, which
+# asserts >=2x fewer disk bytes per uncached cold query with sketches and
+# the quantized codec on, at answers byte-identical to the resident
+# baseline.
+bench-sketch:
 	$(GO) test -run TestColdBenchSweep -bench-cold -timeout 30m .

@@ -1,18 +1,21 @@
 package s3
 
-// Cold-tier serving benchmark: statistical queries at α=0.8, σ=18 over a
-// live index whose sealed segments serve from disk through the block
-// cache, against the same directory served all-resident.
+// Cold-tier serving benchmark: statistical and range queries at α=0.8,
+// σ=18 over a live index whose sealed segments serve from disk through
+// the block cache, against the same corpus served all-resident.
 //
 //	go test -run TestColdBenchSweep -bench-cold -timeout 30m .
 //
 // regenerates BENCH_cold.json in the repository root (gated behind the
 // flag because building the corpus takes a while). The sweep covers
 // cache budgets from "whole corpus fits" down to ~10% of the record
-// bytes and a retention-free cache, reporting queries/sec, bytes read
-// from disk per query and the cache hit rate — and verifies in-run that
-// every configuration answers match-for-match identically to the
-// resident baseline.
+// bytes and a retention-free cache, then re-runs the uncached and 10%
+// configurations with the segment sketch pre-filter and the quantized
+// record codec on (sketch-on/off × codec-on/off rows over format-4
+// segment files), reporting queries/sec, bytes read from disk per query,
+// cache hit rate, sketch skip rate and codec reject counts — and
+// verifies in-run that every configuration answers match-for-match
+// identically to the resident baseline.
 //
 //	-bench-cold-records N   corpus size (default 200000)
 
@@ -44,10 +47,13 @@ const (
 	coldBenchQueries  = 96
 	coldBenchSegments = 4
 	coldBenchRounds   = 3
+	coldBenchEps      = 24 // range query radius: tight enough that codes reject most candidates
 )
 
 type coldBenchResult struct {
 	Name          string  `json:"name"`
+	Sketch        bool    `json:"sketch"`
+	Codec         bool    `json:"codec"`
 	CacheBudget   int64   `json:"cache_budget_bytes"`
 	BudgetPct     float64 `json:"cache_budget_pct_of_records"`
 	QueriesPerSec float64 `json:"queries_per_sec"`
@@ -56,16 +62,33 @@ type coldBenchResult struct {
 	CacheHits     int64   `json:"cache_hits"`
 	CacheMisses   int64   `json:"cache_misses"`
 	CacheEvicts   int64   `json:"cache_evictions"`
+
+	SketchBytes      int     `json:"sketch_bytes,omitempty"`
+	SkipRate         float64 `json:"segment_skip_rate,omitempty"`
+	SegmentsSkipped  int64   `json:"segments_skipped,omitempty"`
+	SkippedBlocks    int64   `json:"skipped_blocks,omitempty"`
+	QuantizedRejects int64   `json:"quantized_rejects,omitempty"`
+	FallbackReads    int64   `json:"exact_fallback_reads,omitempty"`
+	BytesSaved       int64   `json:"bytes_saved,omitempty"`
 }
 
-// coldBenchDir builds the shared on-disk index: one live directory whose
+// coldBenchDir builds a shared on-disk index: one live directory whose
 // committed snapshot holds the corpus in a handful of sealed segments.
-func coldBenchDir(t *testing.T, curve *hilbert.Curve, recs []store.Record) string {
+// With v4 set the segment files carry sketches and the quantized codec
+// (format version 4); otherwise they are plain v3 files, so the sweep
+// compares both generations of the format.
+func coldBenchDir(t *testing.T, curve *hilbert.Curve, recs []store.Record, v4 bool) string {
 	t.Helper()
 	dir := t.TempDir()
-	li, err := core.OpenLiveIndex(curve, dir, core.LiveOptions{
+	opt := core.LiveOptions{
 		MemtableRecords: (len(recs) + coldBenchSegments - 1) / coldBenchSegments,
-	})
+	}
+	if v4 {
+		opt.Sketch = true
+		opt.ColdCodec = true
+		opt.ColdRecords = 1 // every sealed segment is cold-eligible: codec rides all of them
+	}
+	li, err := core.OpenLiveIndex(curve, dir, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,8 +104,8 @@ func coldBenchDir(t *testing.T, curve *hilbert.Curve, recs []store.Record) strin
 	return dir
 }
 
-// dirRecordBytes sums the on-disk record-area bytes of the committed
-// segments — the quantity cache budgets are expressed against.
+// dirRecordBytes sums the on-disk exact record-area bytes of the
+// committed segments — the quantity cache budgets are expressed against.
 func dirRecordBytes(t *testing.T, dir string) int64 {
 	t.Helper()
 	man, err := store.RecoverManifestFS(store.OSFS, dir, nil)
@@ -118,54 +141,82 @@ func TestColdBenchSweep(t *testing.T) {
 	sq := core.StatQuery{Alpha: shardBenchAlpha,
 		Model: core.IsoNormal{D: fingerprint.D, Sigma: shardBenchSigma}}
 
-	dir := coldBenchDir(t, curve, recs)
+	dir := coldBenchDir(t, curve, recs, false)
+	dirV4 := coldBenchDir(t, curve, recs, true)
 	recordBytes := dirRecordBytes(t, dir)
 	t.Logf("corpus: %d records, %d segment record bytes", n, recordBytes)
 
 	configs := []struct {
-		name   string
-		cold   bool
-		budget int64
+		name          string
+		cold          bool
+		budget        int64
+		sketch, codec bool
 	}{
-		{"resident", false, 0},
-		{"cold-full-cache", true, recordBytes},
-		{"cold-10pct-cache", true, recordBytes / 10},
-		{"cold-no-cache", true, 0},
+		{name: "resident"},
+		{name: "cold-full-cache", cold: true, budget: recordBytes},
+		{name: "cold-10pct-cache", cold: true, budget: recordBytes / 10},
+		{name: "cold-no-cache", cold: true},
+		{name: "cold-no-cache-sketch", cold: true, sketch: true},
+		{name: "cold-no-cache-codec", cold: true, codec: true},
+		{name: "cold-no-cache-sketch-codec", cold: true, sketch: true, codec: true},
+		{name: "cold-10pct-sketch-codec", cold: true, budget: recordBytes / 10, sketch: true, codec: true},
 	}
 
 	ctx := context.Background()
-	var baseline [][]core.Match
+	var baseStat, baseRange [][]core.Match
 	results := make([]coldBenchResult, 0, len(configs))
+	byName := map[string]*coldBenchResult{}
 	for _, cfg := range configs {
 		cfs := store.NewCountingFS(store.OSFS)
-		opt := core.LiveOptions{FS: cfs}
+		opt := core.LiveOptions{FS: cfs, Sketch: cfg.sketch, ColdCodec: cfg.codec}
 		if cfg.cold {
 			opt.ColdRecords = 1
 			opt.Cache = store.NewBlockCache(cfg.budget)
 		}
-		li, err := core.OpenLiveIndex(curve, dir, opt)
+		// Sketch/codec configurations serve the v4 directory; the plain ones
+		// serve the v3 directory, exactly what PR 6 measured.
+		srcDir := dir
+		if cfg.sketch || cfg.codec {
+			srcDir = dirV4
+		}
+		li, err := core.OpenLiveIndex(curve, srcDir, opt)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if st := li.Stats(); cfg.cold && st.ColdSegments != st.Segments {
+		st := li.Stats()
+		if cfg.cold && st.ColdSegments != st.Segments {
 			t.Fatalf("%s: %d of %d segments opened cold", cfg.name, st.ColdSegments, st.Segments)
+		}
+		if cfg.sketch && st.SketchSegments != st.Segments {
+			t.Fatalf("%s: %d of %d segments carry sketches", cfg.name, st.SketchSegments, st.Segments)
+		}
+		if cfg.codec && st.CodecSegments != st.Segments {
+			t.Fatalf("%s: %d of %d segments carry the codec", cfg.name, st.CodecSegments, st.Segments)
 		}
 
 		// Warm pass: verifies every configuration answers exactly like the
-		// resident baseline (and, cold, populates the cache the way a
-		// steady-state server would have it).
-		answers := make([][]core.Match, len(queries))
+		// resident baseline — the skip/reject machinery must be
+		// observationally invisible — and, cold, populates the cache the way
+		// a steady-state server would have it.
+		ansStat := make([][]core.Match, len(queries))
+		ansRange := make([][]core.Match, len(queries))
 		for i, q := range queries {
-			m, _, err := li.SearchStat(ctx, q, sq)
-			if err != nil {
+			if ansStat[i], _, err = li.SearchStat(ctx, q, sq); err != nil {
 				t.Fatal(err)
 			}
-			answers[i] = m
+			if ansRange[i], _, err = li.SearchRange(ctx, q, coldBenchEps); err != nil {
+				t.Fatal(err)
+			}
 		}
-		if baseline == nil {
-			baseline = answers
-		} else if !reflect.DeepEqual(baseline, answers) {
-			t.Fatalf("%s: answers differ from the resident baseline", cfg.name)
+		if baseStat == nil {
+			baseStat, baseRange = ansStat, ansRange
+		} else {
+			if !reflect.DeepEqual(baseStat, ansStat) {
+				t.Fatalf("%s: statistical answers differ from the resident baseline", cfg.name)
+			}
+			if !reflect.DeepEqual(baseRange, ansRange) {
+				t.Fatalf("%s: range answers differ from the resident baseline", cfg.name)
+			}
 		}
 
 		readBefore := cfs.ReadBytes()
@@ -175,12 +226,17 @@ func TestColdBenchSweep(t *testing.T) {
 				if _, _, err := li.SearchStat(ctx, q, sq); err != nil {
 					t.Fatal(err)
 				}
+				if _, _, err := li.SearchRange(ctx, q, coldBenchEps); err != nil {
+					t.Fatal(err)
+				}
 			}
 		}
 		elapsed := time.Since(start).Seconds()
-		nq := float64(coldBenchRounds * len(queries))
+		nq := float64(coldBenchRounds * len(queries) * 2)
 		res := coldBenchResult{
 			Name:          cfg.name,
+			Sketch:        cfg.sketch,
+			Codec:         cfg.codec,
 			CacheBudget:   cfg.budget,
 			QueriesPerSec: nq / elapsed,
 			BytesPerQuery: float64(cfs.ReadBytes()-readBefore) / nq,
@@ -189,34 +245,56 @@ func TestColdBenchSweep(t *testing.T) {
 			res.BudgetPct = 100 * float64(cfg.budget) / float64(recordBytes)
 		}
 		if cfg.cold {
-			cs := li.Stats().Cache
+			st := li.Stats()
+			cs := st.Cache
 			res.CacheHits, res.CacheMisses = cs.Hits, cs.Misses
 			res.CacheEvicts = cs.Evictions
 			if total := cs.Hits + cs.Misses; total > 0 {
 				res.CacheHitRate = float64(cs.Hits) / float64(total)
 			}
+			res.SketchBytes = st.SketchBytes
+			res.SegmentsSkipped = st.SegmentsSkipped
+			if st.SketchConsults > 0 {
+				res.SkipRate = float64(st.SegmentsSkipped) / float64(st.SketchConsults)
+			}
+			res.SkippedBlocks = st.SkippedBlocks
+			res.QuantizedRejects = st.QuantizedRejects
+			res.FallbackReads = st.FallbackReads
+			res.BytesSaved = st.BytesSaved
 		}
 		if err := li.Close(); err != nil {
 			t.Fatal(err)
 		}
-		t.Logf("%-18s budget %11d (%5.1f%%): %8.1f q/s, %10.0f disk bytes/query, hit rate %.3f",
+		t.Logf("%-28s budget %11d (%5.1f%%): %8.1f q/s, %10.0f disk bytes/query, hit rate %.3f, skipped blocks %d, rejects %d",
 			res.Name, res.CacheBudget, res.BudgetPct, res.QueriesPerSec,
-			res.BytesPerQuery, res.CacheHitRate)
+			res.BytesPerQuery, res.CacheHitRate, res.SkippedBlocks, res.QuantizedRejects)
 		results = append(results, res)
+		byName[res.Name] = &results[len(results)-1]
 	}
 
 	// The resident baseline reads nothing per query; a cold tier with a
-	// cache must read dramatically less than one without.
-	if res := results[0]; res.BytesPerQuery != 0 {
+	// cache must read dramatically less than one without; and the tentpole
+	// claim — sketches plus codec at least halve the uncached cold bytes
+	// read per query, at byte-identical answers (verified above).
+	if res := byName["resident"]; res.BytesPerQuery != 0 {
 		t.Errorf("resident config read %f bytes/query from disk", res.BytesPerQuery)
 	}
-	if full, none := results[1], results[3]; full.BytesPerQuery >= none.BytesPerQuery {
+	if full, none := byName["cold-full-cache"], byName["cold-no-cache"]; full.BytesPerQuery >= none.BytesPerQuery {
 		t.Errorf("full cache reads as much as no cache (%.0f vs %.0f bytes/query)",
 			full.BytesPerQuery, none.BytesPerQuery)
 	}
+	plain, both := byName["cold-no-cache"], byName["cold-no-cache-sketch-codec"]
+	if both.BytesPerQuery*2 > plain.BytesPerQuery {
+		t.Errorf("sketch+codec read %.0f bytes/query uncached, want <= half of plain %.0f",
+			both.BytesPerQuery, plain.BytesPerQuery)
+	}
+	if both.SkippedBlocks == 0 || both.QuantizedRejects == 0 {
+		t.Errorf("sketch+codec run skipped %d blocks and rejected %d candidates — machinery not firing",
+			both.SkippedBlocks, both.QuantizedRejects)
+	}
 
 	report := map[string]interface{}{
-		"benchmark": "cold-tier serving: block-cached disk reads vs all-resident segments",
+		"benchmark": "cold-tier serving: sketch pre-filters and quantized codecs vs plain block-cached disk reads vs all-resident",
 		"corpus": map[string]interface{}{
 			"records":      n,
 			"record_bytes": recordBytes,
@@ -226,15 +304,20 @@ func TestColdBenchSweep(t *testing.T) {
 			"rounds":       coldBenchRounds,
 			"alpha":        shardBenchAlpha,
 			"sigma":        shardBenchSigma,
+			"range_eps":    coldBenchEps,
 		},
 		"host": map[string]interface{}{
 			"num_cpu":    runtime.NumCPU(),
 			"go_version": runtime.Version(),
 		},
 		"note": fmt.Sprintf("All configurations answered match-for-match identically to the "+
-			"resident baseline (verified in-run). disk_bytes_read_per_query counts bytes "+
-			"crossing the store.FS seam during the timed passes on a %d-core host; the warm "+
-			"pass populates the cache first, so it reflects steady-state serving.",
+			"resident baseline on both statistical and range queries (verified in-run). "+
+			"disk_bytes_read_per_query counts bytes crossing the store.FS seam during the "+
+			"timed passes (one statistical + one range search per query) on a %d-core host; "+
+			"the warm pass populates the cache first, so it reflects steady-state serving. "+
+			"Sketch rows skip blocks/segments whose Bloom occupancy filter proves the plan "+
+			"misses them; codec rows serve statistical refinement from the lean record area "+
+			"and reject range candidates on 4-bit quantized codes before touching exact bytes.",
 			runtime.NumCPU()),
 		"results": results,
 	}

@@ -83,6 +83,10 @@ func main() {
 			"serve sealed segments of at least this many records from disk through the block cache, live mode (0 = all resident)")
 		cacheMB = flag.Int("cache-mb", 64,
 			"block cache budget in MiB for cold segments (with -cold-records)")
+		sketch = flag.Bool("sketch", true,
+			"build per-segment sketches and skip segments a plan provably misses, live mode")
+		coldCodec = flag.Bool("cold-codec", true,
+			"write quantized record codecs into cold-eligible segments and reject candidates on quantized bounds, live mode")
 		traceRate = flag.Float64("trace-rate", 0,
 			"fraction of searches carrying a stage-level trace (0 = only ?trace=1 requests)")
 		traceSeed = flag.Int64("trace-seed", 0, "trace sampler seed (reproducible sampling)")
@@ -123,6 +127,8 @@ func main() {
 			RetryLimit:   *compactRetries,
 			Logger:       logger,
 			ColdRecords:  *coldRecords,
+			Sketch:       *sketch,
+			ColdCodec:    *coldCodec,
 		}
 		if *coldRecords > 0 {
 			cache := store.NewBlockCache(int64(*cacheMB) << 20)
@@ -143,6 +149,7 @@ func main() {
 		logger.Info("serving live index", "dir", *liveDir, "records", st.LiveRecords,
 			"dims", *dims, "gen", st.Gen, "segments", st.Segments,
 			"coldSegments", st.ColdSegments, "cacheBudgetBytes", st.Cache.BudgetBytes,
+			"sketchSegments", st.SketchSegments, "codecSegments", st.CodecSegments,
 			"degraded", st.Degraded)
 	} else {
 		fl, err := store.OpenFS(cfs, *dbPath)

@@ -9,9 +9,11 @@
 //
 // With -live DIR it instead inspects a live index directory: the
 // committed manifest generation, each segment's record count and on-disk
-// size, and — at the -cold-records threshold s3serve would apply — the
-// resident/cold tier split with a suggested block-cache budget (10% of
-// the cold tier's record bytes).
+// size, its sketch (size, Bloom false-positive budget and an estimated
+// skip rate from deterministic block probes) and quantized codec if the
+// file carries them, and — at the -cold-records threshold s3serve would
+// apply — the resident/cold tier split with a suggested block-cache
+// budget (10% of the cold tier's record bytes).
 //
 //	s3stat -live /var/lib/s3/live -cold-records 100000
 package main
@@ -64,6 +66,14 @@ func main() {
 		curve.Dims(), curve.Order(), curve.IndexBits())
 	fmt.Printf("records:        %d\n", fl.Count())
 	fmt.Printf("section table:  2^%d sections\n", fl.SectionBits())
+	if sk := fl.Sketch(); sk != nil {
+		fmt.Printf("sketch:         %d bytes, %d blocks @ 2^%d, fp budget %.2g, est skip rate %.2f\n",
+			sk.EncodedSize(), sk.Blocks(), sk.Bits(),
+			sk.FalsePositiveRate(), sk.EstimatedSkipRate(4096))
+	}
+	if fl.HasCodec() {
+		fmt.Printf("codec:          quantized record area present (lean + packed codes)\n")
+	}
 
 	// Section occupancy at the stored granularity.
 	bits := fl.SectionBits()
@@ -141,7 +151,7 @@ func statLive(dir string, coldRecords int) {
 
 	var totalRecs, coldRecs int
 	var totalRecBytes, coldRecBytes, totalFileBytes int64
-	coldSegs := 0
+	coldSegs, sketchSegs, codecSegs, sketchBytes := 0, 0, 0, 0
 	for _, seg := range man.Segments {
 		path := filepath.Join(dir, seg.Name)
 		fl, err := store.Open(path)
@@ -149,6 +159,8 @@ func statLive(dir string, coldRecords int) {
 			log.Fatalf("segment %s: %v", seg.Name, err)
 		}
 		recBytes := fl.RecordBytes()
+		sk := fl.Sketch()
+		hasCodec := fl.HasCodec()
 		fl.Close()
 		fileBytes, err := fileSize(path)
 		if err != nil {
@@ -167,9 +179,26 @@ func statLive(dir string, coldRecords int) {
 		totalFileBytes += fileBytes
 		fmt.Printf("  %-28s %9d records  %11d bytes on disk  %-8s %d tombstones\n",
 			seg.Name, seg.Count, fileBytes, tier, len(seg.Tombstones))
+		if sk != nil {
+			sketchSegs++
+			sketchBytes += sk.EncodedSize()
+			codec := ""
+			if hasCodec {
+				codecSegs++
+				codec = "  quantized codec"
+			}
+			fmt.Printf("  %-28s sketch %d bytes  %d blocks @ 2^%d  fp budget %.2g  est skip rate %.2f%s\n",
+				"", sk.EncodedSize(), sk.Blocks(), sk.Bits(),
+				sk.FalsePositiveRate(), sk.EstimatedSkipRate(4096), codec)
+		} else if hasCodec {
+			codecSegs++
+			fmt.Printf("  %-28s quantized codec, no sketch\n", "")
+		}
 	}
 	fmt.Printf("totals:         %d records, %d record bytes, %d file bytes\n",
 		totalRecs, totalRecBytes, totalFileBytes)
+	fmt.Printf("sketches:       %d/%d segments carry sketches (%d bytes), %d carry quantized codecs\n",
+		sketchSegs, len(man.Segments), sketchBytes, codecSegs)
 	if coldRecords > 0 {
 		fmt.Printf("tier split:     %d/%d segments cold (>= %d records): %d records, %d record bytes\n",
 			coldSegs, len(man.Segments), coldRecords, coldRecs, coldRecBytes)

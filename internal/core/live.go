@@ -165,6 +165,19 @@ type LiveOptions struct {
 	// segments (and, if the caller wants, across indexes). nil with
 	// ColdRecords > 0 selects a private cache of DefaultLiveCacheBytes.
 	Cache *store.BlockCache
+	// Sketch embeds an occupancy sketch into every sealed segment (file
+	// format v4) and consults it before refinement: a plan whose block set
+	// provably misses a segment skips it entirely — no block cache
+	// traffic, no record visit — and cold reads skip individual blocks
+	// likewise. Skip decisions are one-sided (Bloom filters have no false
+	// negatives), so answers are byte-identical with or without.
+	Sketch bool
+	// ColdCodec embeds the quantized record codec into segments written
+	// for the cold tier: statistical refinement reads fingerprint-free
+	// lean rows, and geometric refinement pre-filters candidates on packed
+	// per-component codes, falling back to exact bytes only for survivors.
+	// Answers stay byte-identical (the exact distance check remains).
+	ColdCodec bool
 }
 
 // DefaultLiveMemtableRecords is the default seal threshold.
@@ -236,11 +249,15 @@ func (o LiveOptions) withDefaults(curve *hilbert.Curve) LiveOptions {
 // set. Segments are never mutated — tombstone growth replaces the
 // struct (copy-on-write), so a loaded snapshot stays coherent forever.
 type liveSegment struct {
-	db   *store.DB       // resident records; nil when cold
-	cold *store.ColdFile // cold-tier records; nil when resident
-	name string          // manifest file name; "" for the memtable
+	db   *store.DB           // resident records; nil when cold
+	cold *store.ColdFile     // cold-tier records; nil when resident
+	name string              // manifest file name; "" for the memtable
 	tomb map[uint32]struct{} // masked video ids; nil or empty for none
 	live int                 // records not masked
+	// sketch is the segment's occupancy summary, consulted before
+	// refinement to skip the whole segment; nil when sketches are off (or
+	// for the mutable memtable, which is never summarized).
+	sketch *store.Sketch
 }
 
 func (s *liveSegment) masked(id uint32) bool {
@@ -302,7 +319,8 @@ func (s *liveSegment) withTombstone(id uint32, n int) *liveSegment {
 		tomb[k] = struct{}{}
 	}
 	tomb[id] = struct{}{}
-	return &liveSegment{db: s.db, cold: s.cold, name: s.name, tomb: tomb, live: s.live - n}
+	return &liveSegment{db: s.db, cold: s.cold, name: s.name, tomb: tomb,
+		live: s.live - n, sketch: s.sketch}
 }
 
 // compacted returns the segment's surviving records as an in-memory
@@ -397,9 +415,11 @@ type LiveIndex struct {
 
 	// met instruments the write path and queries (lifetime counters,
 	// latency histograms, retry/degraded state); log receives the write
-	// path's lifecycle events. Exported via RegisterMetrics.
-	met liveMetrics
-	log *slog.Logger
+	// path's lifecycle events. Exported via RegisterMetrics. coldCtr is
+	// shared by every cold file for sketch-skip/codec accounting.
+	met     liveMetrics
+	coldCtr *store.ColdCounters
+	log     *slog.Logger
 }
 
 // OpenLiveIndex opens (or creates) a live index over the given curve.
@@ -413,7 +433,7 @@ func OpenLiveIndex(curve *hilbert.Curve, dir string, opt LiveOptions) (*LiveInde
 	}
 	li := &LiveIndex{pl: planner{curve: curve, depth: opt.Depth}, opt: opt, dir: dir,
 		fs: opt.FS, closedCh: make(chan struct{}), pending: make(map[string]struct{}),
-		met: newLiveMetrics(), log: opt.Logger}
+		met: newLiveMetrics(), coldCtr: store.NewColdCounters(), log: opt.Logger}
 	var (
 		segs []*liveSegment
 		gen  uint64
@@ -451,12 +471,21 @@ func OpenLiveIndex(curve *hilbert.Curve, dir string, opt LiveOptions) (*LiveInde
 						return err
 					}
 					seg.cold, segCurve = cf, cf.Curve()
+					// The file's embedded sketch (nil for pre-v4 segments:
+					// they serve unsketched until the next compaction).
+					seg.sketch = cf.Sketch()
 				} else {
 					db, err := store.ReadFileFS(li.fs, filepath.Join(dir, si.Name))
 					if err != nil {
 						return err
 					}
 					seg.db, segCurve = db, db.Curve()
+					if opt.Sketch {
+						// Resident segments rebuild the summary in memory —
+						// identical to the embedded one by determinism, and it
+						// covers segments written before sketches existed.
+						seg.sketch = db.BuildSketch(opt.Depth)
+					}
 				}
 				loaded = append(loaded, seg)
 				if seg.records() != si.Count {
@@ -524,9 +553,37 @@ func (li *LiveIndex) coldEligible(n int) bool {
 }
 
 // openCold opens a committed segment file for cold serving through the
-// shared cache.
+// shared cache, with sketch-skipping and the codec as configured.
 func (li *LiveIndex) openCold(name string) (*store.ColdFile, error) {
-	return store.OpenColdFS(li.fs, filepath.Join(li.dir, name), li.opt.Cache, 0)
+	return store.OpenColdOptsFS(li.fs, filepath.Join(li.dir, name), store.ColdOptions{
+		Cache:    li.opt.Cache,
+		Sketch:   li.opt.Sketch,
+		Codec:    li.opt.ColdCodec,
+		Counters: li.coldCtr,
+	})
+}
+
+// segWriteOptions returns the write options of a segment file holding n
+// records: the sketch rides every sealed segment when enabled; the codec
+// (two extra record areas) is only worth its bytes on segments that will
+// serve cold.
+func (li *LiveIndex) segWriteOptions(n int) store.WriteOptions {
+	return store.WriteOptions{
+		SectionBits: li.opt.SectionBits,
+		Sketch:      li.opt.Sketch,
+		SketchBits:  li.opt.Depth,
+		Codec:       li.opt.ColdCodec && li.coldEligible(n),
+	}
+}
+
+// buildSketch summarizes a freshly sealed or compacted segment when
+// sketches are on (matching the section the file just got, and serving
+// memory-only indexes too).
+func (li *LiveIndex) buildSketch(db *store.DB) *store.Sketch {
+	if !li.opt.Sketch {
+		return nil
+	}
+	return db.BuildSketch(li.opt.Depth)
 }
 
 // protectPending marks a segment file as written ahead of its commit so
@@ -576,6 +633,21 @@ type LiveStats struct {
 	// Cache reports the block cache cold segments read through; zero when
 	// tiering is disabled.
 	Cache store.CacheStats
+	// SketchSegments counts sealed segments carrying an occupancy sketch,
+	// and SketchBytes their summed encoded size.
+	SketchSegments, SketchBytes int
+	// CodecSegments counts cold segments serving the quantized codec.
+	CodecSegments int
+	// SketchConsults and SegmentsSkipped are lifetime counters: sketch
+	// consultations before refinement, and segments those consultations
+	// proved the plan misses.
+	SketchConsults, SegmentsSkipped int64
+	// SkippedBlocks, QuantizedRejects, FallbackReads and BytesSaved are
+	// the cold read reducer's lifetime counters: blocks the sketch skipped
+	// inside cold files, candidates the quantized bound rejected, exact
+	// single-record verification reads, and on-disk bytes not read
+	// compared to the exact block path.
+	SkippedBlocks, QuantizedRejects, FallbackReads, BytesSaved int64
 	// MemtableRecords counts records in the mutable memtable.
 	MemtableRecords int
 	// LiveRecords counts surviving (query-visible) records.
@@ -631,11 +703,24 @@ func (li *LiveIndex) Stats() LiveStats {
 		if s.cold != nil {
 			st.ColdSegments++
 			st.ColdRecords += s.cold.Len()
+			if s.cold.Codec() {
+				st.CodecSegments++
+			}
+		}
+		if s.sketch != nil {
+			st.SketchSegments++
+			st.SketchBytes += s.sketch.EncodedSize()
 		}
 	}
 	if li.opt.Cache != nil {
 		st.Cache = li.opt.Cache.Stats()
 	}
+	st.SketchConsults = li.met.sketchConsults.Value()
+	st.SegmentsSkipped = li.met.segmentsSkipped.Value()
+	st.SkippedBlocks = li.coldCtr.SkippedBlocks.Value()
+	st.QuantizedRejects = li.coldCtr.QuantizedRejects.Value()
+	st.FallbackReads = li.coldCtr.FallbackReads.Value()
+	st.BytesSaved = li.coldCtr.BytesSaved.Value()
 	return st
 }
 
@@ -698,10 +783,12 @@ func (li *LiveIndex) sealInto(next *liveSnapshot) error {
 		return nil
 	}
 	t0 := time.Now()
-	seg := &liveSegment{db: next.mem.db, live: next.mem.db.Len()}
+	seg := &liveSegment{db: next.mem.db, live: next.mem.db.Len(),
+		sketch: li.buildSketch(next.mem.db)}
 	if li.dir != "" {
 		seg.name = li.nextSegName()
-		if err := seg.db.WriteFileFS(li.fs, filepath.Join(li.dir, seg.name), li.opt.SectionBits); err != nil {
+		if err := seg.db.WriteFileOptsFS(li.fs, filepath.Join(li.dir, seg.name),
+			li.segWriteOptions(seg.db.Len())); err != nil {
 			return err
 		}
 	}
@@ -1130,7 +1217,8 @@ func (li *LiveIndex) compact() error {
 	if li.dir != "" && merged.Len() > 0 {
 		name = li.nextSegName()
 		release = li.protectPending(name)
-		if err := merged.WriteFileFS(li.fs, filepath.Join(li.dir, name), li.opt.SectionBits); err != nil {
+		if err := merged.WriteFileOptsFS(li.fs, filepath.Join(li.dir, name),
+			li.segWriteOptions(merged.Len())); err != nil {
 			li.fs.Remove(filepath.Join(li.dir, name))
 			release()
 			li.log.Warn("compaction segment write failed", "segment", name, "err", err)
@@ -1195,7 +1283,8 @@ func (li *LiveIndex) compact() error {
 	next := &liveSnapshot{gen: cur.gen + 1, mem: cur.mem}
 	var base []*liveSegment
 	if merged.Len() > 0 {
-		seg := &liveSegment{db: merged, name: name, tomb: delta, live: merged.Len()}
+		seg := &liveSegment{db: merged, name: name, tomb: delta, live: merged.Len(),
+			sketch: li.buildSketch(merged)}
 		for id := range delta {
 			seg.live -= merged.CountID(id)
 		}
@@ -1338,12 +1427,32 @@ func mergeCanonical(lists [][]segMatch) []Match {
 	return out
 }
 
+// skipBySketch reports whether the segment's sketch proves the plan's
+// intervals hold none of its records, counting the consultation. A nil
+// sketch (sketches off, the memtable, or a pre-sketch segment) never
+// skips.
+func (li *LiveIndex) skipBySketch(s *liveSegment, ivs []hilbert.Interval) bool {
+	if s.sketch == nil {
+		return false
+	}
+	li.met.sketchConsults.Inc()
+	if s.sketch.MayIntersect(ivs) {
+		return false
+	}
+	li.met.segmentsSkipped.Inc()
+	return true
+}
+
 // refineStatSnap refines one plan against every segment of a snapshot,
-// resident or cold, through the RecordSource seam.
-func refineStatSnap(snap *liveSnapshot, plan Plan) ([]Match, error) {
+// resident or cold, through the RecordSource seam. Segments whose sketch
+// proves the plan misses them are skipped before any record is visited.
+func (li *LiveIndex) refineStatSnap(snap *liveSnapshot, plan Plan) ([]Match, error) {
 	segs := snap.all()
 	lists := make([][]segMatch, len(segs))
 	for i, s := range segs {
+		if li.skipBySketch(s, plan.Intervals) {
+			continue
+		}
 		ms, err := statMatchesSource(s.source(), s.maskFn(), plan)
 		if err != nil {
 			return nil, fmt.Errorf("core: refine of segment %s: %w", s.name, err)
@@ -1378,7 +1487,7 @@ func (li *LiveIndex) SearchStat(ctx context.Context, q []byte, sq StatQuery) ([]
 	tr.AddDescentNodes(int64(plan.DescentNodes))
 	tr.AddBlocks(int64(plan.Blocks))
 	t1 := time.Now()
-	ms, err := refineStatSnap(snap, plan)
+	ms, err := li.refineStatSnap(snap, plan)
 	if err != nil {
 		return nil, Plan{}, err
 	}
@@ -1430,6 +1539,17 @@ func (li *LiveIndex) SearchRange(ctx context.Context, q []byte, eps float64) ([]
 	segs := snap.all()
 	lists := make([][]segMatch, len(segs))
 	for i, s := range segs {
+		// The component envelope bounds the distance to every record of the
+		// segment from below: a box further than eps holds no match. The
+		// occupancy filter then proves curve non-intersection. Both bounds
+		// are one-sided, so skipping cannot change the answer.
+		if s.sketch != nil {
+			li.met.sketchConsults.Inc()
+			if s.sketch.EnvelopeMinDistSq(qf) > eps*eps || !s.sketch.MayIntersect(plan.Intervals) {
+				li.met.segmentsSkipped.Inc()
+				continue
+			}
+		}
 		sms, err := rangeMatchesSource(s.source(), qf, eps, s.maskFn(), plan)
 		if err != nil {
 			return nil, Plan{}, fmt.Errorf("core: refine of segment %s: %w", s.name, err)
@@ -1530,7 +1650,7 @@ func (li *LiveIndex) SearchStatBatch(ctx context.Context, queries [][]byte, sq S
 			return fmt.Errorf("query %d: %w", i, err)
 		}
 		plan := li.pl.planStatFloat(qf, sq)
-		ms, err := refineStatSnap(snap, plan)
+		ms, err := li.refineStatSnap(snap, plan)
 		if err != nil {
 			return fmt.Errorf("query %d: %w", i, err)
 		}

@@ -1,0 +1,326 @@
+package core
+
+// Sketch + codec correctness at the index level: with per-segment
+// sketches consulted before refinement and cold segments serving lean /
+// quantize-filtered visits, every query must still answer byte-
+// identically to the monolithic resident rebuild — a skipped segment is
+// a *proof* of zero matches, a rejected candidate a *proof* it lies
+// outside the radius, so turning the whole machinery on must be
+// observationally invisible. Run under -race these also exercise the
+// snapshot/skip interleavings.
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"s3cbcd/internal/faultfs"
+	"s3cbcd/internal/store"
+)
+
+// sketchTestOptions pushes every sealed segment cold (like
+// coldTestOptions) and turns both new mechanisms on.
+func sketchTestOptions(r *rand.Rand, cache *store.BlockCache) LiveOptions {
+	opt := coldTestOptions(r, cache)
+	opt.Sketch = true
+	opt.ColdCodec = true
+	return opt
+}
+
+func TestLiveIndexSketchCodecEquivalentQuick(t *testing.T) {
+	var totalSkipped, totalRejects int64
+	scenario := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		budget := []int64{0, 512, 4096}[r.Intn(3)]
+		dir := t.TempDir()
+		li, err := OpenLiveIndex(liveTestCurve(), dir,
+			sketchTestOptions(r, store.NewBlockCache(budget)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer li.Close()
+
+		var model []store.Record
+		nOps := 4 + r.Intn(8)
+		checkpoint := r.Intn(nOps)
+		for op := 0; op < nOps; op++ {
+			if r.Intn(10) < 7 {
+				batch := make([]store.Record, r.Intn(60))
+				for i := range batch {
+					batch[i] = randLiveRecord(r)
+				}
+				if err := li.Ingest(batch); err != nil {
+					t.Fatal(err)
+				}
+				model = append(model, batch...)
+			} else {
+				id := uint32(r.Intn(6))
+				if err := li.DeleteVideo(id); err != nil {
+					t.Fatal(err)
+				}
+				kept := model[:0:0]
+				for _, rec := range model {
+					if rec.ID != id {
+						kept = append(kept, rec)
+					}
+				}
+				model = kept
+			}
+			if op == checkpoint && !checkLiveEquivalence(t, li, model, r, "sketch mid-schedule") {
+				return false
+			}
+		}
+		if !checkLiveEquivalence(t, li, model, r, "sketch after schedule") {
+			return false
+		}
+		if err := li.Compact(); err != nil {
+			t.Fatal(err)
+		}
+		if !checkLiveEquivalence(t, li, model, r, "sketch after compaction") {
+			return false
+		}
+		st := li.Stats()
+		if st.Segments > 0 && st.SketchSegments != st.Segments {
+			t.Errorf("seed %d: %d of %d segments carry sketches", seed, st.SketchSegments, st.Segments)
+			return false
+		}
+		if st.SketchConsults == 0 && st.Segments > 0 {
+			t.Errorf("seed %d: queries over %d sketched segments never consulted a sketch", seed, st.Segments)
+			return false
+		}
+		totalSkipped += st.SegmentsSkipped
+		totalRejects += st.QuantizedRejects
+
+		// Reopen with sketches+codec on: recovery must pick the embedded
+		// sketches back up from the v4 files.
+		if err := li.Close(); err != nil {
+			t.Fatal(err)
+		}
+		reopened, err := OpenLiveIndex(liveTestCurve(), dir, LiveOptions{
+			Depth: liveTestDepth, ColdRecords: 1, Cache: store.NewBlockCache(budget),
+			Sketch: true, ColdCodec: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer reopened.Close()
+		if st := reopened.Stats(); st.Segments > 0 && st.SketchSegments == 0 {
+			t.Errorf("seed %d: reopen recovered no sketches from %d segments", seed, st.Segments)
+			return false
+		}
+		if !checkLiveEquivalence(t, reopened, model, r, "sketch after reopen") {
+			return false
+		}
+		// And with everything off: the same v4 files serve a plain index.
+		if err := reopened.Close(); err != nil {
+			t.Fatal(err)
+		}
+		plain, err := OpenLiveIndex(liveTestCurve(), dir, LiveOptions{Depth: liveTestDepth})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer plain.Close()
+		return checkLiveEquivalence(t, plain, model, r, "plain reopen of sketched files")
+	}
+	cfg := &quick.Config{MaxCount: 8}
+	if testing.Short() {
+		cfg.MaxCount = 3
+	}
+	if err := quick.Check(scenario, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Across all schedules the machinery must have actually fired — a
+	// sketch that never skips or a codec that never rejects would make the
+	// equivalence above vacuous.
+	if totalSkipped == 0 {
+		t.Error("no schedule ever skipped a segment by sketch")
+	}
+	if totalRejects == 0 {
+		t.Error("no schedule ever rejected a candidate on quantized codes")
+	}
+}
+
+// TestLiveIndexSketchSkipsDeterministic pins the skip decision on a
+// crafted layout: all records in one corner of the space, queries in the
+// opposite corner. Every sealed segment must be skipped — by Bloom
+// filter for statistical plans, by filter or envelope for range queries
+// — and the answers must be the (empty) truth.
+func TestLiveIndexSketchSkipsDeterministic(t *testing.T) {
+	li, err := OpenLiveIndex(liveTestCurve(), t.TempDir(), LiveOptions{
+		Depth:           liveTestDepth,
+		MemtableRecords: 8,
+		ColdRecords:     1,
+		Sketch:          true,
+		ColdCodec:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer li.Close()
+	r := rand.New(rand.NewSource(3))
+	recs := make([]store.Record, 64)
+	for i := range recs {
+		fp := make([]byte, liveTestDims)
+		for j := range fp {
+			fp[j] = byte(r.Intn(4)) // low corner only
+		}
+		recs[i] = store.Record{FP: fp, ID: 1, TC: uint32(i)}
+	}
+	if err := li.Ingest(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := li.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := li.Stats()
+	if st.Segments == 0 || st.SketchSegments != st.Segments {
+		t.Fatalf("expected every sealed segment sketched: %+v", st)
+	}
+
+	ctx := context.Background()
+	far := []byte{31, 31, 31, 31}
+	sq := StatQuery{Alpha: 0.9, Model: IsoNormal{D: liveTestDims, Sigma: 1.5}}
+	if ms, _, err := li.SearchStat(ctx, far, sq); err != nil {
+		t.Fatal(err)
+	} else if len(ms) != 0 {
+		t.Fatalf("far statistical query returned %d matches", len(ms))
+	}
+	if ms, _, err := li.SearchRange(ctx, far, 3); err != nil {
+		t.Fatal(err)
+	} else if len(ms) != 0 {
+		t.Fatalf("far range query returned %d matches", len(ms))
+	}
+	st = li.Stats()
+	if st.SegmentsSkipped == 0 {
+		t.Fatalf("far queries never skipped a segment: %+v", st)
+	}
+	if st.SketchConsults < st.SegmentsSkipped {
+		t.Fatalf("skipped %d segments with only %d consults", st.SegmentsSkipped, st.SketchConsults)
+	}
+
+	// A near query must still find its records — the skip machinery only
+	// ever removes provably-empty work.
+	near := recs[0].FP
+	ms, _, err := li.SearchRange(ctx, near, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) == 0 {
+		t.Fatal("near range query found nothing")
+	}
+}
+
+// TestColdReadChaosSketchCodec is TestColdReadChaos with the sketch and
+// codec machinery on: random read faults now also land in the lean,
+// packed-code and per-survivor fallback preads. Every query must still
+// either error or answer exactly; a skipped segment (which reads
+// nothing) must never turn a faulted query into a wrong one.
+func TestColdReadChaosSketchCodec(t *testing.T) {
+	var (
+		chaos   atomic.Bool
+		chaosMu sync.Mutex
+		rng     = rand.New(rand.NewSource(17))
+	)
+	fs := faultfs.New(store.OSFS, func(op faultfs.Op, _ string, _ int) faultfs.Action {
+		if !chaos.Load() || (op != faultfs.OpRead && op != faultfs.OpReadAt) {
+			return faultfs.Pass
+		}
+		chaosMu.Lock()
+		defer chaosMu.Unlock()
+		if rng.Float64() >= 0.3 {
+			return faultfs.Pass
+		}
+		if rng.Intn(2) == 0 {
+			return faultfs.ShortWrite
+		}
+		return faultfs.Fail
+	})
+	li, err := OpenLiveIndex(liveTestCurve(), t.TempDir(), LiveOptions{
+		Depth:           liveTestDepth,
+		MemtableRecords: 50,
+		ColdRecords:     1,
+		Cache:           store.NewBlockCache(2048),
+		FS:              fs,
+		Sketch:          true,
+		ColdCodec:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer li.Close()
+	r := rand.New(rand.NewSource(18))
+	recs := make([]store.Record, 300)
+	for i := range recs {
+		recs[i] = randLiveRecord(r)
+	}
+	if err := li.Ingest(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := li.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if st := li.Stats(); st.ColdSegments == 0 || st.SketchSegments == 0 {
+		t.Fatalf("no sketched cold segments to fault: %+v", st)
+	}
+
+	chaos.Store(true)
+	refDB, err := store.Build(liveTestCurve(), recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refIx, err := NewIndex(refDB, liveTestDepth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	sq := StatQuery{Alpha: 0.9, Model: IsoNormal{D: liveTestDims, Sigma: 2.5}}
+	ok, failed := 0, 0
+	for i := 0; i < 60; i++ {
+		q := recs[i%len(recs)].FP
+		if i%2 == 0 {
+			got, _, err := li.SearchStat(ctx, q, sq)
+			if err != nil {
+				failed++
+				continue
+			}
+			ok++
+			want, _, err := refIx.SearchStat(q, sq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !matchesEqual(want, got) {
+				t.Fatalf("stat query %d survived chaos but answered wrong (%d vs %d)", i, len(got), len(want))
+			}
+			continue
+		}
+		eps := 2 + 6*r.Float64()
+		got, _, err := li.SearchRange(ctx, q, eps)
+		if err != nil {
+			failed++
+			continue
+		}
+		ok++
+		want, _, err := refIx.SearchRange(q, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !matchesEqual(want, got) {
+			t.Fatalf("range query %d survived chaos but answered wrong (%d vs %d)", i, len(got), len(want))
+		}
+	}
+	if failed == 0 {
+		t.Fatal("30% read-fault rate never failed a query through the codec paths")
+	}
+	if ok == 0 {
+		t.Fatal("no query ever succeeded under chaos")
+	}
+	chaos.Store(false)
+	if err := li.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if lh := fs.OpenHandles(); lh != 0 {
+		t.Fatalf("closed index leaked %d descriptors", lh)
+	}
+}

@@ -84,6 +84,8 @@ type liveMetrics struct {
 	compactSeconds  *obs.Histogram
 	queries         *obs.Counter
 	querySegments   *obs.Histogram
+	sketchConsults  *obs.Counter
+	segmentsSkipped *obs.Counter
 }
 
 func newLiveMetrics() liveMetrics {
@@ -114,6 +116,10 @@ func newLiveMetrics() liveMetrics {
 			"queries served against live snapshots (batch included)"),
 		querySegments: obs.NewHistogram("s3_live_query_segments",
 			"segments visited per query (memtable included)", obs.SizeBuckets()),
+		sketchConsults: obs.NewCounter("s3_live_sketch_consults_total",
+			"segment sketch consultations before refinement"),
+		segmentsSkipped: obs.NewCounter("s3_live_segments_skipped_total",
+			"segments skipped because their sketch proved the plan misses them"),
 	}
 }
 
@@ -125,7 +131,18 @@ func (li *LiveIndex) RegisterMetrics(r *obs.Registry) {
 		li.met.persistFailures, li.met.persistRetries, li.met.degradedTrips,
 		li.met.degraded, li.met.retryBackoff, li.met.sealSeconds,
 		li.met.commitSeconds, li.met.compactSeconds, li.met.queries,
-		li.met.querySegments)
+		li.met.querySegments, li.met.sketchConsults, li.met.segmentsSkipped)
+	li.coldCtr.RegisterMetrics(r)
+	r.GaugeFunc("s3_live_sketch_bytes", "on-disk bytes of segment sketches in the current snapshot",
+		func() float64 {
+			n := 0
+			for _, s := range li.snap.Load().segs {
+				if s.sketch != nil {
+					n += s.sketch.EncodedSize()
+				}
+			}
+			return float64(n)
+		})
 	r.GaugeFunc("s3_live_memtable_records", "records in the mutable memtable",
 		func() float64 { return float64(li.snap.Load().mem.db.Len()) })
 	r.GaugeFunc("s3_live_segments", "sealed immutable segments",

@@ -25,14 +25,23 @@ import (
 // source-local.
 func statMatchesSource(src store.RecordSource, masked func(uint32) bool, plan Plan) ([]segMatch, error) {
 	var out []segMatch
-	err := src.VisitIntervals(plan.Intervals, func(rv store.RecordView) bool {
+	visit := func(rv store.RecordView) bool {
 		if masked != nil && masked(rv.ID) {
 			return true
 		}
 		out = append(out, segMatch{key: rv.Key, m: Match{
 			Pos: rv.Pos, ID: rv.ID, TC: rv.TC, X: rv.X, Y: rv.Y, Dist: -1}})
 		return true
-	})
+	}
+	// Statistical answers never carry fingerprints; a source with a lean
+	// record layout (a codec-bearing cold segment) serves the same views
+	// at a fraction of the bytes.
+	var err error
+	if ls, ok := src.(store.LeanSource); ok {
+		err = ls.VisitIntervalsLean(plan.Intervals, visit)
+	} else {
+		err = src.VisitIntervals(plan.Intervals, visit)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -44,7 +53,7 @@ func statMatchesSource(src store.RecordSource, masked func(uint32) bool, plan Pl
 func rangeMatchesSource(src store.RecordSource, qf []float64, eps float64, masked func(uint32) bool, plan Plan) ([]segMatch, error) {
 	epsSq := eps * eps
 	var out []segMatch
-	err := src.VisitIntervals(plan.Intervals, func(rv store.RecordView) bool {
+	visit := func(rv store.RecordView) bool {
 		if masked != nil && masked(rv.ID) {
 			return true
 		}
@@ -53,7 +62,17 @@ func rangeMatchesSource(src store.RecordSource, qf []float64, eps float64, maske
 				Pos: rv.Pos, ID: rv.ID, TC: rv.TC, X: rv.X, Y: rv.Y, Dist: math.Sqrt(d)}})
 		}
 		return true
-	})
+	}
+	// A filtered source rejects most out-of-radius candidates on its
+	// quantized codes without exact bytes. The filter is conservative
+	// (over-visits, never under-visits) and the exact distance check above
+	// stays, so the matches are identical either way.
+	var err error
+	if fs, ok := src.(store.FilteredSource); ok {
+		err = fs.VisitIntervalsFiltered(plan.Intervals, qf, epsSq, visit)
+	} else {
+		err = src.VisitIntervals(plan.Intervals, visit)
+	}
 	if err != nil {
 		return nil, err
 	}

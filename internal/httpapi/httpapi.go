@@ -388,6 +388,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 			"persistFailures": st.PersistFailures,
 			"persistRetries":  st.PersistRetries,
 		}
+		if st.SketchSegments > 0 || st.SketchConsults > 0 {
+			body["sketchSegments"] = st.SketchSegments
+			body["sketchBytes"] = st.SketchBytes
+			body["sketchConsults"] = st.SketchConsults
+			body["segmentsSkipped"] = st.SegmentsSkipped
+		}
+		if st.CodecSegments > 0 || st.QuantizedRejects > 0 {
+			body["codecSegments"] = st.CodecSegments
+			body["quantizedRejects"] = st.QuantizedRejects
+			body["fallbackReads"] = st.FallbackReads
+		}
+		if st.SkippedBlocks > 0 || st.BytesSaved > 0 {
+			body["skippedBlocks"] = st.SkippedBlocks
+			body["bytesSaved"] = st.BytesSaved
+		}
 		if st.ColdSegments > 0 || st.Cache.BudgetBytes > 0 {
 			body["coldSegments"] = st.ColdSegments
 			body["coldRecords"] = st.ColdRecords
@@ -423,15 +438,29 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if s.live != nil {
 		st := s.live.Stats()
+		skipRate := 0.0
+		if st.SketchConsults > 0 {
+			skipRate = float64(st.SegmentsSkipped) / float64(st.SketchConsults)
+		}
 		reply(w, map[string]interface{}{
-			"records":        st.LiveRecords,
-			"dims":           s.dims,
-			"order":          s.live.Curve().Order(),
-			"depth":          s.live.Depth(),
-			"segments":       st.Segments,
-			"segmentRecords": st.SegmentRecords,
-			"coldSegments":   st.ColdSegments,
-			"coldRecords":    st.ColdRecords,
+			"records":          st.LiveRecords,
+			"dims":             s.dims,
+			"order":            s.live.Curve().Order(),
+			"depth":            s.live.Depth(),
+			"segments":         st.Segments,
+			"segmentRecords":   st.SegmentRecords,
+			"coldSegments":     st.ColdSegments,
+			"coldRecords":      st.ColdRecords,
+			"sketchSegments":   st.SketchSegments,
+			"sketchBytes":      st.SketchBytes,
+			"sketchConsults":   st.SketchConsults,
+			"segmentsSkipped":  st.SegmentsSkipped,
+			"skipRate":         skipRate,
+			"codecSegments":    st.CodecSegments,
+			"skippedBlocks":    st.SkippedBlocks,
+			"quantizedRejects": st.QuantizedRejects,
+			"fallbackReads":    st.FallbackReads,
+			"bytesSaved":       st.BytesSaved,
 		})
 		return
 	}

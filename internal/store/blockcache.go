@@ -47,12 +47,22 @@ type BlockCache struct {
 type blockKey struct {
 	file  uint64
 	block int
+	kind  uint8
 }
 
+// Block kinds namespacing one file's cached areas: a codec-bearing cold
+// file caches exact chunks, lean chunks and packed code rows for the
+// same block index side by side.
+const (
+	blockExact uint8 = iota
+	blockLean
+	blockQFP
+)
+
 type cacheEntry struct {
-	key   blockKey
-	chunk *Chunk
-	cost  int64
+	key  blockKey
+	val  any // non-nil once loaded (*Chunk or []byte code rows)
+	cost int64
 
 	prev, next *cacheEntry
 
@@ -130,17 +140,18 @@ func (c *BlockCache) Budget() int64 { return c.budget }
 // nextFileID allocates a process-unique id namespacing one file's blocks.
 func (c *BlockCache) nextFileID() uint64 { return c.fileSeq.Add(1) }
 
-// getOrLoad returns the cached chunk for key, or runs load (outside the
+// getOrLoad returns the cached value for key, or runs load (outside the
 // cache lock, singleflighted per key) and caches its result. load
-// returns the chunk and its budget cost in on-disk bytes.
-func (c *BlockCache) getOrLoad(key blockKey, load func() (*Chunk, int64, error)) (*Chunk, error) {
+// returns the value and its budget cost in on-disk bytes; the value must
+// be non-nil and immutable.
+func (c *BlockCache) getOrLoad(key blockKey, load func() (any, int64, error)) (any, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
-		if e.chunk != nil {
+		if e.val != nil {
 			c.moveToFront(e)
 			c.mu.Unlock()
 			c.hits.Inc()
-			return e.chunk, nil
+			return e.val, nil
 		}
 		// Load in flight: wait for it off the lock. A waiter counts as a
 		// hit — it issues no disk read of its own.
@@ -150,14 +161,14 @@ func (c *BlockCache) getOrLoad(key blockKey, load func() (*Chunk, int64, error))
 			return nil, e.err
 		}
 		c.hits.Inc()
-		return e.chunk, nil
+		return e.val, nil
 	}
 	e := &cacheEntry{key: key, ready: make(chan struct{})}
 	c.entries[key] = e
 	c.mu.Unlock()
 	c.misses.Inc()
 
-	chunk, cost, err := load()
+	val, cost, err := load()
 	c.mu.Lock()
 	if err != nil {
 		e.err = err
@@ -170,7 +181,7 @@ func (c *BlockCache) getOrLoad(key blockKey, load func() (*Chunk, int64, error))
 		close(e.ready)
 		return nil, err
 	}
-	e.chunk, e.cost = chunk, cost
+	e.val, e.cost = val, cost
 	c.loadedBytes.Add(cost)
 	if c.entries[key] == e {
 		// Still wanted (Drop may have disowned the entry mid-load).
@@ -180,7 +191,7 @@ func (c *BlockCache) getOrLoad(key blockKey, load func() (*Chunk, int64, error))
 	}
 	c.mu.Unlock()
 	close(e.ready)
-	return chunk, nil
+	return val, nil
 }
 
 // Drop discards every cached block of the given file. Called when a cold
@@ -193,7 +204,7 @@ func (c *BlockCache) Drop(file uint64) {
 			continue
 		}
 		delete(c.entries, key)
-		if e.chunk != nil {
+		if e.val != nil {
 			c.unlink(e)
 			c.used -= e.cost
 		}

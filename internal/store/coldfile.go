@@ -6,6 +6,7 @@ import (
 
 	"s3cbcd/internal/bitkey"
 	"s3cbcd/internal/hilbert"
+	"s3cbcd/internal/obs"
 )
 
 // DefaultColdBlockRecords is the default target block size of a cold
@@ -33,9 +34,89 @@ type ColdFile struct {
 	bits  int  // blocks are curve sections of a 2^bits partition
 	shift uint // curve index bits - bits
 
+	sketch *Sketch       // block-level skip filter; nil when absent or disabled
+	codec  bool          // serve lean/quantized read paths
+	ctr    *ColdCounters // nil-safe shared counters
+
 	mu     sync.Mutex
 	refs   int
 	closed bool
+}
+
+// ColdCounters aggregates the cold read reducer's counters across every
+// cold file of a process. Construct once with NewColdCounters and share;
+// a nil *ColdCounters is valid and counts nothing.
+type ColdCounters struct {
+	SkippedBlocks    *obs.Counter
+	QuantizedRejects *obs.Counter
+	FallbackReads    *obs.Counter
+	BytesSaved       *obs.Counter
+}
+
+// NewColdCounters creates the cold read reducer's counter families.
+func NewColdCounters() *ColdCounters {
+	return &ColdCounters{
+		SkippedBlocks: obs.NewCounter("s3_cold_skipped_blocks_total",
+			"cold blocks proven empty by the segment sketch and never read"),
+		QuantizedRejects: obs.NewCounter("s3_cold_quantized_rejects_total",
+			"cold candidates rejected by the quantized distance bound without exact bytes"),
+		FallbackReads: obs.NewCounter("s3_cold_exact_fallback_reads_total",
+			"single-record exact reads verifying quantized-filter survivors"),
+		BytesSaved: obs.NewCounter("s3_cold_bytes_saved_total",
+			"on-disk bytes the sketch and codec avoided reading vs the exact block path"),
+	}
+}
+
+// RegisterMetrics publishes the counters into r. Call at most once per
+// registry.
+func (c *ColdCounters) RegisterMetrics(r *obs.Registry) {
+	r.MustRegister(c.SkippedBlocks, c.QuantizedRejects, c.FallbackReads, c.BytesSaved)
+}
+
+func (c *ColdCounters) addSkipped(bytesSaved int64) {
+	if c == nil {
+		return
+	}
+	c.SkippedBlocks.Inc()
+	c.BytesSaved.Add(bytesSaved)
+}
+
+func (c *ColdCounters) addRejects(n, fallbacks, bytesSaved int64) {
+	if c == nil {
+		return
+	}
+	c.QuantizedRejects.Add(n)
+	c.FallbackReads.Add(fallbacks)
+	if bytesSaved > 0 {
+		c.BytesSaved.Add(bytesSaved)
+	}
+}
+
+func (c *ColdCounters) addLeanSaved(bytesSaved int64) {
+	if c == nil || bytesSaved <= 0 {
+		return
+	}
+	c.BytesSaved.Add(bytesSaved)
+}
+
+// ColdOptions configures cold serving of one segment file.
+type ColdOptions struct {
+	// Cache is the shared block cache; nil disables caching (every block
+	// access reads the disk).
+	Cache *BlockCache
+	// BlockRecords is the target block size; <= 0 selects
+	// DefaultColdBlockRecords.
+	BlockRecords int
+	// Sketch consults the file's embedded occupancy sketch (when present)
+	// to skip blocks a query's intervals provably miss.
+	Sketch bool
+	// Codec serves statistical refinement from the lean record area and
+	// pre-filters geometric candidates with quantized codes (when the file
+	// carries the codec).
+	Codec bool
+	// Counters receives skip/reject/fallback accounting; nil counts
+	// nothing.
+	Counters *ColdCounters
 }
 
 // OpenColdFS opens a database file for cold serving through the given
@@ -43,22 +124,36 @@ type ColdFile struct {
 // blockRecords is the target block size; <= 0 selects
 // DefaultColdBlockRecords. The block granularity is the finest partition
 // whose largest block fits the target, capped at the file's stored
-// section-table granularity.
+// section-table granularity. Sketch and codec serving are off; use
+// OpenColdOptsFS to enable them.
 func OpenColdFS(fsys FS, path string, cache *BlockCache, blockRecords int) (*ColdFile, error) {
+	return OpenColdOptsFS(fsys, path, ColdOptions{Cache: cache, BlockRecords: blockRecords})
+}
+
+// OpenColdOptsFS opens a database file for cold serving with the given
+// options. Sketch and codec requests degrade gracefully on files that
+// carry no such section (older formats keep serving on the exact path).
+func OpenColdOptsFS(fsys FS, path string, opt ColdOptions) (*ColdFile, error) {
 	fl, err := OpenFS(fsys, path)
 	if err != nil {
 		return nil, err
 	}
+	blockRecords := opt.BlockRecords
 	if blockRecords <= 0 {
 		blockRecords = DefaultColdBlockRecords
 	}
 	bits := fl.ChooseSectionBits(blockRecords)
 	var id uint64
-	if cache != nil {
-		id = cache.nextFileID()
+	if opt.Cache != nil {
+		id = opt.Cache.nextFileID()
 	}
-	return &ColdFile{fl: fl, cache: cache, id: id, bits: bits,
-		shift: uint(fl.curve.IndexBits() - bits)}, nil
+	cf := &ColdFile{fl: fl, cache: opt.Cache, id: id, bits: bits,
+		shift: uint(fl.curve.IndexBits() - bits), ctr: opt.Counters}
+	if opt.Sketch {
+		cf.sketch = fl.sketch
+	}
+	cf.codec = opt.Codec && fl.HasCodec()
+	return cf, nil
 }
 
 // Curve returns the Hilbert curve the records are ordered by.
@@ -73,6 +168,21 @@ func (cf *ColdFile) BlockBits() int { return cf.bits }
 
 // RecordBytes returns the on-disk size of the record area.
 func (cf *ColdFile) RecordBytes() int64 { return cf.fl.RecordBytes() }
+
+// Sketch returns the occupancy sketch this cold file consults, or nil
+// when the file carries none or sketch serving is disabled.
+func (cf *ColdFile) Sketch() *Sketch { return cf.sketch }
+
+// Codec reports whether the lean/quantized read paths are active.
+func (cf *ColdFile) Codec() bool { return cf.codec }
+
+// SketchBytes returns the on-disk size of the consulted sketch section.
+func (cf *ColdFile) SketchBytes() int {
+	if cf.sketch == nil {
+		return 0
+	}
+	return cf.sketch.EncodedSize()
+}
 
 // enter registers an in-flight read, failing once the file is closed.
 func (cf *ColdFile) enter() error {
@@ -117,28 +227,94 @@ func (cf *ColdFile) Close() error {
 	return nil
 }
 
-// block returns the chunk of block s (records [lo, hi)), through the
-// cache when one is attached.
+// block returns the exact chunk of block s (records [lo, hi)), through
+// the cache when one is attached.
 func (cf *ColdFile) block(s, lo, hi int) (*Chunk, error) {
 	if cf.cache == nil {
 		return cf.fl.LoadRecords(lo, hi)
 	}
-	return cf.cache.getOrLoad(blockKey{file: cf.id, block: s}, func() (*Chunk, int64, error) {
+	v, err := cf.cache.getOrLoad(blockKey{file: cf.id, block: s, kind: blockExact}, func() (any, int64, error) {
 		ch, err := cf.fl.LoadRecords(lo, hi)
 		if err != nil {
 			return nil, 0, err
 		}
 		return ch, int64(hi-lo) * int64(cf.fl.recSize), nil
 	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Chunk), nil
 }
 
-// VisitIntervals implements RecordSource: walk the blocks the intervals
-// touch in curve order — the cursor logic of the pseudo-disk batch path
-// — loading each touched block once per call even when several intervals
-// fall inside it, and refine with per-block binary searches. Empty
-// stretches of the curve are skipped by jumping the block cursor to the
-// next interval's start.
-func (cf *ColdFile) VisitIntervals(ivs []hilbert.Interval, visit func(RecordView) bool) error {
+// leanBlock returns the fingerprint-free chunk of block s.
+func (cf *ColdFile) leanBlock(s, lo, hi int) (*Chunk, error) {
+	if cf.cache == nil {
+		return cf.fl.LoadLean(lo, hi)
+	}
+	v, err := cf.cache.getOrLoad(blockKey{file: cf.id, block: s, kind: blockLean}, func() (any, int64, error) {
+		ch, err := cf.fl.LoadLean(lo, hi)
+		if err != nil {
+			return nil, 0, err
+		}
+		return ch, int64(hi-lo) * int64(cf.fl.leanSize), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Chunk), nil
+}
+
+// codeBlock returns the packed quantizer codes of block s.
+func (cf *ColdFile) codeBlock(s, lo, hi int) ([]byte, error) {
+	if cf.cache == nil {
+		return cf.fl.loadCodes(lo, hi)
+	}
+	v, err := cf.cache.getOrLoad(blockKey{file: cf.id, block: s, kind: blockQFP}, func() (any, int64, error) {
+		codes, err := cf.fl.loadCodes(lo, hi)
+		if err != nil {
+			return nil, 0, err
+		}
+		return codes, int64(hi-lo) * int64(cf.fl.codeSize), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]byte), nil
+}
+
+// sketchSkips reports whether the sketch proves block s — keys in
+// [secStart, secEnd) — holds no record of any interval. Intervals are
+// clipped to the block before probing; a nil sketch or an exhausted
+// probe budget never skips.
+func (cf *ColdFile) sketchSkips(ivs []hilbert.Interval, c int, secStart, secEnd bitkey.Key, budget *int) bool {
+	if cf.sketch == nil {
+		return false
+	}
+	for cc := c; cc < len(ivs) && ivs[cc].Start.Less(secEnd); cc++ {
+		start, end := ivs[cc].Start, ivs[cc].End
+		if start.Less(secStart) {
+			start = secStart
+		}
+		if secEnd.Less(end) {
+			end = secEnd
+		}
+		if cf.sketch.mayIntersectRange(start, end, budget) {
+			return false
+		}
+	}
+	return true
+}
+
+// visitBlocks walks the blocks the intervals touch in curve order — the
+// cursor logic of the pseudo-disk batch path — calling do once per
+// non-empty touched block even when several intervals fall inside it.
+// Empty stretches of the curve are skipped by jumping the block cursor
+// to the next interval's start; blocks the sketch proves interval-free
+// are skipped without a read. do receives the block index, its record
+// range, the first interval index touching it and the block's key upper
+// bound; returning false stops the walk.
+func (cf *ColdFile) visitBlocks(ivs []hilbert.Interval,
+	do func(s, lo, hi, c int, secEnd bitkey.Key) (bool, error)) error {
 	if len(ivs) == 0 || cf.fl.count == 0 {
 		return nil
 	}
@@ -146,6 +322,7 @@ func (cf *ColdFile) VisitIntervals(ivs []hilbert.Interval, visit func(RecordView
 		return err
 	}
 	defer cf.exit()
+	budget := maxSketchProbes
 	nb := 1 << uint(cf.bits)
 	c := 0
 	for c < len(ivs) {
@@ -172,18 +349,16 @@ func (cf *ColdFile) VisitIntervals(ivs []hilbert.Interval, visit func(RecordView
 			if lo == hi {
 				continue
 			}
-			ch, err := cf.block(s, lo, hi)
+			if cf.sketchSkips(ivs, c, secStart, secEnd, &budget) {
+				cf.ctr.addSkipped(int64(hi-lo) * int64(cf.fl.recSize))
+				continue
+			}
+			ok, err := do(s, lo, hi, c, secEnd)
 			if err != nil {
 				return err
 			}
-			for cc := c; cc < len(ivs) && ivs[cc].Start.Less(secEnd); cc++ {
-				clo, chi := ch.FindInterval(ivs[cc])
-				for i := clo; i < chi; i++ {
-					if !visit(RecordView{Pos: ch.Base + i, Key: ch.keys[i], FP: ch.FP(i),
-						ID: ch.ids[i], TC: ch.tcs[i], X: ch.xs[i], Y: ch.ys[i]}) {
-						return nil
-					}
-				}
+			if !ok {
+				return nil
 			}
 		}
 		if s >= nb {
@@ -193,6 +368,130 @@ func (cf *ColdFile) VisitIntervals(ivs []hilbert.Interval, visit func(RecordView
 		}
 	}
 	return nil
+}
+
+// VisitIntervals implements RecordSource over the exact record area,
+// refining each touched block with per-block binary searches.
+func (cf *ColdFile) VisitIntervals(ivs []hilbert.Interval, visit func(RecordView) bool) error {
+	return cf.visitBlocks(ivs, func(s, lo, hi, c int, secEnd bitkey.Key) (bool, error) {
+		ch, err := cf.block(s, lo, hi)
+		if err != nil {
+			return false, err
+		}
+		for cc := c; cc < len(ivs) && ivs[cc].Start.Less(secEnd); cc++ {
+			clo, chi := ch.FindInterval(ivs[cc])
+			for i := clo; i < chi; i++ {
+				if !visit(RecordView{Pos: ch.Base + i, Key: ch.keys[i], FP: ch.FP(i),
+					ID: ch.ids[i], TC: ch.tcs[i], X: ch.xs[i], Y: ch.ys[i]}) {
+					return false, nil
+				}
+			}
+		}
+		return true, nil
+	})
+}
+
+// VisitIntervalsLean implements LeanSource: identical to VisitIntervals
+// except visited views carry a nil FP, served from the lean record area
+// when the codec is active (statistical refinement never reads
+// fingerprints, so the bytes per touched block shrink by
+// recSize/leanSize). Falls back to the exact area otherwise.
+func (cf *ColdFile) VisitIntervalsLean(ivs []hilbert.Interval, visit func(RecordView) bool) error {
+	if !cf.codec {
+		return cf.VisitIntervals(ivs, func(rv RecordView) bool {
+			rv.FP = nil
+			return visit(rv)
+		})
+	}
+	return cf.visitBlocks(ivs, func(s, lo, hi, c int, secEnd bitkey.Key) (bool, error) {
+		ch, err := cf.leanBlock(s, lo, hi)
+		if err != nil {
+			return false, err
+		}
+		cf.ctr.addLeanSaved(int64(hi-lo) * int64(cf.fl.recSize-cf.fl.leanSize))
+		for cc := c; cc < len(ivs) && ivs[cc].Start.Less(secEnd); cc++ {
+			clo, chi := ch.FindInterval(ivs[cc])
+			for i := clo; i < chi; i++ {
+				if !visit(RecordView{Pos: ch.Base + i, Key: ch.keys[i],
+					ID: ch.ids[i], TC: ch.tcs[i], X: ch.xs[i], Y: ch.ys[i]}) {
+					return false, nil
+				}
+			}
+		}
+		return true, nil
+	})
+}
+
+// VisitIntervalsFiltered implements FilteredSource: visit every record
+// of the intervals whose exact squared distance to qf could be within
+// boundSq, pre-filtering candidates on the packed quantizer codes so
+// rejected records never cost exact bytes. Survivors are verified from
+// exact bytes — the whole exact block when enough survive to justify it,
+// single-record fallback reads otherwise. The filter is conservative:
+// every record within boundSq is visited (with its exact FP); records
+// beyond boundSq may be visited too, so callers must keep their exact
+// predicate. Falls back to VisitIntervals when the codec is inactive.
+func (cf *ColdFile) VisitIntervalsFiltered(ivs []hilbert.Interval, qf []float64, boundSq float64,
+	visit func(RecordView) bool) error {
+	if !cf.codec {
+		return cf.VisitIntervals(ivs, visit)
+	}
+	lb := cf.fl.quant.NewLowerBounder(qf)
+	var survivors []int // reused across blocks, record indices relative to lo
+	return cf.visitBlocks(ivs, func(s, lo, hi, c int, secEnd bitkey.Key) (bool, error) {
+		codes, err := cf.codeBlock(s, lo, hi)
+		if err != nil {
+			return false, err
+		}
+		// Keys drive interval refinement within the block; the lean rows
+		// carry them at the smallest byte cost.
+		ch, err := cf.leanBlock(s, lo, hi)
+		if err != nil {
+			return false, err
+		}
+		survivors = survivors[:0]
+		rejects := int64(0)
+		for cc := c; cc < len(ivs) && ivs[cc].Start.Less(secEnd); cc++ {
+			clo, chi := ch.FindInterval(ivs[cc])
+			for i := clo; i < chi; i++ {
+				if lb.Exceeds(codes[i*cf.fl.codeSize:(i+1)*cf.fl.codeSize], boundSq) {
+					rejects++
+					continue
+				}
+				survivors = append(survivors, i)
+			}
+		}
+		n := hi - lo
+		blockBytes := int64(n) * int64(cf.fl.recSize)
+		readBytes := int64(n) * int64(cf.fl.codeSize+cf.fl.leanSize)
+		if len(survivors)*2 >= n {
+			// Dense survivors: one exact block read beats per-record preads.
+			ex, err := cf.block(s, lo, hi)
+			if err != nil {
+				return false, err
+			}
+			cf.ctr.addRejects(rejects, 0, -readBytes)
+			for _, i := range survivors {
+				if !visit(RecordView{Pos: ex.Base + i, Key: ex.keys[i], FP: ex.FP(i),
+					ID: ex.ids[i], TC: ex.tcs[i], X: ex.xs[i], Y: ex.ys[i]}) {
+					return false, nil
+				}
+			}
+			return true, nil
+		}
+		fallbackBytes := int64(len(survivors)) * int64(cf.fl.recSize)
+		cf.ctr.addRejects(rejects, int64(len(survivors)), blockBytes-readBytes-fallbackBytes)
+		for _, i := range survivors {
+			rv, err := cf.fl.ReadRecordView(lo + i)
+			if err != nil {
+				return false, err
+			}
+			if !visit(rv) {
+				return false, nil
+			}
+		}
+		return true, nil
+	})
 }
 
 // CountID returns the number of records carrying the given identifier,

@@ -14,14 +14,19 @@ import (
 // File format (all integers little-endian):
 //
 //	magic   [4]byte "S3DB"
-//	version uint32  (1, 2 or 3)
+//	version uint32  (1, 2, 3 or 4)
 //	dims    uint32
 //	order   uint32
 //	count   uint64
 //	secBits uint32
+//	flags   uint32                            (version 4 only)
 //	table   (2^secBits + 1) × uint64   record start index per curve section
-//	shards  uint32, (shards + 1) × uint64     (version 3 only) shard manifest
+//	shards  uint32, (shards + 1) × uint64     (version 3; version 4 when flagged)
+//	sketch  see sketch.go                     (version 4, flagShardSketch)
+//	codec   see quant.go                      (version 4, flagCodec)
 //	records count × (keyBytes + dims + 4 + 4 [+ 2 + 2])
+//	lean    count × (keyBytes + 4 + 4 + 2 + 2)   (version 4, flagCodec)
+//	codes   count × ceil(dims*qbits/8)           (version 4, flagCodec)
 //
 // Records are sorted by key; keyBytes = ceil(dims*order/8). Version 2
 // appends the interest point position (x, y as uint16) to every record;
@@ -33,13 +38,33 @@ import (
 // key-snapped shard (see ShardStarts) — so an opener can map shards
 // without scanning the record area; versions 1 and 2 remain readable and
 // simply carry no manifest.
+//
+// Version 4 adds a flags word selecting optional sections: the shard
+// manifest (flagShards), a segment occupancy sketch consulted to skip
+// the whole file or individual blocks at query time (flagSketch,
+// sketch.go), and the cold codec (flagCodec, quant.go) — a quantizer
+// table plus two parallel record areas sharing the exact area's order
+// and the section table: "lean" rows (key + identity, no fingerprint)
+// serving statistical refinement at ~60% of the exact row bytes, and
+// packed per-component cell codes serving the quantized distance filter
+// of geometric refinement. The exact record area is byte-compatible
+// with version 2, so every v2 reader code path works unchanged on v4.
 
 var fileMagic = [4]byte{'S', '3', 'D', 'B'}
 
 const (
 	fileVersionV1 = 1
 	fileVersionV2 = 2
-	fileVersion   = 3 // written by this package when a shard manifest is requested
+	fileVersionV3 = 3
+	fileVersionV4 = 4
+	fileVersion   = fileVersionV4 // newest version this package writes or opens
+)
+
+// Version-4 flags word bits.
+const (
+	fileFlagShards uint32 = 1 << 0 // shard manifest present
+	fileFlagSketch uint32 = 1 << 1 // occupancy sketch section present
+	fileFlagCodec  uint32 = 1 << 2 // quantizer table + lean and code areas present
 )
 
 // recordSize returns the on-disk record size for a curve at the given
@@ -56,17 +81,53 @@ func keyBytes(c *hilbert.Curve) int {
 	return (c.IndexBits() + 7) / 8
 }
 
+// leanRecordSize is the on-disk size of one lean row: the full record
+// minus the fingerprint. Statistical refinement never reads fingerprints
+// (the region IS the answer), so the cold stat path reads these instead.
+func leanRecordSize(c *hilbert.Curve) int {
+	return keyBytes(c) + 12
+}
+
+// WriteOptions selects what a serialized database file carries beyond
+// the header, section table and exact record area.
+type WriteOptions struct {
+	// SectionBits is the section-table granularity; must be in
+	// [0, IndexBits]. 12 is a good default for the paper's configuration.
+	SectionBits int
+	// Shards embeds the manifest of a partition into that many
+	// equi-populated shards (see ShardStarts); 0 omits it.
+	Shards int
+	// Sketch embeds an occupancy sketch section (format version 4): a
+	// Bloom filter over the blocks of a 2^SketchBits curve partition plus
+	// per-dimension component envelopes, letting readers skip the file —
+	// or individual blocks — a query provably cannot intersect.
+	Sketch bool
+	// SketchBits is the sketch's block granularity; non-positive selects
+	// an automatic one. The live index passes its partition depth p so
+	// plan blocks map one-to-one onto filter probes.
+	SketchBits int
+	// Codec embeds the cold codec (format version 4): a per-segment
+	// quantizer table plus lean and packed-code record areas, so cold
+	// reads can serve statistical refinement without fingerprint bytes
+	// and pre-filter geometric candidates without exact bytes.
+	Codec bool
+	// CodecBits is the per-component code width (1, 2, 4 or 8); 0 selects
+	// DefaultCodecBits.
+	CodecBits int
+}
+
 // WriteFile serializes the database with a 2^sectionBits-entry section
 // table. sectionBits must be in [0, IndexBits]; 12 is a good default for
 // the paper's configuration. The file carries no shard manifest (format
-// version 2); use WriteFileSharded to embed one.
+// version 2); use WriteFileSharded to embed one, or WriteFileOpts for
+// the version-4 sections.
 func (db *DB) WriteFile(path string, sectionBits int) error {
-	return db.writeFile(OSFS, path, sectionBits, nil)
+	return db.writeFile(OSFS, path, WriteOptions{SectionBits: sectionBits})
 }
 
 // WriteFileFS is WriteFile through an explicit filesystem seam.
 func (db *DB) WriteFileFS(fsys FS, path string, sectionBits int) error {
-	return db.writeFile(fsys, path, sectionBits, nil)
+	return db.writeFile(fsys, path, WriteOptions{SectionBits: sectionBits})
 }
 
 // WriteFileSharded serializes the database like WriteFile and embeds the
@@ -76,19 +137,33 @@ func (db *DB) WriteFileSharded(path string, sectionBits, shards int) error {
 	if shards < 1 {
 		return fmt.Errorf("store: shard count %d must be >= 1", shards)
 	}
-	return db.writeFile(OSFS, path, sectionBits, db.ShardStarts(shards))
+	return db.writeFile(OSFS, path, WriteOptions{SectionBits: sectionBits, Shards: shards})
 }
 
-func (db *DB) writeFile(fsys FS, path string, sectionBits int, shardStarts []int) error {
-	if sectionBits < 0 || sectionBits > db.curve.IndexBits() {
-		return fmt.Errorf("store: sectionBits %d outside [0,%d]", sectionBits, db.curve.IndexBits())
+// WriteFileOpts serializes the database with the selected optional
+// sections; requesting a sketch or the codec produces a version-4 file.
+func (db *DB) WriteFileOpts(path string, opt WriteOptions) error {
+	return db.writeFile(OSFS, path, opt)
+}
+
+// WriteFileOptsFS is WriteFileOpts through an explicit filesystem seam.
+func (db *DB) WriteFileOptsFS(fsys FS, path string, opt WriteOptions) error {
+	return db.writeFile(fsys, path, opt)
+}
+
+func (db *DB) writeFile(fsys FS, path string, opt WriteOptions) error {
+	if opt.SectionBits < 0 || opt.SectionBits > db.curve.IndexBits() {
+		return fmt.Errorf("store: sectionBits %d outside [0,%d]", opt.SectionBits, db.curve.IndexBits())
+	}
+	if opt.Shards < 0 {
+		return fmt.Errorf("store: shard count %d must be >= 0", opt.Shards)
 	}
 	f, err := fsys.Create(path)
 	if err != nil {
 		return err
 	}
 	w := bufio.NewWriterSize(f, 1<<20)
-	if err := db.writeTo(w, sectionBits, shardStarts); err != nil {
+	if err := db.writeTo(w, opt); err != nil {
 		f.Close()
 		return err
 	}
@@ -107,10 +182,38 @@ func (db *DB) writeFile(fsys FS, path string, sectionBits int, shardStarts []int
 	return f.Close()
 }
 
-func (db *DB) writeTo(w io.Writer, sectionBits int, shardStarts []int) error {
+func (db *DB) writeTo(w io.Writer, opt WriteOptions) error {
+	var shardStarts []int
+	if opt.Shards > 0 {
+		shardStarts = db.ShardStarts(opt.Shards)
+	}
 	version := fileVersionV2
 	if shardStarts != nil {
-		version = fileVersion
+		version = fileVersionV3
+	}
+	var flags uint32
+	if opt.Sketch || opt.Codec {
+		version = fileVersionV4
+		if shardStarts != nil {
+			flags |= fileFlagShards
+		}
+		if opt.Sketch {
+			flags |= fileFlagSketch
+		}
+		if opt.Codec {
+			flags |= fileFlagCodec
+		}
+	}
+	var quant *Quantizer
+	if opt.Codec {
+		bits := opt.CodecBits
+		if bits == 0 {
+			bits = DefaultCodecBits
+		}
+		var err error
+		if quant, err = buildQuantizer(db, bits); err != nil {
+			return err
+		}
 	}
 	var hdr [28]byte
 	copy(hdr[0:4], fileMagic[:])
@@ -118,12 +221,18 @@ func (db *DB) writeTo(w io.Writer, sectionBits int, shardStarts []int) error {
 	binary.LittleEndian.PutUint32(hdr[8:], uint32(db.Dims()))
 	binary.LittleEndian.PutUint32(hdr[12:], uint32(db.curve.Order()))
 	binary.LittleEndian.PutUint64(hdr[16:], uint64(db.Len()))
-	binary.LittleEndian.PutUint32(hdr[24:], uint32(sectionBits))
+	binary.LittleEndian.PutUint32(hdr[24:], uint32(opt.SectionBits))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	starts := db.SectionStarts(sectionBits)
 	var buf [8]byte
+	if version >= fileVersionV4 {
+		binary.LittleEndian.PutUint32(buf[:4], flags)
+		if _, err := w.Write(buf[:4]); err != nil {
+			return err
+		}
+	}
+	starts := db.SectionStarts(opt.SectionBits)
 	for _, s := range starts {
 		binary.LittleEndian.PutUint64(buf[:], uint64(s))
 		if _, err := w.Write(buf[:]); err != nil {
@@ -142,6 +251,17 @@ func (db *DB) writeTo(w io.Writer, sectionBits int, shardStarts []int) error {
 			}
 		}
 	}
+	if opt.Sketch {
+		sk := db.BuildSketch(opt.SketchBits)
+		if _, err := w.Write(sk.appendTo(nil)); err != nil {
+			return err
+		}
+	}
+	if quant != nil {
+		if _, err := w.Write(quant.appendTo(nil)); err != nil {
+			return err
+		}
+	}
 	kb := keyBytes(db.curve)
 	rec := make([]byte, recordSize(db.curve, version))
 	for i := 0; i < db.Len(); i++ {
@@ -153,6 +273,31 @@ func (db *DB) writeTo(w io.Writer, sectionBits int, shardStarts []int) error {
 		binary.LittleEndian.PutUint16(rec[kb+db.Dims()+10:], db.ys[i])
 		if _, err := w.Write(rec); err != nil {
 			return err
+		}
+	}
+	if quant != nil {
+		// Lean rows: the record without its fingerprint, same order.
+		lean := make([]byte, leanRecordSize(db.curve))
+		for i := 0; i < db.Len(); i++ {
+			db.keys[i].PutBytes(lean[:kb], kb)
+			binary.LittleEndian.PutUint32(lean[kb:], db.ids[i])
+			binary.LittleEndian.PutUint32(lean[kb+4:], db.tcs[i])
+			binary.LittleEndian.PutUint16(lean[kb+8:], db.xs[i])
+			binary.LittleEndian.PutUint16(lean[kb+10:], db.ys[i])
+			if _, err := w.Write(lean); err != nil {
+				return err
+			}
+		}
+		// Packed cell codes, same order.
+		code := make([]byte, quant.CodeBytes(db.Dims()))
+		for i := 0; i < db.Len(); i++ {
+			for b := range code {
+				code[b] = 0
+			}
+			quant.encode(db.FP(i), code)
+			if _, err := w.Write(code); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -172,6 +317,15 @@ type File struct {
 	dataOff     int64
 	recSize     int
 	version     int
+
+	// Version-4 optional sections; zero/nil when absent.
+	flags    uint32
+	sketch   *Sketch
+	quant    *Quantizer
+	leanOff  int64 // lean record area offset (0 when no codec)
+	codeOff  int64 // packed code area offset (0 when no codec)
+	leanSize int   // bytes per lean row
+	codeSize int   // bytes per packed code row
 }
 
 // Open reads a file's header and section table.
@@ -229,11 +383,28 @@ func OpenFS(fsys FS, path string) (*File, error) {
 		return nil, fmt.Errorf("store: %s section table of 2^%d entries exceeds the 2^%d sanity bound",
 			path, secBits, maxSectionBits)
 	}
+	off := int64(len(hdr))
+	var flags uint32
+	if version >= fileVersionV4 {
+		var fbuf [4]byte
+		if _, err := io.ReadFull(f, fbuf[:]); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: reading flags of %s: %w", path, err)
+		}
+		flags = binary.LittleEndian.Uint32(fbuf[:])
+		if flags&^(fileFlagShards|fileFlagSketch|fileFlagCodec) != 0 {
+			f.Close()
+			return nil, fmt.Errorf("store: %s carries unknown flags %#x", path, flags)
+		}
+		off += 4
+	} else if version >= fileVersionV3 {
+		flags = fileFlagShards
+	}
 	n := (1 << uint(secBits)) + 1
 	// Probe the table's last byte before allocating its buffer, so a
 	// truncated file (or a header whose secBits outruns the actual size)
 	// is rejected without an allocation sized by untrusted input.
-	if err := probeOffset(f, int64(len(hdr))+int64(8*n)-1); err != nil {
+	if err := probeOffset(f, off+int64(8*n)-1); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("store: %s section table extends past end of file: %w", path, err)
 	}
@@ -254,9 +425,9 @@ func OpenFS(fsys FS, path string) (*File, error) {
 		f.Close()
 		return nil, fmt.Errorf("store: %s section table does not span the record range", path)
 	}
-	dataOff := int64(len(hdr)) + int64(8*n)
+	off += int64(8 * n)
 	var shardStarts []int
-	if version >= 3 {
+	if flags&fileFlagShards != 0 {
 		var cntBuf [4]byte
 		if _, err := io.ReadFull(f, cntBuf[:]); err != nil {
 			f.Close()
@@ -284,21 +455,88 @@ func OpenFS(fsys FS, path string) (*File, error) {
 			f.Close()
 			return nil, fmt.Errorf("store: %s shard manifest does not span the record range", path)
 		}
-		dataOff += int64(4 + len(manifest))
+		off += int64(4 + len(manifest))
 	}
+	var sketch *Sketch
+	if flags&fileFlagSketch != 0 {
+		// The fixed 16-byte sub-header bounds the section's variable tail;
+		// probe before the tail read so a lying length fails cleanly (the
+		// caps inside decodeSketch bound the allocation itself).
+		var shdr [16]byte
+		if _, err := io.ReadFull(f, shdr[:]); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: reading sketch header of %s: %w", path, err)
+		}
+		flen := int64(binary.LittleEndian.Uint32(shdr[12:]))
+		if flen < 1 || flen > maxSketchFilterBytes {
+			f.Close()
+			return nil, fmt.Errorf("store: %s sketch filter of %d bytes outside [1, %d]", path, flen, maxSketchFilterBytes)
+		}
+		tail := int64(2*dims) + flen
+		if err := probeOffset(f, off+16+tail-1); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: %s sketch section extends past end of file: %w", path, err)
+		}
+		sec := make([]byte, 16+tail)
+		copy(sec, shdr[:])
+		if _, err := io.ReadFull(f, sec[16:]); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: reading sketch section of %s: %w", path, err)
+		}
+		var used int
+		if sketch, used, err = decodeSketch(sec, curve); err != nil || used != len(sec) {
+			f.Close()
+			if err == nil {
+				err = fmt.Errorf("sketch section size mismatch")
+			}
+			return nil, fmt.Errorf("store: %s: %w", path, err)
+		}
+		off += int64(len(sec))
+	}
+	var quant *Quantizer
+	if flags&fileFlagCodec != 0 {
+		var qhdr [4]byte
+		if _, err := io.ReadFull(f, qhdr[:]); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: reading codec header of %s: %w", path, err)
+		}
+		qbits := binary.LittleEndian.Uint32(qhdr[:])
+		switch qbits {
+		case 1, 2, 4, 8:
+		default:
+			f.Close()
+			return nil, fmt.Errorf("store: %s codec bits %d not one of 1, 2, 4, 8", path, qbits)
+		}
+		tail := int64(2 * dims * ((1 << qbits) + 1))
+		if err := probeOffset(f, off+4+tail-1); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: %s codec section extends past end of file: %w", path, err)
+		}
+		sec := make([]byte, 4+tail)
+		copy(sec, qhdr[:])
+		if _, err := io.ReadFull(f, sec[4:]); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: reading codec section of %s: %w", path, err)
+		}
+		var used int
+		if quant, used, err = decodeQuantizer(sec, dims); err != nil || used != len(sec) {
+			f.Close()
+			if err == nil {
+				err = fmt.Errorf("codec section size mismatch")
+			}
+			return nil, fmt.Errorf("store: %s: %w", path, err)
+		}
+		off += int64(len(sec))
+	}
+	dataOff := off
 	// The header's record count is only trustworthy once the record area
 	// it promises is actually on disk: probe the last record byte, so a
 	// truncated file fails here instead of returning garbage (or a short
-	// read) from a later LoadRecords.
+	// read) from a later LoadRecords. The codec's lean and code areas get
+	// the same treatment — a file truncated inside them must fail at open,
+	// not during a cold read.
 	recSize := recordSize(curve, version)
-	if count > 0 {
-		end := dataOff + int64(count)*int64(recSize) - 1
-		if err := probeOffset(f, end); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("store: %s record area truncated (want %d bytes): %w", path, end+1, err)
-		}
-	}
-	return &File{
+	fl := &File{
 		f:           f,
 		curve:       curve,
 		count:       count,
@@ -308,7 +546,26 @@ func OpenFS(fsys FS, path string) (*File, error) {
 		dataOff:     dataOff,
 		recSize:     recSize,
 		version:     version,
-	}, nil
+		flags:       flags,
+		sketch:      sketch,
+		quant:       quant,
+	}
+	end := dataOff + int64(count)*int64(recSize)
+	if quant != nil {
+		fl.leanSize = leanRecordSize(curve)
+		fl.codeSize = quant.CodeBytes(dims)
+		fl.leanOff = end
+		end += int64(count) * int64(fl.leanSize)
+		fl.codeOff = end
+		end += int64(count) * int64(fl.codeSize)
+	}
+	if count > 0 {
+		if err := probeOffset(f, end-1); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: %s record area truncated (want %d bytes): %w", path, end, err)
+		}
+	}
+	return fl, nil
 }
 
 // maxFileRecords bounds the record count a header may claim (2^48
@@ -330,8 +587,29 @@ func probeOffset(f Handle, off int64) error {
 	return err
 }
 
-// Version returns the file's format version (1, 2 or 3).
+// Version returns the file's format version (1 through 4).
 func (fl *File) Version() int { return fl.version }
+
+// Sketch returns the file's embedded occupancy sketch, or nil when the
+// file carries none. The sketch is shared and read-only.
+func (fl *File) Sketch() *Sketch { return fl.sketch }
+
+// Quantizer returns the file's embedded cold codec table, or nil when
+// the file carries none. The quantizer is shared and read-only.
+func (fl *File) Quantizer() *Quantizer { return fl.quant }
+
+// HasCodec reports whether the file carries the cold codec: a quantizer
+// table plus lean and packed-code record areas.
+func (fl *File) HasCodec() bool { return fl.quant != nil }
+
+// SketchBytes returns the on-disk size of the sketch section (0 when
+// absent).
+func (fl *File) SketchBytes() int {
+	if fl.sketch == nil {
+		return 0
+	}
+	return fl.sketch.EncodedSize()
+}
 
 // ShardStarts returns the stored shard manifest (record start index per
 // shard plus a final entry equal to Count), or nil when the file predates
@@ -428,6 +706,91 @@ func (fl *File) LoadRecords(lo, hi int) (*Chunk, error) {
 		}
 	}
 	return ch, nil
+}
+
+// LoadLean reads lean rows [lo, hi) into a Chunk whose fingerprints are
+// absent (FP must not be called on it). Only files carrying the cold
+// codec have a lean area; statistical refinement reads these at
+// leanSize/recSize of the exact bytes.
+func (fl *File) LoadLean(lo, hi int) (*Chunk, error) {
+	if fl.quant == nil {
+		return nil, fmt.Errorf("store: file carries no lean record area")
+	}
+	if lo < 0 || hi < lo || hi > fl.count {
+		return nil, fmt.Errorf("store: record range [%d,%d) outside [0,%d)", lo, hi, fl.count)
+	}
+	n := hi - lo
+	buf := make([]byte, n*fl.leanSize)
+	if n > 0 {
+		if _, err := fl.f.ReadAt(buf, fl.leanOff+int64(lo)*int64(fl.leanSize)); err != nil {
+			return nil, fmt.Errorf("store: reading lean records [%d,%d): %w", lo, hi, err)
+		}
+	}
+	kb := keyBytes(fl.curve)
+	ch := &Chunk{
+		Base:  lo,
+		curve: fl.curve,
+		keys:  make([]bitkey.Key, n),
+		ids:   make([]uint32, n),
+		tcs:   make([]uint32, n),
+		xs:    make([]uint16, n),
+		ys:    make([]uint16, n),
+	}
+	for i := 0; i < n; i++ {
+		rec := buf[i*fl.leanSize : (i+1)*fl.leanSize]
+		ch.keys[i] = bitkey.FromBytes(rec[:kb], kb)
+		ch.ids[i] = binary.LittleEndian.Uint32(rec[kb:])
+		ch.tcs[i] = binary.LittleEndian.Uint32(rec[kb+4:])
+		ch.xs[i] = binary.LittleEndian.Uint16(rec[kb+8:])
+		ch.ys[i] = binary.LittleEndian.Uint16(rec[kb+10:])
+	}
+	return ch, nil
+}
+
+// loadCodes reads the packed quantizer codes of records [lo, hi); code
+// row i-lo starts at byte (i-lo)*codeSize.
+func (fl *File) loadCodes(lo, hi int) ([]byte, error) {
+	if fl.quant == nil {
+		return nil, fmt.Errorf("store: file carries no code area")
+	}
+	if lo < 0 || hi < lo || hi > fl.count {
+		return nil, fmt.Errorf("store: record range [%d,%d) outside [0,%d)", lo, hi, fl.count)
+	}
+	n := hi - lo
+	buf := make([]byte, n*fl.codeSize)
+	if n > 0 {
+		if _, err := fl.f.ReadAt(buf, fl.codeOff+int64(lo)*int64(fl.codeSize)); err != nil {
+			return nil, fmt.Errorf("store: reading codes [%d,%d): %w", lo, hi, err)
+		}
+	}
+	return buf, nil
+}
+
+// ReadRecordView reads one exact record — the codec path's fallback for
+// candidates that survive the quantized filter. The view's FP aliases a
+// fresh allocation and stays valid after return.
+func (fl *File) ReadRecordView(i int) (RecordView, error) {
+	if i < 0 || i >= fl.count {
+		return RecordView{}, fmt.Errorf("store: record %d outside [0,%d)", i, fl.count)
+	}
+	buf := make([]byte, fl.recSize)
+	if _, err := fl.f.ReadAt(buf, fl.dataOff+int64(i)*int64(fl.recSize)); err != nil {
+		return RecordView{}, fmt.Errorf("store: reading record %d: %w", i, err)
+	}
+	kb := keyBytes(fl.curve)
+	dims := fl.curve.Dims()
+	rv := RecordView{
+		Pos: i,
+		Key: bitkey.FromBytes(buf[:kb], kb),
+		FP:  buf[kb : kb+dims : kb+dims],
+		ID:  binary.LittleEndian.Uint32(buf[kb+dims:]),
+		TC:  binary.LittleEndian.Uint32(buf[kb+dims+4:]),
+	}
+	if fl.version >= 2 {
+		rv.X = binary.LittleEndian.Uint16(buf[kb+dims+8:])
+		rv.Y = binary.LittleEndian.Uint16(buf[kb+dims+10:])
+	}
+	return rv, nil
 }
 
 // LoadAll reads the whole file into an in-memory DB.

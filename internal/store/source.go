@@ -45,9 +45,35 @@ type RecordSource interface {
 	VisitIntervals(ivs []hilbert.Interval, visit func(RecordView) bool) error
 }
 
+// LeanSource is an optional RecordSource refinement for visitors that
+// never read fingerprints (statistical refinement: the curve region IS
+// the answer). Views are delivered exactly as VisitIntervals would,
+// except FP is nil; a source holding a fingerprint-free record layout
+// (a codec-bearing ColdFile's lean area) serves it at a fraction of the
+// exact bytes.
+type LeanSource interface {
+	RecordSource
+	VisitIntervalsLean(ivs []hilbert.Interval, visit func(RecordView) bool) error
+}
+
+// FilteredSource is an optional RecordSource refinement for distance
+// predicates: visit every record of the intervals whose exact squared L2
+// distance to qf could be at most boundSq, with its exact fingerprint.
+// The filter is conservative — records beyond boundSq may also be
+// visited, so callers must keep their exact distance check — but every
+// record within boundSq is guaranteed to be visited. A quantized source
+// rejects most candidates without touching exact record bytes.
+type FilteredSource interface {
+	RecordSource
+	VisitIntervalsFiltered(ivs []hilbert.Interval, qf []float64, boundSq float64,
+		visit func(RecordView) bool) error
+}
+
 var (
-	_ RecordSource = (*DB)(nil)
-	_ RecordSource = (*ColdFile)(nil)
+	_ RecordSource   = (*DB)(nil)
+	_ RecordSource   = (*ColdFile)(nil)
+	_ LeanSource     = (*ColdFile)(nil)
+	_ FilteredSource = (*ColdFile)(nil)
 )
 
 // VisitIntervals implements RecordSource over the in-memory columns:
