@@ -5,7 +5,7 @@ GO ?= go
 # its counters and histograms are written from every engine goroutine.
 RACE_PKGS = . ./internal/core ./internal/store ./internal/httpapi ./internal/cbcd ./internal/obs
 
-.PHONY: check vet build test race cover bench bench-shard bench-plan bench-cold bench-sketch faults
+.PHONY: check vet build test race cover bench bench-shard bench-plan bench-cold bench-sketch bench-plancache faults
 
 # check is the full verification gate: static checks, build, all tests,
 # then the race detector over the engine packages.
@@ -67,6 +67,13 @@ bench-plan:
 # and codec-on/off rows included).
 bench-cold:
 	$(GO) test -run TestColdBenchSweep -bench-cold -timeout 30m .
+
+# bench-plancache regenerates BENCH_plancache.json (plan cache vs
+# uncached planning on a repeated-query monitoring workload over the
+# 500k fingerprint corpus; asserts >=2x plans/sec and >=90% steady-state
+# hit rate at byte-identical answers).
+bench-plancache:
+	$(GO) test -run TestPlanCacheBenchSweep -bench-plancache -timeout 30m .
 
 # bench-sketch is bench-cold's sketch/codec view: the same sweep, which
 # asserts >=2x fewer disk bytes per uncached cold query with sketches and

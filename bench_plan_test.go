@@ -126,6 +126,37 @@ func TestPlanStatNoAllocsUntraced(t *testing.T) {
 	}
 }
 
+// TestPlanStatNoAllocsCacheHit extends the guard to the plan cache: a
+// hit returns the shared cached plan — hash the key, bump the LRU,
+// return — without allocating. The compute closure the engine hands the
+// cache must not escape to the heap on the hit path.
+func TestPlanStatNoAllocsCacheHit(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the guard runs in the non-race pass")
+	}
+	eng, queries := planAllocEngine(t)
+	eng.EnablePlanCache(0)
+	sq := shardBenchQuery()
+	ctx := context.Background()
+	for _, q := range queries { // warm the scratch pool and populate the cache
+		if _, err := eng.PlanStat(ctx, q, sq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if _, err := eng.PlanStat(ctx, queries[0], sq); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("cache-hit PlanStat allocates %.1f objects per call, want 0", avg)
+	}
+	st, ok := eng.PlanCacheStats()
+	if !ok || st.Hits == 0 {
+		t.Fatalf("guard did not exercise the hit path: stats %+v ok=%v", st, ok)
+	}
+}
+
 type planBenchSide struct {
 	DescentNodes    int     `json:"descent_nodes_total"`
 	NodesPerQuery   float64 `json:"descent_nodes_per_query"`

@@ -34,12 +34,20 @@ func main() {
 		seed    = flag.Int64("corpus-seed", 1, "corpus seed (must match s3index)")
 		alpha   = flag.Float64("alpha", 0.80, "statistical query expectation")
 		sigma   = flag.Float64("sigma", 20, "distortion model sigma")
+
+		planCache = flag.Bool("plan-cache", true,
+			"cache filtering-step plans across the stream's repeated fingerprints (answers are identical)")
+		planCacheEntries = flag.Int("plan-cache-entries", 0,
+			"plan cache capacity in plans (0 = default)")
 	)
 	flag.Parse()
 
 	det, err := s3.OpenDetector(*dbPath, s3.CBCDConfig{Alpha: *alpha, Sigma: *sigma})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *planCache {
+		det.Engine().EnablePlanCache(*planCacheEntries)
 	}
 	thr, err := s3.CalibrateThreshold(det, []*s3.Video{
 		s3.GenerateVideo(987101, 250), s3.GenerateVideo(987102, 250),
@@ -132,6 +140,15 @@ func main() {
 		fmt.Printf("window latency over %d windows: p50 %s, p90 %s, p99 %s, mean %s\n",
 			n, fmtSeconds(lat.Quantile(0.50)), fmtSeconds(lat.Quantile(0.90)),
 			fmtSeconds(lat.Quantile(0.99)), fmtSeconds(lat.Sum()/float64(n)))
+	}
+	if st, ok := det.Engine().PlanCacheStats(); ok {
+		total := st.Hits + st.Misses
+		rate := 0.0
+		if total > 0 {
+			rate = float64(st.Hits) / float64(total)
+		}
+		fmt.Printf("plan cache: %d hits, %d misses (%.1f%% hit rate), %d entries\n",
+			st.Hits, st.Misses, 100*rate, st.Entries)
 	}
 }
 

@@ -87,6 +87,16 @@ func main() {
 			"build per-segment sketches and skip segments a plan provably misses, live mode")
 		coldCodec = flag.Bool("cold-codec", true,
 			"write quantized record codecs into cold-eligible segments and reject candidates on quantized bounds, live mode")
+		planCache = flag.Bool("plan-cache", true,
+			"cache filtering-step plans for repeated/near-identical queries (answers are identical; ?nocache=1 bypasses per request)")
+		planCacheEntries = flag.Int("plan-cache-entries", 0,
+			"plan cache capacity in plans (0 = default)")
+		autotune = flag.Bool("autotune", false,
+			"re-fit the cost model T(p) online from observed plan/refine timings and adapt planner parameters")
+		autotuneInterval = flag.Int("autotune-interval", 0,
+			"queries between cost-model refits (0 = default)")
+		autotuneDepth = flag.Bool("autotune-depth", true,
+			"let the auto-tuner move the partition depth p (static mode; live indexes keep their shared depth)")
 		traceRate = flag.Float64("trace-rate", 0,
 			"fraction of searches carrying a stage-level trace (0 = only ?trace=1 requests)")
 		traceSeed = flag.Int64("trace-seed", 0, "trace sampler seed (reproducible sampling)")
@@ -106,11 +116,19 @@ func main() {
 	cfs := store.NewCountingFS(store.OSFS)
 	reg := obs.NewRegistry()
 	cfs.RegisterMetrics(reg)
+	tuneOpt := core.AutoTuneOptions{
+		Enabled:   *autotune,
+		Interval:  *autotuneInterval,
+		TuneDepth: *autotuneDepth,
+	}
 	opt := httpapi.Options{
-		MaxInFlight: *maxInFlight,
-		Metrics:     reg,
-		TraceRate:   *traceRate,
-		TraceSeed:   *traceSeed,
+		MaxInFlight:      *maxInFlight,
+		Metrics:          reg,
+		TraceRate:        *traceRate,
+		TraceSeed:        *traceSeed,
+		PlanCache:        *planCache,
+		PlanCacheEntries: *planCacheEntries,
+		AutoTune:         tuneOpt,
 	}
 
 	var srv *httpapi.Server
@@ -129,6 +147,10 @@ func main() {
 			ColdRecords:  *coldRecords,
 			Sketch:       *sketch,
 			ColdCodec:    *coldCodec,
+
+			PlanCache:        *planCache,
+			PlanCacheEntries: *planCacheEntries,
+			AutoTune:         tuneOpt,
 		}
 		if *coldRecords > 0 {
 			cache := store.NewBlockCache(int64(*cacheMB) << 20)
@@ -150,7 +172,7 @@ func main() {
 			"dims", *dims, "gen", st.Gen, "segments", st.Segments,
 			"coldSegments", st.ColdSegments, "cacheBudgetBytes", st.Cache.BudgetBytes,
 			"sketchSegments", st.SketchSegments, "codecSegments", st.CodecSegments,
-			"degraded", st.Degraded)
+			"degraded", st.Degraded, "planCache", *planCache, "autotune", *autotune)
 	} else {
 		fl, err := store.OpenFS(cfs, *dbPath)
 		if err != nil {
@@ -172,7 +194,8 @@ func main() {
 			fatal(logger, "build index", err)
 		}
 		logger.Info("serving static database", "path", *dbPath, "records", db.Len(),
-			"dims", db.Dims(), "shards", srv.Engine().Shards())
+			"dims", db.Dims(), "shards", srv.Engine().Shards(),
+			"planCache", *planCache, "autotune", *autotune)
 	}
 
 	if *debugAddr != "" {

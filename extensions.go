@@ -101,7 +101,7 @@ func MergeIndexes(a, b *Index, depth int) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newIndex(db, depth, a.eng.Shards(), a.eng.Workers())
+	return newIndex(db, IndexOptions{Depth: depth, Shards: a.eng.Shards(), Workers: a.eng.Workers()})
 }
 
 // FilterIndex returns a new index containing only the records the
@@ -110,5 +110,5 @@ func MergeIndexes(a, b *Index, depth int) (*Index, error) {
 // index inherits x's engine layout.
 func FilterIndex(x *Index, keep func(id, tc uint32) bool, depth int) (*Index, error) {
 	db := store.Filter(x.db, keep)
-	return newIndex(db, depth, x.eng.Shards(), x.eng.Workers())
+	return newIndex(db, IndexOptions{Depth: depth, Shards: x.eng.Shards(), Workers: x.eng.Workers()})
 }

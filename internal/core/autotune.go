@@ -1,0 +1,286 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"s3cbcd/internal/obs"
+)
+
+// This file implements the online cost-model auto-tuner. The paper
+// picks the partition depth offline as p_min = argmin T(p), the total
+// retrieval time as a function of depth; PR 5's instrumentation split
+// every query into the two terms of that model — plan_seconds (the
+// filtering step, growing with depth) and refine_seconds (the record
+// scan, shrinking with depth as blocks tighten). The tuner re-fits the
+// trade-off online: it accumulates the observed split over a window of
+// queries, and at each refit nudges the threshold-search parameters —
+// and, where allowed, the depth — toward the cheaper side, damped so a
+// noisy window cannot make it oscillate. The published tuning is part
+// of the plan cache key, so a parameter change invalidates cached plans
+// automatically instead of corrupting them.
+
+// DefaultAutoTuneInterval is the refit window in queries.
+const DefaultAutoTuneInterval = 256
+
+// DefaultAutoTuneDamping is the cost-improvement factor a refit must
+// predict before reversing an earlier depth move: the observed mean
+// cost at the target depth must be below damping × the current depth's.
+const DefaultAutoTuneDamping = 0.85
+
+// Bounds the tuner confines the threshold-search schedule to. The
+// static defaults (bracketStep=2, thresholdTol=1.1) sit inside both
+// ranges; the extremes are still sane searches — a step near 1.5 walks
+// gently, a tolerance near 1.5 accepts a coarse bracket.
+const (
+	minBracketStep  = 1.5
+	maxBracketStep  = 4.0
+	minThresholdTol = 1.02
+	maxThresholdTol = 1.5
+)
+
+// AutoTuneOptions enables and shapes the online tuner.
+type AutoTuneOptions struct {
+	// Enabled turns the tuner on.
+	Enabled bool
+	// Interval is the refit window in observed queries. 0 selects
+	// DefaultAutoTuneInterval.
+	Interval int
+	// Damping is the predicted-improvement factor required before the
+	// tuner reverses a previous depth move (see DefaultAutoTuneDamping);
+	// 0 selects the default. Larger values (closer to 1) damp less.
+	Damping float64
+	// TuneDepth allows the tuner to move the partition depth. Only the
+	// static Engine honors it: a LiveIndex pins depth, because its
+	// segment sketches are built at the shared depth and a plan at any
+	// other depth could not consult them.
+	TuneDepth bool
+}
+
+func (o AutoTuneOptions) withDefaults() AutoTuneOptions {
+	if o.Interval <= 0 {
+		o.Interval = DefaultAutoTuneInterval
+	}
+	if o.Damping <= 0 || o.Damping >= 1 {
+		o.Damping = DefaultAutoTuneDamping
+	}
+	return o
+}
+
+// AutoTuneStats is a point-in-time report of the tuner.
+type AutoTuneStats struct {
+	// Depth, BracketStep and ThresholdTol are the currently published
+	// threshold-search parameters.
+	Depth        int
+	BracketStep  float64
+	ThresholdTol float64
+	// Refits counts completed refit windows; Changes counts refits that
+	// published different parameters.
+	Refits, Changes int64
+}
+
+// autoTuneMetrics are the tuner's instruments (construct-unregistered,
+// published by RegisterMetrics).
+type autoTuneMetrics struct {
+	refits  *obs.Counter
+	changes *obs.Counter
+}
+
+func newAutoTuneMetrics() autoTuneMetrics {
+	return autoTuneMetrics{
+		refits: obs.NewCounter("s3_autotune_refits_total",
+			"completed auto-tune refit windows"),
+		changes: obs.NewCounter("s3_autotune_param_changes_total",
+			"refits that published changed threshold-search parameters"),
+	}
+}
+
+// autoTuner adapts the threshold-search tuning from the observed
+// plan/refine cost split. Observation is a few atomics per query; the
+// refit itself runs under a mutex once per window. Safe for concurrent
+// use.
+type autoTuner struct {
+	opt                AutoTuneOptions
+	minDepth, maxDepth int
+
+	cur atomic.Pointer[tuning]
+
+	// Window accumulators, reset at each refit.
+	queries     atomic.Int64
+	planNanos   atomic.Int64
+	refineNanos atomic.Int64
+
+	mu sync.Mutex
+	// depthCost is the per-depth EMA of mean per-query cost (plan +
+	// refine nanos), the fitted T(p) sampled where the tuner has been.
+	depthCost map[int]float64
+	// lastMove is the direction of the previous depth change (-1/0/+1);
+	// reversing it is what the damping bound gates.
+	lastMove int
+	flips    int
+
+	met autoTuneMetrics
+}
+
+// newAutoTuner builds a tuner publishing seed as its initial tuning,
+// with depth confined to [minDepth, maxDepth] (equal values pin it).
+func newAutoTuner(opt AutoTuneOptions, seed tuning, minDepth, maxDepth int) *autoTuner {
+	tn := &autoTuner{opt: opt.withDefaults(), minDepth: minDepth, maxDepth: maxDepth,
+		depthCost: make(map[int]float64), met: newAutoTuneMetrics()}
+	tn.cur.Store(&seed)
+	return tn
+}
+
+// current returns the published tuning.
+func (tn *autoTuner) current() *tuning { return tn.cur.Load() }
+
+// observe records one executed query's plan/refine wall-time split and
+// refits once the window fills.
+func (tn *autoTuner) observe(planDur, refineDur time.Duration) {
+	tn.planNanos.Add(int64(planDur))
+	tn.refineNanos.Add(int64(refineDur))
+	if tn.queries.Add(1) >= int64(tn.opt.Interval) {
+		tn.refit()
+	}
+}
+
+// refit drains the window and publishes the adapted tuning. Concurrent
+// refit triggers collapse onto one refit (TryLock) so the query hot
+// path never queues behind the fit.
+func (tn *autoTuner) refit() {
+	if !tn.mu.TryLock() {
+		return
+	}
+	defer tn.mu.Unlock()
+	q := tn.queries.Load()
+	if q < int64(tn.opt.Interval) {
+		return // another refit drained this window first
+	}
+	plan := tn.planNanos.Swap(0)
+	refine := tn.refineNanos.Swap(0)
+	tn.queries.Add(-q)
+	tn.met.refits.Inc()
+
+	cur := *tn.cur.Load()
+	next := cur
+
+	avgPlan := float64(plan) / float64(q)
+	avgRefine := float64(refine) / float64(q)
+	avgTotal := avgPlan + avgRefine
+
+	// Fold the window into the T(p) sample at the current depth (EMA so
+	// one noisy window cannot swing a later comparison).
+	const emaNew = 0.4
+	if old, ok := tn.depthCost[cur.depth]; ok {
+		tn.depthCost[cur.depth] = (1-emaNew)*old + emaNew*avgTotal
+	} else {
+		tn.depthCost[cur.depth] = avgTotal
+	}
+
+	// Which term dominates decides every adjustment. The thresholds are
+	// deliberately asymmetric around 1: near-balanced workloads change
+	// nothing.
+	const dominanceRatio = 4.0
+	refineDominated := avgRefine > dominanceRatio*avgPlan
+	planDominated := avgPlan > dominanceRatio*avgRefine
+
+	// Threshold-search schedule: when refinement dominates, a tighter
+	// final bracket (smaller tolerance) and a gentler walk buy a smaller
+	// block set for nearly-free extra plan evaluations; when planning
+	// dominates, the reverse trade releases plan time.
+	switch {
+	case refineDominated:
+		next.thresholdTol = clampF(1+(next.thresholdTol-1)*0.7, minThresholdTol, maxThresholdTol)
+		next.bracketStep = clampF(next.bracketStep*0.85, minBracketStep, maxBracketStep)
+	case planDominated:
+		next.thresholdTol = clampF(1+(next.thresholdTol-1)*1.3, minThresholdTol, maxThresholdTol)
+		next.bracketStep = clampF(next.bracketStep*1.15, minBracketStep, maxBracketStep)
+	}
+
+	// Depth: move toward the cheaper side of T(p). Deeper partitions
+	// shift cost from refine to plan (smaller blocks, fewer candidates,
+	// more tree), so refine-dominated windows push deeper and
+	// plan-dominated windows shallower. A move reversing the previous
+	// one is allowed only if the target depth's observed cost beats the
+	// current depth's by the damping factor — an unobserved hunch can
+	// explore in one direction, but never flip-flop on noise.
+	if tn.opt.TuneDepth {
+		dir := 0
+		if refineDominated {
+			dir = 1
+		} else if planDominated {
+			dir = -1
+		}
+		target := clampI(cur.depth+dir, tn.minDepth, tn.maxDepth)
+		if dir != 0 && target != cur.depth {
+			allowed := true
+			if tc, ok := tn.depthCost[target]; ok && tc >= tn.opt.Damping*tn.depthCost[cur.depth] {
+				allowed = false
+			}
+			if tn.lastMove != 0 && dir == -tn.lastMove {
+				tc, ok := tn.depthCost[target]
+				if !ok || tc >= tn.opt.Damping*tn.depthCost[cur.depth] {
+					allowed = false
+				}
+			}
+			if allowed {
+				next.depth = target
+				if tn.lastMove != 0 && dir == -tn.lastMove {
+					tn.flips++
+				}
+				tn.lastMove = dir
+			}
+		}
+	}
+
+	if next != cur {
+		tn.met.changes.Inc()
+		v := next
+		tn.cur.Store(&v)
+	}
+}
+
+// statsSnapshot reads the published tuning and lifetime counters.
+func (tn *autoTuner) statsSnapshot() AutoTuneStats {
+	cur := tn.cur.Load()
+	return AutoTuneStats{
+		Depth:        cur.depth,
+		BracketStep:  cur.bracketStep,
+		ThresholdTol: cur.thresholdTol,
+		Refits:       tn.met.refits.Value(),
+		Changes:      tn.met.changes.Value(),
+	}
+}
+
+// RegisterMetrics publishes the tuner's counters and parameter gauges
+// into r. Call at most once per registry.
+func (tn *autoTuner) RegisterMetrics(r *obs.Registry) {
+	r.MustRegister(tn.met.refits, tn.met.changes)
+	r.GaugeFunc("s3_autotune_depth", "partition depth the tuner currently plans at",
+		func() float64 { return float64(tn.cur.Load().depth) })
+	r.GaugeFunc("s3_autotune_bracket_step", "current downward bracket-walk factor",
+		func() float64 { return tn.cur.Load().bracketStep })
+	r.GaugeFunc("s3_autotune_threshold_tol", "current secant-refinement termination tolerance",
+		func() float64 { return tn.cur.Load().thresholdTol })
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clampI(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -42,6 +42,30 @@ type Engine struct {
 	// selectivity, and cumulative partition-tree descent work. Always
 	// updated (a few atomics per query); exported via RegisterMetrics.
 	met engineMetrics
+	// cache, when enabled, memoizes statistical plans keyed on (query,
+	// α, model, tuning); nil when disabled. The database is static, so
+	// the cache generation is constant — depth changes are covered by
+	// the tuning component of the key.
+	cache *planCache
+	// tuner, when enabled, adapts the threshold-search tuning (and,
+	// if allowed, the depth) from observed query costs; nil when
+	// disabled.
+	tuner *autoTuner
+}
+
+// EngineOptions configures NewEngineOpts; the zero value reproduces
+// NewEngine(ix, 0, 0).
+type EngineOptions struct {
+	// Shards and Workers are NewEngine's parameters.
+	Shards, Workers int
+	// PlanCache enables the bounded statistical-plan cache (see
+	// plancache.go); answers are byte-identical with it on or off.
+	PlanCache bool
+	// PlanCacheEntries bounds the cache; 0 selects
+	// DefaultPlanCacheEntries.
+	PlanCacheEntries int
+	// AutoTune enables online threshold-search tuning.
+	AutoTune AutoTuneOptions
 }
 
 // NewEngine builds an engine over ix with nShards key-range shards and at
@@ -82,6 +106,66 @@ func NewEngineShards(ix *Index, shards []store.ShardRange, workers int) *Engine 
 	return e
 }
 
+// NewEngineOpts is NewEngine with the plan cache and auto-tuner knobs.
+func NewEngineOpts(ix *Index, opt EngineOptions) *Engine {
+	e := NewEngine(ix, opt.Shards, opt.Workers)
+	if opt.PlanCache {
+		e.EnablePlanCache(opt.PlanCacheEntries)
+	}
+	if opt.AutoTune.Enabled {
+		e.EnableAutoTune(opt.AutoTune)
+	}
+	return e
+}
+
+// EnablePlanCache attaches a plan cache bounded to entries completed
+// plans (<= 0 selects DefaultPlanCacheEntries), bucketing keys with a
+// quantizer fitted to the database's own value distribution. Not safe
+// to call concurrently with queries: enable before serving.
+func (e *Engine) EnablePlanCache(entries int) {
+	qz, err := store.FitQuantizer(e.ix.db, store.DefaultCodecBits)
+	if err != nil || e.ix.db.Len() == 0 {
+		// An unfittable or empty database gets evenly spaced cells; only
+		// hash bucketing quality is at stake, never correctness.
+		qz, _ = store.UniformQuantizer(e.ix.db.Dims(), store.DefaultCodecBits)
+	}
+	e.cache = newPlanCache(qz, entries)
+}
+
+// EnableAutoTune attaches the online tuner, seeded at the engine's
+// current static parameters, with depth confined to the curve's valid
+// range when opt.TuneDepth is set. Not safe to call concurrently with
+// queries: enable before serving.
+func (e *Engine) EnableAutoTune(opt AutoTuneOptions) {
+	opt.Enabled = true
+	e.tuner = newAutoTuner(opt, e.ix.defaultTuning(), 1, e.ix.curve.IndexBits())
+}
+
+// tuning resolves the parameters the next plan runs at: the tuner's
+// published values when enabled, the static defaults otherwise.
+func (e *Engine) tuning() tuning {
+	if e.tuner != nil {
+		return *e.tuner.current()
+	}
+	return e.ix.defaultTuning()
+}
+
+// PlanCacheStats reports the plan cache; false when disabled.
+func (e *Engine) PlanCacheStats() (PlanCacheStats, bool) {
+	if e.cache == nil {
+		return PlanCacheStats{}, false
+	}
+	return e.cache.statsSnapshot(), true
+}
+
+// AutoTuneStats reports the online tuner; false when disabled.
+func (e *Engine) AutoTuneStats() (AutoTuneStats, bool) {
+	if e.tuner == nil {
+		return AutoTuneStats{}, false
+	}
+	return e.tuner.statsSnapshot(), true
+}
+
 // Index returns the wrapped index.
 func (e *Engine) Index() *Index { return e.ix }
 
@@ -115,15 +199,42 @@ func (qc *queryContext) setQuery(q []byte) error {
 func (e *Engine) getCtx() *queryContext   { return e.qctxs.Get().(*queryContext) }
 func (e *Engine) putCtx(qc *queryContext) { e.qctxs.Put(qc) }
 
-// planStat computes the statistical plan for q using the context's cache.
-// sq must already be validated.
+// planStat computes the statistical plan for q using the context's
+// scratch, consulting the plan cache when one is attached. sq must
+// already be validated. On a cache hit the engine's plan-work metrics
+// are untouched (no plan was computed) and the returned Intervals are
+// the cache's shared immutable slice.
 func (e *Engine) planStat(ctx context.Context, qc *queryContext, q []byte, sq StatQuery) (Plan, error) {
 	if err := qc.setQuery(q); err != nil {
 		return Plan{}, err
 	}
+	tn := e.tuning()
+	if pc := e.cache; pc != nil {
+		if planCacheBypassed(ctx) {
+			pc.noteBypass()
+		} else if mkey, keyable := modelPlanKey(sq.Model); keyable {
+			// The database is static, so the generation component is
+			// constant; tn covers depth changes.
+			plan, ok := pc.plan(ctx, q, sq.Alpha, mkey, 0, tn, func() Plan {
+				t0 := time.Now()
+				qc.mc.reset()
+				p := e.ix.planStatFrontierTuned(qc.qf, sq, qc.mc, qc.fs, tn)
+				e.notePlan(ctx, p, t0)
+				return p
+			})
+			if ok {
+				return plan, nil
+			}
+			// ctx canceled while waiting on another caller's computation:
+			// fall through and plan locally; the ctx error surfaces in
+			// refinement.
+		} else {
+			pc.noteBypass()
+		}
+	}
 	t0 := time.Now()
 	qc.mc.reset()
-	plan := e.ix.planStatFrontier(qc.qf, sq, qc.mc, qc.fs)
+	plan := e.ix.planStatFrontierTuned(qc.qf, sq, qc.mc, qc.fs, tn)
 	e.notePlan(ctx, plan, t0)
 	return plan, nil
 }
@@ -345,6 +456,9 @@ func (e *Engine) SearchStat(ctx context.Context, q []byte, sq StatQuery) ([]Matc
 	}
 	tr.StageSince("refine", t1)
 	tr.AddSegments(int64(len(e.shards)))
+	if e.tuner != nil {
+		e.tuner.observe(t1.Sub(t0), time.Since(t1))
+	}
 	return matches, plan, nil
 }
 
@@ -416,13 +530,18 @@ func (e *Engine) SearchStatBatch(ctx context.Context, queries [][]byte, sq StatQ
 	defer e.met.inflight.Add(-1)
 	results := make([][]Match, len(queries))
 	err := forEach(ctx, e.workers, len(queries), e.getCtx, func(qc *queryContext, i int) error {
+		t0 := time.Now()
 		plan, err := e.planStat(ctx, qc, queries[i], sq)
 		if err != nil {
 			return fmt.Errorf("query %d: %w", i, err)
 		}
+		t1 := time.Now()
 		matches, err := e.refineStat(ctx, plan, false)
 		if err != nil {
 			return err
+		}
+		if e.tuner != nil {
+			e.tuner.observe(t1.Sub(t0), time.Since(t1))
 		}
 		results[i] = matches
 		return nil

@@ -178,6 +178,20 @@ type LiveOptions struct {
 	// per-component codes, falling back to exact bytes only for survivors.
 	// Answers stay byte-identical (the exact distance check remains).
 	ColdCodec bool
+	// PlanCache enables the bounded statistical-plan cache: repeated or
+	// identical queries against an unchanged snapshot reuse their plan.
+	// The snapshot generation is part of the cache key, so any ingest,
+	// delete or compaction invalidates by construction and answers stay
+	// byte-identical with the cache on or off.
+	PlanCache bool
+	// PlanCacheEntries bounds the plan cache; 0 selects
+	// DefaultPlanCacheEntries.
+	PlanCacheEntries int
+	// AutoTune enables online tuning of the threshold-search schedule
+	// from observed plan/refine costs. The partition depth stays pinned
+	// regardless of AutoTune.TuneDepth: segment sketches are built at the
+	// shared depth and plans at any other depth could not consult them.
+	AutoTune AutoTuneOptions
 }
 
 // DefaultLiveMemtableRecords is the default seal threshold.
@@ -420,6 +434,13 @@ type LiveIndex struct {
 	met     liveMetrics
 	coldCtr *store.ColdCounters
 	log     *slog.Logger
+
+	// cache memoizes statistical plans keyed on (query, α, model,
+	// tuning, snapshot generation); nil when LiveOptions.PlanCache is
+	// off. tuner adapts the threshold-search schedule (never the depth);
+	// nil when LiveOptions.AutoTune is off.
+	cache *planCache
+	tuner *autoTuner
 }
 
 // OpenLiveIndex opens (or creates) a live index over the given curve.
@@ -434,6 +455,20 @@ func OpenLiveIndex(curve *hilbert.Curve, dir string, opt LiveOptions) (*LiveInde
 	li := &LiveIndex{pl: planner{curve: curve, depth: opt.Depth}, opt: opt, dir: dir,
 		fs: opt.FS, closedCh: make(chan struct{}), pending: make(map[string]struct{}),
 		met: newLiveMetrics(), coldCtr: store.NewColdCounters(), log: opt.Logger}
+	if opt.PlanCache {
+		// The record set churns, so the cache buckets keys with value-only
+		// uniform cells: assignments stay comparable across snapshots.
+		qz, err := store.UniformQuantizer(curve.Dims(), store.DefaultCodecBits)
+		if err != nil {
+			return nil, err
+		}
+		li.cache = newPlanCache(qz, opt.PlanCacheEntries)
+	}
+	if opt.AutoTune.Enabled {
+		at := opt.AutoTune
+		at.TuneDepth = false // sketches are built at the shared depth
+		li.tuner = newAutoTuner(at, li.pl.defaultTuning(), opt.Depth, opt.Depth)
+	}
 	var (
 		segs []*liveSegment
 		gen  uint64
@@ -1462,6 +1497,52 @@ func (li *LiveIndex) refineStatSnap(snap *liveSnapshot, plan Plan) ([]Match, err
 	return mergeCanonical(lists), nil
 }
 
+// liveTuning resolves the parameters the next plan runs at.
+func (li *LiveIndex) liveTuning() tuning {
+	if li.tuner != nil {
+		return *li.tuner.current()
+	}
+	return li.pl.defaultTuning()
+}
+
+// planFor computes the statistical plan for one query against snap,
+// serving it from the plan cache when one is attached. The snapshot
+// generation keys the cache, so a plan cached before any ingest, delete
+// or compaction can never be returned afterwards.
+func (li *LiveIndex) planFor(ctx context.Context, snap *liveSnapshot, q []byte, qf []float64, sq StatQuery) Plan {
+	tn := li.liveTuning()
+	if pc := li.cache; pc != nil {
+		if planCacheBypassed(ctx) {
+			pc.noteBypass()
+		} else if mkey, keyable := modelPlanKey(sq.Model); keyable {
+			if plan, ok := pc.plan(ctx, q, sq.Alpha, mkey, snap.gen, tn, func() Plan {
+				return li.pl.planStatFloatTuned(qf, sq, tn)
+			}); ok {
+				return plan
+			}
+		} else {
+			pc.noteBypass()
+		}
+	}
+	return li.pl.planStatFloatTuned(qf, sq, tn)
+}
+
+// PlanCacheStats reports the plan cache; false when disabled.
+func (li *LiveIndex) PlanCacheStats() (PlanCacheStats, bool) {
+	if li.cache == nil {
+		return PlanCacheStats{}, false
+	}
+	return li.cache.statsSnapshot(), true
+}
+
+// AutoTuneStats reports the online tuner; false when disabled.
+func (li *LiveIndex) AutoTuneStats() (AutoTuneStats, bool) {
+	if li.tuner == nil {
+		return AutoTuneStats{}, false
+	}
+	return li.tuner.statsSnapshot(), true
+}
+
 // SearchStat executes a statistical query against the current snapshot:
 // one plan against the shared curve, refined across every segment, with
 // results merged in canonical order. Pos fields are segment-local.
@@ -1482,7 +1563,7 @@ func (li *LiveIndex) SearchStat(ctx context.Context, q []byte, sq StatQuery) ([]
 	li.noteQuery(snap)
 	tr := obs.FromContext(ctx)
 	t0 := time.Now()
-	plan := li.pl.planStatFloat(qf, sq)
+	plan := li.planFor(ctx, snap, q, qf, sq)
 	tr.StageSince("plan", t0)
 	tr.AddDescentNodes(int64(plan.DescentNodes))
 	tr.AddBlocks(int64(plan.Blocks))
@@ -1494,6 +1575,9 @@ func (li *LiveIndex) SearchStat(ctx context.Context, q []byte, sq StatQuery) ([]
 	tr.StageSince("refine", t1)
 	tr.AddCandidates(int64(len(ms)))
 	tr.AddSegments(int64(snapSegments(snap)))
+	if li.tuner != nil {
+		li.tuner.observe(t1.Sub(t0), time.Since(t1))
+	}
 	return ms, plan, nil
 }
 
@@ -1649,10 +1733,15 @@ func (li *LiveIndex) SearchStatBatch(ctx context.Context, queries [][]byte, sq S
 		if err != nil {
 			return fmt.Errorf("query %d: %w", i, err)
 		}
-		plan := li.pl.planStatFloat(qf, sq)
+		t0 := time.Now()
+		plan := li.planFor(ctx, snap, queries[i], qf, sq)
+		t1 := time.Now()
 		ms, err := li.refineStatSnap(snap, plan)
 		if err != nil {
 			return fmt.Errorf("query %d: %w", i, err)
+		}
+		if li.tuner != nil {
+			li.tuner.observe(t1.Sub(t0), time.Since(t1))
 		}
 		results[i] = ms
 		return nil

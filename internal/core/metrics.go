@@ -64,6 +64,12 @@ func (e *Engine) RegisterMetrics(r *obs.Registry) {
 		func() float64 { return float64(len(e.shards)) })
 	r.GaugeFunc("s3_engine_records", "records in the served database",
 		func() float64 { return float64(e.ix.db.Len()) })
+	if e.cache != nil {
+		e.cache.RegisterMetrics(r)
+	}
+	if e.tuner != nil {
+		e.tuner.RegisterMetrics(r)
+	}
 }
 
 // liveMetrics are the live index's instruments: LSM shape and write-path
@@ -188,4 +194,10 @@ func (li *LiveIndex) RegisterMetrics(r *obs.Registry) {
 			}
 			return 0
 		})
+	if li.cache != nil {
+		li.cache.RegisterMetrics(r)
+	}
+	if li.tuner != nil {
+		li.tuner.RegisterMetrics(r)
+	}
 }

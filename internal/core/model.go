@@ -53,6 +53,11 @@ func (m IsoNormal) Radius() stat.RadiusDist {
 	return stat.RadiusDist{D: m.D, Sigma: m.Sigma}
 }
 
+// PlanKey implements PlanKeyer: Sigma's bit pattern identifies the model
+// injectively — D does not need encoding because query validation pins
+// it to the index dimension before any cache lookup.
+func (m IsoNormal) PlanKey() (uint64, bool) { return math.Float64bits(m.Sigma), true }
+
 // DiagNormal is the general independent zero-mean normal model with one
 // standard deviation per component (the σ_j of Section IV-C before they
 // are averaged into the single σ of the practical model).

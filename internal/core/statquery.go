@@ -21,7 +21,10 @@ type StatQuery struct {
 }
 
 func (sq StatQuery) validate(dims int) error {
-	if sq.Alpha <= 0 || sq.Alpha >= 1 {
+	// The negated form rejects NaN as well: a NaN α compares false against
+	// every bound and would otherwise reach the threshold search (and the
+	// plan cache key) as a "valid" expectation.
+	if !(sq.Alpha > 0 && sq.Alpha < 1) {
 		return fmt.Errorf("core: query expectation alpha=%v outside (0,1)", sq.Alpha)
 	}
 	return validateModel(sq.Model, dims)
@@ -83,6 +86,25 @@ const bracketStep = 2
 // block set — closer to the true minimum.
 const thresholdTol = 1.1
 
+// tuning is one resolved set of threshold-search parameters: the
+// partition depth and the bracket/refinement schedule. The compiled-in
+// constants above are the static default; the online auto-tuner
+// (autotune.go) publishes adapted values under load. A tuning is a
+// small comparable value — the plan cache folds it into its key, so a
+// parameter change naturally invalidates cached plans.
+type tuning struct {
+	depth        int
+	bracketStep  float64
+	thresholdTol float64
+}
+
+// defaultTuning returns the planner's static parameters: today's
+// compiled-in constants at the planner's own depth. Plans computed at
+// the default tuning are bit-identical to the pre-tuning code paths.
+func (pl *planner) defaultTuning() tuning {
+	return tuning{depth: pl.depth, bracketStep: bracketStep, thresholdTol: thresholdTol}
+}
+
 // PlanStat runs the statistical filtering step of Section IV-A for query
 // fingerprint q: it finds t_max, the largest per-block mass threshold
 // whose block set B(t) still carries total probability >= α (eq. 4),
@@ -112,13 +134,29 @@ func (pl *planner) planStatFloat(qf []float64, sq StatQuery) Plan {
 	return pl.planStatFrontier(qf, sq, ps.mc, ps.fs)
 }
 
+// planStatFloatTuned is planStatFloat at an explicit tuning.
+func (pl *planner) planStatFloatTuned(qf []float64, sq StatQuery, tn tuning) Plan {
+	ps := pl.getScratch()
+	defer pl.scratch.Put(ps)
+	return pl.planStatFrontierTuned(qf, sq, ps.mc, ps.fs, tn)
+}
+
 // planStatFrontier runs the threshold search on the incremental frontier
-// planner. mc must be fresh or reset; fs is rebound to this query. The
-// control flow below mirrors planStatLegacyCached exactly — same
-// threshold sequence, same bracket updates — so the two return
-// bit-identical plans; only the cost of an evaluation differs.
+// planner at the planner's static parameters. The control flow mirrors
+// planStatLegacyCached exactly — same threshold sequence, same bracket
+// updates — so the two return bit-identical plans; only the cost of an
+// evaluation differs.
 func (pl *planner) planStatFrontier(qf []float64, sq StatQuery, mc *massCache, fs *frontierState) Plan {
-	fs.begin(pl.depth, sq.Model, qf, mc)
+	return pl.planStatFrontierTuned(qf, sq, mc, fs, pl.defaultTuning())
+}
+
+// planStatFrontierTuned is the frontier threshold search at an explicit
+// tuning. mc must be fresh or reset; fs is rebound to this query. At the
+// default tuning its float operations are exactly those of the untuned
+// search (the parameters hold the same values the constants did), so
+// plans stay bit-identical to the legacy reference.
+func (pl *planner) planStatFrontierTuned(qf []float64, sq StatQuery, mc *massCache, fs *frontierState, tn tuning) Plan {
+	fs.begin(tn.depth, sq.Model, qf, mc)
 	iters := 0
 	eval := func(t float64) (int, float64) {
 		iters++
@@ -127,7 +165,7 @@ func (pl *planner) planStatFrontier(qf []float64, sq StatQuery, mc *massCache, f
 	}
 	done := func(t float64, blocks int, mass float64) Plan {
 		return Plan{Intervals: fs.intervalsAt(t), Blocks: blocks, Mass: mass,
-			Threshold: t, FilterIters: iters, DescentNodes: fs.nodes, Depth: pl.depth}
+			Threshold: t, FilterIters: iters, DescentNodes: fs.nodes, Depth: tn.depth}
 	}
 
 	// Bracket t_max from above: evaluations at high thresholds prune hard
@@ -135,13 +173,23 @@ func (pl *planner) planStatFrontier(qf []float64, sq StatQuery, mc *massCache, f
 	// first reaches mass α. Each step expands only the frontier nodes the
 	// previous step rejected — the sum of all steps does the traversal
 	// work of ONE descent at the lowest threshold reached.
+	//
+	// The walk deliberately ignores maxThresholdIters: it must end on a
+	// feasible threshold (or the floor), because the returned tLo is what
+	// covers Vα — stopping early on an infeasible threshold would silently
+	// under-cover the region. When the walk alone exhausts the budget,
+	// FilterIters exceeds maxThresholdIters, the secant refinement below is
+	// skipped entirely, and the plan is returned at the feasible bracket
+	// end with tHi/tLo still wider than thresholdTol: a valid superset of
+	// the minimal block set (mass >= α), just less tight. The bracket-walk
+	// regression test pins this contract.
 	tHi := (1 - sq.Alpha) / 4
 	massHi := 0.0
 	tLo := tHi
 	blocks, mass := eval(tLo)
 	for mass < sq.Alpha && tLo > tFloor {
 		tHi, massHi = tLo, mass
-		tLo /= bracketStep
+		tLo /= tn.bracketStep
 		if tLo < tFloor {
 			tLo = tFloor
 		}
@@ -175,7 +223,7 @@ func (pl *planner) planStatFrontier(qf []float64, sq StatQuery, mc *massCache, f
 	// geometric mean so the bracket always shrinks by a useful factor.
 	// Every probe lies inside the bracket, above the lowest threshold
 	// already expanded, so this entire loop is traversal-free.
-	for iters < maxThresholdIters && tHi/tLo > thresholdTol {
+	for iters < maxThresholdIters && tHi/tLo > tn.thresholdTol {
 		tMid := math.Sqrt(tLo * tHi)
 		if massHi < sq.Alpha && mass > massHi {
 			frac := (mass - sq.Alpha) / (mass - massHi)

@@ -1,0 +1,134 @@
+package core
+
+// Regression test for the downward bracket walk's termination contract:
+// when the walk alone exhausts maxThresholdIters, the search must still
+// end on a FEASIBLE threshold and return a valid plan — a superset of
+// the minimal block set with mass >= α — with the secant refinement
+// skipped and the bracket still wider than thresholdTol. An early
+// "iteration budget" check inside the walk would terminate on an
+// infeasible threshold and silently under-cover Vα; this test pins the
+// deliberate absence of that check.
+//
+// Realistic models cannot reach the regime (feasibility at t0/2^40
+// needs astronomically many blocks, and edge blocks absorb the tails
+// far earlier), so the test drives an adversarial model: a single chain
+// of blocks toward the query cell whose mass decays geometrically with
+// the subdivision level (ρ per split), every off-chain sibling carrying
+// a mass below tFloor. Feasibility then begins only at the full-depth
+// leaf mass ρ^48 ≈ 2.3e-14, which the walk needs ~45 halvings to reach
+// from its t0 ≈ 0.25 start — past the 40-iteration budget.
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"s3cbcd/internal/hilbert"
+	"s3cbcd/internal/store"
+)
+
+const (
+	chainDims  = 4
+	chainOrder = 12   // side 4096: 48 index bits, so depth 48 is legal
+	chainRho   = 0.52 // per-split mass of the block containing the query
+	chainOff   = 1e-30
+	chainQVal  = 100.0 // query component (same value in every dimension)
+	chainAlpha = 1e-14 // just below the leaf mass 0.52^48 ≈ 2.28e-14
+)
+
+// chainModel is the adversarial distortion model: the component interval
+// containing the (shifted) query point has mass ρ^s, where s is the
+// number of binary splits that produced it; every other interval has
+// mass below tFloor, so the partition tree degenerates to one chain and
+// each threshold evaluation stays O(depth).
+type chainModel struct{}
+
+func (chainModel) Dims() int { return chainDims }
+
+func (chainModel) ComponentMass(_ int, lo, hi float64) float64 {
+	if lo > 0 || hi <= 0 {
+		return chainOff // interval does not contain the query component
+	}
+	if math.IsInf(lo, -1) && math.IsInf(hi, 1) {
+		return 1 // unsplit root interval
+	}
+	w := hi - lo
+	if math.IsInf(lo, -1) {
+		// Block starts at the grid edge (blockMass extended it to -Inf):
+		// its raw width is the upper bound plus the query offset.
+		w = hi + chainQVal + 0.5
+	}
+	s := math.Round(math.Log2(float64(uint32(1)<<chainOrder) / w))
+	return math.Pow(chainRho, s)
+}
+
+func TestBracketWalkBudgetExhaustionStaysFeasible(t *testing.T) {
+	curve := hilbert.MustNew(chainDims, chainOrder)
+	q := []byte{chainQVal, chainQVal, chainQVal, chainQVal}
+	// A record in the query's own unit cell plus decoys elsewhere: the
+	// returned superset plan must retrieve the in-cell record.
+	recs := []store.Record{
+		{FP: append([]byte(nil), q...), ID: 1, TC: 10},
+		{FP: []byte{7, 7, 7, 7}, ID: 2, TC: 20},
+		{FP: []byte{200, 13, 90, 250}, ID: 3, TC: 30},
+	}
+	db, err := store.Build(curve, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := NewIndex(db, curve.IndexBits()) // full depth: leaves are unit cells
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq := StatQuery{Alpha: chainAlpha, Model: chainModel{}}
+
+	plan, err := ix.PlanStat(q, sq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The regime this test exists for: the walk alone blew the budget.
+	if plan.FilterIters <= maxThresholdIters {
+		t.Fatalf("walk used only %d evaluations (budget %d); the adversarial model no longer "+
+			"exercises budget exhaustion", plan.FilterIters, maxThresholdIters)
+	}
+	// Termination contract: the plan is still feasible (mass >= α) at a
+	// threshold above the floor — the walk ended on the first feasible
+	// threshold, not on an arbitrary budget cut.
+	if plan.Mass < sq.Alpha {
+		t.Errorf("plan mass %g below alpha %g: the walk terminated infeasible", plan.Mass, sq.Alpha)
+	}
+	if plan.Threshold <= tFloor {
+		t.Errorf("walk fell through to the floor threshold %g; feasibility begins at %g",
+			plan.Threshold, math.Pow(chainRho, float64(curve.IndexBits())))
+	}
+	if plan.Blocks == 0 || len(plan.Intervals) == 0 {
+		t.Errorf("feasible plan selected no blocks: %+v", plan)
+	}
+
+	// Superset validity: the plan must cover the query's own cell.
+	ms, _, err := ix.SearchStat(q, sq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundSelf := false
+	for _, m := range ms {
+		if m.ID == 1 {
+			foundSelf = true
+		}
+	}
+	if !foundSelf {
+		t.Errorf("superset plan missed the record in the query's own cell (matches %+v)", ms)
+	}
+
+	// The frontier planner and the legacy reference agree bit for bit in
+	// this regime too (their walks run the identical threshold sequence).
+	legacy, err := ix.PlanStatLegacy(q, sq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, lp := plan, legacy
+	fp.DescentNodes, lp.DescentNodes = 0, 0
+	if !reflect.DeepEqual(fp, lp) {
+		t.Errorf("frontier plan differs from legacy under budget exhaustion:\n got %+v\nwant %+v", fp, lp)
+	}
+}

@@ -21,7 +21,9 @@
 // execution trace ("trace": wall time per plan/refine stage plus
 // descent-node/block/candidate work counters) to the response;
 // Options.TraceRate additionally samples a fraction of untraced
-// searches. Every request is counted into per-route latency and
+// searches. Appending ?nocache=1 makes the search bypass the plan cache
+// and recompute its plan (answers are byte-identical either way).
+// Every request is counted into per-route latency and
 // status-class series served at /metrics, alongside the engine's (or
 // live index's) own metrics.
 //
@@ -94,6 +96,17 @@ type Options struct {
 	// TraceSeed seeds the trace sampler, making the accept/reject
 	// sequence reproducible.
 	TraceSeed int64
+	// PlanCache enables the engine's statistical-plan cache (static
+	// servers only — a live server inherits the cache its LiveIndex was
+	// opened with). Answers are byte-identical with it on or off; a
+	// request can bypass it with ?nocache=1.
+	PlanCache bool
+	// PlanCacheEntries bounds the plan cache; 0 selects
+	// core.DefaultPlanCacheEntries.
+	PlanCacheEntries int
+	// AutoTune enables the engine's online threshold-search tuning
+	// (static servers only).
+	AutoTune core.AutoTuneOptions
 }
 
 // serverHeader identifies the service on every response.
@@ -128,7 +141,11 @@ func New(db *store.DB, opt Options) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng := core.NewEngine(ix, opt.Shards, opt.Workers)
+	eng := core.NewEngineOpts(ix, core.EngineOptions{
+		Shards: opt.Shards, Workers: opt.Workers,
+		PlanCache: opt.PlanCache, PlanCacheEntries: opt.PlanCacheEntries,
+		AutoTune: opt.AutoTune,
+	})
 	s := newServer(opt)
 	s.search, s.eng, s.dims = eng, eng, db.Dims()
 	eng.RegisterMetrics(s.reg)
@@ -236,13 +253,18 @@ func (s *Server) Metrics() *obs.Registry { return s.reg }
 // traceFor decides whether this request's search is traced: always when
 // the client asks with ?trace=1, otherwise by the sampler. It returns
 // the context to run the search under and the trace to report (nil when
-// untraced).
+// untraced). ?nocache=1 additionally makes the search bypass the plan
+// cache (the recompute escape hatch; answers are identical either way).
 func (s *Server) traceFor(r *http.Request) (context.Context, *obs.Trace) {
+	ctx := r.Context()
+	if r.URL.Query().Get("nocache") == "1" {
+		ctx = core.WithoutPlanCache(ctx)
+	}
 	if r.URL.Query().Get("trace") == "1" || s.sampler.Sample() {
 		tr := obs.NewTrace()
-		return obs.WithTrace(r.Context(), tr), tr
+		return obs.WithTrace(ctx, tr), tr
 	}
-	return r.Context(), nil
+	return ctx, nil
 }
 
 // Engine returns the server's query engine (nil for a live server).
@@ -365,6 +387,64 @@ func writeError(w http.ResponseWriter, err error) {
 	}
 }
 
+// planCacheJSON renders plan cache health fields; nil when disabled.
+func planCacheJSON(st core.PlanCacheStats, ok bool) map[string]interface{} {
+	if !ok {
+		return nil
+	}
+	hitRate := 0.0
+	if lookups := st.Hits + st.Misses; lookups > 0 {
+		hitRate = float64(st.Hits) / float64(lookups)
+	}
+	return map[string]interface{}{
+		"hits":        st.Hits,
+		"misses":      st.Misses,
+		"sharedWaits": st.SharedWaits,
+		"bypasses":    st.Bypasses,
+		"evictions":   st.Evictions,
+		"entries":     st.Entries,
+		"hitRate":     hitRate,
+	}
+}
+
+// autoTuneJSON renders the online tuner's fields; nil when disabled.
+func autoTuneJSON(st core.AutoTuneStats, ok bool) map[string]interface{} {
+	if !ok {
+		return nil
+	}
+	return map[string]interface{}{
+		"depth":        st.Depth,
+		"bracketStep":  st.BracketStep,
+		"thresholdTol": st.ThresholdTol,
+		"refits":       st.Refits,
+		"changes":      st.Changes,
+	}
+}
+
+// cacheTuneFields folds the searcher's plan cache and tuner groups into
+// a response body (both s.eng and s.live expose the same accessors).
+func (s *Server) cacheTuneFields(body map[string]interface{}) {
+	var (
+		pcs  core.PlanCacheStats
+		ats  core.AutoTuneStats
+		pcOK bool
+		atOK bool
+	)
+	if s.live != nil {
+		pcs, pcOK = s.live.PlanCacheStats()
+		ats, atOK = s.live.AutoTuneStats()
+	} else {
+		pcs, pcOK = s.eng.PlanCacheStats()
+		ats, atOK = s.eng.AutoTuneStats()
+	}
+	if m := planCacheJSON(pcs, pcOK); m != nil {
+		body["planCache"] = m
+	}
+	if m := autoTuneJSON(ats, atOK); m != nil {
+		body["autotune"] = m
+	}
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if s.live != nil {
 		st := s.live.Stats()
@@ -421,10 +501,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 				"hitRate":     hitRate,
 			}
 		}
+		s.cacheTuneFields(body)
 		reply(w, body)
 		return
 	}
-	reply(w, map[string]interface{}{
+	body := map[string]interface{}{
 		"status":  "ok",
 		"shards":  s.eng.Shards(),
 		"records": s.eng.Index().DB().Len(),
@@ -432,7 +513,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		// engine has computed: the filtering-side work counter that the
 		// frontier planner exists to keep small.
 		"descentNodes": s.eng.DescentNodes(),
-	})
+	}
+	s.cacheTuneFields(body)
+	reply(w, body)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -442,7 +525,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		if st.SketchConsults > 0 {
 			skipRate = float64(st.SegmentsSkipped) / float64(st.SketchConsults)
 		}
-		reply(w, map[string]interface{}{
+		body := map[string]interface{}{
 			"records":          st.LiveRecords,
 			"dims":             s.dims,
 			"order":            s.live.Curve().Order(),
@@ -461,19 +544,23 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"quantizedRejects": st.QuantizedRejects,
 			"fallbackReads":    st.FallbackReads,
 			"bytesSaved":       st.BytesSaved,
-		})
+		}
+		s.cacheTuneFields(body)
+		reply(w, body)
 		return
 	}
 	ix := s.eng.Index()
 	db := ix.DB()
-	reply(w, map[string]interface{}{
+	body := map[string]interface{}{
 		"records": db.Len(),
 		"dims":    db.Dims(),
 		"order":   db.Curve().Order(),
 		"depth":   ix.Depth(),
 		"shards":  s.eng.Shards(),
 		"workers": s.eng.Workers(),
-	})
+	}
+	s.cacheTuneFields(body)
+	reply(w, body)
 }
 
 // statQuery builds the statistical query from request parameters.

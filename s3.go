@@ -64,6 +64,13 @@ type (
 	DepthTiming = core.DepthTiming
 	// BatchStats reports a pseudo-disk batch execution.
 	BatchStats = core.BatchStats
+	// AutoTuneOptions enables online re-fitting of the paper's cost model
+	// T(p) from observed plan/refine timings (see core.AutoTuneOptions).
+	AutoTuneOptions = core.AutoTuneOptions
+	// PlanCacheStats reports plan-cache effectiveness counters.
+	PlanCacheStats = core.PlanCacheStats
+	// AutoTuneStats reports the auto-tuner's current parameters.
+	AutoTuneStats = core.AutoTuneStats
 )
 
 // CBCD system types.
@@ -116,6 +123,15 @@ type IndexOptions struct {
 	// Workers bounds the engine's concurrency (shard refinement and batch
 	// fan-out). 0 selects GOMAXPROCS; 1 is fully sequential.
 	Workers int
+	// PlanCache enables the engine's bounded plan cache: repeated or
+	// near-identical queries reuse the filtering step's Plan instead of
+	// recomputing it. Answers are identical with or without the cache.
+	PlanCache bool
+	// PlanCacheEntries bounds the cache; 0 selects the default (4096).
+	PlanCacheEntries int
+	// AutoTune enables online cost-model re-fitting (T(p) from observed
+	// plan/refine timings) that adapts the planner's parameters under load.
+	AutoTune AutoTuneOptions
 }
 
 // Index is the in-memory S³ index. Queries execute through a sharded
@@ -128,12 +144,25 @@ type Index struct {
 }
 
 // newIndex wraps a built database in the facade with its query engine.
-func newIndex(db *store.DB, depth, shards, workers int) (*Index, error) {
-	ix, err := core.NewIndex(db, depth)
+func newIndex(db *store.DB, opt IndexOptions) (*Index, error) {
+	ix, err := core.NewIndex(db, opt.Depth)
 	if err != nil {
 		return nil, err
 	}
-	return &Index{ix: ix, db: db, eng: core.NewEngine(ix, shards, workers)}, nil
+	eng := core.NewEngine(ix, opt.Shards, opt.Workers)
+	applyEngineOptions(eng, opt)
+	return &Index{ix: ix, db: db, eng: eng}, nil
+}
+
+// applyEngineOptions enables the optional plan cache and auto-tuner on a
+// freshly constructed engine, before it serves any query.
+func applyEngineOptions(eng *core.Engine, opt IndexOptions) {
+	if opt.PlanCache {
+		eng.EnablePlanCache(opt.PlanCacheEntries)
+	}
+	if opt.AutoTune.Enabled {
+		eng.EnableAutoTune(opt.AutoTune)
+	}
 }
 
 // BuildIndex sorts the records along the Hilbert curve and returns the
@@ -150,7 +179,7 @@ func BuildIndex(dims int, recs []Record, opt IndexOptions) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newIndex(db, opt.Depth, opt.Shards, opt.Workers)
+	return newIndex(db, opt)
 }
 
 // OpenIndex loads a database file written by Save entirely into memory.
@@ -182,9 +211,13 @@ func OpenIndexOptions(path string, opt IndexOptions) (*Index, error) {
 		if err != nil {
 			return nil, fmt.Errorf("s3: %s: %w", path, err)
 		}
-		return &Index{ix: ix, db: db, eng: core.NewEngineShards(ix, ranges, opt.Workers)}, nil
+		eng := core.NewEngineShards(ix, ranges, opt.Workers)
+		applyEngineOptions(eng, opt)
+		return &Index{ix: ix, db: db, eng: eng}, nil
 	}
-	return &Index{ix: ix, db: db, eng: core.NewEngine(ix, opt.Shards, opt.Workers)}, nil
+	eng := core.NewEngine(ix, opt.Shards, opt.Workers)
+	applyEngineOptions(eng, opt)
+	return &Index{ix: ix, db: db, eng: eng}, nil
 }
 
 // Save writes the index's database to a file with a 2^sectionBits section
@@ -217,6 +250,23 @@ func (x *Index) Shards() int { return x.eng.Shards() }
 // Engine exposes the index's query engine (e.g. to share it with a
 // serving layer).
 func (x *Index) Engine() *core.Engine { return x.eng }
+
+// EnablePlanCache turns on the engine's bounded plan cache (entries <= 0
+// selects the default size). Call before serving queries. Answers are
+// identical with or without the cache.
+func (x *Index) EnablePlanCache(entries int) { x.eng.EnablePlanCache(entries) }
+
+// EnableAutoTune turns on online cost-model re-fitting. Call before
+// serving queries.
+func (x *Index) EnableAutoTune(opt AutoTuneOptions) { x.eng.EnableAutoTune(opt) }
+
+// PlanCacheStats reports plan-cache counters; ok is false when the cache
+// is disabled.
+func (x *Index) PlanCacheStats() (st PlanCacheStats, ok bool) { return x.eng.PlanCacheStats() }
+
+// AutoTuneStats reports the auto-tuner's state; ok is false when tuning
+// is disabled.
+func (x *Index) AutoTuneStats() (st AutoTuneStats, ok bool) { return x.eng.AutoTuneStats() }
 
 // StatSearch runs a statistical query: it returns every fingerprint in a
 // region holding probability mass >= sq.Alpha under sq.Model around q.
