@@ -3,9 +3,9 @@ GO ?= go
 # Packages touched by the sharded query engine; they get the extra -race
 # pass because they exercise real concurrency. internal/obs rides along:
 # its counters and histograms are written from every engine goroutine.
-RACE_PKGS = . ./internal/core ./internal/store ./internal/httpapi ./internal/cbcd ./internal/obs
+RACE_PKGS = . ./internal/core ./internal/store ./internal/httpapi ./internal/cbcd ./internal/obs ./internal/router
 
-.PHONY: check vet build test race cover bench bench-shard bench-plan bench-cold bench-sketch bench-plancache faults
+.PHONY: check vet build test race cover bench bench-shard bench-plan bench-cold bench-sketch bench-plancache bench-router faults chaos-router
 
 # check is the full verification gate: static checks, build, all tests,
 # then the race detector over the engine packages.
@@ -40,6 +40,17 @@ faults:
 	FAULT_SEED=$(FAULT_SEED) $(GO) test -race -count=1 \
 		-run 'TestLiveIndex(CrashHarness|RetriesTransientFaults|DegradedMode|CompactionDegradedHeals|SealFailureLeavesNoOrphans)|TestOpenFault|TestLoadRecords(FaultyReadAt|ShortReadAt)|TestDegradedWrites503|TestColdRead' \
 		./internal/core ./internal/store ./internal/httpapi ./internal/faultfs
+
+# chaos-router runs the router's fault-injection suite under -race with
+# a randomized schedule seed: flaky backends serving 503s, torn
+# responses, hangs and slow replies behind the coordinator, asserting
+# zero user-visible 5xx on strict queries, byte-identical merged
+# answers, and metrics that account for every injected failure. Rerun a
+# failure with FAULT_SEED=<seed> make chaos-router.
+chaos-router:
+	@echo "router chaos with FAULT_SEED=$(FAULT_SEED)"
+	FAULT_SEED=$(FAULT_SEED) $(GO) test -race -count=1 \
+		-run 'TestChaos' ./internal/router
 
 # cover prints per-package statement coverage (and leaves cover.out for
 # `go tool cover -html=cover.out`).
@@ -81,3 +92,10 @@ bench-plancache:
 # baseline.
 bench-sketch:
 	$(GO) test -run TestColdBenchSweep -bench-cold -timeout 30m .
+
+# bench-router regenerates BENCH_router.json (hedged vs unhedged tail
+# latency through the scatter/gather coordinator with one uniformly
+# slow replica; asserts >=2x better hedged p99 at byte-identical
+# answers).
+bench-router:
+	$(GO) test -run TestRouterBenchSweep -bench-router -timeout 30m .

@@ -42,7 +42,11 @@
 // (log/slog); -log-json switches them to JSON.
 //
 // The server carries read/write timeouts and drains in-flight requests
-// before exiting on SIGINT/SIGTERM.
+// before exiting on SIGINT/SIGTERM. Shutdown is router-friendly: the
+// first -drain-grace of it only advertises "draining" on /healthz while
+// the listener keeps serving, so a health-probing coordinator
+// (cmd/s3router) moves traffic to sibling replicas before any
+// connection is refused.
 package main
 
 import (
@@ -106,6 +110,8 @@ func main() {
 		readTimeout  = flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "HTTP write timeout")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown drain timeout")
+		drainGrace   = flag.Duration("drain-grace", 3*time.Second,
+			"on shutdown, advertise draining on /healthz for this long before closing the listener (0 = immediate)")
 	)
 	flag.Parse()
 
@@ -221,7 +227,16 @@ func main() {
 		fatal(logger, "serve", err)
 	case <-ctx.Done():
 		stop()
-		logger.Info("signal received, draining", "timeout", *drainTimeout)
+		// Flip /healthz to draining and hold the listener open for the
+		// grace period: a health-aware router (cmd/s3router) observes the
+		// drain on its next probe and moves traffic to sibling replicas
+		// before connections start being refused, instead of discovering
+		// the shutdown through a burst of failed requests.
+		srv.SetDraining(true)
+		logger.Info("signal received, draining", "grace", *drainGrace, "timeout", *drainTimeout)
+		if *drainGrace > 0 {
+			time.Sleep(*drainGrace)
+		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := hs.Shutdown(shutdownCtx); err != nil {

@@ -47,7 +47,18 @@
 // growing one. Every request executes under its own context (client
 // disconnects cancel the search) and the number of requests concurrently
 // searching is bounded by a semaphore, so a traffic burst queues instead
-// of spawning unbounded concurrent scans.
+// of spawning unbounded concurrent scans. A request queued past its
+// context's life is shed with 503 + Retry-After — the same shape
+// degraded mode answers — so upstream routers treat both saturation
+// signals uniformly.
+//
+// An inbound X-S3-Deadline header (unix milliseconds) bounds the
+// request context: a coordinator scattering a query propagates its
+// deadline so backend refinement work is canceled, not wasted, once the
+// overall budget expires (the abort answers 503 + Retry-After). During
+// graceful shutdown SetDraining flips /healthz to "draining", giving
+// health-aware routers a window to move traffic before the listener
+// closes.
 package httpapi
 
 import (
@@ -57,6 +68,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"s3cbcd/internal/core"
@@ -130,10 +142,26 @@ type Server struct {
 	sem       chan struct{} // nil = unbounded
 	maxIngest int64         // <= 0 = uncapped
 
+	// draining is flipped by SetDraining during graceful shutdown:
+	// /healthz advertises it so a load balancer or the s3router prober
+	// stops sending new work before the listener closes, avoiding a
+	// burst of connection-refused retries.
+	draining atomic.Bool
+
 	reg      *obs.Registry
 	sampler  *obs.Sampler
 	inflight *obs.Gauge
 }
+
+// SetDraining marks (or unmarks) the server as draining: /healthz
+// reports "draining": true and status "draining", which health-aware
+// routers treat as "finish in-flight work, send no new requests".
+// Request handling itself is unaffected — the point is to advertise the
+// impending shutdown while the listener still accepts connections.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports whether SetDraining(true) was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // New returns a ready handler over the given static database.
 func New(db *store.DB, opt Options) (*Server, error) {
@@ -273,15 +301,54 @@ func (s *Server) Engine() *core.Engine { return s.eng }
 // Live returns the server's live index (nil for a static server).
 func (s *Server) Live() *core.LiveIndex { return s.live }
 
+// DeadlineHeader is the inbound request header carrying an absolute
+// deadline as unix milliseconds. A coordinator (cmd/s3router) sets it
+// on scattered subrequests so the backend's own context expires when
+// the client's overall budget does: refinement work the caller can no
+// longer use is canceled instead of completed and discarded.
+const DeadlineHeader = "X-S3-Deadline"
+
+// withDeadline derives the request context from an inbound
+// DeadlineHeader, when present. The bool is false (with a 400 already
+// written) when the header exists but is not unix milliseconds.
+func withDeadline(w http.ResponseWriter, r *http.Request) (*http.Request, context.CancelFunc, bool) {
+	h := r.Header.Get(DeadlineHeader)
+	if h == "" {
+		return r, func() {}, true
+	}
+	ms, err := strconv.ParseInt(h, 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%s: %q is not a unix-milliseconds deadline", DeadlineHeader, h)
+		return r, func() {}, false
+	}
+	ctx, cancel := context.WithDeadline(r.Context(), time.UnixMilli(ms))
+	return r.WithContext(ctx), cancel, true
+}
+
 // ServeHTTP implements http.Handler. The Server header is set here,
-// before mux dispatch, so 404/405 responses carry it too.
+// before mux dispatch, so 404/405 responses carry it too, and the
+// deadline header is honored here so every endpoint — searches, writes,
+// even health checks — runs under the propagated budget.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Server", serverHeader)
+	r, cancel, ok := withDeadline(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
 	s.mux.ServeHTTP(w, r)
 }
 
+// shedRetryAfter is the Retry-After hint (seconds) on 503s shed from
+// the in-flight semaphore: the queue drains at request latency, so a
+// quick re-probe is appropriate — unlike the longer degraded-mode hint.
+const shedRetryAfter = 1
+
 // bounded gates a handler on the in-flight semaphore. A request whose
-// client goes away while queued is dropped without touching the engine.
+// client goes away — or whose propagated deadline expires — while
+// queued is shed with 503 + Retry-After without touching the engine,
+// the same shape degraded mode uses, so an upstream router treats both
+// saturation signals uniformly.
 func (s *Server) bounded(h http.HandlerFunc) http.HandlerFunc {
 	if s.sem == nil {
 		return h
@@ -291,7 +358,8 @@ func (s *Server) bounded(h http.HandlerFunc) http.HandlerFunc {
 		case s.sem <- struct{}{}:
 			defer func() { <-s.sem }()
 		case <-r.Context().Done():
-			httpError(w, http.StatusServiceUnavailable, "request canceled while queued")
+			w.Header().Set("Retry-After", strconv.Itoa(shedRetryAfter))
+			httpError(w, http.StatusServiceUnavailable, "request shed while queued: %v", r.Context().Err())
 			return
 		}
 		h(w, r)
@@ -363,6 +431,21 @@ func httpError(w http.ResponseWriter, code int, format string, args ...interface
 func reply(w http.ResponseWriter, v interface{}) {
 	w.Header().Set("Content-Type", jsonContentType)
 	json.NewEncoder(w).Encode(v)
+}
+
+// searchError maps a search failure to its HTTP shape. A context
+// error — the client went away, or a propagated X-S3-Deadline budget
+// expired mid-refine — answers 503 + Retry-After: the query was valid
+// and sheddable load, not a client mistake, and a coordinator may
+// usefully retry it against a sibling replica (with a fresh budget).
+// Anything else is a request defect: 400.
+func searchError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		w.Header().Set("Retry-After", strconv.Itoa(shedRetryAfter))
+		httpError(w, http.StatusServiceUnavailable, "search aborted: %v", err)
+		return
+	}
+	httpError(w, http.StatusBadRequest, "%v", err)
 }
 
 // degradedRetryAfter is the Retry-After hint (seconds) sent with 503
@@ -449,11 +532,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if s.live != nil {
 		st := s.live.Stats()
 		status := "ok"
+		if s.draining.Load() {
+			status = "draining"
+		}
 		if st.Degraded {
+			// Degraded outranks draining: a router must know reads-only
+			// is all this backend offers, whether or not it is leaving.
 			status = "degraded"
 		}
 		body := map[string]interface{}{
 			"status":          status,
+			"draining":        s.draining.Load(),
 			"gen":             st.Gen,
 			"records":         st.LiveRecords,
 			"segments":        st.Segments,
@@ -505,10 +594,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		reply(w, body)
 		return
 	}
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
 	body := map[string]interface{}{
-		"status":  "ok",
-		"shards":  s.eng.Shards(),
-		"records": s.eng.Index().DB().Len(),
+		"status":   status,
+		"draining": s.draining.Load(),
+		"shards":   s.eng.Shards(),
+		"records":  s.eng.Index().DB().Len(),
 		// Cumulative partition-tree nodes visited by every plan this
 		// engine has computed: the filtering-side work counter that the
 		// frontier planner exists to keep small.
@@ -601,7 +695,7 @@ func (s *Server) handleStat(w http.ResponseWriter, r *http.Request) {
 	ctx, tr := s.traceFor(r)
 	matches, plan, err := s.search.SearchStat(ctx, fp, sq)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		searchError(w, err)
 		return
 	}
 	resp := map[string]interface{}{
@@ -640,7 +734,7 @@ func (s *Server) handleStatBatch(w http.ResponseWriter, r *http.Request) {
 	ctx, tr := s.traceFor(r)
 	results, err := s.search.SearchStatBatch(ctx, queries, sq)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		searchError(w, err)
 		return
 	}
 	out := make([][]matchJSON, len(results))
@@ -667,7 +761,7 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	ctx, tr := s.traceFor(r)
 	matches, plan, err := s.search.SearchRange(ctx, fp, req.Epsilon)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		searchError(w, err)
 		return
 	}
 	resp := map[string]interface{}{
@@ -693,7 +787,7 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	ctx, tr := s.traceFor(r)
 	matches, stats, err := s.search.SearchKNN(ctx, fp, req.K, req.MaxLeaves)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		searchError(w, err)
 		return
 	}
 	resp := map[string]interface{}{

@@ -1,0 +1,87 @@
+package obs
+
+// Window is a fixed-size sliding window of float64 observations with
+// on-demand quantiles — the estimator a hedging policy needs ("what has
+// this backend's p90 been lately?") where a cumulative Histogram is the
+// wrong tool: a histogram never forgets, so a backend that was slow an
+// hour ago would keep triggering hedges long after it recovered. The
+// window holds the most recent Size observations and computes exact
+// quantiles over them by copy-and-sort, which at hedging's window sizes
+// (tens to a few hundred samples) costs microseconds per decision.
+//
+// A Window is safe for concurrent use. It is an estimator, not a
+// Metric: it does not render into a Registry (register a GaugeFunc over
+// Quantile for that).
+
+import (
+	"sort"
+	"sync"
+)
+
+// DefaultWindowSize is the observation capacity NewWindow(0) selects:
+// large enough that one outlier cannot drag a tail quantile, small
+// enough that the estimate tracks a backend whose behaviour changed a
+// few hundred requests ago.
+const DefaultWindowSize = 128
+
+// Window is a concurrency-safe sliding window of observations.
+type Window struct {
+	mu   sync.Mutex
+	buf  []float64
+	next int // ring write position
+	n    int // live observations, <= len(buf)
+}
+
+// NewWindow returns a window retaining the size most recent
+// observations; size <= 0 selects DefaultWindowSize.
+func NewWindow(size int) *Window {
+	if size <= 0 {
+		size = DefaultWindowSize
+	}
+	return &Window{buf: make([]float64, size)}
+}
+
+// Observe records one observation, evicting the oldest when full.
+func (w *Window) Observe(v float64) {
+	w.mu.Lock()
+	w.buf[w.next] = v
+	w.next = (w.next + 1) % len(w.buf)
+	if w.n < len(w.buf) {
+		w.n++
+	}
+	w.mu.Unlock()
+}
+
+// Count returns the number of live observations (saturates at the
+// window size).
+func (w *Window) Count() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.n
+}
+
+// Quantile returns the exact q-quantile (0 <= q <= 1, nearest-rank) of
+// the retained observations, or 0 when the window is empty. q is
+// clamped into [0, 1].
+func (w *Window) Quantile(q float64) float64 {
+	w.mu.Lock()
+	if w.n == 0 {
+		w.mu.Unlock()
+		return 0
+	}
+	s := make([]float64, w.n)
+	copy(s, w.buf[:w.n])
+	w.mu.Unlock()
+	sort.Float64s(s)
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	i := int(q * float64(len(s)))
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestWindowQuantileEmpty(t *testing.T) {
+	w := NewWindow(8)
+	if got := w.Quantile(0.5); got != 0 {
+		t.Fatalf("empty window quantile = %v, want 0", got)
+	}
+	if w.Count() != 0 {
+		t.Fatalf("empty window count = %d", w.Count())
+	}
+}
+
+func TestWindowQuantileExact(t *testing.T) {
+	w := NewWindow(10)
+	for _, v := range []float64{5, 1, 9, 3, 7} {
+		w.Observe(v)
+	}
+	if w.Count() != 5 {
+		t.Fatalf("count = %d, want 5", w.Count())
+	}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.2, 3}, {0.5, 5}, {0.9, 9}, {1, 9},
+		{-1, 1}, {2, 9}, // clamped
+	}
+	for _, c := range cases {
+		if got := w.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+// The window forgets: once the ring wraps, only the most recent size
+// observations shape the quantile — a slow past must not linger.
+func TestWindowEvictsOldest(t *testing.T) {
+	w := NewWindow(4)
+	for i := 0; i < 4; i++ {
+		w.Observe(1000) // slow era
+	}
+	for i := 0; i < 4; i++ {
+		w.Observe(1) // recovered
+	}
+	if got := w.Quantile(0.99); got != 1 {
+		t.Fatalf("p99 after recovery = %v, want 1 (old slow samples must be evicted)", got)
+	}
+	if w.Count() != 4 {
+		t.Fatalf("count = %d, want 4", w.Count())
+	}
+}
+
+func TestWindowDefaultSize(t *testing.T) {
+	w := NewWindow(0)
+	for i := 0; i < DefaultWindowSize+10; i++ {
+		w.Observe(float64(i))
+	}
+	if w.Count() != DefaultWindowSize {
+		t.Fatalf("count = %d, want %d", w.Count(), DefaultWindowSize)
+	}
+}
+
+// Concurrent observers and readers must not race (run under -race via
+// the obs package's RACE_PKGS membership).
+func TestWindowConcurrent(t *testing.T) {
+	w := NewWindow(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				w.Observe(float64(g*1000 + i))
+				_ = w.Quantile(0.9)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if w.Count() != 32 {
+		t.Fatalf("count = %d, want 32", w.Count())
+	}
+}

@@ -1,0 +1,135 @@
+package router
+
+import (
+	"testing"
+	"time"
+
+	"s3cbcd/internal/obs"
+)
+
+func testBreaker(threshold int, cooldown time.Duration) (*breaker, *time.Time) {
+	now := time.Unix(1000, 0)
+	trips := obs.NewRegistry().Counter("s3_test_trips_total", "test")
+	b := newBreaker(threshold, cooldown, trips)
+	b.now = func() time.Time { return now }
+	return b, &now
+}
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	b, _ := testBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		b.failure()
+		if !b.allow() {
+			t.Fatalf("open after %d failures, threshold 3", i+1)
+		}
+	}
+	b.failure()
+	if b.allow() {
+		t.Fatal("still closed after threshold consecutive failures")
+	}
+	if got := b.snapshot(); got != breakerOpen {
+		t.Fatalf("state %v, want open", got)
+	}
+	if b.trips.Value() != 1 {
+		t.Fatalf("trips %d, want 1", b.trips.Value())
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b, _ := testBreaker(3, time.Second)
+	b.failure()
+	b.failure()
+	b.success()
+	b.failure()
+	b.failure()
+	if !b.allow() {
+		t.Fatal("tripped though the streak was broken by a success")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, now := testBreaker(1, time.Second)
+	b.failure()
+	if b.allow() {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+	*now = now.Add(time.Second)
+	if !b.allow() {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	// The probe is in flight: nothing else gets through.
+	if b.allow() {
+		t.Fatal("half-open breaker admitted a second request")
+	}
+	b.success()
+	if b.snapshot() != breakerClosed || !b.allow() {
+		t.Fatal("successful probe did not close the breaker")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b, now := testBreaker(1, time.Second)
+	b.failure()
+	*now = now.Add(time.Second)
+	if !b.allow() {
+		t.Fatal("probe refused")
+	}
+	b.failure()
+	if b.snapshot() != breakerOpen {
+		t.Fatal("failed probe did not re-open the breaker")
+	}
+	if b.allow() {
+		t.Fatal("re-opened breaker admitted a request before a fresh cooldown")
+	}
+	*now = now.Add(time.Second)
+	if !b.allow() {
+		t.Fatal("re-opened breaker refused the next probe after cooldown")
+	}
+}
+
+func TestBreakerAvailableHasNoSideEffects(t *testing.T) {
+	b, now := testBreaker(1, time.Second)
+	b.failure()
+	*now = now.Add(time.Second)
+	for i := 0; i < 3; i++ {
+		if !b.available() {
+			t.Fatal("cooled-down breaker reported unavailable")
+		}
+	}
+	if b.snapshot() != breakerOpen {
+		t.Fatal("available() transitioned the breaker state")
+	}
+	if !b.allow() {
+		t.Fatal("allow refused after available reported true")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b, _ := testBreaker(-1, time.Second)
+	for i := 0; i < 100; i++ {
+		b.failure()
+	}
+	if !b.allow() || !b.available() {
+		t.Fatal("disabled breaker tripped")
+	}
+}
+
+func TestBackendBudget(t *testing.T) {
+	be := &backend{budget: 2}
+	if !be.tryAcquire() || !be.tryAcquire() {
+		t.Fatal("in-budget acquire refused")
+	}
+	if be.tryAcquire() {
+		t.Fatal("over-budget acquire admitted")
+	}
+	be.release()
+	if !be.tryAcquire() {
+		t.Fatal("freed slot refused")
+	}
+	unbounded := &backend{}
+	for i := 0; i < 1000; i++ {
+		if !unbounded.tryAcquire() {
+			t.Fatal("unbounded backend refused")
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package router
+
+// Static placement of key-range shard groups onto backends by
+// rendezvous (highest-random-weight) hashing — the "consistent" family
+// member with no virtual-node bookkeeping: every (group, backend) pair
+// is scored by a 64-bit hash and group g is served by the R
+// highest-scoring backends. The placement is a pure function of the
+// backend list and the group count, so every router replica computes
+// the same table without coordination, and removing one backend moves
+// only the groups that backend actually served (the defining
+// consistent-hashing property).
+//
+// The router never ships data: the operator runs, for each group g, one
+// s3serve per assigned backend over that group's shard file (the LSM's
+// immutable segments make those replicas cheap — copy the files). The
+// Placement function is exported through cmd/s3router both to route
+// queries and to print the table the operator deploys against.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Placement assigns each of groups shard groups to the replicas
+// highest-scoring backends, returning one replica set per group (group
+// index = key-range order). Every backend URL must be unique; replicas
+// must not exceed the backend count.
+func Placement(backends []string, groups, replicas int) ([][]string, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("router: placement needs at least one backend")
+	}
+	if groups < 1 {
+		return nil, fmt.Errorf("router: placement needs at least one group, got %d", groups)
+	}
+	if replicas < 1 || replicas > len(backends) {
+		return nil, fmt.Errorf("router: %d replicas per group with %d backends", replicas, len(backends))
+	}
+	seen := make(map[string]bool, len(backends))
+	for _, b := range backends {
+		if seen[b] {
+			return nil, fmt.Errorf("router: duplicate backend %q", b)
+		}
+		seen[b] = true
+	}
+	out := make([][]string, groups)
+	type scored struct {
+		score uint64
+		url   string
+	}
+	scoredBackends := make([]scored, len(backends))
+	for g := 0; g < groups; g++ {
+		for i, b := range backends {
+			scoredBackends[i] = scored{score: rendezvousScore(g, b), url: b}
+		}
+		sort.Slice(scoredBackends, func(a, b int) bool {
+			if scoredBackends[a].score != scoredBackends[b].score {
+				return scoredBackends[a].score > scoredBackends[b].score
+			}
+			return scoredBackends[a].url < scoredBackends[b].url
+		})
+		set := make([]string, replicas)
+		for i := 0; i < replicas; i++ {
+			set[i] = scoredBackends[i].url
+		}
+		out[g] = set
+	}
+	return out, nil
+}
+
+// rendezvousScore hashes one (group, backend) pair.
+func rendezvousScore(group int, backend string) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s", group, backend)
+	return h.Sum64()
+}

@@ -1,0 +1,101 @@
+package router
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestPlacementShape(t *testing.T) {
+	backends := []string{"http://a", "http://b", "http://c", "http://d"}
+	pl, err := Placement(backends, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl) != 8 {
+		t.Fatalf("groups: got %d, want 8", len(pl))
+	}
+	for g, set := range pl {
+		if len(set) != 2 {
+			t.Fatalf("group %d: %d replicas, want 2", g, len(set))
+		}
+		if set[0] == set[1] {
+			t.Fatalf("group %d: duplicate replica %q", g, set[0])
+		}
+	}
+}
+
+func TestPlacementDeterministic(t *testing.T) {
+	backends := []string{"http://a", "http://b", "http://c"}
+	a, err := Placement(backends, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Placement(backends, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("placement is not deterministic")
+	}
+	// Input order must not matter: rendezvous scores, not list position,
+	// decide the placement.
+	c, err := Placement([]string{"http://c", "http://a", "http://b"}, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, c) {
+		t.Fatal("placement depends on backend list order")
+	}
+}
+
+// TestPlacementStability is the defining consistent-hashing property:
+// removing one backend only moves the groups that backend served.
+func TestPlacementStability(t *testing.T) {
+	backends := make([]string, 10)
+	for i := range backends {
+		backends[i] = fmt.Sprintf("http://node%d:8080", i)
+	}
+	before, err := Placement(backends, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := backends[3]
+	after, err := Placement(append(backends[:3:3], backends[4:]...), 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for g := range before {
+		if before[g][0] == removed {
+			moved++
+			continue
+		}
+		if after[g][0] != before[g][0] {
+			t.Fatalf("group %d moved from %s to %s though %s was removed",
+				g, before[g][0], after[g][0], removed)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("degenerate test: removed backend served no groups")
+	}
+}
+
+func TestPlacementErrors(t *testing.T) {
+	cases := []struct {
+		backends []string
+		groups   int
+		replicas int
+	}{
+		{nil, 4, 1},
+		{[]string{"http://a"}, 0, 1},
+		{[]string{"http://a"}, 4, 2},
+		{[]string{"http://a"}, 4, 0},
+		{[]string{"http://a", "http://a"}, 4, 1},
+	}
+	for i, c := range cases {
+		if _, err := Placement(c.backends, c.groups, c.replicas); err == nil {
+			t.Errorf("case %d: no error for %v/%d/%d", i, c.backends, c.groups, c.replicas)
+		}
+	}
+}

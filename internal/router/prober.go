@@ -1,0 +1,79 @@
+package router
+
+// Active health probing: one goroutine per unique backend polls
+// /healthz and writes the three-way classification the replica ordering
+// reads. The classification is advisory — an attempt is still permitted
+// against a down backend when nothing better exists — so a stale probe
+// degrades placement quality, never correctness.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"time"
+)
+
+// maxProbeBody bounds a decoded /healthz body; live-mode health reports
+// are a few hundred bytes.
+const maxProbeBody = 1 << 20
+
+// startProber launches the per-backend probe loops. Each backend is
+// probed immediately (so the first requests already see real
+// classifications) and then every interval.
+func (r *Router) startProber(interval time.Duration) {
+	for _, be := range r.backends {
+		r.wg.Add(1)
+		go func(be *backend) {
+			defer r.wg.Done()
+			r.probe(be)
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-r.stop:
+					return
+				case <-t.C:
+					r.probe(be)
+				}
+			}
+		}(be)
+	}
+}
+
+// probe performs one health check and stores the classification:
+// unreachable or non-200 is down; status "ok" is healthy; anything the
+// backend says about itself short of that — "degraded" (read-only
+// persistence trouble), "draining" (graceful shutdown underway) — is
+// degraded: still serving searches, but siblings are preferred.
+func (r *Router) probe(be *backend) {
+	r.met.probes.Inc()
+	ctx, cancel := context.WithTimeout(context.Background(), r.probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, be.url+"/healthz", nil)
+	if err != nil {
+		be.setHealth(healthDown)
+		return
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		be.setHealth(healthDown)
+		return
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Status  string `json:"status"`
+		Records int64  `json:"records"`
+	}
+	if resp.StatusCode != http.StatusOK ||
+		json.NewDecoder(io.LimitReader(resp.Body, maxProbeBody)).Decode(&body) != nil {
+		be.setHealth(healthDown)
+		return
+	}
+	be.records.Store(body.Records)
+	if body.Status == "ok" {
+		be.setHealth(healthHealthy)
+	} else {
+		be.setHealth(healthDegraded)
+	}
+}

@@ -1,0 +1,669 @@
+// Package router implements a fault-tolerant scatter/gather coordinator
+// over s3serve shard replicas: the multi-node deployment of the S³
+// index, where the reference corpus is split into key-range shard
+// groups (contiguous slices of the global Hilbert order) and each group
+// is served by one or more s3serve replicas.
+//
+// A search request is scattered to every group, each group's subquery
+// driven against its replica set with per-request deadline propagation
+// (X-S3-Deadline), capped-exponential-backoff retries against sibling
+// replicas, hedged requests once the in-flight attempt exceeds a recent
+// latency quantile, and a consecutive-failure circuit breaker plus
+// bounded in-flight budget in front of every backend. Results merge
+// byte-identically to a single-node engine holding the whole corpus:
+// the store's canonical record order makes stat/range merging pure
+// concatenation in group-index order, and k-NN a k-way merge by
+// distance. When a group cannot answer, the partial-result policy
+// decides: strict (default) fails the request with 503, degrade returns
+// the reachable groups' results plus a missingShards list.
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"s3cbcd/internal/httpapi"
+	"s3cbcd/internal/obs"
+)
+
+// deadlineHeader propagates the remaining request budget to backends
+// (and is honored inbound, so routers stack).
+const deadlineHeader = httpapi.DeadlineHeader
+
+// Partial-result policies.
+const (
+	// PartialStrict fails the whole request when any shard group is
+	// unavailable: the answer is complete or it is an error.
+	PartialStrict = "strict"
+	// PartialDegrade answers with the reachable groups' results and a
+	// missingShards list naming the group indices that dropped out.
+	PartialDegrade = "degrade"
+)
+
+// Defaults for the zero Options values.
+const (
+	DefaultMaxInFlight      = 64
+	DefaultBackendInFlight  = 32
+	DefaultRetries          = 2
+	DefaultRetryBackoff     = 5 * time.Millisecond
+	DefaultMaxRetryBackoff  = 100 * time.Millisecond
+	DefaultHedgeQuantile    = 0.9
+	DefaultHedgeMin         = time.Millisecond
+	DefaultRequestTimeout   = 10 * time.Second
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = 500 * time.Millisecond
+	DefaultProbeInterval    = time.Second
+)
+
+// shedRetryAfter is the Retry-After hint on load-shed 503s, matching
+// the backend HTTP layer's.
+const shedRetryAfter = 1
+
+// maxRequestBody bounds an inbound search request (8 MiB — a large
+// batch of fingerprints is well under 1 MiB).
+const maxRequestBody = 8 << 20
+
+// probeTimeoutCap bounds a single health probe regardless of interval.
+const probeTimeoutCap = 2 * time.Second
+
+// Options configures a Router. The zero value of every field but
+// Groups selects the default; negative values disable where noted.
+type Options struct {
+	// Groups is the placement: Groups[g] lists the replica base URLs
+	// serving shard group g, in key-range order. Required. A URL may
+	// appear in several groups (a backend serving more than one shard);
+	// its breaker, budget and latency window are shared.
+	Groups [][]string
+
+	// Client issues every backend request (nil = a fresh http.Client;
+	// per-request contexts carry all timeouts).
+	Client *http.Client
+
+	// MaxInFlight bounds concurrently coordinated client requests;
+	// excess is shed immediately with 503 + Retry-After, never queued
+	// (0 = DefaultMaxInFlight, < 0 = unlimited).
+	MaxInFlight int
+	// BackendInFlight bounds concurrent requests per backend
+	// (0 = DefaultBackendInFlight, < 0 = unlimited).
+	BackendInFlight int
+
+	// Retries is the per-group budget of sibling retries after
+	// retryable failures (0 = DefaultRetries, < 0 = no retries).
+	Retries int
+	// RetryBackoff is the base backoff before the first retry, doubling
+	// per retry up to MaxRetryBackoff (zeros = defaults).
+	RetryBackoff    time.Duration
+	MaxRetryBackoff time.Duration
+
+	// HedgeQuantile is the recent-latency quantile an in-flight attempt
+	// must exceed before a hedge fires at a sibling (0 =
+	// DefaultHedgeQuantile, < 0 = hedging off).
+	HedgeQuantile float64
+	// HedgeMin floors the hedge delay (0 = DefaultHedgeMin).
+	HedgeMin time.Duration
+	// LatencyWindow is the per-backend latency window size feeding the
+	// hedge quantile (0 = obs.DefaultWindowSize).
+	LatencyWindow int
+
+	// RequestTimeout caps a client request end to end, tightened
+	// further by an inbound X-S3-Deadline (0 = DefaultRequestTimeout,
+	// < 0 = none).
+	RequestTimeout time.Duration
+
+	// BreakerThreshold is the consecutive-failure count that trips a
+	// backend's circuit breaker (0 = DefaultBreakerThreshold, < 0 =
+	// breaker disabled). BreakerCooldown is the open → half-open delay.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// ProbeInterval is the /healthz polling period (0 =
+	// DefaultProbeInterval, < 0 = prober disabled).
+	ProbeInterval time.Duration
+
+	// Partial is the default partial-result policy, PartialStrict or
+	// PartialDegrade ("" = strict); ?partial= overrides per request.
+	Partial string
+
+	// Metrics receives the s3_router_* families (nil = new registry).
+	Metrics *obs.Registry
+	// Logger receives structured logs (nil = slog.Default()).
+	Logger *slog.Logger
+}
+
+// Router is the scatter/gather coordinator; it serves the same search
+// API as a single s3serve (plus its own /healthz, /stats, /metrics),
+// so clients need not know whether they talk to one node or a fleet.
+type Router struct {
+	opt    Options
+	groups [][]*backend
+	// backends is each unique backend once, in first-appearance order.
+	backends []*backend
+	// rrs rotates each group's replica preference for load spread.
+	rrs []atomic.Uint64
+
+	client       *http.Client
+	mux          *http.ServeMux
+	reg          *obs.Registry
+	met          routerMetrics
+	log          *slog.Logger
+	sem          chan struct{} // nil = unlimited
+	probeTimeout time.Duration
+
+	stop chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+}
+
+// New builds a Router over the given placement and starts its health
+// prober. Close releases the prober.
+func New(opt Options) (*Router, error) {
+	if len(opt.Groups) == 0 {
+		return nil, errors.New("router: at least one shard group required")
+	}
+	applyDefaults(&opt)
+	if opt.Partial != PartialStrict && opt.Partial != PartialDegrade {
+		return nil, fmt.Errorf("router: partial policy %q (want %q or %q)", opt.Partial, PartialStrict, PartialDegrade)
+	}
+	r := &Router{
+		opt:    opt,
+		client: opt.Client,
+		mux:    http.NewServeMux(),
+		reg:    opt.Metrics,
+		log:    opt.Logger,
+		stop:   make(chan struct{}),
+	}
+	if r.client == nil {
+		r.client = &http.Client{}
+	}
+	if r.reg == nil {
+		r.reg = obs.NewRegistry()
+	}
+	if r.log == nil {
+		r.log = slog.Default()
+	}
+	r.met = newRouterMetrics(r.reg)
+	if opt.MaxInFlight > 0 {
+		r.sem = make(chan struct{}, opt.MaxInFlight)
+	}
+	r.probeTimeout = opt.ProbeInterval
+	if r.probeTimeout <= 0 || r.probeTimeout > probeTimeoutCap {
+		r.probeTimeout = probeTimeoutCap
+	}
+
+	budget := int64(opt.BackendInFlight)
+	if budget < 0 {
+		budget = 0 // tryAcquire treats <= 0 as unbounded
+	}
+	byURL := make(map[string]*backend)
+	for g, urls := range opt.Groups {
+		if len(urls) == 0 {
+			return nil, fmt.Errorf("router: group %d has no replicas", g)
+		}
+		seen := make(map[string]bool, len(urls))
+		grp := make([]*backend, 0, len(urls))
+		for _, u := range urls {
+			u = strings.TrimRight(u, "/")
+			if u == "" {
+				return nil, fmt.Errorf("router: group %d has an empty backend URL", g)
+			}
+			if seen[u] {
+				return nil, fmt.Errorf("router: group %d lists %q twice", g, u)
+			}
+			seen[u] = true
+			be := byURL[u]
+			if be == nil {
+				be = &backend{
+					url:    u,
+					lat:    obs.NewWindow(opt.LatencyWindow),
+					br:     newBreaker(opt.BreakerThreshold, opt.BreakerCooldown, r.met.breakerTrips),
+					budget: budget,
+				}
+				backendSeries(r.reg, be)
+				byURL[u] = be
+				r.backends = append(r.backends, be)
+			}
+			grp = append(grp, be)
+		}
+		r.groups = append(r.groups, grp)
+	}
+	r.rrs = make([]atomic.Uint64, len(r.groups))
+
+	r.mux.Handle("GET /metrics", r.reg.Handler())
+	r.handle("GET /healthz", "/healthz", r.handleHealthz)
+	r.handle("GET /stats", "/stats", r.handleStats)
+	r.handle("POST /search/statistical", "/search/statistical",
+		r.search("/search/statistical", func() any { return new(statReply) }, r.mergeStat))
+	r.handle("POST /search/statistical/batch", "/search/statistical/batch",
+		r.search("/search/statistical/batch", func() any { return new(batchReply) }, r.mergeBatch))
+	r.handle("POST /search/range", "/search/range",
+		r.search("/search/range", func() any { return new(rangeReply) }, r.mergeRange))
+	r.handle("POST /search/knn", "/search/knn",
+		r.search("/search/knn", func() any { return new(knnReply) }, r.mergeKNN))
+
+	if opt.ProbeInterval > 0 {
+		r.startProber(opt.ProbeInterval)
+	}
+	return r, nil
+}
+
+func applyDefaults(opt *Options) {
+	if opt.MaxInFlight == 0 {
+		opt.MaxInFlight = DefaultMaxInFlight
+	}
+	if opt.BackendInFlight == 0 {
+		opt.BackendInFlight = DefaultBackendInFlight
+	}
+	switch {
+	case opt.Retries == 0:
+		opt.Retries = DefaultRetries
+	case opt.Retries < 0:
+		opt.Retries = 0
+	}
+	if opt.RetryBackoff <= 0 {
+		opt.RetryBackoff = DefaultRetryBackoff
+	}
+	if opt.MaxRetryBackoff <= 0 {
+		opt.MaxRetryBackoff = DefaultMaxRetryBackoff
+	}
+	if opt.HedgeQuantile == 0 {
+		opt.HedgeQuantile = DefaultHedgeQuantile
+	}
+	if opt.HedgeMin <= 0 {
+		opt.HedgeMin = DefaultHedgeMin
+	}
+	if opt.RequestTimeout == 0 {
+		opt.RequestTimeout = DefaultRequestTimeout
+	}
+	if opt.BreakerThreshold == 0 {
+		opt.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if opt.BreakerCooldown <= 0 {
+		opt.BreakerCooldown = DefaultBreakerCooldown
+	}
+	if opt.ProbeInterval == 0 {
+		opt.ProbeInterval = DefaultProbeInterval
+	}
+	if opt.Partial == "" {
+		opt.Partial = PartialStrict
+	}
+}
+
+// Close stops the health prober and waits for its goroutines.
+func (r *Router) Close() {
+	r.once.Do(func() { close(r.stop) })
+	r.wg.Wait()
+}
+
+// Metrics returns the router's registry (also served at GET /metrics).
+func (r *Router) Metrics() *obs.Registry { return r.reg }
+
+func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Server", "s3router")
+	r.mux.ServeHTTP(w, req)
+}
+
+// handle registers h wrapped in the route's latency histogram and
+// status-class counters, mirroring the backend HTTP layer.
+func (r *Router) handle(pattern, route string, h http.HandlerFunc) {
+	hist, classes := routeMetrics(r.reg, route)
+	r.mux.HandleFunc(pattern, func(w http.ResponseWriter, req *http.Request) {
+		r.met.inflight.Add(1)
+		defer r.met.inflight.Add(-1)
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, req)
+		hist.ObserveSince(t0)
+		if i := sw.code/100 - 2; i >= 0 && i < len(classes) {
+			classes[i].Inc()
+		}
+	})
+}
+
+// statusWriter captures the response status for the route metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+const jsonContentType = "application/json; charset=utf-8"
+
+func reply(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", jsonContentType)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	w.Header().Set("Content-Type", jsonContentType)
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// Wire shapes, mirroring internal/httpapi exactly: field order and tags
+// must match for merged responses to be byte-identical to single-node
+// ones.
+type matchJSON struct {
+	ID   uint32  `json:"id"`
+	TC   uint32  `json:"tc"`
+	X    uint16  `json:"x"`
+	Y    uint16  `json:"y"`
+	Dist float64 `json:"dist,omitempty"`
+}
+
+// statReply keeps the plan raw: it is data-independent given a shared
+// depth, so the first group's bytes are every group's bytes.
+type statReply struct {
+	Matches []matchJSON     `json:"matches"`
+	Plan    json.RawMessage `json:"plan"`
+}
+
+type batchReply struct {
+	Results [][]matchJSON `json:"results"`
+}
+
+type rangeReply struct {
+	Matches []matchJSON     `json:"matches"`
+	Blocks  json.RawMessage `json:"blocks"`
+}
+
+type knnReply struct {
+	Matches []matchJSON `json:"matches"`
+	Exact   bool        `json:"exact"`
+	Scanned int         `json:"scanned"`
+}
+
+// mergeFn builds the client response from the per-group results (nil
+// for missing groups) and the missing group indices.
+type mergeFn func(w http.ResponseWriter, body []byte, outs []any, missing []int)
+
+// search builds the scatter/gather handler for one search route.
+func (r *Router) search(path string, newOut func() any, merge mergeFn) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		// Admission: take a slot now or shed now. The router never queues
+		// excess load — queued requests burn their deadlines waiting and
+		// then scatter doomed subqueries at the fleet.
+		if r.sem != nil {
+			select {
+			case r.sem <- struct{}{}:
+				defer func() { <-r.sem }()
+			default:
+				r.met.shed.Inc()
+				w.Header().Set("Retry-After", strconv.Itoa(shedRetryAfter))
+				httpError(w, http.StatusServiceUnavailable, "router at capacity (%d in flight)", cap(r.sem))
+				return
+			}
+		}
+
+		partial := r.opt.Partial
+		if p := req.URL.Query().Get("partial"); p != "" {
+			if p != PartialStrict && p != PartialDegrade {
+				httpError(w, http.StatusBadRequest, "partial=%q (want %q or %q)", p, PartialStrict, PartialDegrade)
+				return
+			}
+			partial = p
+		}
+
+		body, err := io.ReadAll(io.LimitReader(req.Body, maxRequestBody))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "reading request: %v", err)
+			return
+		}
+
+		ctx := req.Context()
+		if h := req.Header.Get(deadlineHeader); h != "" {
+			ms, err := strconv.ParseInt(h, 10, 64)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "%s: %q is not a unix-milliseconds deadline", deadlineHeader, h)
+				return
+			}
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithDeadline(ctx, time.UnixMilli(ms))
+			defer cancel()
+		}
+		if r.opt.RequestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, r.opt.RequestTimeout)
+			defer cancel()
+		}
+
+		outs, errs := r.scatter(ctx, path, body, newOut)
+
+		// A defective query fails identically on every shard; surface the
+		// first backend 4xx as-is rather than as an availability problem.
+		for _, err := range errs {
+			var be *backendError
+			if errors.As(err, &be) && !be.retryable && be.status >= 400 && be.status < 500 {
+				httpError(w, be.status, "%s", be.msg)
+				return
+			}
+		}
+
+		var missing []int
+		var lastErr error
+		for g, err := range errs {
+			if err != nil {
+				missing = append(missing, g)
+				lastErr = err
+			}
+		}
+		if len(missing) > 0 {
+			if partial == PartialStrict || len(missing) == len(r.groups) {
+				w.Header().Set("Retry-After", strconv.Itoa(shedRetryAfter))
+				httpError(w, http.StatusServiceUnavailable,
+					"shard groups %v unavailable: %v", missing, lastErr)
+				return
+			}
+			r.met.partials.Inc()
+			r.met.missingShards.Add(int64(len(missing)))
+			r.log.Warn("degraded response", "route", path, "missingShards", missing, "err", lastErr)
+		}
+		merge(w, body, outs, missing)
+	}
+}
+
+// scatter fans the request out to every group concurrently.
+func (r *Router) scatter(ctx context.Context, path string, body []byte, newOut func() any) ([]any, []error) {
+	outs := make([]any, len(r.groups))
+	errs := make([]error, len(r.groups))
+	var wg sync.WaitGroup
+	for g := range r.groups {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			outs[g], errs[g] = r.groupDo(ctx, g, http.MethodPost, path, body, newOut)
+		}(g)
+	}
+	wg.Wait()
+	return outs, errs
+}
+
+// addMissing marks a degraded response. Complete responses are left
+// untouched — that is what keeps them byte-identical to single-node.
+func addMissing(resp map[string]interface{}, missing []int) {
+	if len(missing) > 0 {
+		resp["missingShards"] = missing
+	}
+}
+
+func (r *Router) mergeStat(w http.ResponseWriter, _ []byte, outs []any, missing []int) {
+	matches := make([]matchJSON, 0)
+	var plan json.RawMessage
+	for _, o := range outs {
+		if o == nil {
+			continue
+		}
+		sr := o.(*statReply)
+		if plan == nil {
+			plan = sr.Plan
+		}
+		matches = append(matches, sr.Matches...)
+	}
+	resp := map[string]interface{}{"matches": matches, "plan": plan}
+	addMissing(resp, missing)
+	reply(w, resp)
+}
+
+func (r *Router) mergeBatch(w http.ResponseWriter, _ []byte, outs []any, missing []int) {
+	var results [][]matchJSON
+	for _, o := range outs {
+		if o == nil {
+			continue
+		}
+		br := o.(*batchReply)
+		if results == nil {
+			results = make([][]matchJSON, len(br.Results))
+			for i := range results {
+				results[i] = make([]matchJSON, 0)
+			}
+		}
+		for i, ms := range br.Results {
+			if i < len(results) {
+				results[i] = append(results[i], ms...)
+			}
+		}
+	}
+	resp := map[string]interface{}{"results": results}
+	addMissing(resp, missing)
+	reply(w, resp)
+}
+
+func (r *Router) mergeRange(w http.ResponseWriter, _ []byte, outs []any, missing []int) {
+	matches := make([]matchJSON, 0)
+	var blocks json.RawMessage
+	for _, o := range outs {
+		if o == nil {
+			continue
+		}
+		rr := o.(*rangeReply)
+		if blocks == nil {
+			blocks = rr.Blocks
+		}
+		matches = append(matches, rr.Matches...)
+	}
+	resp := map[string]interface{}{"matches": matches, "blocks": blocks}
+	addMissing(resp, missing)
+	reply(w, resp)
+}
+
+func (r *Router) mergeKNN(w http.ResponseWriter, body []byte, outs []any, missing []int) {
+	lists := make([][]matchJSON, 0, len(outs))
+	exact := len(missing) == 0
+	scanned, total := 0, 0
+	for _, o := range outs {
+		if o == nil {
+			continue
+		}
+		kr := o.(*knnReply)
+		lists = append(lists, kr.Matches)
+		exact = exact && kr.Exact
+		scanned += kr.Scanned
+		total += len(kr.Matches)
+	}
+	var kreq struct {
+		K int `json:"k"`
+	}
+	k := total
+	if json.Unmarshal(body, &kreq) == nil && kreq.K > 0 {
+		k = kreq.K
+	}
+	// k-way merge by ascending distance; the strict < keeps equal
+	// distances in group-index order, matching the property the
+	// single-node heap only guarantees for distinct distances.
+	merged := make([]matchJSON, 0, min(k, total))
+	idx := make([]int, len(lists))
+	for len(merged) < k {
+		best := -1
+		for g, ms := range lists {
+			if idx[g] >= len(ms) {
+				continue
+			}
+			if best == -1 || ms[idx[g]].Dist < lists[best][idx[best]].Dist {
+				best = g
+			}
+		}
+		if best == -1 {
+			break
+		}
+		merged = append(merged, lists[best][idx[best]])
+		idx[best]++
+	}
+	resp := map[string]interface{}{"matches": merged, "exact": exact, "scanned": scanned}
+	addMissing(resp, missing)
+	reply(w, resp)
+}
+
+// handleHealthz reports the router's view of the fleet: down when some
+// group has no reachable replica (strict queries will fail), degraded
+// when any backend is less than healthy, ok otherwise.
+func (r *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	for _, be := range r.backends {
+		if be.health() != healthHealthy {
+			status = "degraded"
+			break
+		}
+	}
+	for _, grp := range r.groups {
+		up := false
+		for _, be := range grp {
+			if be.health() != healthDown {
+				up = true
+				break
+			}
+		}
+		if !up {
+			status = "down"
+			break
+		}
+	}
+	backends := make([]map[string]interface{}, len(r.backends))
+	for i, be := range r.backends {
+		backends[i] = map[string]interface{}{
+			"url":      be.url,
+			"health":   be.health().String(),
+			"breaker":  be.br.snapshot().String(),
+			"records":  be.records.Load(),
+			"inflight": be.inflight.Load(),
+		}
+	}
+	reply(w, map[string]interface{}{
+		"status":   status,
+		"groups":   len(r.groups),
+		"backends": backends,
+	})
+}
+
+// handleStats aggregates fleet shape: per-group records use the largest
+// replica report (replicas hold the same data; a lagging probe reports
+// 0, not less data).
+func (r *Router) handleStats(w http.ResponseWriter, _ *http.Request) {
+	var records int64
+	for _, grp := range r.groups {
+		var best int64
+		for _, be := range grp {
+			if n := be.records.Load(); n > best {
+				best = n
+			}
+		}
+		records += best
+	}
+	reply(w, map[string]interface{}{
+		"groups":   len(r.groups),
+		"backends": len(r.backends),
+		"records":  records,
+	})
+}

@@ -1,0 +1,328 @@
+package router
+
+// Per-group request execution: one shard group's query is driven
+// against its replica set with deadline propagation, capped-exponential
+// retries against siblings, latency-quantile hedging, and the circuit
+// breaker / in-flight budget in front of every launch. groupDo returns
+// the first successful decoded response; every other in-flight attempt
+// is canceled the moment a winner lands.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// backendError is a failed backend exchange, classified for the retry
+// policy. Retryable failures (transport errors, 5xx, torn bodies) are
+// worth a sibling replica; non-retryable ones (4xx — the query itself
+// is defective) would fail identically everywhere.
+type backendError struct {
+	status    int // 0 when the exchange never produced a status
+	msg       string
+	retryable bool
+}
+
+func (e *backendError) Error() string {
+	if e.status != 0 {
+		return fmt.Sprintf("backend status %d: %s", e.status, e.msg)
+	}
+	return e.msg
+}
+
+// maxBackendBody caps a decoded backend response (64 MiB): a berserk
+// backend must not OOM the coordinator.
+const maxBackendBody = 64 << 20
+
+// attemptResult is one replica attempt's outcome.
+type attemptResult struct {
+	out   any
+	err   error
+	be    *backend
+	hedge bool
+}
+
+// attempt performs one exchange with one backend: POST (or GET for
+// metadata paths) with the context deadline propagated via
+// X-S3-Deadline, the response decoded into a fresh newOut value. Torn
+// or non-JSON bodies are retryable failures — a half-written response
+// must never be half-merged.
+func (r *Router) attempt(ctx context.Context, be *backend, method, path string, body []byte, newOut func() any) (any, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, be.url+path, rd)
+	if err != nil {
+		return nil, &backendError{msg: err.Error()}
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		req.Header.Set(deadlineHeader, strconv.FormatInt(dl.UnixMilli(), 10))
+	}
+	be.reqs.Inc()
+	t0 := time.Now()
+	resp, err := r.client.Do(req)
+	if err != nil {
+		be.reqSeconds.ObserveSince(t0)
+		return nil, &backendError{msg: err.Error(), retryable: true}
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxBackendBody))
+	resp.Body.Close()
+	elapsed := time.Since(t0)
+	be.reqSeconds.Observe(elapsed.Seconds())
+	if err != nil {
+		// The connection died mid-body: torn response.
+		return nil, &backendError{status: resp.StatusCode, msg: fmt.Sprintf("torn response: %v", err), retryable: true}
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg := errorMessage(raw)
+		return nil, &backendError{
+			status: resp.StatusCode,
+			msg:    msg,
+			// 5xx means this replica cannot answer right now (degraded,
+			// shedding, crashed mid-handler); a sibling holding the same
+			// shard may. 4xx would fail identically everywhere.
+			retryable: resp.StatusCode >= 500,
+		}
+	}
+	out := newOut()
+	if err := json.Unmarshal(raw, out); err != nil {
+		return nil, &backendError{msg: fmt.Sprintf("torn response: %v", err), retryable: true}
+	}
+	// Only clean, complete, decoded exchanges feed the latency window:
+	// hedge delays should track service time, not failure modes.
+	be.lat.Observe(elapsed.Seconds())
+	return out, nil
+}
+
+// errorMessage pulls the {"error": ...} body the backends send, falling
+// back to a byte-count note for opaque bodies.
+func errorMessage(raw []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return fmt.Sprintf("%d-byte non-JSON error body", len(raw))
+}
+
+// replicaOrder returns group g's replicas in preference order: the
+// round-robin cursor rotates the set for load spread, then a stable
+// sort ranks healthy before degraded before down, breaker-available
+// before tripped, and in-budget before saturated. Nothing is excluded
+// — when every replica looks bad the attempt loop still tries them in
+// least-bad order rather than failing without trying.
+func (r *Router) replicaOrder(g int) []*backend {
+	replicas := r.groups[g]
+	n := len(replicas)
+	rot := int(r.rrs[g].Add(1)-1) % n
+	order := make([]*backend, 0, n)
+	for i := 0; i < n; i++ {
+		order = append(order, replicas[(rot+i)%n])
+	}
+	score := func(b *backend) int {
+		s := int(b.health())
+		if !b.br.available() {
+			s += 3
+		}
+		if b.budget > 0 && b.inflight.Load() >= b.budget {
+			s += 6
+		}
+		return s
+	}
+	// Insertion sort: n is single digits, and stability preserves the
+	// round-robin rotation within equal scores.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && score(order[j]) < score(order[j-1]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	return order
+}
+
+// hedgeDelay is how long groupDo waits on an in-flight attempt before
+// firing a hedge at a sibling: the smallest recent latency quantile
+// across the group's replicas — "a sibling could have answered by now".
+// Keying on the best sibling rather than the attempted backend's own
+// window matters when one replica is uniformly slow: its own quantile
+// IS the slowness, and would never trigger the hedge that rescues its
+// queries. HedgeMin floors the delay so a microsecond-fast fixture
+// can't hedge every request; with too few observations to trust a tail
+// estimate anywhere, the delay falls back to HedgeMin * 8.
+func (r *Router) hedgeDelay(replicas []*backend) time.Duration {
+	const minSamples = 8
+	best := time.Duration(-1)
+	for _, be := range replicas {
+		if be.lat.Count() < minSamples {
+			continue
+		}
+		d := time.Duration(be.lat.Quantile(r.opt.HedgeQuantile) * float64(time.Second))
+		if best < 0 || d < best {
+			best = d
+		}
+	}
+	if best < 0 {
+		return r.opt.HedgeMin * 8
+	}
+	if best < r.opt.HedgeMin {
+		best = r.opt.HedgeMin
+	}
+	return best
+}
+
+// backoff is the capped-exponential delay before retry number n (1 is
+// the first retry).
+func (r *Router) backoff(n int) time.Duration {
+	d := r.opt.RetryBackoff << (n - 1)
+	if d > r.opt.MaxRetryBackoff || d <= 0 {
+		d = r.opt.MaxRetryBackoff
+	}
+	return d
+}
+
+// groupDo resolves one shard group's subquery: walk the ordered
+// replicas launching attempts, hedge when the in-flight attempt
+// dawdles past its latency quantile, back off and retry siblings on
+// retryable failures, and cancel every loser once a winner lands. The
+// error, when every budgeted attempt failed, is the last failure.
+func (r *Router) groupDo(ctx context.Context, g int, method, path string, body []byte, newOut func() any) (any, error) {
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// The candidate list cycles through the replica preference order:
+	// a transient failure (a shed 503, a torn response) on every sibling
+	// must not exhaust the group while retry budget remains — the replica
+	// that failed first may well serve the retry. The list is bounded by
+	// the worst-case launch count: the primary, every budgeted retry, and
+	// one hedge per launch.
+	base := r.replicaOrder(g)
+	maxLaunches := 2 * (r.opt.Retries + 1)
+	order := make([]*backend, 0, maxLaunches)
+	for i := 0; len(order) < maxLaunches; i++ {
+		order = append(order, base[i%len(base)])
+	}
+	resc := make(chan attemptResult, len(order)+1)
+	next := 0
+	inflight := 0
+
+	// launch starts an attempt on the next admissible replica; breakers
+	// and budgets are consulted at launch time (allow may consume the
+	// half-open probe slot, so it is only called here).
+	launch := func(hedge bool) *backend {
+		for next < len(order) {
+			be := order[next]
+			next++
+			if !be.br.allow() {
+				continue
+			}
+			if !be.tryAcquire() {
+				continue
+			}
+			inflight++
+			go func() {
+				defer be.release()
+				out, err := r.attempt(gctx, be, method, path, body, newOut)
+				select {
+				case resc <- attemptResult{out: out, err: err, be: be, hedge: hedge}:
+				case <-gctx.Done():
+				}
+			}()
+			return be
+		}
+		return nil
+	}
+
+	primary := launch(false)
+	if primary == nil {
+		return nil, &backendError{msg: fmt.Sprintf("group %d: no admissible replica (breakers open or budgets full)", g), retryable: true}
+	}
+
+	hedgeArmed := r.opt.HedgeQuantile > 0 && len(base) > 1
+	var hedgeTimer *time.Timer
+	var hedgeC <-chan time.Time
+	if hedgeArmed {
+		hedgeTimer = time.NewTimer(r.hedgeDelay(base))
+		defer hedgeTimer.Stop()
+		hedgeC = hedgeTimer.C
+	}
+
+	var retryC <-chan time.Time
+	var retryTimer *time.Timer
+	defer func() {
+		if retryTimer != nil {
+			retryTimer.Stop()
+		}
+	}()
+
+	failures := 0
+	var lastErr error
+	for {
+		select {
+		case res := <-resc:
+			inflight--
+			if res.err == nil {
+				res.be.br.success()
+				if res.hedge {
+					r.met.hedgeWins.Inc()
+				}
+				cancel() // losers stop refining immediately
+				return res.out, nil
+			}
+			lastErr = res.err
+			be := res.err.(*backendError)
+			// A context-cancellation transport error after the parent ctx
+			// ended is the deadline, not the backend.
+			if ctx.Err() != nil {
+				res.be.failures.Inc()
+				return nil, ctx.Err()
+			}
+			res.be.failures.Inc()
+			res.be.br.failure()
+			if !be.retryable {
+				cancel()
+				return nil, res.err
+			}
+			failures++
+			if failures > r.opt.Retries || next >= len(order) {
+				if inflight > 0 {
+					continue // a hedge is still running; it may yet win
+				}
+				return nil, lastErr
+			}
+			if retryC == nil && inflight == 0 {
+				// Nothing in flight: schedule the backoff-spaced retry.
+				retryTimer = time.NewTimer(r.backoff(failures))
+				retryC = retryTimer.C
+			}
+
+		case <-retryC:
+			retryC = nil
+			r.met.retries.Inc()
+			if be := launch(false); be == nil {
+				if inflight == 0 {
+					return nil, lastErr
+				}
+			} else if hedgeArmed && hedgeTimer != nil {
+				hedgeTimer.Reset(r.hedgeDelay(base))
+				hedgeC = hedgeTimer.C
+			}
+
+		case <-hedgeC:
+			hedgeC = nil
+			r.met.hedges.Inc()
+			launch(true)
+
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
