@@ -127,23 +127,27 @@ func newBreaker(threshold int, cooldown time.Duration, trips *obs.Counter) *brea
 // allow reports whether an attempt may be sent now. An open breaker
 // past its cooldown transitions to half-open and admits exactly one
 // probe; calls while half-open are refused until that probe reports.
-func (b *breaker) allow() bool {
+// probe is true when this admission IS that half-open probe: the
+// caller must guarantee exactly one of success, failure or cancelProbe
+// eventually runs for it, or the breaker stays half-open forever and
+// the backend is blackholed.
+func (b *breaker) allow() (ok, probe bool) {
 	if b.threshold <= 0 {
-		return true
+		return true, false
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case breakerClosed:
-		return true
+		return true, false
 	case breakerOpen:
 		if b.now().Sub(b.openedAt) >= b.cooldown {
 			b.state = breakerHalfOpen
-			return true
+			return true, true
 		}
-		return false
+		return false, false
 	default: // half-open: the probe is in flight
-		return false
+		return false, false
 	}
 }
 
@@ -199,6 +203,24 @@ func (b *breaker) failure() {
 			}
 		}
 	}
+}
+
+// cancelProbe returns an unresolved half-open probe slot. The probe
+// attempt was abandoned — canceled because a sibling won the race or
+// the request budget expired — so it proved nothing about the backend
+// either way. The breaker re-opens keeping its original trip time: the
+// already-elapsed cooldown still counts, so the very next allow() may
+// probe again instead of blackholing the backend behind a fresh
+// cooldown it did nothing to earn.
+func (b *breaker) cancelProbe() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	if b.state == breakerHalfOpen {
+		b.state = breakerOpen
+	}
+	b.mu.Unlock()
 }
 
 // snapshot returns the current state for /healthz and the state gauge.

@@ -15,16 +15,32 @@ func testBreaker(threshold int, cooldown time.Duration) (*breaker, *time.Time) {
 	return b, &now
 }
 
+// mustAllow asserts allow admits the attempt and returns whether it is
+// the half-open probe.
+func mustAllow(t *testing.T, b *breaker, msg string) bool {
+	t.Helper()
+	ok, probe := b.allow()
+	if !ok {
+		t.Fatal(msg)
+	}
+	return probe
+}
+
+func refused(b *breaker) bool {
+	ok, _ := b.allow()
+	return !ok
+}
+
 func TestBreakerTripsAtThreshold(t *testing.T) {
 	b, _ := testBreaker(3, time.Second)
 	for i := 0; i < 2; i++ {
 		b.failure()
-		if !b.allow() {
-			t.Fatalf("open after %d failures, threshold 3", i+1)
+		if probe := mustAllow(t, b, "open before threshold"); probe {
+			t.Fatalf("closed breaker handed out a probe after %d failures", i+1)
 		}
 	}
 	b.failure()
-	if b.allow() {
+	if !refused(b) {
 		t.Fatal("still closed after threshold consecutive failures")
 	}
 	if got := b.snapshot(); got != breakerOpen {
@@ -42,28 +58,29 @@ func TestBreakerSuccessResetsStreak(t *testing.T) {
 	b.success()
 	b.failure()
 	b.failure()
-	if !b.allow() {
-		t.Fatal("tripped though the streak was broken by a success")
-	}
+	mustAllow(t, b, "tripped though the streak was broken by a success")
 }
 
 func TestBreakerHalfOpenProbe(t *testing.T) {
 	b, now := testBreaker(1, time.Second)
 	b.failure()
-	if b.allow() {
+	if !refused(b) {
 		t.Fatal("open breaker admitted a request before cooldown")
 	}
 	*now = now.Add(time.Second)
-	if !b.allow() {
-		t.Fatal("half-open breaker refused the probe")
+	if !mustAllow(t, b, "half-open breaker refused the probe") {
+		t.Fatal("cooled-down admission not flagged as the probe")
 	}
 	// The probe is in flight: nothing else gets through.
-	if b.allow() {
+	if !refused(b) {
 		t.Fatal("half-open breaker admitted a second request")
 	}
 	b.success()
-	if b.snapshot() != breakerClosed || !b.allow() {
+	if b.snapshot() != breakerClosed {
 		t.Fatal("successful probe did not close the breaker")
+	}
+	if probe := mustAllow(t, b, "closed breaker refused"); probe {
+		t.Fatal("closed breaker handed out a probe")
 	}
 }
 
@@ -71,19 +88,46 @@ func TestBreakerHalfOpenFailureReopens(t *testing.T) {
 	b, now := testBreaker(1, time.Second)
 	b.failure()
 	*now = now.Add(time.Second)
-	if !b.allow() {
-		t.Fatal("probe refused")
-	}
+	mustAllow(t, b, "probe refused")
 	b.failure()
 	if b.snapshot() != breakerOpen {
 		t.Fatal("failed probe did not re-open the breaker")
 	}
-	if b.allow() {
+	if !refused(b) {
 		t.Fatal("re-opened breaker admitted a request before a fresh cooldown")
 	}
 	*now = now.Add(time.Second)
-	if !b.allow() {
-		t.Fatal("re-opened breaker refused the next probe after cooldown")
+	mustAllow(t, b, "re-opened breaker refused the next probe after cooldown")
+}
+
+// TestBreakerCancelProbeReturnsSlot is the stuck-half-open regression:
+// a probe abandoned without an outcome (canceled attempt, budget-full
+// launch) must hand its slot back so the breaker can probe again
+// immediately, rather than refusing every request forever.
+func TestBreakerCancelProbeReturnsSlot(t *testing.T) {
+	b, now := testBreaker(1, time.Second)
+	b.failure()
+	*now = now.Add(time.Second)
+	if !mustAllow(t, b, "probe refused") {
+		t.Fatal("admission not flagged as the probe")
+	}
+	b.cancelProbe()
+	if b.snapshot() != breakerOpen {
+		t.Fatalf("canceled probe left state %v, want open", b.snapshot())
+	}
+	// The elapsed cooldown still counts: the next allow probes at once,
+	// with no fresh cooldown the backend did nothing to earn.
+	if !mustAllow(t, b, "breaker refused a re-probe after probe cancelation") {
+		t.Fatal("re-probe admission not flagged as the probe")
+	}
+	b.success()
+	if b.snapshot() != breakerClosed {
+		t.Fatal("probe after cancelation could not close the breaker")
+	}
+	// cancelProbe on a breaker not in half-open is a no-op.
+	b.cancelProbe()
+	if b.snapshot() != breakerClosed {
+		t.Fatal("cancelProbe disturbed a closed breaker")
 	}
 }
 
@@ -99,9 +143,7 @@ func TestBreakerAvailableHasNoSideEffects(t *testing.T) {
 	if b.snapshot() != breakerOpen {
 		t.Fatal("available() transitioned the breaker state")
 	}
-	if !b.allow() {
-		t.Fatal("allow refused after available reported true")
-	}
+	mustAllow(t, b, "allow refused after available reported true")
 }
 
 func TestBreakerDisabled(t *testing.T) {
@@ -109,9 +151,13 @@ func TestBreakerDisabled(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		b.failure()
 	}
-	if !b.allow() || !b.available() {
-		t.Fatal("disabled breaker tripped")
+	if probe := mustAllow(t, b, "disabled breaker tripped"); probe {
+		t.Fatal("disabled breaker handed out a probe")
 	}
+	if !b.available() {
+		t.Fatal("disabled breaker unavailable")
+	}
+	b.cancelProbe() // no-op, must not panic
 }
 
 func TestBackendBudget(t *testing.T) {

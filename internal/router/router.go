@@ -417,9 +417,16 @@ func (r *Router) search(path string, newOut func() any, merge mergeFn) http.Hand
 			partial = p
 		}
 
-		body, err := io.ReadAll(io.LimitReader(req.Body, maxRequestBody))
+		// Read one byte past the cap so an oversized body is rejected
+		// outright rather than silently truncated into corrupt JSON that
+		// would surface as a confusing backend 400.
+		body, err := io.ReadAll(io.LimitReader(req.Body, maxRequestBody+1))
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "reading request: %v", err)
+			return
+		}
+		if len(body) > maxRequestBody {
+			httpError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", maxRequestBody)
 			return
 		}
 
@@ -462,6 +469,15 @@ func (r *Router) search(path string, newOut func() any, merge mergeFn) http.Hand
 		}
 		if len(missing) > 0 {
 			if partial == PartialStrict || len(missing) == len(r.groups) {
+				// A request whose own budget expired (inbound X-S3-Deadline
+				// or RequestTimeout) is a timeout, not fleet unavailability:
+				// 504 and no Retry-After, so clients don't retry a query
+				// that cannot fit its own deadline.
+				if errors.Is(lastErr, context.DeadlineExceeded) {
+					httpError(w, http.StatusGatewayTimeout,
+						"shard groups %v unavailable: %v", missing, lastErr)
+					return
+				}
 				w.Header().Set("Retry-After", strconv.Itoa(shedRetryAfter))
 				httpError(w, http.StatusServiceUnavailable,
 					"shard groups %v unavailable: %v", missing, lastErr)

@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -265,8 +266,8 @@ func TestRouterShedsAtCapacity(t *testing.T) {
 	defer close(release)
 
 	rt, rts := startRouter(t, Options{
-		Groups:      [][]string{{slow.URL}},
-		MaxInFlight: 1,
+		Groups:        [][]string{{slow.URL}},
+		MaxInFlight:   1,
 		ProbeInterval: -1,
 	})
 
@@ -384,6 +385,8 @@ func TestRouterDeadlineHeader(t *testing.T) {
 		t.Fatalf("malformed deadline: status %d", resp.StatusCode)
 	}
 
+	// An expired client budget is the client's timeout, not fleet
+	// unavailability: 504, and no Retry-After inviting a doomed retry.
 	req, _ = http.NewRequest(http.MethodPost, rts.URL+"/search/statistical", bytes.NewReader([]byte(body)))
 	req.Header.Set(deadlineHeader, strconv.FormatInt(time.Now().Add(-time.Second).UnixMilli(), 10))
 	resp, err = http.DefaultClient.Do(req)
@@ -391,11 +394,84 @@ func TestRouterDeadlineHeader(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("expired deadline: status %d, want 503", resp.StatusCode)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("expired deadline: status %d, want 504", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Fatal("expired-deadline 503 without Retry-After")
+	if resp.Header.Get("Retry-After") != "" {
+		t.Fatal("expired-deadline 504 carries Retry-After")
+	}
+}
+
+// TestRouterBodyTooLarge: an oversized request must be rejected with
+// 413, never silently truncated into corrupt JSON for the backends.
+func TestRouterBodyTooLarge(t *testing.T) {
+	curve := testCurve(t)
+	rng := rand.New(rand.NewSource(faultSeed(t)))
+	ordered := sortedRecords(store.MustBuild(curve, randomRecords(rng, 50)))
+	be := apiServer(t, curve, ordered)
+	_, rts := startRouter(t, Options{Groups: [][]string{{be.URL}}, ProbeInterval: -1})
+
+	big := `{"fingerprint":[` + strings.Repeat("1,", maxRequestBody/2) + `1]}`
+	code, raw, _ := postBytes(t, rts.URL, "/search/statistical", big)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d (%.120s), want 413", code, raw)
+	}
+}
+
+// TestHalfOpenProbeNeverStranded: a half-open probe whose attempt is
+// abandoned (here: killed by the request deadline while the backend
+// hangs) must resolve the breaker rather than leave it half-open
+// forever with the backend blackholed until restart.
+func TestHalfOpenProbeNeverStranded(t *testing.T) {
+	curve := testCurve(t)
+	rng := rand.New(rand.NewSource(faultSeed(t)))
+	ordered := sortedRecords(store.MustBuild(curve, randomRecords(rng, 100)))
+
+	stop := make(chan struct{})
+	hang := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-stop:
+		}
+	}))
+	t.Cleanup(hang.Close)
+	t.Cleanup(func() { close(stop) }) // LIFO: unblock handlers before Close waits on them
+
+	rt, rts := startRouter(t, Options{
+		Groups:           [][]string{{hang.URL}},
+		Retries:          -1,
+		HedgeQuantile:    -1,
+		ProbeInterval:    -1,
+		BreakerThreshold: 1,
+		BreakerCooldown:  time.Millisecond,
+		RequestTimeout:   50 * time.Millisecond,
+	})
+	be := backendFor(rt, hang.URL)
+
+	// Trip the breaker, wait out the cooldown, then send the request
+	// that consumes the half-open probe slot and dies on the deadline.
+	be.br.failure()
+	if be.br.snapshot() != breakerOpen {
+		t.Fatal("breaker did not trip")
+	}
+	time.Sleep(5 * time.Millisecond)
+	body := fmt.Sprintf(`{"fingerprint":%s,"alpha":0.8,"sigma":10}`, fpJSON(ordered[0].FP))
+	code, _, _ := postBytes(t, rts.URL, "/search/statistical", body)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("hanging backend: status %d, want 504", code)
+	}
+
+	// The abandoned probe must hand its slot back: the breaker may not
+	// stay half-open once the attempt goroutine drains.
+	deadline := time.Now().Add(2 * time.Second)
+	for be.br.snapshot() == breakerHalfOpen {
+		if time.Now().After(deadline) {
+			t.Fatal("breaker stuck half-open after its probe was abandoned")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if ok, probe := be.br.allow(); !ok || !probe {
+		t.Fatalf("breaker refused the re-probe after an abandoned one (ok=%v probe=%v)", ok, probe)
 	}
 }
 

@@ -214,23 +214,46 @@ func (r *Router) groupDo(ctx context.Context, g int, method, path string, body [
 	next := 0
 	inflight := 0
 
-	// launch starts an attempt on the next admissible replica; breakers
-	// and budgets are consulted at launch time (allow may consume the
-	// half-open probe slot, so it is only called here).
+	// launch starts an attempt on the next admissible replica. The
+	// in-flight slot is claimed before the breaker is consulted — allow
+	// may consume the half-open probe slot, and a full budget discovered
+	// afterwards would strand it. The attempt's breaker outcome is
+	// resolved in its own goroutine, exactly once per launch, no matter
+	// how groupDo exits: a loser abandoned when a sibling wins and an
+	// attempt killed by the deadline must still report, or a half-open
+	// breaker waits forever for a verdict that never comes and the
+	// backend is blackholed until restart.
 	launch := func(hedge bool) *backend {
 		for next < len(order) {
 			be := order[next]
 			next++
-			if !be.br.allow() {
+			if !be.tryAcquire() {
 				continue
 			}
-			if !be.tryAcquire() {
+			ok, probe := be.br.allow()
+			if !ok {
+				be.release()
 				continue
 			}
 			inflight++
 			go func() {
 				defer be.release()
 				out, err := r.attempt(gctx, be, method, path, body, newOut)
+				switch {
+				case err == nil:
+					be.br.success()
+				case gctx.Err() != nil:
+					// Canceled under us — a sibling won or the budget
+					// expired. That says nothing about this backend, so no
+					// failure is charged, but an unresolved probe slot must
+					// go back.
+					if probe {
+						be.br.cancelProbe()
+					}
+				default:
+					be.failures.Inc()
+					be.br.failure()
+				}
 				select {
 				case resc <- attemptResult{out: out, err: err, be: be, hedge: hedge}:
 				case <-gctx.Done():
@@ -270,7 +293,6 @@ func (r *Router) groupDo(ctx context.Context, g int, method, path string, body [
 		case res := <-resc:
 			inflight--
 			if res.err == nil {
-				res.be.br.success()
 				if res.hedge {
 					r.met.hedgeWins.Inc()
 				}
@@ -280,13 +302,11 @@ func (r *Router) groupDo(ctx context.Context, g int, method, path string, body [
 			lastErr = res.err
 			be := res.err.(*backendError)
 			// A context-cancellation transport error after the parent ctx
-			// ended is the deadline, not the backend.
+			// ended is the deadline, not the backend. (Breaker and failure
+			// accounting happened in the attempt goroutine.)
 			if ctx.Err() != nil {
-				res.be.failures.Inc()
 				return nil, ctx.Err()
 			}
-			res.be.failures.Inc()
-			res.be.br.failure()
 			if !be.retryable {
 				cancel()
 				return nil, res.err
@@ -312,6 +332,15 @@ func (r *Router) groupDo(ctx context.Context, g int, method, path string, body [
 					return nil, lastErr
 				}
 			} else if hedgeArmed && hedgeTimer != nil {
+				// Drain a tick the timer may have fired while another select
+				// case won the race, or the fresh attempt would be hedged
+				// immediately instead of after its computed delay.
+				if !hedgeTimer.Stop() {
+					select {
+					case <-hedgeTimer.C:
+					default:
+					}
+				}
 				hedgeTimer.Reset(r.hedgeDelay(base))
 				hedgeC = hedgeTimer.C
 			}
