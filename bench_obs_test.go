@@ -1,0 +1,175 @@
+package s3
+
+// Tracing-overhead benchmark: the full statistical query path (plan +
+// refine) over the 500k fingerprint corpus, run untraced and with
+// span tracing sampled at 1% — the production observability setting.
+//
+//	go test -run TestObsBenchSweep -bench-obs -timeout 30m .
+//
+// regenerates BENCH_obs.json in the repository root and gates on the
+// tracing contract: at 1% sampling the workload keeps at least 95% of
+// its untraced throughput, and the untraced plan path still allocates
+// nothing. The CI smoke job asserts the same gates at a smaller corpus
+// via -bench-obs-records.
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"s3cbcd/internal/core"
+	"s3cbcd/internal/experiments"
+	"s3cbcd/internal/fingerprint"
+	"s3cbcd/internal/hilbert"
+	"s3cbcd/internal/obs"
+	"s3cbcd/internal/store"
+)
+
+var (
+	benchObsFlag = flag.Bool("bench-obs", false,
+		"run the tracing-overhead comparison and write BENCH_obs.json")
+	benchObsRecords = flag.Int("bench-obs-records", 500_000,
+		"corpus size for -bench-obs")
+)
+
+const (
+	obsBenchQueries = 200
+	obsBenchRounds  = 6
+	obsBenchRate    = 0.01 // production sampling rate under test
+	// obsBenchMaxDelta is the gate: sampled throughput may lose at most
+	// this fraction of the untraced throughput.
+	obsBenchMaxDelta = 0.05
+)
+
+func TestObsBenchSweep(t *testing.T) {
+	if !*benchObsFlag {
+		t.Skip("pass -bench-obs to run the tracing-overhead comparison")
+	}
+	n := *benchObsRecords
+	curve := hilbert.MustNew(fingerprint.D, 8)
+	db, err := store.Build(curve, experiments.FPCorpus(n, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := core.NewIndex(db, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(ix, 1, 1)
+	queries, _ := experiments.DistortedQueries(db, obsBenchQueries, shardBenchSigma, 2)
+	sq := shardBenchQuery()
+	ctx := context.Background()
+
+	// Warm pass: page in the corpus and fill the scratch pools so both
+	// timed sides start from the same state.
+	for _, q := range queries {
+		if _, _, err := eng.SearchStat(ctx, q, sq); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// pass times one sweep over the query set; a non-nil sampler draws a
+	// trace (and pays for its report) on the queries it selects.
+	traced := 0
+	pass := func(sampler *obs.Sampler) float64 {
+		start := time.Now()
+		for _, q := range queries {
+			qctx := ctx
+			var tr *obs.Trace
+			if sampler != nil && sampler.Sample() {
+				tr = obs.NewTrace()
+				qctx = obs.WithTrace(ctx, tr)
+				traced++
+			}
+			if _, _, err := eng.SearchStat(qctx, q, sq); err != nil {
+				t.Fatal(err)
+			}
+			if tr != nil {
+				if rep := tr.Report(); rep.Blocks == 0 {
+					t.Fatal("traced query recorded no work")
+				}
+			}
+		}
+		return float64(len(queries)) / time.Since(start).Seconds()
+	}
+
+	// The passes alternate untraced/sampled and each side keeps its best
+	// round, so one-off machine noise (GC, page cache, a neighbor on the
+	// core) cannot land on a single side and masquerade as overhead.
+	sampler := obs.NewSampler(obsBenchRate, 7)
+	var untraced, sampled float64
+	for r := 0; r < obsBenchRounds; r++ {
+		if v := pass(nil); v > untraced {
+			untraced = v
+		}
+		if v := pass(sampler); v > sampled {
+			sampled = v
+		}
+	}
+	if traced == 0 {
+		t.Fatal("degenerate run: the 1% sampler never fired; raise obsBenchQueries")
+	}
+	delta := 1 - sampled/untraced
+	t.Logf("stat queries/sec: untraced %.1f, sampled@%.0f%% %.1f (delta %.2f%%, %d traced)",
+		untraced, obsBenchRate*100, sampled, delta*100, traced)
+	if delta > obsBenchMaxDelta {
+		t.Errorf("tracing at %.0f%% sampling costs %.1f%% throughput, gate is %.0f%%",
+			obsBenchRate*100, delta*100, obsBenchMaxDelta*100)
+	}
+
+	// The second half of the contract: with tracing off the pooled plan
+	// path allocates nothing (the hot-path form of the guard pinned by
+	// TestPlanStatNoAllocsUntraced and TestRouterAttemptNoAllocsUntraced).
+	for _, q := range queries {
+		if _, err := eng.PlanStat(ctx, q, sq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := eng.PlanStat(ctx, queries[0], sq); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("untraced PlanStat allocates %.1f objects per call, want 0", allocs)
+	}
+
+	report := map[string]interface{}{
+		"benchmark": "span tracing overhead: statistical query path untraced vs 1% sampled",
+		"corpus": map[string]interface{}{
+			"records": n,
+			"dims":    fingerprint.D,
+			"queries": len(queries),
+			"alpha":   shardBenchAlpha,
+			"sigma":   shardBenchSigma,
+		},
+		"host": map[string]interface{}{
+			"num_cpu":    runtime.NumCPU(),
+			"go_version": runtime.Version(),
+		},
+		"untraced_queries_per_sec": untraced,
+		"sampled_queries_per_sec":  sampled,
+		"sampling_rate":            obsBenchRate,
+		"traced_queries":           traced,
+		"throughput_delta":         delta,
+		"throughput_delta_gate":    obsBenchMaxDelta,
+		"allocs_per_plan_untraced": allocs,
+		"note": fmt.Sprintf("Best-of-%d alternating rounds over %d distorted queries; each sampled query pays for "+
+			"trace construction, plan/refine stage spans with annotations, and the assembled report. "+
+			"The alloc figure is the pooled plan path with no trace in the context.",
+			obsBenchRounds, len(queries)),
+	}
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_obs.json", append(raw, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Log("wrote BENCH_obs.json")
+}

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -39,7 +40,7 @@ func main() {
 		sigma     = flag.Float64("sigma", 20, "distortion model sigma")
 		minVotes  = flag.Int("min-votes", 0, "decision threshold n_sim (0 = calibrate on clean clips)")
 		unrelated = flag.Bool("unrelated", false, "use an unrelated clip (false-alarm check)")
-		trace     = flag.Bool("trace", false, "print a stage-level execution trace of the detection")
+		trace     = flag.Bool("trace", false, "print the detection's span tree (extract/search/vote with work counters)")
 	)
 	flag.Parse()
 
@@ -92,6 +93,7 @@ func main() {
 	var tr *obs.Trace
 	if *trace {
 		tr = obs.NewTrace()
+		tr.SetName("s3detect clip")
 		ctx = obs.WithTrace(ctx, tr)
 	}
 	t0 := time.Now()
@@ -111,13 +113,7 @@ func main() {
 		fmt.Printf("detection took %v\n", elapsed.Round(time.Millisecond))
 	}
 	if tr != nil {
-		rep := tr.Report()
-		fmt.Printf("trace (total %dµs):\n", rep.TotalMicros)
-		for _, st := range rep.Stages {
-			fmt.Printf("  %-8s +%6dµs  %6dµs\n", st.Name, st.StartMicros, st.Micros)
-		}
-		fmt.Printf("  work: %d descent nodes, %d blocks, %d candidates refined\n",
-			rep.DescentNodes, rep.Blocks, rep.Candidates)
+		tr.Report().WriteTree(os.Stdout)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"time"
 
 	s3 "s3cbcd"
@@ -39,6 +40,8 @@ func main() {
 			"cache filtering-step plans across the stream's repeated fingerprints (answers are identical)")
 		planCacheEntries = flag.Int("plan-cache-entries", 0,
 			"plan cache capacity in plans (0 = default)")
+		traceSlowest = flag.Bool("trace-slowest", false,
+			"trace every decision window and print the slowest window's span tree")
 	)
 	flag.Parse()
 
@@ -100,6 +103,15 @@ func main() {
 	}
 	lat := obs.NewHistogram("window_seconds", "decision window latency", obs.LatencyBuckets())
 	mon.WindowLatency = lat
+	var slowest obs.TraceReport
+	haveSlowest := false
+	if *traceSlowest {
+		mon.TraceWindows = func(rep obs.TraceReport) {
+			if !haveSlowest || rep.TotalMicros > slowest.TotalMicros {
+				slowest, haveSlowest = rep, true
+			}
+		}
+	}
 
 	t0 := time.Now()
 	var dets []s3.StreamDetection
@@ -140,6 +152,10 @@ func main() {
 		fmt.Printf("window latency over %d windows: p50 %s, p90 %s, p99 %s, mean %s\n",
 			n, fmtSeconds(lat.Quantile(0.50)), fmtSeconds(lat.Quantile(0.90)),
 			fmtSeconds(lat.Quantile(0.99)), fmtSeconds(lat.Sum()/float64(n)))
+	}
+	if haveSlowest {
+		fmt.Printf("\nslowest window trace:\n")
+		slowest.WriteTree(os.Stdout)
 	}
 	if st, ok := det.Engine().PlanCacheStats(); ok {
 		total := st.Hits + st.Misses

@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -96,6 +97,15 @@ func main() {
 		probeInterval   = flag.Duration("probe-interval", 0, "health probe period (0 = default, <0 = off)")
 		partial         = flag.String("partial", "strict", "partial-result policy when a shard group is unreachable: strict or degrade")
 
+		traceRate  = flag.Float64("trace-rate", 0, "fraction of requests to trace end-to-end (0 = off, 1 = all)")
+		traceSeed  = flag.Int64("trace-seed", 0, "trace sampler seed (reproducible sampling)")
+		traceStore = flag.Int("trace-store", 0,
+			"finished traces kept in memory for /debug/traces (0 = default)")
+		traceSlow = flag.Duration("trace-slow", 0,
+			"log traced searches at least this slow, assembled span tree attached (0 = off)")
+		debugAddr = flag.String("debug-addr", "",
+			"operator listener with /debug/pprof/*, /debug/traces and /metrics (empty = disabled)")
+
 		logJSON      = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 		readTimeout  = flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "HTTP write timeout")
@@ -145,12 +155,20 @@ func main() {
 		Partial:          *partial,
 		Metrics:          reg,
 		Logger:           logger,
+		TraceRate:        *traceRate,
+		TraceSeed:        *traceSeed,
+		TraceStoreSize:   *traceStore,
+		SlowQuery:        *traceSlow,
 	})
 	if err != nil {
 		fatal(logger, "build router", err)
 	}
 	defer rt.Close()
 	logger.Info("routing", "groups", len(placement), "addr", *addr, "partial", *partial)
+
+	if *debugAddr != "" {
+		go serveDebug(logger, *debugAddr, reg, rt.Traces())
+	}
 
 	hs := &http.Server{
 		Addr:         *addr,
@@ -180,6 +198,25 @@ func main() {
 		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fatal(logger, "serve", err)
 		}
+	}
+}
+
+// serveDebug runs the operator-only listener: pprof profiles, the
+// trace store (recent/slowest/errored assembled traces as JSON) and a
+// /metrics alias, on its own mux so the endpoints exist only where
+// this listener is reachable.
+func serveDebug(logger *slog.Logger, addr string, reg *obs.Registry, traces *obs.TraceStore) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("GET /debug/traces", traces.Handler())
+	mux.Handle("/metrics", reg.Handler())
+	logger.Info("debug listener", "addr", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		logger.Error("debug listener failed", "err", err)
 	}
 }
 

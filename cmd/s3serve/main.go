@@ -103,9 +103,13 @@ func main() {
 			"let the auto-tuner move the partition depth p (static mode; live indexes keep their shared depth)")
 		traceRate = flag.Float64("trace-rate", 0,
 			"fraction of searches carrying a stage-level trace (0 = only ?trace=1 requests)")
-		traceSeed = flag.Int64("trace-seed", 0, "trace sampler seed (reproducible sampling)")
+		traceSeed  = flag.Int64("trace-seed", 0, "trace sampler seed (reproducible sampling)")
+		traceStore = flag.Int("trace-store", 0,
+			"finished traces kept in memory for /debug/traces (0 = default)")
+		traceSlow = flag.Duration("trace-slow", 0,
+			"log traced searches at least this slow, span tree attached (0 = off)")
 		debugAddr = flag.String("debug-addr", "",
-			"operator listener with /debug/pprof/* and /metrics (empty = disabled)")
+			"operator listener with /debug/pprof/*, /debug/traces and /metrics (empty = disabled)")
 		logJSON      = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 		readTimeout  = flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "HTTP write timeout")
@@ -132,6 +136,9 @@ func main() {
 		Metrics:          reg,
 		TraceRate:        *traceRate,
 		TraceSeed:        *traceSeed,
+		TraceStoreSize:   *traceStore,
+		SlowQuery:        *traceSlow,
+		Logger:           logger,
 		PlanCache:        *planCache,
 		PlanCacheEntries: *planCacheEntries,
 		AutoTune:         tuneOpt,
@@ -205,7 +212,7 @@ func main() {
 	}
 
 	if *debugAddr != "" {
-		go serveDebug(logger, *debugAddr, reg)
+		go serveDebug(logger, *debugAddr, reg, srv.TraceStore())
 	}
 
 	hs := &http.Server{
@@ -263,17 +270,19 @@ func fatal(logger *slog.Logger, msg string, err error) {
 	os.Exit(1)
 }
 
-// serveDebug runs the operator-only listener: pprof profiles plus a
+// serveDebug runs the operator-only listener: pprof profiles, the
+// trace store (recent/slowest/errored finished traces as JSON) and a
 // /metrics alias. It registers pprof on its own mux — never on
 // http.DefaultServeMux — so profiling endpoints exist only where this
 // listener is reachable.
-func serveDebug(logger *slog.Logger, addr string, reg *obs.Registry) {
+func serveDebug(logger *slog.Logger, addr string, reg *obs.Registry, traces *obs.TraceStore) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("GET /debug/traces", traces.Handler())
 	mux.Handle("/metrics", reg.Handler())
 	logger.Info("debug listener", "addr", addr)
 	if err := http.ListenAndServe(addr, mux); err != nil {

@@ -1,6 +1,7 @@
 package cbcd
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -35,6 +36,14 @@ type StreamMonitor struct {
 	// deployment can report per-window latency percentiles next to its
 	// speed factor. Nil disables the accounting.
 	WindowLatency *obs.Histogram
+
+	// TraceWindows, when set before feeding, runs every decided window
+	// under a fresh trace — extract/search/vote stage spans plus the
+	// search work counters — and hands the finished report to the
+	// callback, so a monitoring deployment can keep (say) the slowest
+	// window's tree. Called synchronously from Feed/Close; nil disables
+	// tracing entirely.
+	TraceWindows func(obs.TraceReport)
 }
 
 // NewStreamMonitor returns an incremental monitor with the given window
@@ -104,6 +113,14 @@ func (m *StreamMonitor) Close() ([]StreamDetection, error) {
 // the retained margin for temporal support, and votes over the results.
 func (m *StreamMonitor) decideWindow(from, to int) ([]StreamDetection, error) {
 	defer m.WindowLatency.ObserveSince(time.Now())
+	var tr *obs.Trace
+	ctx := context.Background()
+	if m.TraceWindows != nil {
+		tr = obs.NewTrace()
+		tr.SetName(fmt.Sprintf("window [%d,%d)", from, to))
+		ctx = obs.WithTrace(ctx, tr)
+		defer func() { m.TraceWindows(tr.Report()) }()
+	}
 	lo := from - m.margin
 	if lo < m.base {
 		lo = m.base
@@ -112,6 +129,7 @@ func (m *StreamMonitor) decideWindow(from, to int) ([]StreamDetection, error) {
 	if hi > m.next {
 		hi = m.next
 	}
+	t0 := time.Now()
 	seq := &vidsim.Sequence{FPS: 25, Frames: m.frames[lo-m.base : hi-m.base]}
 	locals := m.det.cfg.Extract(seq, m.det.cfg.Fingerprint)
 	// Keep only key-frames inside the window proper and rebase time codes
@@ -124,15 +142,21 @@ func (m *StreamMonitor) decideWindow(from, to int) ([]StreamDetection, error) {
 			kept = append(kept, l)
 		}
 	}
+	tr.StageSince("extract", t0)
 	if len(kept) == 0 {
 		return nil, nil
 	}
-	cands, err := m.det.SearchLocals(kept)
+	t1 := time.Now()
+	cands, err := m.det.SearchLocalsCtx(ctx, kept)
 	if err != nil {
 		return nil, err
 	}
+	tr.StageSince("search", t1)
+	t2 := time.Now()
+	decided := vote.Decide(cands, m.det.cfg.Vote)
+	tr.StageSince("vote", t2)
 	var out []StreamDetection
-	for _, d := range vote.Decide(cands, m.det.cfg.Vote) {
+	for _, d := range decided {
 		out = append(out, StreamDetection{
 			Detection:   d,
 			WindowStart: uint32(from),

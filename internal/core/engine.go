@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -448,13 +449,21 @@ func (e *Engine) SearchStat(ctx context.Context, q []byte, sq StatQuery) ([]Matc
 	if err != nil {
 		return nil, Plan{}, err
 	}
-	tr.StageSince("plan", t0)
+	if tr != nil {
+		id := tr.StageSince("plan", t0)
+		tr.Annotate(id, "blocks", strconv.Itoa(plan.Blocks))
+		tr.Annotate(id, "descentNodes", strconv.Itoa(plan.DescentNodes))
+	}
 	t1 := time.Now()
 	matches, err := e.refineStat(ctx, plan, true)
 	if err != nil {
 		return nil, Plan{}, err
 	}
-	tr.StageSince("refine", t1)
+	if tr != nil {
+		id := tr.StageSince("refine", t1)
+		tr.Annotate(id, "candidates", strconv.Itoa(len(matches)))
+		tr.Annotate(id, "shards", strconv.Itoa(len(e.shards)))
+	}
 	tr.AddSegments(int64(len(e.shards)))
 	if e.tuner != nil {
 		e.tuner.observe(t1.Sub(t0), time.Since(t1))
@@ -480,13 +489,21 @@ func (e *Engine) SearchRange(ctx context.Context, q []byte, eps float64) ([]Matc
 	t0 := time.Now()
 	plan := e.ix.planRangeFloat(qc.qf, eps)
 	e.notePlan(ctx, plan, t0)
-	tr.StageSince("plan", t0)
+	if tr != nil {
+		id := tr.StageSince("plan", t0)
+		tr.Annotate(id, "blocks", strconv.Itoa(plan.Blocks))
+		tr.Annotate(id, "descentNodes", strconv.Itoa(plan.DescentNodes))
+	}
 	t1 := time.Now()
 	matches, err := e.refineRange(ctx, qc.qf, eps, plan, true)
 	if err != nil {
 		return nil, Plan{}, err
 	}
-	tr.StageSince("refine", t1)
+	if tr != nil {
+		id := tr.StageSince("refine", t1)
+		tr.Annotate(id, "matches", strconv.Itoa(len(matches)))
+		tr.Annotate(id, "shards", strconv.Itoa(len(e.shards)))
+	}
 	tr.AddSegments(int64(len(e.shards)))
 	return matches, plan, nil
 }

@@ -82,6 +82,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -1564,7 +1565,11 @@ func (li *LiveIndex) SearchStat(ctx context.Context, q []byte, sq StatQuery) ([]
 	tr := obs.FromContext(ctx)
 	t0 := time.Now()
 	plan := li.planFor(ctx, snap, q, qf, sq)
-	tr.StageSince("plan", t0)
+	if tr != nil {
+		id := tr.StageSince("plan", t0)
+		tr.Annotate(id, "blocks", strconv.Itoa(plan.Blocks))
+		tr.Annotate(id, "descentNodes", strconv.Itoa(plan.DescentNodes))
+	}
 	tr.AddDescentNodes(int64(plan.DescentNodes))
 	tr.AddBlocks(int64(plan.Blocks))
 	t1 := time.Now()
@@ -1572,7 +1577,11 @@ func (li *LiveIndex) SearchStat(ctx context.Context, q []byte, sq StatQuery) ([]
 	if err != nil {
 		return nil, Plan{}, err
 	}
-	tr.StageSince("refine", t1)
+	if tr != nil {
+		id := tr.StageSince("refine", t1)
+		tr.Annotate(id, "candidates", strconv.Itoa(len(ms)))
+		tr.Annotate(id, "segments", strconv.Itoa(snapSegments(snap)))
+	}
 	tr.AddCandidates(int64(len(ms)))
 	tr.AddSegments(int64(snapSegments(snap)))
 	if li.tuner != nil {
@@ -1616,12 +1625,17 @@ func (li *LiveIndex) SearchRange(ctx context.Context, q []byte, eps float64) ([]
 	tr := obs.FromContext(ctx)
 	t0 := time.Now()
 	plan := li.pl.planRangeFloat(qf, eps)
-	tr.StageSince("plan", t0)
+	if tr != nil {
+		id := tr.StageSince("plan", t0)
+		tr.Annotate(id, "blocks", strconv.Itoa(plan.Blocks))
+		tr.Annotate(id, "descentNodes", strconv.Itoa(plan.DescentNodes))
+	}
 	tr.AddDescentNodes(int64(plan.DescentNodes))
 	tr.AddBlocks(int64(plan.Blocks))
 	t1 := time.Now()
 	segs := snap.all()
 	lists := make([][]segMatch, len(segs))
+	skipped := 0
 	for i, s := range segs {
 		// The component envelope bounds the distance to every record of the
 		// segment from below: a box further than eps holds no match. The
@@ -1631,6 +1645,7 @@ func (li *LiveIndex) SearchRange(ctx context.Context, q []byte, eps float64) ([]
 			li.met.sketchConsults.Inc()
 			if s.sketch.EnvelopeMinDistSq(qf) > eps*eps || !s.sketch.MayIntersect(plan.Intervals) {
 				li.met.segmentsSkipped.Inc()
+				skipped++
 				continue
 			}
 		}
@@ -1641,7 +1656,12 @@ func (li *LiveIndex) SearchRange(ctx context.Context, q []byte, eps float64) ([]
 		lists[i] = sms
 	}
 	ms := mergeCanonical(lists)
-	tr.StageSince("refine", t1)
+	if tr != nil {
+		id := tr.StageSince("refine", t1)
+		tr.Annotate(id, "matches", strconv.Itoa(len(ms)))
+		tr.Annotate(id, "segments", strconv.Itoa(len(segs)))
+		tr.Annotate(id, "segmentsSkipped", strconv.Itoa(skipped))
+	}
 	tr.AddCandidates(int64(len(ms)))
 	tr.AddSegments(int64(len(segs)))
 	return ms, plan, nil

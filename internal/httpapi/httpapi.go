@@ -66,6 +66,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync/atomic"
@@ -108,6 +109,14 @@ type Options struct {
 	// TraceSeed seeds the trace sampler, making the accept/reject
 	// sequence reproducible.
 	TraceSeed int64
+	// TraceStoreSize bounds the in-memory debug trace store (finished
+	// traces kept for /debug/traces); 0 selects the obs default.
+	TraceStoreSize int
+	// SlowQuery, when positive, logs every traced query at least this
+	// slow through Logger, with the assembled span tree attached.
+	SlowQuery time.Duration
+	// Logger receives the slow-query log; nil discards it.
+	Logger *slog.Logger
 	// PlanCache enables the engine's statistical-plan cache (static
 	// servers only — a live server inherits the cache its LiveIndex was
 	// opened with). Answers are byte-identical with it on or off; a
@@ -148,9 +157,12 @@ type Server struct {
 	// burst of connection-refused retries.
 	draining atomic.Bool
 
-	reg      *obs.Registry
-	sampler  *obs.Sampler
-	inflight *obs.Gauge
+	reg       *obs.Registry
+	sampler   *obs.Sampler
+	inflight  *obs.Gauge
+	traces    *obs.TraceStore
+	slowQuery time.Duration
+	logger    *slog.Logger
 }
 
 // SetDraining marks (or unmarks) the server as draining: /healthz
@@ -210,6 +222,13 @@ func newServer(opt Options) *Server {
 	}
 	if opt.TraceRate > 0 {
 		s.sampler = obs.NewSampler(opt.TraceRate, opt.TraceSeed)
+	}
+	s.traces = obs.NewTraceStore(opt.TraceStoreSize)
+	s.traces.RegisterMetrics(s.reg)
+	s.slowQuery = opt.SlowQuery
+	s.logger = opt.Logger
+	if s.logger == nil {
+		s.logger = obs.NopLogger()
 	}
 	s.inflight = s.reg.Gauge("s3_http_inflight_requests",
 		"requests currently being handled (admission queue included)")
@@ -279,21 +298,64 @@ func (w *statusWriter) WriteHeader(code int) {
 func (s *Server) Metrics() *obs.Registry { return s.reg }
 
 // traceFor decides whether this request's search is traced: always when
-// the client asks with ?trace=1, otherwise by the sampler. It returns
-// the context to run the search under and the trace to report (nil when
+// an upstream coordinator sent a sampled X-S3-Trace context (the trace
+// continues the caller's identity, so the caller can graft this
+// process's report into its tree), always when the client asks with
+// ?trace=1, otherwise by the sampler. A malformed or hostile trace
+// header is indistinguishable from no header: the request falls back to
+// the local sampling decision with a fresh root trace. It returns the
+// context to run the search under and the trace to report (nil when
 // untraced). ?nocache=1 additionally makes the search bypass the plan
 // cache (the recompute escape hatch; answers are identical either way).
-func (s *Server) traceFor(r *http.Request) (context.Context, *obs.Trace) {
+func (s *Server) traceFor(r *http.Request, route string) (context.Context, *obs.Trace) {
 	ctx := r.Context()
 	if r.URL.Query().Get("nocache") == "1" {
 		ctx = core.WithoutPlanCache(ctx)
 	}
-	if r.URL.Query().Get("trace") == "1" || s.sampler.Sample() {
-		tr := obs.NewTrace()
-		return obs.WithTrace(ctx, tr), tr
+	var tr *obs.Trace
+	if h := r.Header.Get(obs.TraceHeader); h != "" {
+		if sc, ok := obs.ParseTraceHeader(h); ok && sc.Sampled {
+			tr = obs.NewTraceFrom(sc)
+		}
 	}
-	return ctx, nil
+	if tr == nil && (r.URL.Query().Get("trace") == "1" || s.sampler.Sample()) {
+		tr = obs.NewTrace()
+	}
+	if tr == nil {
+		return ctx, nil
+	}
+	tr.SetName("s3serve " + route)
+	return obs.WithTrace(ctx, tr), tr
 }
+
+// finishTrace closes out a traced request: the failure (if any) is
+// recorded, the report is built once, filed into the debug trace store,
+// logged when the query breached the slow-query threshold, and returned
+// for in-band attachment to the response. Returns a zero report for
+// untraced requests.
+func (s *Server) finishTrace(route string, tr *obs.Trace, err error) obs.TraceReport {
+	if tr == nil {
+		return obs.TraceReport{}
+	}
+	if err != nil {
+		tr.SetError(err.Error())
+	}
+	rep := tr.Report()
+	s.traces.Add(rep)
+	if s.slowQuery > 0 && time.Duration(rep.TotalMicros)*time.Microsecond >= s.slowQuery {
+		s.logger.Warn("slow query",
+			"route", route,
+			"traceId", rep.TraceID,
+			"micros", rep.TotalMicros,
+			"error", rep.Error,
+			"trace", rep)
+	}
+	return rep
+}
+
+// TraceStore returns the server's bounded debug trace store, for
+// mounting /debug/traces on a debug listener.
+func (s *Server) TraceStore() *obs.TraceStore { return s.traces }
 
 // Engine returns the server's query engine (nil for a live server).
 func (s *Server) Engine() *core.Engine { return s.eng }
@@ -692,9 +754,10 @@ func (s *Server) handleStat(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	ctx, tr := s.traceFor(r)
+	ctx, tr := s.traceFor(r, "/search/statistical")
 	matches, plan, err := s.search.SearchStat(ctx, fp, sq)
 	if err != nil {
+		s.finishTrace("/search/statistical", tr, err)
 		searchError(w, err)
 		return
 	}
@@ -703,7 +766,7 @@ func (s *Server) handleStat(w http.ResponseWriter, r *http.Request) {
 		"plan":    planJSON(plan),
 	}
 	if tr != nil {
-		resp["trace"] = tr.Report()
+		resp["trace"] = s.finishTrace("/search/statistical", tr, nil)
 	}
 	reply(w, resp)
 }
@@ -731,9 +794,10 @@ func (s *Server) handleStatBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	ctx, tr := s.traceFor(r)
+	ctx, tr := s.traceFor(r, "/search/statistical/batch")
 	results, err := s.search.SearchStatBatch(ctx, queries, sq)
 	if err != nil {
+		s.finishTrace("/search/statistical/batch", tr, err)
 		searchError(w, err)
 		return
 	}
@@ -743,7 +807,7 @@ func (s *Server) handleStatBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := map[string]interface{}{"results": out}
 	if tr != nil {
-		resp["trace"] = tr.Report()
+		resp["trace"] = s.finishTrace("/search/statistical/batch", tr, nil)
 	}
 	reply(w, resp)
 }
@@ -758,9 +822,10 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	ctx, tr := s.traceFor(r)
+	ctx, tr := s.traceFor(r, "/search/range")
 	matches, plan, err := s.search.SearchRange(ctx, fp, req.Epsilon)
 	if err != nil {
+		s.finishTrace("/search/range", tr, err)
 		searchError(w, err)
 		return
 	}
@@ -769,7 +834,7 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		"blocks":  plan.Blocks,
 	}
 	if tr != nil {
-		resp["trace"] = tr.Report()
+		resp["trace"] = s.finishTrace("/search/range", tr, nil)
 	}
 	reply(w, resp)
 }
@@ -784,9 +849,10 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	ctx, tr := s.traceFor(r)
+	ctx, tr := s.traceFor(r, "/search/knn")
 	matches, stats, err := s.search.SearchKNN(ctx, fp, req.K, req.MaxLeaves)
 	if err != nil {
+		s.finishTrace("/search/knn", tr, err)
 		searchError(w, err)
 		return
 	}
@@ -796,7 +862,7 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		"scanned": stats.Scanned,
 	}
 	if tr != nil {
-		resp["trace"] = tr.Report()
+		resp["trace"] = s.finishTrace("/search/knn", tr, nil)
 	}
 	reply(w, resp)
 }

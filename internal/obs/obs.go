@@ -94,6 +94,38 @@ func (c *Counter) write(w io.Writer) {
 	fmt.Fprintf(w, "%s %d\n", seriesName(c.family, c.labels), c.v.Load())
 }
 
+// CounterFunc is a counter whose value is read from a callback at
+// scrape time — for monotone values that already live in an atomic
+// somewhere (package-wide totals) and should not be double-counted into
+// a second cell.
+type CounterFunc struct {
+	family, labels, help string
+	fn                   func() int64
+}
+
+// NewCounterFunc returns an unregistered callback counter. fn must be
+// safe for concurrent use and monotone non-decreasing.
+func NewCounterFunc(name, help string, fn func() int64) *CounterFunc {
+	family, labels := splitName(name)
+	return &CounterFunc{family: family, labels: labels, help: help, fn: fn}
+}
+
+// Value returns the callback's current value.
+func (c *CounterFunc) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.fn()
+}
+
+func (c *CounterFunc) desc() (string, string, string, string) {
+	return c.family, c.labels, c.help, "counter"
+}
+
+func (c *CounterFunc) write(w io.Writer) {
+	fmt.Fprintf(w, "%s %d\n", seriesName(c.family, c.labels), c.fn())
+}
+
 // Gauge is an atomic float64 gauge, optionally backed by a callback
 // evaluated at scrape time (NewGaugeFunc).
 type Gauge struct {
@@ -199,6 +231,13 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	g := NewGauge(name, help)
 	r.MustRegister(g)
 	return g
+}
+
+// CounterFunc creates and registers a callback counter.
+func (r *Registry) CounterFunc(name, help string, fn func() int64) *CounterFunc {
+	c := NewCounterFunc(name, help, fn)
+	r.MustRegister(c)
+	return c
 }
 
 // GaugeFunc creates and registers a callback gauge.

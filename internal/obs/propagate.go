@@ -1,0 +1,110 @@
+package obs
+
+// Cross-process trace propagation: the X-S3-Trace request header
+// carries a trace's identity one hop downstream, mirroring how
+// X-S3-Deadline carries the time budget. The format is fixed-width —
+// `<traceid:16 hex>-<parentspan:16 hex>-<flags:2 hex>-<depth:2 hex>`,
+// 39 bytes exactly — so decoding is a length check plus a hand-rolled
+// hex scan: no allocation, no splitting, and hostile values (oversized,
+// truncated, bad hex, depth bombs) are rejected in O(1) before any work
+// happens. A rejected header means the receiver starts a fresh root
+// trace; propagation must never turn into a crash surface.
+
+// TraceHeader is the request header carrying a SpanContext.
+const TraceHeader = "X-S3-Trace"
+
+// MaxTraceDepth bounds propagation hops. Routers stack (a router can
+// front other routers), so without a bound a forged header — or a
+// routing loop — could grow depth without limit; past this depth
+// receivers still trace locally but stop propagating, and decoders
+// reject deeper headers outright.
+const MaxTraceDepth = 8
+
+// traceHeaderLen is the exact encoded length: 16+1+16+1+2+1+2.
+const traceHeaderLen = 39
+
+// SpanContext is the wire identity of a trace crossing a process
+// boundary: which trace, which span in the sender is the parent of the
+// receiver's root, whether the trace is sampled, and how many hops from
+// the origin the receiver sits.
+type SpanContext struct {
+	TraceID uint64
+	SpanID  uint64
+	Sampled bool
+	Depth   uint8
+}
+
+// String encodes the context in X-S3-Trace wire form.
+func (sc SpanContext) String() string {
+	var b [traceHeaderLen]byte
+	putHex(b[0:16], sc.TraceID)
+	b[16] = '-'
+	putHex(b[17:33], sc.SpanID)
+	b[33] = '-'
+	var flags uint64
+	if sc.Sampled {
+		flags = 1
+	}
+	putHex(b[34:36], flags)
+	b[36] = '-'
+	putHex(b[37:39], uint64(sc.Depth))
+	return string(b[:])
+}
+
+// ParseTraceHeader decodes an X-S3-Trace value. It returns ok=false —
+// never panics, never allocates — for anything but a well-formed
+// context: wrong length, misplaced separators, non-hex digits, a zero
+// trace id (reserved as "no trace"), or a depth beyond MaxTraceDepth.
+func ParseTraceHeader(s string) (SpanContext, bool) {
+	if len(s) != traceHeaderLen || s[16] != '-' || s[33] != '-' || s[36] != '-' {
+		return SpanContext{}, false
+	}
+	tid, ok := parseHex(s[0:16])
+	if !ok || tid == 0 {
+		return SpanContext{}, false
+	}
+	sid, ok := parseHex(s[17:33])
+	if !ok {
+		return SpanContext{}, false
+	}
+	flags, ok := parseHex(s[34:36])
+	if !ok {
+		return SpanContext{}, false
+	}
+	depth, ok := parseHex(s[37:39])
+	if !ok || depth > MaxTraceDepth {
+		return SpanContext{}, false
+	}
+	return SpanContext{TraceID: tid, SpanID: sid, Sampled: flags&1 != 0, Depth: uint8(depth)}, true
+}
+
+const hexDigits = "0123456789abcdef"
+
+// putHex writes v right-aligned into b as lowercase hex, len(b) digits.
+func putHex(b []byte, v uint64) {
+	for i := len(b) - 1; i >= 0; i-- {
+		b[i] = hexDigits[v&0xf]
+		v >>= 4
+	}
+}
+
+// parseHex decodes lowercase/uppercase hex of up to 16 digits.
+func parseHex(s string) (uint64, bool) {
+	var v uint64
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint64(c-'A') + 10
+		default:
+			return 0, false
+		}
+		v = v<<4 | d
+	}
+	return v, true
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceHeaderRoundTrip(t *testing.T) {
+	cases := []SpanContext{
+		{TraceID: 1, SpanID: 0, Sampled: false, Depth: 0},
+		{TraceID: 0xdeadbeefcafef00d, SpanID: 0x0123456789abcdef, Sampled: true, Depth: 3},
+		{TraceID: ^uint64(0), SpanID: ^uint64(0), Sampled: true, Depth: MaxTraceDepth},
+	}
+	for _, sc := range cases {
+		enc := sc.String()
+		if len(enc) != traceHeaderLen {
+			t.Fatalf("encoded length %d: %q", len(enc), enc)
+		}
+		got, ok := ParseTraceHeader(enc)
+		if !ok || got != sc {
+			t.Fatalf("round trip %+v -> %q -> %+v ok=%v", sc, enc, got, ok)
+		}
+	}
+}
+
+func TestTraceHeaderRejects(t *testing.T) {
+	valid := SpanContext{TraceID: 7, SpanID: 9, Sampled: true, Depth: 1}.String()
+	bad := []string{
+		"",
+		"short",
+		valid + "x",                         // oversized
+		valid[:len(valid)-1],                // truncated
+		strings.Replace(valid, "-", "_", 1), // misplaced separator
+		strings.Replace(valid, "0", "g", 1), // bad hex
+		valid[:37] + "ff",                   // depth bomb (255)
+		valid[:37] + "09",                   // depth just past the cap
+		SpanContext{TraceID: 0, SpanID: 9}.String(), // zero trace id
+		strings.Repeat("-", traceHeaderLen),
+	}
+	for _, s := range bad {
+		if sc, ok := ParseTraceHeader(s); ok {
+			t.Fatalf("accepted %q -> %+v", s, sc)
+		}
+	}
+	// Unknown flag bits are tolerated (forward compatibility); only bit
+	// 0 is read.
+	flagged := valid[:34] + "03" + valid[36:]
+	if sc, ok := ParseTraceHeader(flagged); !ok || !sc.Sampled {
+		t.Fatalf("flags %q -> %+v ok=%v", flagged, sc, ok)
+	}
+	// Uppercase hex decodes too.
+	upper := strings.ToUpper(valid)
+	if sc, ok := ParseTraceHeader(upper); !ok || sc.TraceID != 7 {
+		t.Fatalf("uppercase %q -> %+v ok=%v", upper, sc, ok)
+	}
+}
+
+func TestTraceHeaderParseNoAllocs(t *testing.T) {
+	valid := SpanContext{TraceID: 7, SpanID: 9, Sampled: true, Depth: 1}.String()
+	hostile := strings.Repeat("z", 4096)
+	if n := testing.AllocsPerRun(200, func() {
+		ParseTraceHeader(valid)
+		ParseTraceHeader(hostile)
+	}); n != 0 {
+		t.Fatalf("ParseTraceHeader allocates %.1f per run", n)
+	}
+}
+
+// FuzzTraceHeaderDecode feeds hostile header values — oversized,
+// truncated, bad hex, depth bombs — through the decoder. The contract:
+// never panic, never allocate (the caller falls back to a fresh root
+// trace on rejection), and anything accepted must re-encode to exactly
+// the canonical form that parses back to the same context.
+func FuzzTraceHeaderDecode(f *testing.F) {
+	f.Add("")
+	f.Add("0000000000000001-0000000000000002-01-00")
+	f.Add(SpanContext{TraceID: ^uint64(0), SpanID: 1, Sampled: true, Depth: MaxTraceDepth}.String())
+	f.Add(strings.Repeat("0", traceHeaderLen))
+	f.Add(strings.Repeat("f", 1<<16))                // oversized
+	f.Add("0000000000000001-0000000000000002-01-ff") // depth bomb
+	f.Add("0000000000000001-0000000000000002-01")    // truncated
+	f.Add("000000000000000g-0000000000000002-01-00") // bad hex
+	f.Fuzz(func(t *testing.T, s string) {
+		sc, ok := ParseTraceHeader(s)
+		if !ok {
+			if sc != (SpanContext{}) {
+				t.Fatalf("rejected header leaked state: %+v", sc)
+			}
+			return
+		}
+		if sc.TraceID == 0 || sc.Depth > MaxTraceDepth {
+			t.Fatalf("accepted invalid context %+v from %q", sc, s)
+		}
+		back, ok2 := ParseTraceHeader(sc.String())
+		if !ok2 || back != sc {
+			t.Fatalf("canonical re-encode broke: %+v -> %q -> %+v", sc, sc.String(), back)
+		}
+	})
+}

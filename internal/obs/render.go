@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteTree renders the report's span tree as indented text — one span
+// per line with its start offset, duration, annotations and error — the
+// human-readable form of the JSON served by /debug/traces. Remote
+// subtrees grafted from backend reports carry their service tag.
+func (r TraceReport) WriteTree(w io.Writer) {
+	name := r.Name
+	if name == "" {
+		name = "trace"
+	}
+	fmt.Fprintf(w, "%s (total %dµs", name, r.TotalMicros)
+	if r.TraceID != "" {
+		fmt.Fprintf(w, ", trace %s", r.TraceID)
+	}
+	fmt.Fprint(w, ")")
+	if r.Error != "" {
+		fmt.Fprintf(w, " ERROR: %s", r.Error)
+	}
+	fmt.Fprintln(w)
+	writeAnnotations(w, "  ", r.Annotations)
+	for _, sp := range r.Spans {
+		writeSpan(w, sp, 1)
+	}
+	if r.DroppedSpans > 0 {
+		fmt.Fprintf(w, "  (%d spans dropped)\n", r.DroppedSpans)
+	}
+	fmt.Fprintf(w, "  work: %d descent nodes, %d blocks, %d candidates, %d segments\n",
+		r.DescentNodes, r.Blocks, r.Candidates, r.Segments)
+}
+
+func writeSpan(w io.Writer, sp SpanReport, depth int) {
+	indent := strings.Repeat("  ", depth)
+	name := sp.Name
+	if sp.Service != "" {
+		name = sp.Service + ":" + name
+	}
+	fmt.Fprintf(w, "%s%-10s +%6dµs %8dµs", indent, name, sp.StartMicros, sp.Micros)
+	for _, k := range sortedKeys(sp.Annotations) {
+		fmt.Fprintf(w, " %s=%s", k, sp.Annotations[k])
+	}
+	if sp.Error != "" {
+		fmt.Fprintf(w, " ERROR: %s", sp.Error)
+	}
+	fmt.Fprintln(w)
+	for _, c := range sp.Children {
+		writeSpan(w, c, depth+1)
+	}
+}
+
+func writeAnnotations(w io.Writer, indent string, ann map[string]string) {
+	for _, k := range sortedKeys(ann) {
+		fmt.Fprintf(w, "%s%s=%s\n", indent, k, ann[k])
+	}
+}
+
+func sortedKeys(m map[string]string) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

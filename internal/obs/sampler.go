@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// splitmix64Gamma is the odd additive constant of the splitmix64
+// generator (Steele, Lea & Flood 2014): successive states are a Weyl
+// sequence, and the output mix scrambles them into uniform 64-bit
+// draws.
+const splitmix64Gamma = 0x9E3779B97F4A7C15
+
+// splitmix64 is the generator's output function over one state value.
+func splitmix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// Sampler decides which queries carry a trace: each Sample draws
+// independently with the configured probability. The draw is one atomic
+// add plus a handful of shifts and multiplies (a splitmix64 step over a
+// shared counter) — lock-free, so a sampler in front of every query
+// never serializes the request path the way the previous mutex-guarded
+// math/rand generator did. A fixed seed still yields a deterministic
+// accept/reject sequence for single-threaded use (tests, reproductions);
+// concurrent callers interleave draws from the same sequence.
+type Sampler struct {
+	state     atomic.Uint64
+	threshold uint64 // accept when draw < threshold
+	always    bool
+}
+
+// NewSampler returns a sampler accepting with probability rate (clamped
+// to [0, 1]) using the given seed. A nil sampler never samples.
+func NewSampler(rate float64, seed int64) *Sampler {
+	s := &Sampler{}
+	s.state.Store(uint64(seed))
+	switch {
+	case rate <= 0 || math.IsNaN(rate):
+		// threshold 0: no draw ever accepted.
+	case rate >= 1:
+		s.always = true
+	default:
+		s.threshold = uint64(rate * math.MaxUint64)
+	}
+	return s
+}
+
+// Sample reports whether the next query should be traced.
+func (s *Sampler) Sample() bool {
+	if s == nil {
+		return false
+	}
+	if s.always {
+		return true
+	}
+	if s.threshold == 0 {
+		return false
+	}
+	return splitmix64(s.state.Add(splitmix64Gamma)) < s.threshold
+}

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeParenting(t *testing.T) {
+	tr := NewTrace()
+	tr.SetName("router /search/stat")
+	group := tr.StartSpan("group", 0)
+	tr.Annotate(group, "group", "0")
+	att := tr.StartSpan("attempt", group)
+	tr.Annotate(att, "backend", "http://b0")
+	tr.EndSpan(att)
+	tr.EndSpan(group)
+	tr.StageSince("merge", time.Now())
+
+	rep := tr.Report()
+	if rep.TraceID == "" || len(rep.TraceID) != 16 {
+		t.Fatalf("traceId %q", rep.TraceID)
+	}
+	if rep.Name != "router /search/stat" {
+		t.Fatalf("name %q", rep.Name)
+	}
+	if len(rep.Spans) != 2 {
+		t.Fatalf("want 2 root spans, got %+v", rep.Spans)
+	}
+	g := rep.Spans[0]
+	if g.Name != "group" || g.Annotations["group"] != "0" {
+		t.Fatalf("group span %+v", g)
+	}
+	if len(g.Children) != 1 || g.Children[0].Name != "attempt" || g.Children[0].Annotations["backend"] != "http://b0" {
+		t.Fatalf("attempt span %+v", g.Children)
+	}
+	if rep.Spans[1].Name != "merge" {
+		t.Fatalf("stage span %+v", rep.Spans[1])
+	}
+	// StageSince spans still render in the legacy flat list.
+	if len(rep.Stages) != 1 || rep.Stages[0].Name != "merge" {
+		t.Fatalf("stages %+v", rep.Stages)
+	}
+}
+
+func TestSpanOpenAtReport(t *testing.T) {
+	tr := NewTrace()
+	id := tr.StartSpan("hung", 0)
+	time.Sleep(time.Millisecond)
+	rep := tr.Report()
+	if len(rep.Spans) != 1 || rep.Spans[0].Micros <= 0 {
+		t.Fatalf("open span should report elapsed time: %+v", rep.Spans)
+	}
+	tr.EndSpan(id)
+	done := tr.Report().Spans[0].Micros
+	time.Sleep(2 * time.Millisecond)
+	if again := tr.Report().Spans[0].Micros; again != done {
+		t.Fatalf("closed span duration moved: %d -> %d", done, again)
+	}
+}
+
+func TestSpanCapDrops(t *testing.T) {
+	tr := NewTrace()
+	for i := 0; i < maxTraceSpans+10; i++ {
+		tr.StageSince("s", time.Now())
+	}
+	rep := tr.Report()
+	if len(rep.Stages) != maxTraceSpans {
+		t.Fatalf("span cap not enforced: %d", len(rep.Stages))
+	}
+	if rep.DroppedSpans != 10 {
+		t.Fatalf("dropped %d, want 10", rep.DroppedSpans)
+	}
+	// A dropped StartSpan returns 0; EndSpan/Annotate on it must not
+	// misattribute to another span.
+	id := tr.StartSpan("overflow", 0)
+	if id != 0 {
+		t.Fatalf("overflow span got id %d", id)
+	}
+	tr.EndSpan(id)
+	tr.Annotate(id, "k", "v") // lands on the root, by design
+}
+
+func TestTraceError(t *testing.T) {
+	tr := NewTrace()
+	tr.SetError("first")
+	tr.SetError("second")
+	if rep := tr.Report(); rep.Error != "first" {
+		t.Fatalf("error %q, want first recorded to win", rep.Error)
+	}
+}
+
+func TestAttachRemoteGraftsAndAggregates(t *testing.T) {
+	backend := NewTrace()
+	backend.SetName("s3serve /search/stat")
+	backend.StageSince("plan", time.Now())
+	backend.StageSince("refine", time.Now())
+	backend.AddDescentNodes(7)
+	backend.AddBlocks(3)
+	backend.AddCandidates(41)
+	raw, err := json.Marshal(backend.Report())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := NewTrace()
+	att := tr.StartSpan("attempt", 0)
+	time.Sleep(time.Millisecond)
+	tr.EndSpan(att)
+	if err := tr.AttachRemote(att, raw); err != nil {
+		t.Fatal(err)
+	}
+	rep := tr.Report()
+	if rep.DescentNodes != 7 || rep.Blocks != 3 || rep.Candidates != 41 {
+		t.Fatalf("remote counters not aggregated: %+v", rep)
+	}
+	a := rep.Spans[0]
+	if len(a.Children) != 1 {
+		t.Fatalf("attempt has no grafted child: %+v", a)
+	}
+	sub := a.Children[0]
+	if sub.Name != "s3serve /search/stat" || sub.Service != "remote" {
+		t.Fatalf("graft %+v", sub)
+	}
+	if sub.StartMicros < a.StartMicros {
+		t.Fatalf("graft not rebased onto attempt start: graft %d attempt %d", sub.StartMicros, a.StartMicros)
+	}
+	names := make([]string, 0, 2)
+	for _, c := range sub.Children {
+		names = append(names, c.Name)
+	}
+	if strings.Join(names, ",") != "plan,refine" {
+		t.Fatalf("remote stage split lost: %v", names)
+	}
+}
+
+func TestAttachRemoteMalformed(t *testing.T) {
+	before := assemblyFailures.Load()
+	tr := NewTrace()
+	att := tr.StartSpan("attempt", 0)
+	tr.EndSpan(att)
+	if err := tr.AttachRemote(att, []byte(`{"totalMicros": "not a number"`)); err == nil {
+		t.Fatal("malformed report must error")
+	}
+	if assemblyFailures.Load() != before+1 {
+		t.Fatal("assembly failure not counted")
+	}
+	rep := tr.Report()
+	if len(rep.Spans) != 1 || len(rep.Spans[0].Children) != 1 || rep.Spans[0].Children[0].Error == "" {
+		t.Fatalf("torn graft should leave an error placeholder: %+v", rep.Spans)
+	}
+}
+
+func TestNewTraceFromContinuesIdentity(t *testing.T) {
+	sc := SpanContext{TraceID: 0xabcd, SpanID: 42, Sampled: true, Depth: 2}
+	tr := NewTraceFrom(sc)
+	if tr.TraceID() != 0xabcd {
+		t.Fatalf("trace id %x", tr.TraceID())
+	}
+	next, ok := tr.Propagate(7)
+	if !ok || next.TraceID != 0xabcd || next.SpanID != 7 || next.Depth != 3 || !next.Sampled {
+		t.Fatalf("propagate %+v ok=%v", next, ok)
+	}
+	deep := NewTraceFrom(SpanContext{TraceID: 1, Depth: MaxTraceDepth})
+	if _, ok := deep.Propagate(1); ok {
+		t.Fatal("propagation past MaxTraceDepth must stop")
+	}
+	if NewTraceFrom(SpanContext{}).TraceID() == 0 {
+		t.Fatal("zero context must fall back to a fresh root trace")
+	}
+}
+
+func TestNilTraceSpanOps(t *testing.T) {
+	var tr *Trace
+	id := tr.StartSpan("x", 0)
+	tr.EndSpan(id)
+	tr.Annotate(id, "k", "v")
+	tr.SpanSince("y", 0, time.Now())
+	tr.SetName("n")
+	tr.SetError("e")
+	if err := tr.AttachRemote(0, []byte("junk")); err != nil {
+		t.Fatal("nil trace AttachRemote must no-op")
+	}
+	if _, ok := tr.Propagate(0); ok {
+		t.Fatal("nil trace must not propagate")
+	}
+	if tr.TraceID() != 0 {
+		t.Fatal("nil trace id")
+	}
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// TraceStore is the bounded in-memory home of finished trace reports,
+// served at /debug/traces on a -debug-addr. Three views implement tail
+// sampling — the decision of what to keep is made after the query
+// finishes, when its latency and outcome are known:
+//
+//   - recent: a ring of the last N finished traces, whatever they were;
+//   - slowest: the top K by total duration, so the interesting tail
+//     survives long after the ring has churned past it;
+//   - errors: a ring of the last traces that finished failed.
+//
+// Everything is fixed-size at construction; a query burst evicts (and
+// counts evictions) rather than growing.
+type TraceStore struct {
+	mu         sync.Mutex
+	recent     []TraceReport
+	recentNext int
+	recentN    int
+	slow       []TraceReport // unordered; minimum replaced on insert
+	errs       []TraceReport
+	errsNext   int
+	errsN      int
+
+	evictions *Counter
+}
+
+// NewTraceStore returns a store keeping size recent traces (minimum 8;
+// 0 means the default of 128) plus size/4 slowest and size/4 errored
+// ones.
+func NewTraceStore(size int) *TraceStore {
+	if size <= 0 {
+		size = 128
+	}
+	if size < 8 {
+		size = 8
+	}
+	tail := size / 4
+	return &TraceStore{
+		recent:    make([]TraceReport, 0, size),
+		slow:      make([]TraceReport, 0, tail),
+		errs:      make([]TraceReport, 0, tail),
+		evictions: NewCounter("s3_trace_store_evictions_total", "finished traces evicted from the debug trace store's bounded views"),
+	}
+}
+
+// RegisterMetrics publishes the store's eviction counter and the
+// package-wide tracing health counters into reg. Call at most once per
+// registry.
+func (s *TraceStore) RegisterMetrics(reg *Registry) {
+	if s == nil || reg == nil {
+		return
+	}
+	reg.MustRegister(s.evictions)
+	reg.CounterFunc("s3_trace_spans_total", "trace spans started, process-wide", spansStarted.Load)
+	reg.CounterFunc("s3_trace_spans_dropped_total", "trace spans dropped at the per-trace span cap", spansDropped.Load)
+	reg.CounterFunc("s3_trace_assembly_failures_total", "backend trace reports that failed to decode during assembly", assemblyFailures.Load)
+}
+
+// Add files a finished trace report into every view it qualifies for.
+func (s *TraceStore) Add(rep TraceReport) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.insertRing(&s.recent, &s.recentNext, &s.recentN, cap(s.recent), rep)
+	if rep.Error != "" {
+		s.insertRing(&s.errs, &s.errsNext, &s.errsN, cap(s.errs), rep)
+	}
+	if cap(s.slow) > 0 {
+		if len(s.slow) < cap(s.slow) {
+			s.slow = append(s.slow, rep)
+		} else {
+			min := 0
+			for i := 1; i < len(s.slow); i++ {
+				if s.slow[i].TotalMicros < s.slow[min].TotalMicros {
+					min = i
+				}
+			}
+			if rep.TotalMicros > s.slow[min].TotalMicros {
+				s.slow[min] = rep
+				s.evictions.Inc()
+			}
+		}
+	}
+}
+
+func (s *TraceStore) insertRing(ring *[]TraceReport, next, count *int, size int, rep TraceReport) {
+	if size == 0 {
+		return
+	}
+	if len(*ring) < size {
+		*ring = append(*ring, rep)
+		*next = len(*ring) % size
+		*count++
+		return
+	}
+	(*ring)[*next] = rep
+	*next = (*next + 1) % size
+	*count++
+	s.evictions.Inc()
+}
+
+// Snapshot returns up to n traces of the requested view ("recent",
+// "errors" or "slowest"), newest first for the rings and slowest first
+// for the tail view.
+func (s *TraceStore) Snapshot(view string, n int) []TraceReport {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []TraceReport
+	switch view {
+	case "slowest":
+		out = append(out, s.slow...)
+		for i := 1; i < len(out); i++ { // insertion sort, K is small
+			for j := i; j > 0 && out[j].TotalMicros > out[j-1].TotalMicros; j-- {
+				out[j], out[j-1] = out[j-1], out[j]
+			}
+		}
+	case "errors":
+		out = ringNewestFirst(s.errs, s.errsNext)
+	default:
+		out = ringNewestFirst(s.recent, s.recentNext)
+	}
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+func ringNewestFirst(ring []TraceReport, next int) []TraceReport {
+	out := make([]TraceReport, 0, len(ring))
+	for i := 0; i < len(ring); i++ {
+		out = append(out, ring[(next-1-i+2*len(ring))%len(ring)])
+	}
+	return out
+}
+
+// Handler serves the store as JSON: GET /debug/traces?view=recent|
+// slowest|errors&n=N caps the count (default 32).
+func (s *TraceStore) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		view := r.URL.Query().Get("view")
+		switch view {
+		case "", "recent":
+			view = "recent"
+		case "slowest", "errors":
+		default:
+			http.Error(w, `{"error":"view must be recent, slowest or errors"}`, http.StatusBadRequest)
+			return
+		}
+		n := 32
+		if v := r.URL.Query().Get("n"); v != "" {
+			parsed, err := strconv.Atoi(v)
+			if err != nil || parsed <= 0 {
+				http.Error(w, `{"error":"n must be a positive integer"}`, http.StatusBadRequest)
+				return
+			}
+			n = parsed
+		}
+		traces := s.Snapshot(view, n)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"view": view, "count": len(traces), "traces": traces})
+	})
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+)
+
+func rep(id int, micros int64, errMsg string) TraceReport {
+	return TraceReport{Name: "q" + strconv.Itoa(id), TotalMicros: micros, Error: errMsg}
+}
+
+func TestTraceStoreViews(t *testing.T) {
+	s := NewTraceStore(8) // recent 8, slow 2, errors 2
+	for i := 0; i < 12; i++ {
+		s.Add(rep(i, int64(100*i), ""))
+	}
+	s.Add(rep(100, 5, "boom"))
+	s.Add(rep(101, 6, "bang"))
+	s.Add(rep(102, 7, "crash"))
+
+	recent := s.Snapshot("recent", 0)
+	if len(recent) != 8 {
+		t.Fatalf("recent size %d", len(recent))
+	}
+	if recent[0].Name != "q102" || recent[1].Name != "q101" {
+		t.Fatalf("recent not newest-first: %s %s", recent[0].Name, recent[1].Name)
+	}
+
+	slow := s.Snapshot("slowest", 0)
+	if len(slow) != 2 || slow[0].Name != "q11" || slow[1].Name != "q10" {
+		t.Fatalf("slowest tail wrong: %+v", slow)
+	}
+
+	errs := s.Snapshot("errors", 0)
+	if len(errs) != 2 || errs[0].Name != "q102" || errs[1].Name != "q101" {
+		t.Fatalf("errors view wrong: %+v", errs)
+	}
+
+	if got := s.Snapshot("recent", 3); len(got) != 3 {
+		t.Fatalf("n cap ignored: %d", len(got))
+	}
+	if s.evictions.Value() == 0 {
+		t.Fatal("evictions not counted")
+	}
+}
+
+func TestTraceStoreHandler(t *testing.T) {
+	s := NewTraceStore(8)
+	s.Add(rep(1, 10, ""))
+	s.Add(rep(2, 20, "oops"))
+
+	for _, tc := range []struct {
+		url   string
+		code  int
+		count int
+	}{
+		{"/debug/traces", 200, 2},
+		{"/debug/traces?view=recent&n=1", 200, 1},
+		{"/debug/traces?view=slowest", 200, 2},
+		{"/debug/traces?view=errors", 200, 1},
+		{"/debug/traces?view=bogus", 400, 0},
+		{"/debug/traces?n=-1", 400, 0},
+	} {
+		rr := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", tc.url, nil))
+		if rr.Code != tc.code {
+			t.Fatalf("%s: code %d want %d", tc.url, rr.Code, tc.code)
+		}
+		if tc.code != 200 {
+			continue
+		}
+		var body struct {
+			View   string        `json:"view"`
+			Count  int           `json:"count"`
+			Traces []TraceReport `json:"traces"`
+		}
+		if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+			t.Fatalf("%s: %v", tc.url, err)
+		}
+		if body.Count != tc.count || len(body.Traces) != tc.count {
+			t.Fatalf("%s: count %d traces %d want %d", tc.url, body.Count, len(body.Traces), tc.count)
+		}
+	}
+}
+
+func TestTraceStoreMetrics(t *testing.T) {
+	reg := NewRegistry()
+	s := NewTraceStore(8)
+	s.RegisterMetrics(reg)
+	var sb []byte
+	w := &sliceWriter{&sb}
+	reg.WritePrometheus(w)
+	out := string(sb)
+	for _, fam := range []string{
+		"s3_trace_spans_total",
+		"s3_trace_spans_dropped_total",
+		"s3_trace_assembly_failures_total",
+		"s3_trace_store_evictions_total",
+	} {
+		if !containsSeries(out, fam) {
+			t.Fatalf("family %s missing from exposition:\n%s", fam, out)
+		}
+	}
+	var nilStore *TraceStore
+	nilStore.Add(TraceReport{})
+	if nilStore.Snapshot("recent", 0) != nil {
+		t.Fatal("nil store snapshot")
+	}
+}
+
+type sliceWriter struct{ b *[]byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	*w.b = append(*w.b, p...)
+	return len(p), nil
+}
+
+func containsSeries(exposition, family string) bool {
+	for _, line := range splitLines(exposition) {
+		if len(line) >= len(family) && line[:len(family)] == family {
+			return true
+		}
+	}
+	return false
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,242 @@
+package router
+
+// Chaos × tracing: with tracing forced on (rate 1.0), every injected
+// fault must surface as an annotated attempt span in the assembled
+// trace — no lost attempts — and the storm's answers must remain
+// byte-identical to the untraced single-node reference once the
+// appended trace member is stripped. Runs under `make chaos-router`.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"s3cbcd/internal/obs"
+	"s3cbcd/internal/store"
+)
+
+// traceOf decodes the trace member a rate-1.0 router must append.
+func traceOf(t *testing.T, raw []byte) obs.TraceReport {
+	t.Helper()
+	var resp struct {
+		Trace *obs.TraceReport `json:"trace"`
+	}
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatalf("decode traced response: %v (%s)", err, raw)
+	}
+	if resp.Trace == nil {
+		t.Fatalf("response carries no trace though the rate is 1.0: %s", raw)
+	}
+	return *resp.Trace
+}
+
+// canonicalSansTrace strips the trace member and re-marshals with Go's
+// canonical sorted-key encoding; reference bodies round-trip the same
+// way so the comparison is representation-stable.
+func canonicalSansTrace(t *testing.T, raw []byte) string {
+	t.Helper()
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("decode %s: %v", raw, err)
+	}
+	delete(m, "trace")
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// TestChaosTracedFaultAttribution runs serial strict queries with
+// tracing at rate 1.0 against a replica injecting 503s and torn
+// responses: every injected fault must appear in the assembled trace as
+// an attempt span annotated outcome=error (with its error text), every
+// fault must have launched exactly one retry-annotated sibling attempt,
+// and no attempt may go missing from the tree.
+func TestChaosTracedFaultAttribution(t *testing.T) {
+	seed := faultSeed(t)
+	curve := testCurve(t)
+	rng := rand.New(rand.NewSource(seed))
+	ordered := sortedRecords(store.MustBuild(curve, randomRecords(rng, 260)))
+
+	clean := apiServer(t, curve, ordered)
+	fl := newFlaky(apiHandler(t, curve, ordered), seed+7)
+	fl.setFaults(0.25, 0.15, 0, 0, 0)
+	flakySrv := httptest.NewServer(fl)
+	t.Cleanup(flakySrv.Close)
+
+	_, rts := startRouter(t, Options{
+		Groups:        [][]string{{flakySrv.URL, clean.URL}},
+		Retries:       4,
+		HedgeQuantile: -1, // serial accounting must not race a hedge
+		ProbeInterval: -1,
+		TraceRate:     1.0,
+		TraceSeed:     seed,
+	})
+
+	var errored, retried int64
+	const n = 80
+	for i := 0; i < n; i++ {
+		code, raw, _ := postBytes(t, rts.URL, "/search/statistical", statBody(ordered[rng.Intn(len(ordered))].FP))
+		if code != http.StatusOK {
+			t.Fatalf("query %d: status %d (%s)", i, code, raw)
+		}
+		rep := traceOf(t, raw)
+		for _, a := range findSpans(rep.Spans, "attempt") {
+			if a.Annotations["retry"] != "" {
+				retried++
+			}
+			switch a.Annotations["outcome"] {
+			case "ok":
+				if a.Annotations["winner"] != "true" {
+					t.Errorf("query %d: serial ok attempt not marked winner: %+v", i, a.Annotations)
+				}
+			case "error":
+				errored++
+				if a.Annotations["error"] == "" {
+					t.Errorf("query %d: errored attempt without error annotation: %+v", i, a.Annotations)
+				}
+			default:
+				t.Errorf("query %d: unexpected attempt outcome %q", i, a.Annotations["outcome"])
+			}
+		}
+	}
+	injected := fl.injected()
+	if injected == 0 {
+		t.Fatal("degenerate run: no faults injected")
+	}
+	if errored != injected {
+		t.Errorf("injected %d faults but %d attempt spans errored — attempts lost from the trace", injected, errored)
+	}
+	if retried != errored {
+		t.Errorf("%d errored attempts but %d retry-annotated attempts", errored, retried)
+	}
+}
+
+// TestChaosStormTracedByteIdentical re-runs the storm shape with
+// tracing forced on: under the full fault mix every answer must carry
+// an assembled trace holding exactly one winning attempt per shard
+// group, and — trace member stripped — remain byte-identical to the
+// untraced single-node reference.
+func TestChaosStormTracedByteIdentical(t *testing.T) {
+	seed := faultSeed(t)
+	curve := testCurve(t)
+	rng := rand.New(rand.NewSource(seed))
+	ordered := sortedRecords(store.MustBuild(curve, randomRecords(rng, 400)))
+	ref := apiServer(t, curve, ordered)
+	chunks := splitGroups(rng, ordered, 2)
+
+	var flakies []*flaky
+	var groups [][]string
+	for i, chunk := range chunks {
+		fl := newFlaky(apiHandler(t, curve, chunk), seed+211*int64(i))
+		fl.setFaults(0.15, 0.10, 0.10, 0.05, 10*time.Millisecond)
+		flakySrv := httptest.NewServer(fl)
+		t.Cleanup(flakySrv.Close)
+		cleanSrv := apiServer(t, curve, chunk)
+		flakies = append(flakies, fl)
+		groups = append(groups, []string{flakySrv.URL, cleanSrv.URL})
+	}
+
+	_, rts := startRouter(t, Options{
+		Groups:        groups,
+		Retries:       3,
+		HedgeMin:      time.Millisecond,
+		ProbeInterval: 25 * time.Millisecond,
+		TraceRate:     1.0,
+		TraceSeed:     seed,
+	})
+
+	type query struct {
+		path, body, want string
+		knn              bool
+	}
+	var queries []query
+	for i := 0; i < 24; i++ {
+		fp := ordered[rng.Intn(len(ordered))].FP
+		switch i % 4 {
+		case 0:
+			queries = append(queries, query{path: "/search/statistical", body: statBody(fp)})
+		case 1:
+			queries = append(queries, query{path: "/search/range",
+				body: fmt.Sprintf(`{"fingerprint":%s,"epsilon":120}`, fpJSON(fp))})
+		case 2:
+			queries = append(queries, query{path: "/search/statistical/batch",
+				body: fmt.Sprintf(`{"fingerprints":[%s],"alpha":0.9,"sigma":20}`, fpJSON(fp))})
+		case 3:
+			queries = append(queries, query{path: "/search/knn",
+				body: fmt.Sprintf(`{"fingerprint":%s,"k":8}`, fpJSON(fp)), knn: true})
+		}
+	}
+	for i := range queries {
+		code, raw, _ := postBytes(t, ref.URL, queries[i].path, queries[i].body)
+		if code != http.StatusOK {
+			t.Fatalf("reference %s: status %d", queries[i].path, code)
+		}
+		queries[i].want = canonicalSansTrace(t, raw)
+	}
+
+	var mu sync.Mutex
+	var badAttempts int64
+	const workers = 4
+	const rounds = 2
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				for qi, q := range queries {
+					if (qi+round)%workers != w {
+						continue
+					}
+					code, raw, _ := postBytes(t, rts.URL, q.path, q.body)
+					if code != http.StatusOK {
+						t.Errorf("%s under traced chaos: status %d (%s)", q.path, code, raw)
+						continue
+					}
+					rep := traceOf(t, raw)
+					winners := 0
+					for _, a := range findSpans(rep.Spans, "attempt") {
+						if a.Annotations["winner"] == "true" {
+							winners++
+						}
+						switch a.Annotations["outcome"] {
+						case "ok", "error", "abandoned":
+						default:
+							mu.Lock()
+							badAttempts++
+							mu.Unlock()
+						}
+					}
+					if want := len(findSpans(rep.Spans, "group")); winners != want {
+						t.Errorf("%s: %d winning attempts across %d groups", q.path, winners, want)
+					}
+					if q.knn {
+						compareKNN(t, []byte(q.want), raw)
+					} else if got := canonicalSansTrace(t, raw); got != q.want {
+						t.Errorf("%s diverged with tracing on:\nref:    %s\nrouter: %s", q.path, q.want, got)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var injected int64
+	for _, fl := range flakies {
+		injected += fl.injected()
+	}
+	if injected == 0 {
+		t.Fatal("degenerate storm: no faults injected")
+	}
+	if badAttempts != 0 {
+		t.Errorf("%d attempt spans with unexpected outcome", badAttempts)
+	}
+	metrics5xxIsZero(t, rts)
+}

@@ -134,6 +134,21 @@ type Options struct {
 	// PartialDegrade ("" = strict); ?partial= overrides per request.
 	Partial string
 
+	// TraceRate samples client requests for distributed tracing: each
+	// search carries a trace with probability TraceRate (0 disables
+	// sampling; a request can always opt in with ?trace=1 or an inbound
+	// sampled X-S3-Trace header). Traced requests propagate context to
+	// backends and assemble their in-band reports into one span tree.
+	TraceRate float64
+	// TraceSeed seeds the trace sampler.
+	TraceSeed int64
+	// TraceStoreSize bounds the in-memory debug trace store (finished
+	// traces kept for /debug/traces); 0 selects the obs default.
+	TraceStoreSize int
+	// SlowQuery, when positive, logs every traced request at least this
+	// slow through Logger, with the assembled span tree attached.
+	SlowQuery time.Duration
+
 	// Metrics receives the s3_router_* families (nil = new registry).
 	Metrics *obs.Registry
 	// Logger receives structured logs (nil = slog.Default()).
@@ -158,6 +173,8 @@ type Router struct {
 	log          *slog.Logger
 	sem          chan struct{} // nil = unlimited
 	probeTimeout time.Duration
+	sampler      *obs.Sampler
+	traces       *obs.TraceStore
 
 	stop chan struct{}
 	once sync.Once
@@ -192,6 +209,11 @@ func New(opt Options) (*Router, error) {
 		r.log = slog.Default()
 	}
 	r.met = newRouterMetrics(r.reg)
+	if opt.TraceRate > 0 {
+		r.sampler = obs.NewSampler(opt.TraceRate, opt.TraceSeed)
+	}
+	r.traces = obs.NewTraceStore(opt.TraceStoreSize)
+	r.traces.RegisterMetrics(r.reg)
 	if opt.MaxInFlight > 0 {
 		r.sem = make(chan struct{}, opt.MaxInFlight)
 	}
@@ -307,6 +329,10 @@ func (r *Router) Close() {
 // Metrics returns the router's registry (also served at GET /metrics).
 func (r *Router) Metrics() *obs.Registry { return r.reg }
 
+// Traces returns the router's bounded debug trace store, for mounting
+// /debug/traces on a debug listener.
+func (r *Router) Traces() *obs.TraceStore { return r.traces }
+
 func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	w.Header().Set("Server", "s3router")
 	r.mux.ServeHTTP(w, req)
@@ -369,30 +395,92 @@ type matchJSON struct {
 type statReply struct {
 	Matches []matchJSON     `json:"matches"`
 	Plan    json.RawMessage `json:"plan"`
+	Trace   json.RawMessage `json:"trace,omitempty"`
 }
 
 type batchReply struct {
-	Results [][]matchJSON `json:"results"`
+	Results [][]matchJSON   `json:"results"`
+	Trace   json.RawMessage `json:"trace,omitempty"`
 }
 
 type rangeReply struct {
 	Matches []matchJSON     `json:"matches"`
 	Blocks  json.RawMessage `json:"blocks"`
+	Trace   json.RawMessage `json:"trace,omitempty"`
 }
 
 type knnReply struct {
-	Matches []matchJSON `json:"matches"`
-	Exact   bool        `json:"exact"`
-	Scanned int         `json:"scanned"`
+	Matches []matchJSON     `json:"matches"`
+	Exact   bool            `json:"exact"`
+	Scanned int             `json:"scanned"`
+	Trace   json.RawMessage `json:"trace,omitempty"`
 }
 
-// mergeFn builds the client response from the per-group results (nil
-// for missing groups) and the missing group indices.
-type mergeFn func(w http.ResponseWriter, body []byte, outs []any, missing []int)
+// traced lets the attempt path pull the in-band trace report a sampled
+// backend attached to its response, for grafting into the router's
+// span tree.
+type traced interface{ traceRaw() json.RawMessage }
+
+func (r *statReply) traceRaw() json.RawMessage  { return r.Trace }
+func (r *batchReply) traceRaw() json.RawMessage { return r.Trace }
+func (r *rangeReply) traceRaw() json.RawMessage { return r.Trace }
+func (r *knnReply) traceRaw() json.RawMessage   { return r.Trace }
+
+// mergeFn builds the client response body from the per-group results
+// (nil for missing groups) and the missing group indices. search owns
+// writing it, so a trace report can ride along when the request was
+// traced — map keys marshal in sorted order, keeping untraced merged
+// responses byte-identical to single-node ones.
+type mergeFn func(body []byte, outs []any, missing []int) map[string]interface{}
+
+// traceFor decides whether this client request is traced: always when
+// an upstream router sent a sampled X-S3-Trace context (routers stack),
+// always on ?trace=1, otherwise by the sampler. A malformed header is
+// indistinguishable from no header. Returns nil when untraced.
+func (r *Router) traceFor(req *http.Request, route string) *obs.Trace {
+	var tr *obs.Trace
+	if h := req.Header.Get(obs.TraceHeader); h != "" {
+		if sc, ok := obs.ParseTraceHeader(h); ok && sc.Sampled {
+			tr = obs.NewTraceFrom(sc)
+		}
+	}
+	if tr == nil && (req.URL.Query().Get("trace") == "1" || r.sampler.Sample()) {
+		tr = obs.NewTrace()
+	}
+	if tr != nil {
+		tr.SetName("s3router " + route)
+	}
+	return tr
+}
+
+// finishTrace closes out a traced request: the failure (if any) is
+// recorded, the assembled report is built once, filed into the debug
+// trace store, logged when the request breached the slow-query
+// threshold, and returned for in-band attachment to the response.
+func (r *Router) finishTrace(route string, tr *obs.Trace, err error) obs.TraceReport {
+	if tr == nil {
+		return obs.TraceReport{}
+	}
+	if err != nil {
+		tr.SetError(err.Error())
+	}
+	rep := tr.Report()
+	r.traces.Add(rep)
+	if r.opt.SlowQuery > 0 && time.Duration(rep.TotalMicros)*time.Microsecond >= r.opt.SlowQuery {
+		r.log.Warn("slow query",
+			"route", route,
+			"traceId", rep.TraceID,
+			"micros", rep.TotalMicros,
+			"error", rep.Error,
+			"trace", rep)
+	}
+	return rep
+}
 
 // search builds the scatter/gather handler for one search route.
 func (r *Router) search(path string, newOut func() any, merge mergeFn) http.HandlerFunc {
 	return func(w http.ResponseWriter, req *http.Request) {
+		t0 := time.Now()
 		// Admission: take a slot now or shed now. The router never queues
 		// excess load — queued requests burn their deadlines waiting and
 		// then scatter doomed subqueries at the fleet.
@@ -402,15 +490,25 @@ func (r *Router) search(path string, newOut func() any, merge mergeFn) http.Hand
 				defer func() { <-r.sem }()
 			default:
 				r.met.shed.Inc()
+				// A shed is over before any span opens; it still must not
+				// vanish from the trace views, so a traced shed files an
+				// errored root with the reason annotated.
+				if tr := r.traceFor(req, path); tr != nil {
+					tr.Annotate(0, "shed", "router at capacity")
+					r.finishTrace(path, tr, fmt.Errorf("router at capacity (%d in flight)", cap(r.sem)))
+				}
 				w.Header().Set("Retry-After", strconv.Itoa(shedRetryAfter))
 				httpError(w, http.StatusServiceUnavailable, "router at capacity (%d in flight)", cap(r.sem))
 				return
 			}
 		}
 
+		tr := r.traceFor(req, path)
+
 		partial := r.opt.Partial
 		if p := req.URL.Query().Get("partial"); p != "" {
 			if p != PartialStrict && p != PartialDegrade {
+				r.finishTrace(path, tr, fmt.Errorf("partial=%q invalid", p))
 				httpError(w, http.StatusBadRequest, "partial=%q (want %q or %q)", p, PartialStrict, PartialDegrade)
 				return
 			}
@@ -422,10 +520,12 @@ func (r *Router) search(path string, newOut func() any, merge mergeFn) http.Hand
 		// would surface as a confusing backend 400.
 		body, err := io.ReadAll(io.LimitReader(req.Body, maxRequestBody+1))
 		if err != nil {
+			r.finishTrace(path, tr, err)
 			httpError(w, http.StatusBadRequest, "reading request: %v", err)
 			return
 		}
 		if len(body) > maxRequestBody {
+			r.finishTrace(path, tr, errors.New("request body too large"))
 			httpError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", maxRequestBody)
 			return
 		}
@@ -434,6 +534,7 @@ func (r *Router) search(path string, newOut func() any, merge mergeFn) http.Hand
 		if h := req.Header.Get(deadlineHeader); h != "" {
 			ms, err := strconv.ParseInt(h, 10, 64)
 			if err != nil {
+				r.finishTrace(path, tr, fmt.Errorf("bad %s header", deadlineHeader))
 				httpError(w, http.StatusBadRequest, "%s: %q is not a unix-milliseconds deadline", deadlineHeader, h)
 				return
 			}
@@ -447,6 +548,13 @@ func (r *Router) search(path string, newOut func() any, merge mergeFn) http.Hand
 			defer cancel()
 		}
 
+		if tr != nil {
+			// Admission + parse are over; the span records what the request
+			// cost before any backend work began.
+			tr.SpanSince("admission", 0, t0)
+			ctx = obs.WithTrace(ctx, tr)
+		}
+
 		outs, errs := r.scatter(ctx, path, body, newOut)
 
 		// A defective query fails identically on every shard; surface the
@@ -454,6 +562,7 @@ func (r *Router) search(path string, newOut func() any, merge mergeFn) http.Hand
 		for _, err := range errs {
 			var be *backendError
 			if errors.As(err, &be) && !be.retryable && be.status >= 400 && be.status < 500 {
+				r.finishTrace(path, tr, err)
 				httpError(w, be.status, "%s", be.msg)
 				return
 			}
@@ -469,6 +578,7 @@ func (r *Router) search(path string, newOut func() any, merge mergeFn) http.Hand
 		}
 		if len(missing) > 0 {
 			if partial == PartialStrict || len(missing) == len(r.groups) {
+				r.finishTrace(path, tr, lastErr)
 				// A request whose own budget expired (inbound X-S3-Deadline
 				// or RequestTimeout) is a timeout, not fleet unavailability:
 				// 504 and no Retry-After, so clients don't retry a query
@@ -485,9 +595,18 @@ func (r *Router) search(path string, newOut func() any, merge mergeFn) http.Hand
 			}
 			r.met.partials.Inc()
 			r.met.missingShards.Add(int64(len(missing)))
+			if tr != nil {
+				tr.Annotate(0, "missingShards", fmt.Sprint(missing))
+			}
 			r.log.Warn("degraded response", "route", path, "missingShards", missing, "err", lastErr)
 		}
-		merge(w, body, outs, missing)
+		t1 := time.Now()
+		resp := merge(body, outs, missing)
+		if tr != nil {
+			tr.SpanSince("merge", 0, t1)
+			resp["trace"] = r.finishTrace(path, tr, nil)
+		}
+		reply(w, resp)
 	}
 }
 
@@ -515,7 +634,7 @@ func addMissing(resp map[string]interface{}, missing []int) {
 	}
 }
 
-func (r *Router) mergeStat(w http.ResponseWriter, _ []byte, outs []any, missing []int) {
+func (r *Router) mergeStat(_ []byte, outs []any, missing []int) map[string]interface{} {
 	matches := make([]matchJSON, 0)
 	var plan json.RawMessage
 	for _, o := range outs {
@@ -530,10 +649,10 @@ func (r *Router) mergeStat(w http.ResponseWriter, _ []byte, outs []any, missing 
 	}
 	resp := map[string]interface{}{"matches": matches, "plan": plan}
 	addMissing(resp, missing)
-	reply(w, resp)
+	return resp
 }
 
-func (r *Router) mergeBatch(w http.ResponseWriter, _ []byte, outs []any, missing []int) {
+func (r *Router) mergeBatch(_ []byte, outs []any, missing []int) map[string]interface{} {
 	var results [][]matchJSON
 	for _, o := range outs {
 		if o == nil {
@@ -554,10 +673,10 @@ func (r *Router) mergeBatch(w http.ResponseWriter, _ []byte, outs []any, missing
 	}
 	resp := map[string]interface{}{"results": results}
 	addMissing(resp, missing)
-	reply(w, resp)
+	return resp
 }
 
-func (r *Router) mergeRange(w http.ResponseWriter, _ []byte, outs []any, missing []int) {
+func (r *Router) mergeRange(_ []byte, outs []any, missing []int) map[string]interface{} {
 	matches := make([]matchJSON, 0)
 	var blocks json.RawMessage
 	for _, o := range outs {
@@ -572,10 +691,10 @@ func (r *Router) mergeRange(w http.ResponseWriter, _ []byte, outs []any, missing
 	}
 	resp := map[string]interface{}{"matches": matches, "blocks": blocks}
 	addMissing(resp, missing)
-	reply(w, resp)
+	return resp
 }
 
-func (r *Router) mergeKNN(w http.ResponseWriter, body []byte, outs []any, missing []int) {
+func (r *Router) mergeKNN(body []byte, outs []any, missing []int) map[string]interface{} {
 	lists := make([][]matchJSON, 0, len(outs))
 	exact := len(missing) == 0
 	scanned, total := 0, 0
@@ -619,7 +738,7 @@ func (r *Router) mergeKNN(w http.ResponseWriter, body []byte, outs []any, missin
 	}
 	resp := map[string]interface{}{"matches": merged, "exact": exact, "scanned": scanned}
 	addMissing(resp, missing)
-	reply(w, resp)
+	return resp
 }
 
 // handleHealthz reports the router's view of the fleet: down when some

@@ -16,6 +16,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"s3cbcd/internal/obs"
 )
 
 // backendError is a failed backend exchange, classified for the retry
@@ -45,14 +47,74 @@ type attemptResult struct {
 	err   error
 	be    *backend
 	hedge bool
+	span  obs.SpanID
+}
+
+// Tracing hooks for the attempt path. Each is a single nil check when
+// tracing is off — TestRouterAttemptNoAllocsUntraced pins that the
+// whole set allocates nothing on an untraced launch.
+
+// traceGroupStart opens one shard group's span.
+func traceGroupStart(tr *obs.Trace, g int) obs.SpanID {
+	if tr == nil {
+		return 0
+	}
+	id := tr.StartSpan("group", 0)
+	tr.Annotate(id, "group", strconv.Itoa(g))
+	return id
+}
+
+// traceAttemptStart opens the span for one launched attempt.
+func traceAttemptStart(tr *obs.Trace, parent obs.SpanID, be *backend, hedge bool, retry int) obs.SpanID {
+	if tr == nil {
+		return 0
+	}
+	id := tr.StartSpan("attempt", parent)
+	tr.Annotate(id, "backend", be.url)
+	if hedge {
+		tr.Annotate(id, "hedge", "true")
+	}
+	if retry > 0 {
+		tr.Annotate(id, "retry", strconv.Itoa(retry))
+	}
+	return id
+}
+
+// traceAttemptEnd closes an attempt span with its outcome: "ok",
+// "error" (the backend genuinely failed) or "abandoned" (a sibling won
+// or the deadline expired while this attempt was in flight — the
+// hedge's losing leg, made visible instead of vanishing).
+func traceAttemptEnd(tr *obs.Trace, id obs.SpanID, outcome string, err error) {
+	if tr == nil {
+		return
+	}
+	tr.Annotate(id, "outcome", outcome)
+	if err != nil {
+		tr.Annotate(id, "error", err.Error())
+	}
+	tr.EndSpan(id)
+}
+
+// traceSkip records a replica the launch loop rejected without sending
+// anything: a tripped breaker or an exhausted in-flight budget.
+func traceSkip(tr *obs.Trace, parent obs.SpanID, be *backend, reason string) {
+	if tr == nil {
+		return
+	}
+	id := tr.StartSpan("skip", parent)
+	tr.Annotate(id, "backend", be.url)
+	tr.Annotate(id, "reason", reason)
+	tr.EndSpan(id)
 }
 
 // attempt performs one exchange with one backend: POST (or GET for
 // metadata paths) with the context deadline propagated via
-// X-S3-Deadline, the response decoded into a fresh newOut value. Torn
-// or non-JSON bodies are retryable failures — a half-written response
-// must never be half-merged.
-func (r *Router) attempt(ctx context.Context, be *backend, method, path string, body []byte, newOut func() any) (any, error) {
+// X-S3-Deadline — and, for traced requests, the trace context via
+// X-S3-Trace, so the backend traces the subquery and returns its report
+// in-band for grafting under span. The response is decoded into a fresh
+// newOut value. Torn or non-JSON bodies are retryable failures — a
+// half-written response must never be half-merged.
+func (r *Router) attempt(ctx context.Context, be *backend, method, path string, body []byte, newOut func() any, tr *obs.Trace, span obs.SpanID) (any, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -66,6 +128,9 @@ func (r *Router) attempt(ctx context.Context, be *backend, method, path string, 
 	}
 	if dl, ok := ctx.Deadline(); ok {
 		req.Header.Set(deadlineHeader, strconv.FormatInt(dl.UnixMilli(), 10))
+	}
+	if sc, ok := tr.Propagate(span); ok {
+		req.Header.Set(obs.TraceHeader, sc.String())
 	}
 	be.reqs.Inc()
 	t0 := time.Now()
@@ -96,6 +161,15 @@ func (r *Router) attempt(ctx context.Context, be *backend, method, path string, 
 	out := newOut()
 	if err := json.Unmarshal(raw, out); err != nil {
 		return nil, &backendError{msg: fmt.Sprintf("torn response: %v", err), retryable: true}
+	}
+	if tr != nil {
+		if tb, ok := out.(traced); ok {
+			if rawTrace := tb.traceRaw(); len(rawTrace) > 0 {
+				// Grafting failure is already counted and leaves an error
+				// placeholder in the tree; the answer itself is fine.
+				_ = tr.AttachRemote(span, rawTrace)
+			}
+		}
 	}
 	// Only clean, complete, decoded exchanges feed the latency window:
 	// hedge delays should track service time, not failure modes.
@@ -198,6 +272,24 @@ func (r *Router) groupDo(ctx context.Context, g int, method, path string, body [
 	gctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	tr := obs.FromContext(ctx)
+	gspan := traceGroupStart(tr, g)
+	defer tr.EndSpan(gspan)
+
+	// Attempts still in flight when the group resolves (losers to a
+	// winner, or killed by the deadline) are closed as abandoned here,
+	// deterministically before the trace can be reported; an attempt
+	// whose goroutine beat this sweep to its own verdict keeps the more
+	// specific outcome.
+	var openSpans []obs.SpanID
+	if tr != nil {
+		defer func() {
+			for _, id := range openSpans {
+				tr.EndAbandoned(id)
+			}
+		}()
+	}
+
 	// The candidate list cycles through the replica preference order:
 	// a transient failure (a shed 503, a torn response) on every sibling
 	// must not exhaust the group while retry budget remains — the replica
@@ -223,25 +315,32 @@ func (r *Router) groupDo(ctx context.Context, g int, method, path string, body [
 	// attempt killed by the deadline must still report, or a half-open
 	// breaker waits forever for a verdict that never comes and the
 	// backend is blackholed until restart.
-	launch := func(hedge bool) *backend {
+	launch := func(hedge bool, retry int) *backend {
 		for next < len(order) {
 			be := order[next]
 			next++
 			if !be.tryAcquire() {
+				traceSkip(tr, gspan, be, "budget")
 				continue
 			}
 			ok, probe := be.br.allow()
 			if !ok {
 				be.release()
+				traceSkip(tr, gspan, be, "breaker")
 				continue
 			}
 			inflight++
+			aspan := traceAttemptStart(tr, gspan, be, hedge, retry)
+			if tr != nil {
+				openSpans = append(openSpans, aspan)
+			}
 			go func() {
 				defer be.release()
-				out, err := r.attempt(gctx, be, method, path, body, newOut)
+				out, err := r.attempt(gctx, be, method, path, body, newOut, tr, aspan)
 				switch {
 				case err == nil:
 					be.br.success()
+					traceAttemptEnd(tr, aspan, "ok", nil)
 				case gctx.Err() != nil:
 					// Canceled under us — a sibling won or the budget
 					// expired. That says nothing about this backend, so no
@@ -250,12 +349,14 @@ func (r *Router) groupDo(ctx context.Context, g int, method, path string, body [
 					if probe {
 						be.br.cancelProbe()
 					}
+					traceAttemptEnd(tr, aspan, "abandoned", err)
 				default:
 					be.failures.Inc()
 					be.br.failure()
+					traceAttemptEnd(tr, aspan, "error", err)
 				}
 				select {
-				case resc <- attemptResult{out: out, err: err, be: be, hedge: hedge}:
+				case resc <- attemptResult{out: out, err: err, be: be, hedge: hedge, span: aspan}:
 				case <-gctx.Done():
 				}
 			}()
@@ -264,7 +365,7 @@ func (r *Router) groupDo(ctx context.Context, g int, method, path string, body [
 		return nil
 	}
 
-	primary := launch(false)
+	primary := launch(false, 0)
 	if primary == nil {
 		return nil, &backendError{msg: fmt.Sprintf("group %d: no admissible replica (breakers open or budgets full)", g), retryable: true}
 	}
@@ -292,9 +393,20 @@ func (r *Router) groupDo(ctx context.Context, g int, method, path string, body [
 		select {
 		case res := <-resc:
 			inflight--
+			if tr != nil {
+				for i, id := range openSpans {
+					if id == res.span {
+						openSpans = append(openSpans[:i], openSpans[i+1:]...)
+						break
+					}
+				}
+			}
 			if res.err == nil {
 				if res.hedge {
 					r.met.hedgeWins.Inc()
+				}
+				if tr != nil {
+					tr.Annotate(res.span, "winner", "true")
 				}
 				cancel() // losers stop refining immediately
 				return res.out, nil
@@ -327,7 +439,7 @@ func (r *Router) groupDo(ctx context.Context, g int, method, path string, body [
 		case <-retryC:
 			retryC = nil
 			r.met.retries.Inc()
-			if be := launch(false); be == nil {
+			if be := launch(false, failures); be == nil {
 				if inflight == 0 {
 					return nil, lastErr
 				}
@@ -348,7 +460,7 @@ func (r *Router) groupDo(ctx context.Context, g int, method, path string, body [
 		case <-hedgeC:
 			hedgeC = nil
 			r.met.hedges.Inc()
-			launch(true)
+			launch(true, 0)
 
 		case <-ctx.Done():
 			return nil, ctx.Err()
